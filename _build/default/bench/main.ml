@@ -1,0 +1,490 @@
+(** Benchmark harness regenerating every table and figure of the paper's
+    evaluation (Sec. 6), per the experiment index in DESIGN.md.
+
+    Usage: [dune exec bench/main.exe -- [EXPERIMENT ...] [--full]]
+
+    With no arguments every experiment runs in quick mode (small synthetic
+    datasets, few epochs — absolute numbers are below the paper's, but the
+    {e shapes} it reports are reproduced: which method wins, by what rough
+    factor, and where the blowups/crossovers are).  [--full] scales the
+    datasets and epochs up.  Experiments:
+      table1 table2 accuracy provenances table4 table5 fig18 fig19 pacman micro
+
+    Each run prints paper-reported reference numbers alongside measured ones
+    (marked [paper]); see EXPERIMENTS.md for the recorded comparison. *)
+
+open Scallop_apps
+module Mnist = Scallop_data.Mnist
+
+let line () = Fmt.pr "%s@." (String.make 78 '-')
+
+let section name =
+  Fmt.pr "@.";
+  line ();
+  Fmt.pr "== %s@." name;
+  line ()
+
+type mode = { quick : bool }
+
+let base_config (m : mode) =
+  if m.quick then
+    { Common.default_config with Common.epochs = 3; n_train = 200; n_test = 100 }
+  else { Common.default_config with Common.epochs = 6; n_train = 600; n_test = 200 }
+
+(* ---- Table 1: LoC of modules -------------------------------------------------- *)
+
+let find_repo_root () =
+  let rec go dir =
+    if Sys.file_exists (Filename.concat dir "dune-project") then Some dir
+    else
+      let parent = Filename.dirname dir in
+      if parent = dir then None else go parent
+  in
+  go (Sys.getcwd ())
+
+let count_loc dir =
+  let total = ref 0 in
+  let rec walk d =
+    if Sys.file_exists d && Sys.is_directory d then
+      Array.iter
+        (fun entry ->
+          let path = Filename.concat d entry in
+          if Sys.is_directory path then walk path
+          else if Filename.check_suffix entry ".ml" then begin
+            let ic = open_in path in
+            (try
+               while true do
+                 let l = String.trim (input_line ic) in
+                 if l <> "" then incr total
+               done
+             with End_of_file -> ());
+            close_in ic
+          end)
+        (Sys.readdir d)
+  in
+  walk dir;
+  !total
+
+let bench_table1 _m =
+  section "Table 1: LoC of core modules (paper: compiler 19K, runtime 16K, interpreter 2K, scallopy 4K — total 45K Rust)";
+  match find_repo_root () with
+  | None -> Fmt.pr "  (source tree not found; run from within the repository)@."
+  | Some root ->
+      let modules =
+        [
+          ("core language (lib/core)", "lib/core");
+          ("decision diagrams (lib/bdd)", "lib/bdd");
+          ("tensor/autodiff (lib/tensor)", "lib/tensor");
+          ("nn + scallop layer (lib/nn)", "lib/nn");
+          ("datasets (lib/data)", "lib/data");
+          ("environments (lib/envs)", "lib/envs");
+          ("applications (lib/apps)", "lib/apps");
+          ("baselines (lib/baselines)", "lib/baselines");
+          ("utilities (lib/utils)", "lib/utils");
+          ("interpreter CLI (bin)", "bin");
+          ("tests (test)", "test");
+          ("benchmarks (bench)", "bench");
+          ("examples (examples)", "examples");
+        ]
+      in
+      let total = ref 0 in
+      List.iter
+        (fun (name, dir) ->
+          let loc = count_loc (Filename.concat root dir) in
+          total := !total + loc;
+          Fmt.pr "  %-32s %6d LoC@." name loc)
+        modules;
+      Fmt.pr "  %-32s %6d LoC@." "TOTAL (OCaml)" !total
+
+(* ---- Table 2: solution characteristics ----------------------------------------- *)
+
+let bench_table2 _m =
+  section "Table 2: Scallop solutions — interface relations, features (R/N/A), program LoC";
+  Fmt.pr "  %-12s %-6s %-6s %-6s %5s  %s@." "Task" "Rec" "Neg" "Agg" "LoC" "Interface relations";
+  List.iter
+    (fun (task, relations, (r, n, a), loc) ->
+      let b v = if v then "yes" else "-" in
+      Fmt.pr "  %-12s %-6s %-6s %-6s %5d  %s@." task (b r) (b n) (b a) loc
+        (String.concat ", " relations))
+    Programs.table2;
+  Fmt.pr "@.  (paper LoC: MNIST-R 2, HWF 39, Pathfinder 4, PacMan 31, CLUTRR 8, Mugen 46, CLEVR 51, VQAR 42)@."
+
+(* ---- Fig. 15 / Table 3 / Fig. 17: accuracy vs baselines -------------------------- *)
+
+let paper_note = "[paper]"
+
+let bench_accuracy (m : mode) =
+  section "Fig. 15 / Table 3 / Fig. 17: accuracy — Scallop vs baselines (synthetic data)";
+  let config = base_config m in
+  Fmt.pr "MNIST-R (paper: Scallop ≈ 97-99%%, DPL comparable but slow):@.";
+  List.iter
+    (fun task ->
+      let r = Mnist_r.train_and_eval config task in
+      let b = Scallop_baselines.Neural.mnist_r config task in
+      Fmt.pr "  %a@.  %a@." Common.pp_report r Common.pp_report b)
+    [ Mnist.Sum2; Mnist.Sum3; Mnist.Sum4; Mnist.Less_than; Mnist.Not_3_or_4; Mnist.Count_3;
+      Mnist.Count_3_or_4 ];
+  Fmt.pr "@.HWF (paper: Scallop 96.7%%, NGS-m-BS 98.5%%, NGS-RL 3.4%% — the paper trains@.";
+  Fmt.pr " 100 epochs on 10K formulas; quick mode uses a fraction, so expect the ordering@.";
+  Fmt.pr " Scallop ≈ NGS-BS ≫ NGS-RL rather than the absolute numbers):@.";
+  let hwf_config =
+    { config with Common.epochs = (if m.quick then 8 else 15); n_train = (if m.quick then 400 else 1200) }
+  in
+  Fmt.pr "  %a@." Common.pp_report (Hwf_app.train_and_eval hwf_config);
+  Fmt.pr "  %a@." Common.pp_report (Scallop_baselines.Ngs.train_bs hwf_config);
+  Fmt.pr "  %a@." Common.pp_report (Scallop_baselines.Ngs.train_rl hwf_config);
+  Fmt.pr "@.Pathfinder (paper: Scallop ~90%%, CNN ~86%%, S4 ~86-96%% %s):@." paper_note;
+  Fmt.pr "  %a@." Common.pp_report (Pathfinder_app.train_and_eval config);
+  Fmt.pr "  %a@." Common.pp_report (Scallop_baselines.Neural.pathfinder config);
+  Fmt.pr "@.CLUTRR (paper: Scallop 91%% vs RoBERTa/GPT-3 ≤ 66%% %s):@." paper_note;
+  let clutrr_config = { config with Common.n_train = max 80 (config.Common.n_train / 2) } in
+  Fmt.pr "  %a@." Common.pp_report (Clutrr_app.train_and_eval clutrr_config);
+  Fmt.pr "  CLUTRR-G rule learning (paper: learns composition facts from data):@.";
+  let rl_config = { clutrr_config with Common.n_train = max 60 (clutrr_config.Common.n_train / 2) } in
+  Fmt.pr "  %a@." Common.pp_report (Clutrr_app.train_and_eval_rule_learning rl_config);
+  Fmt.pr "@.Mugen (paper: Scallop ≥ SDSC on video-text alignment/retrieval):@.";
+  let mugen_r = Mugen_app.train_and_eval config in
+  Fmt.pr "  %a@." Common.pp_report mugen_r;
+  Fmt.pr "@.CLEVR (paper: Scallop 99.4%% vs NS-VQA 98.6%%, NSCL 98.9%%):@.";
+  let clevr_config = { config with Common.n_train = max 100 (config.Common.n_train / 2) } in
+  Fmt.pr "  %a@." Common.pp_report (Clevr_app.train_and_eval clevr_config);
+  Fmt.pr "@.VQAR (paper: Scallop beats NMNs/LXMERT at high recall):@.";
+  Fmt.pr "  %a@." Common.pp_report (Vqar_app.train_and_eval clevr_config)
+
+(* ---- Fig. 16/17: provenance comparison -------------------------------------------- *)
+
+let bench_provenances (m : mode) =
+  section "Figs. 16-17: accuracy per provenance (dmmp / damp / dnmp / dtkp-k)";
+  let config = { (base_config m) with Common.n_train = 150; n_test = 80 } in
+  let provenances =
+    [
+      Scallop_core.Registry.Diff_max_min_prob;
+      Scallop_core.Registry.Diff_add_mult_prob;
+      Scallop_core.Registry.Diff_nand_mult_prob;
+      Scallop_core.Registry.Diff_top_k_proofs_me 1;
+      Scallop_core.Registry.Diff_top_k_proofs_me 3;
+    ]
+  in
+  List.iter
+    (fun task ->
+      Fmt.pr "%s:@." (Mnist.task_name task);
+      List.iter
+        (fun spec ->
+          let r = Mnist_r.train_and_eval { config with Common.provenance = spec } task in
+          Fmt.pr "  %a@." Common.pp_report r)
+        provenances)
+    [ Mnist.Sum2; Mnist.Less_than; Mnist.Count_3 ];
+  Fmt.pr "(paper: dtkp best on 6/9 tasks, damp on 2, dmmp on 1 — all close on easy tasks)@."
+
+(* ---- Table 4: runtime per provenance ------------------------------------------------ *)
+
+(** Train one epoch under [spec], measured on a small probe and scaled to
+    the full epoch size.  A two-stage watchdog mirrors the paper's DPL
+    timeout entries: a 2-sample pre-probe first; if that alone blows the
+    budget, the extrapolated time is reported as a timeout without running
+    the full probe (the paper reports DPL sum4 as "timeout" the same way). *)
+let timed_epoch ?(sample_budget = 2.0) ~config ~task spec : string =
+  let config = { config with Common.provenance = spec; Common.epochs = 1 } in
+  let run n =
+    let probe = { config with Common.n_train = n; Common.n_test = 2 } in
+    let t0 = Unix.gettimeofday () in
+    (match task with
+    | `Mnist t -> ignore (Mnist_r.train_and_eval probe t)
+    | `Hwf -> ignore (Hwf_app.train_and_eval probe));
+    (Unix.gettimeofday () -. t0) /. float_of_int n
+  in
+  try
+    let pre = run 2 in
+    if pre > sample_budget then
+      Fmt.str "%.0fs (timeout)" (pre *. float_of_int config.Common.n_train)
+    else begin
+      let sample_t = run (max 8 (config.Common.n_train / 8)) in
+      Fmt.str "%.1fs" (sample_t *. float_of_int config.Common.n_train)
+    end
+  with _ -> "error"
+
+let bench_table4 (m : mode) =
+  section "Table 4: training time per epoch — provenances vs exact (DPL)";
+  let config = { (base_config m) with Common.n_train = (if m.quick then 120 else 400) } in
+  let provs =
+    [
+      ("dmmp", Scallop_core.Registry.Diff_max_min_prob);
+      ("damp", Scallop_core.Registry.Diff_add_mult_prob);
+      ("dtkp-3", Scallop_core.Registry.Diff_top_k_proofs_me 3);
+      ("dtkp-10", Scallop_core.Registry.Diff_top_k_proofs_me 10);
+      ("exact(DPL)", Scallop_core.Registry.Exact_prob);
+    ]
+  in
+  let tasks =
+    [
+      ("sum2", `Mnist Mnist.Sum2);
+      ("sum3", `Mnist Mnist.Sum3);
+      ("sum4", `Mnist Mnist.Sum4);
+      ("less-than", `Mnist Mnist.Less_than);
+      ("not-3-or-4", `Mnist Mnist.Not_3_or_4);
+      ("HWF", `Hwf);
+    ]
+  in
+  Fmt.pr "  %-12s" "task";
+  List.iter (fun (n, _) -> Fmt.pr " %12s" n) provs;
+  Fmt.pr "@.";
+  List.iter
+    (fun (name, task) ->
+      Fmt.pr "  %-12s" name;
+      List.iter
+        (fun (_, spec) ->
+          Fmt.pr " %12s" (timed_epoch ~config ~task spec);
+          Format.pp_print_flush Format.std_formatter ())
+        provs;
+      Fmt.pr "@.")
+    tasks;
+  Fmt.pr "@.(paper, sec/epoch: sum2 34/88/72/185 vs DPL 21430; sum4 34/154/77/4329 vs DPL timeout;@.";
+  Fmt.pr " the shape to reproduce: dtkp-10 ≫ dtkp-3 and exact/DPL blows up combinatorially)@."
+
+(* ---- Table 5: HWF data efficiency ----------------------------------------------------- *)
+
+let bench_table5 (m : mode) =
+  section "Table 5: HWF data efficiency (accuracy at 100% / 50% / 25% of training data)";
+  let full_n = if m.quick then 240 else 800 in
+  let update_budget = if m.quick then 2000 else 8000 in
+  Fmt.pr "  %-10s %12s %12s %12s@." "%train" "Scallop dtkp-5" "NGS-BS" "NGS-RL";
+  List.iter
+    (fun frac ->
+      let n = int_of_float (float_of_int full_n *. frac) in
+      (* train each data fraction to the same gradient-update budget, as the
+         paper trains every setting to convergence (100 epochs) *)
+      let c = { (base_config m) with Common.n_train = n; Common.epochs = max 4 (update_budget / n) } in
+      let scallop =
+        Hwf_app.train_and_eval { c with Common.provenance = Scallop_core.Registry.Diff_top_k_proofs_me 5 }
+      in
+      let bs = Scallop_baselines.Ngs.train_bs c in
+      let rl = Scallop_baselines.Ngs.train_rl c in
+      Fmt.pr "  %-10.0f %11.1f%% %11.1f%% %11.1f%%@." (100.0 *. frac)
+        (100.0 *. scallop.Common.accuracy) (100.0 *. bs.Common.accuracy)
+        (100.0 *. rl.Common.accuracy);
+      Format.pp_print_flush Format.std_formatter ())
+    [ 1.0; 0.5; 0.25 ];
+  Fmt.pr "@.(paper: Scallop 97.9/95.7/93.0, NGS-m-BS 98.5/95.7/93.3, NGS-RL ~3.5 throughout —@.";
+  Fmt.pr " shape: Scallop degrades slowly like BS; RL never learns)@."
+
+(* ---- Fig. 18: CLUTRR systematic generalization ------------------------------------------ *)
+
+let bench_fig18 (m : mode) =
+  section "Fig. 18: CLUTRR systematic generalizability (train k∈{2,3}, test k∈2..6)";
+  let config =
+    { (base_config m) with Common.n_train = (if m.quick then 100 else 300); n_test = 60 }
+  in
+  let test_ks = [ 2; 3; 4; 5; 6 ] in
+  let scallop = Clutrr_app.systematic_generalization ~test_ks config in
+  let neural = Scallop_baselines.Neural.clutrr_generalization ~test_ks config in
+  Fmt.pr "  %-8s %10s %14s@." "test k" "Scallop" "neural (MLP)";
+  List.iter2
+    (fun (k, sa) (_, na) ->
+      Fmt.pr "  %-8d %9.1f%% %13.1f%%@." k (100.0 *. sa) (100.0 *. na))
+    scallop neural;
+  Fmt.pr "@.(paper: Scallop degrades gently with k; RoBERTa/BiLSTM/GPT-3 collapse beyond the@.";
+  Fmt.pr " training lengths)@."
+
+(* ---- Fig. 19: Mugen interpretability ------------------------------------------------------ *)
+
+let bench_fig19 (m : mode) =
+  section "Fig. 19: Mugen interpretability — per-frame (action, mod) predictions";
+  let config = base_config m in
+  let rng = Scallop_utils.Rng.create config.Common.seed in
+  let data = Scallop_data.Mugen.create ~seed:(config.Common.seed + 1) () in
+  let model = Mugen_app.create_model ~rng ~dim:16 in
+  let opt =
+    Scallop_tensor.Optim.adam ~lr:config.Common.lr (Scallop_nn.Layers.Mlp.params model.Mugen_app.mlp)
+  in
+  (* train briefly on the alignment objective only *)
+  let spec = Scallop_core.Registry.Diff_top_k_proofs 3 in
+  for _ = 1 to config.Common.epochs do
+    List.iter
+      (fun (s : Scallop_data.Mugen.sample) ->
+        let y = Mugen_app.score ~spec model ~frame_images:s.Scallop_data.Mugen.frame_images ~text:s.Scallop_data.Mugen.text in
+        let target = Scallop_tensor.Nd.scalar (if s.Scallop_data.Mugen.aligned then 1.0 else 0.0) in
+        let loss = Common.bce y (Scallop_tensor.Autodiff.const target) in
+        opt.Scallop_tensor.Optim.zero_grad ();
+        Scallop_tensor.Autodiff.backward loss;
+        opt.Scallop_tensor.Optim.step ())
+      (Scallop_data.Mugen.dataset data config.Common.n_train)
+  done;
+  (* report per-frame predictions on fresh videos *)
+  let correct = ref 0 and total = ref 0 in
+  List.iteri
+    (fun i (s : Scallop_data.Mugen.sample) ->
+      let preds = Mugen_app.frame_predictions model s.Scallop_data.Mugen.frame_images in
+      if i < 3 then begin
+        Fmt.pr "  video %d:@." i;
+        List.iter2
+          (fun (ta, tm) (pa, pm) ->
+            Fmt.pr "    truth (%s,%s)  predicted (%s,%s)%s@." ta tm pa pm
+              (if (ta, tm) = (pa, pm) then "" else "   <-- miss"))
+          s.Scallop_data.Mugen.frames preds
+      end;
+      List.iter2
+        (fun t p ->
+          incr total;
+          if t = p then incr correct)
+        s.Scallop_data.Mugen.frames preds)
+    (Scallop_data.Mugen.dataset data 40);
+  Fmt.pr "  frame-level (action, mod) accuracy (never directly supervised): %.1f%%@."
+    (100.0 *. float_of_int !correct /. float_of_int !total);
+  let tvr = Mugen_app.retrieval_accuracy ~spec ~pools:(if m.quick then 10 else 30) data model in
+  Fmt.pr "  text-to-video retrieval accuracy (pool of 8): %.1f%%@." (100.0 *. tvr)
+
+(* ---- PacMan ---------------------------------------------------------------------------------- *)
+
+let bench_pacman (m : mode) =
+  section "PacMan-Maze (Sec. 2 / 6.3): success rate and training-episode efficiency";
+  let episodes = if m.quick then 120 else 300 in
+  let config =
+    { (base_config m) with Common.provenance = Scallop_core.Registry.Diff_top_k_proofs 1; lr = 0.02 }
+  in
+  let r = Pacman_app.train_and_eval ~episodes ~eval_episodes:100 ~noise:0.25 config in
+  Fmt.pr "  Scallop agent:  %d training episodes -> %.1f%% success (%.2fs/episode)@." episodes
+    (100.0 *. r.Common.accuracy) r.Common.epoch_time;
+  let dqn_acc, dqn_t = Scallop_baselines.Dqn.train_and_eval ~episodes ~eval_episodes:100 ~noise:0.25 ~seed:config.Common.seed () in
+  Fmt.pr "  DQN baseline:   %d training episodes -> %.1f%% success (%.2fs/episode)@." episodes
+    (100.0 *. dqn_acc) dqn_t;
+  let dqn_more = if m.quick then 1000 else 5000 in
+  let dqn_acc2, _ = Scallop_baselines.Dqn.train_and_eval ~episodes:dqn_more ~eval_episodes:100 ~noise:0.25 ~seed:config.Common.seed () in
+  Fmt.pr "  DQN baseline:   %d training episodes -> %.1f%% success@." dqn_more (100.0 *. dqn_acc2);
+  Fmt.pr "@.(paper: Scallop 50 episodes -> 99.4%%; DQN needs 50K episodes for 84.9%% —@.";
+  Fmt.pr " shape: the symbolic agent is orders of magnitude more episode-efficient)@."
+
+(* ---- micro-benchmarks (Appendix B tables 6-8) -------------------------------------------------- *)
+
+let bench_micro _m =
+  section "Appendix B (Tables 6-8): provenance operation micro-benchmarks (Bechamel)";
+  let open Bechamel in
+  let open Toolkit in
+  let mmp_ops =
+    Test.make ~name:"mmp add/mult/negate"
+      (Staged.stage (fun () ->
+           let open Scallop_core.Prov_discrete.Max_min_prob in
+           ignore (negate (mult (add 0.4 0.7) 0.6))))
+  in
+  let dual = Scallop_core.Dual.var 0 0.5
+  and dual2 = Scallop_core.Dual.var 1 0.25 in
+  let damp_ops =
+    Test.make ~name:"damp dual add/mult"
+      (Staged.stage (fun () -> ignore (Scallop_core.Dual.mul (Scallop_core.Dual.add dual dual2) dual)))
+  in
+  let env = Scallop_core.Formula.env (fun v -> 0.1 +. (0.08 *. float_of_int (v mod 10))) in
+  let f1 = [ Scallop_core.Formula.proof_of_literals [ (0, true); (1, true) ];
+             Scallop_core.Formula.proof_of_literals [ (2, true) ] ] in
+  let f2 = [ Scallop_core.Formula.proof_of_literals [ (3, true); (1, false) ] ] in
+  let dtkp_conj =
+    Test.make ~name:"dtkp-3 conj_k"
+      (Staged.stage (fun () -> ignore (Scallop_core.Formula.conj_k env 3 f1 f2)))
+  in
+  let dtkp_neg =
+    Test.make ~name:"dtkp-3 neg_k (cnf2dnf)"
+      (Staged.stage (fun () -> ignore (Scallop_core.Formula.neg_k env 3 f1)))
+  in
+  let wmc =
+    Test.make ~name:"WMC via BDD (5 proofs, 8 vars)"
+      (Staged.stage
+         (let f =
+            List.init 5 (fun i ->
+                Scallop_core.Formula.proof_of_literals
+                  [ (i, true); ((i + 3) mod 8, true); ((i + 5) mod 8, false) ])
+          in
+          fun () -> ignore (Scallop_core.Wmc.prob ~env f)))
+  in
+  let tc_src =
+    {|type edge(i32, i32)
+rel path(a, b) = edge(a, b)
+rel path(a, c) = path(a, b), edge(b, c)
+query path|}
+  in
+  let compiled = Scallop_core.Session.compile tc_src in
+  let facts =
+    let rng = Scallop_utils.Rng.create 5 in
+    [
+      ( "edge",
+        List.init 30 (fun _ ->
+            ( Scallop_core.Provenance.Input.prob (Scallop_utils.Rng.float rng),
+              Scallop_core.Tuple.of_list
+                [ Scallop_core.Value.int Scallop_core.Value.I32 (Scallop_utils.Rng.int rng 10);
+                  Scallop_core.Value.int Scallop_core.Value.I32 (Scallop_utils.Rng.int rng 10) ] )) );
+    ]
+  in
+  let fixpoint =
+    Test.make ~name:"transitive closure (30 edges, mmp, semi-naive)"
+      (Staged.stage (fun () ->
+           ignore
+             (Scallop_core.Session.run
+                ~provenance:(Scallop_core.Registry.create Scallop_core.Registry.Max_min_prob)
+                compiled ~facts ())))
+  in
+  let tests = [ mmp_ops; damp_ops; dtkp_conj; dtkp_neg; wmc; fixpoint ] in
+  let benchmark test =
+    let instances = Instance.[ monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) ~kde:(Some 500) () in
+    let raw = Benchmark.all cfg instances test in
+    let results =
+      List.map (fun i -> Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]) i raw)
+        instances
+    in
+    let results = Analyze.merge (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]) instances results in
+    Hashtbl.iter
+      (fun _metric tbl ->
+        Hashtbl.iter
+          (fun name ols ->
+            match Analyze.OLS.estimates ols with
+            | Some [ t ] -> Fmt.pr "  %-44s %10.1f ns/op@." name t
+            | _ -> Fmt.pr "  %-44s (no estimate)@." name)
+          tbl)
+      results
+  in
+  List.iter (fun t -> benchmark (Test.make_grouped ~name:"g" [ t ])) tests;
+  Fmt.pr "@.(Appendix B complexity: mmp O(1), damp O(n), dtkp conj O(n^2 k^2), neg/WMC exponential@.";
+  Fmt.pr " in the worst case — the measured ordering above should respect that hierarchy)@."
+
+(* ---- driver --------------------------------------------------------------------------------------- *)
+
+let all_experiments =
+  [
+    ("table1", bench_table1);
+    ("table2", bench_table2);
+    ("accuracy", bench_accuracy);
+    ("provenances", bench_provenances);
+    ("table4", bench_table4);
+    ("table5", bench_table5);
+    ("fig18", bench_fig18);
+    ("fig19", bench_fig19);
+    ("pacman", bench_pacman);
+    ("micro", bench_micro);
+  ]
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let quick = not (List.mem "--full" args) in
+  let selected = List.filter (fun a -> a <> "--full") args in
+  let mode = { quick } in
+  let to_run =
+    if selected = [] then all_experiments
+    else
+      List.filter_map
+        (fun name ->
+          match List.assoc_opt name all_experiments with
+          | Some f -> Some (name, f)
+          | None ->
+              Fmt.epr "unknown experiment %S (available: %s)@." name
+                (String.concat ", " (List.map fst all_experiments));
+              None)
+        selected
+  in
+  Fmt.pr "Scallop reproduction benchmark suite (%s mode)@."
+    (if quick then "quick" else "full");
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun (name, f) ->
+      let t = Unix.gettimeofday () in
+      f mode;
+      Fmt.pr "@.[%s finished in %.1fs]@." name (Unix.gettimeofday () -. t);
+      Format.pp_print_flush Format.std_formatter ())
+    to_run;
+  Fmt.pr "@.All experiments finished in %.1fs.@." (Unix.gettimeofday () -. t0)

@@ -1,0 +1,121 @@
+(** The Scallop interpreter CLI (the [scli] role of paper Sec. 5).
+
+    [scallop run FILE] parses, compiles and executes a .scl file under a
+    chosen provenance and prints the output relations with their recovered
+    tags.  [scallop compile FILE] dumps the compiled SclRam program, and
+    [scallop repl] provides an interactive toplevel where each line is
+    either an item to add or a query to evaluate. *)
+
+open Cmdliner
+open Scallop_core
+
+let provenance_conv =
+  let parse s =
+    match Registry.spec_of_string s with
+    | Some spec -> Ok spec
+    | None ->
+        Error
+          (`Msg
+            (Fmt.str "unknown provenance %S (available: %s)" s
+               (String.concat ", " Registry.all_names)))
+  in
+  let print fmt spec = Fmt.string fmt (Provenance.name (Registry.create spec)) in
+  Arg.conv (parse, print)
+
+let provenance_arg =
+  Arg.(
+    value
+    & opt provenance_conv Registry.Boolean
+    & info [ "p"; "provenance" ] ~docv:"PROVENANCE"
+        ~doc:"Provenance to execute under (e.g. boolean, minmaxprob, difftopkproofs-3).")
+
+let file_arg = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Scallop source file.")
+
+let seed_arg =
+  Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed for samplers.")
+
+(* In_channel.input_all works on pipes too (e.g. [scallop run /dev/stdin]). *)
+let read_file path =
+  let ic = open_in path in
+  let s = In_channel.input_all ic in
+  close_in ic;
+  s
+
+let loader_for path file =
+  let dir = Filename.dirname path in
+  let candidate = Filename.concat dir file in
+  if Sys.file_exists candidate then Some (read_file candidate) else None
+
+let print_outputs (result : Session.result) =
+  List.iter
+    (fun (pred, rows) ->
+      List.iter
+        (fun (t, o) -> Fmt.pr "%a::%s%a@." Provenance.Output.pp o pred Tuple.pp t)
+        rows)
+    result.Session.outputs
+
+let run_cmd =
+  let run provenance seed path =
+    try
+      let source = read_file path in
+      let config = { Interp.rng = Scallop_utils.Rng.create seed; max_iterations = 10_000; semi_naive = true; stats = None } in
+      let compiled = Session.compile ~load:(loader_for path) source in
+      let result = Session.run ~config ~provenance:(Registry.create provenance) compiled () in
+      print_outputs result;
+      `Ok ()
+    with Session.Error msg -> `Error (false, msg)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Execute a Scallop program and print its output relations.")
+    Term.(ret (const run $ provenance_arg $ seed_arg $ file_arg))
+
+let compile_cmd =
+  let run path =
+    try
+      let source = read_file path in
+      let compiled = Session.compile ~load:(loader_for path) source in
+      Fmt.pr "%a" Ram.pp_program compiled.Session.ram;
+      `Ok ()
+    with Session.Error msg -> `Error (false, msg)
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Compile a Scallop program and dump the SclRam query plan.")
+    Term.(ret (const run $ file_arg))
+
+let repl_cmd =
+  let run provenance seed =
+    Fmt.pr "Scallop REPL — enter items (rel/type/const/query); an empty line executes.@.";
+    let buffer = Buffer.create 256 in
+    let config = { Interp.rng = Scallop_utils.Rng.create seed; max_iterations = 10_000; semi_naive = true; stats = None } in
+    let rec loop () =
+      Fmt.pr "scl> %!";
+      match In_channel.input_line stdin with
+      | None -> ()
+      | Some "" ->
+          (try
+             let result =
+               Session.interpret ~config ~provenance:(Registry.create provenance)
+                 (Buffer.contents buffer)
+             in
+             print_outputs result
+           with Session.Error msg -> Fmt.epr "error: %s@." msg);
+          loop ()
+      | Some line ->
+          Buffer.add_string buffer line;
+          Buffer.add_char buffer '\n';
+          loop ()
+    in
+    loop ();
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "repl" ~doc:"Interactive toplevel: accumulate items, execute on empty line.")
+    Term.(ret (const run $ provenance_arg $ seed_arg))
+
+let main_cmd =
+  Cmd.group
+    (Cmd.info "scallop" ~version:"1.0.0"
+       ~doc:"Scallop: a language for neurosymbolic programming (OCaml reproduction).")
+    [ run_cmd; compile_cmd; repl_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,1 @@
+examples/custom_provenance.ml: Float Fmt List Provenance Registry Scallop_core Session Tuple Value

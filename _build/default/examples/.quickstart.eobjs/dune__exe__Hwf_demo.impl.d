@@ -1,0 +1,1 @@
+examples/hwf_demo.ml: Fmt List Provenance Registry Scallop_apps Scallop_core Session Tuple Value

@@ -1,0 +1,1 @@
+examples/hwf_demo.mli:

@@ -1,0 +1,1 @@
+examples/pacman_planner.ml: Fmt List Provenance Registry Scallop_apps Scallop_core Scallop_utils Session Tuple Value

@@ -1,0 +1,1 @@
+examples/pacman_planner.mli:

@@ -1,0 +1,1 @@
+examples/provenance_tour.ml: Fmt List Provenance Registry Scallop_core Session Tuple Value

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fmt List Provenance Registry Scallop_core Session Tuple

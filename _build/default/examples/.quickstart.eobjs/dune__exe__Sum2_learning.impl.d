@@ -1,0 +1,1 @@
+examples/sum2_learning.ml: Autodiff Common Fmt Layers List Mnist_r Optim Scallop_apps Scallop_core Scallop_data Scallop_nn Scallop_tensor Scallop_utils

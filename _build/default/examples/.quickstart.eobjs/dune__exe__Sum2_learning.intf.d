@@ -1,0 +1,1 @@
+examples/sum2_learning.mli:

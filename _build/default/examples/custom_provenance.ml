@@ -1,0 +1,66 @@
+(** Implementing a custom provenance (paper Sec. 4.1: "users can add custom
+    provenances simply by implementing this interface").
+
+    We define the Łukasiewicz fuzzy semiring — ⊕ = min(1, a+b),
+    ⊗ = max(0, a+b−1), ⊖ = 1−a — plug it into the unchanged reachability
+    program, and compare it against the built-in probabilistic provenances.
+
+    Run with: [dune exec examples/custom_provenance.exe] *)
+
+open Scallop_core
+
+(* The entire definition of a new reasoning mode: one module. *)
+module Lukasiewicz : Provenance.S with type t = float = struct
+  type t = float
+
+  let name = "lukasiewicz"
+  let zero = 0.0
+  let one = 1.0
+  let add a b = Float.min 1.0 (a +. b)
+  let mult a b = Float.max 0.0 (a +. b -. 1.0)
+  let negate t = Some (1.0 -. t)
+
+  (* the t-norm is not absorptive, so we saturate on value equality and cap
+     recursion through the interpreter's iteration limit *)
+  let saturated ~old t = Float.abs (old -. t) < 1e-9
+  let discard t = t <= 0.0
+  let weight t = t
+  let tag_of_input (i : Provenance.Input.t) =
+    ((match i.Provenance.Input.prob with None -> 1.0 | Some p -> p), None)
+
+  let recover t = Provenance.Output.O_prob t
+  let pp fmt = Fmt.pf fmt "%.4f"
+end
+
+let program =
+  {|type edge(i32, i32)
+rel path(a, b) = edge(a, b)
+rel path(a, c) = path(a, b), edge(b, c)
+query path|}
+
+let facts =
+  let e a b = Tuple.of_list [ Value.int Value.I32 a; Value.int Value.I32 b ] in
+  [
+    ( "edge",
+      [
+        (Provenance.Input.prob 0.9, e 0 1);
+        (Provenance.Input.prob 0.8, e 1 2);
+        (Provenance.Input.prob 0.6, e 0 2);
+      ] );
+  ]
+
+let () =
+  let compiled = Session.compile program in
+  let show name provenance =
+    Fmt.pr "--- %s ---@." name;
+    let r = Session.run ~provenance compiled ~facts () in
+    List.iter
+      (fun (t, o) -> Fmt.pr "  path%a :: %a@." Tuple.pp t Provenance.Output.pp o)
+      (Session.output r "path")
+  in
+  show "custom: Łukasiewicz fuzzy logic" (module Lukasiewicz : Provenance.S);
+  show "built-in: max-min-prob" (Registry.create Registry.Max_min_prob);
+  show "built-in: exact probability" (Registry.create Registry.Exact_prob);
+  Fmt.pr
+    "@.Same program, three reasoning modes — the provenance interface is the@.\
+     only thing that changed (cf. paper Sec. 4.1).@."

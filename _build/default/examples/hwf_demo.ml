@@ -1,0 +1,43 @@
+(** Probabilistic formula parsing (paper Sec. 6.2, HWF).
+
+    Feeds an uncertain symbol sequence — the middle symbol might be '+' or
+    '*' — to the grammar-based parser/evaluator program and prints the
+    distribution over results with their gradients w.r.t. input symbols.
+
+    Run with: [dune exec examples/hwf_demo.exe] *)
+
+open Scallop_core
+
+let () =
+  let compiled = Session.compile Scallop_apps.Programs.hwf in
+  let usize n = Value.int Value.USize n in
+  let s v = Value.string v in
+  (* "2 ? 3" where ? is '+' with 0.6 or '*' with 0.4 *)
+  let facts =
+    [
+      ("length", [ (Provenance.Input.none, [| usize 3 |]) ]);
+      ( "symbol",
+        [
+          (Provenance.Input.prob ~me_group:0 0.9, [| usize 0; s "2" |]);
+          (Provenance.Input.prob ~me_group:0 0.1, [| usize 0; s "7" |]);
+          (Provenance.Input.prob ~me_group:1 0.6, [| usize 1; s "+" |]);
+          (Provenance.Input.prob ~me_group:1 0.4, [| usize 1; s "*" |]);
+          (Provenance.Input.prob ~me_group:2 1.0, [| usize 2; s "3" |]);
+        ] );
+    ]
+  in
+  Fmt.pr "Parsing \"2|7  +|*  3\" (probabilistic symbols):@.";
+  let result =
+    Session.run
+      ~provenance:(Registry.create (Registry.Diff_top_k_proofs_me 3))
+      compiled ~facts ~outputs:[ "result" ] ()
+  in
+  List.iter
+    (fun (t, o) ->
+      Fmt.pr "  result%a :: p=%.4f  grad=[%a]@." Tuple.pp t (Provenance.Output.prob o)
+        (Fmt.list ~sep:Fmt.comma (fun fmt (i, g) -> Fmt.pf fmt "r%d:%+.3f" i g))
+        (Provenance.Output.gradient o))
+    (Session.output result "result");
+  Fmt.pr
+    "@.Each derived value carries its probability and its derivative w.r.t.@.\
+     every input symbol probability — that is what trains the perception model.@."

@@ -1,0 +1,1 @@
+lib/apps/common.ml: Autodiff Fmt List Nd Optim Provenance Registry Scallop_core Scallop_tensor Scallop_utils Unix

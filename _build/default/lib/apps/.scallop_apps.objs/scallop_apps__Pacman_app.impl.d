@@ -1,0 +1,1 @@
+lib/apps/pacman_app.ml: Array Autodiff Common Float Layers List Nd Optim Programs Registry Scallop_core Scallop_envs Scallop_layer Scallop_nn Scallop_tensor Scallop_utils Session Tuple Unix Value

@@ -1,0 +1,1 @@
+lib/apps/pathfinder_app.ml: Array Autodiff Common Layers List Nd Optim Programs Registry Scallop_core Scallop_data Scallop_layer Scallop_nn Scallop_tensor Scallop_utils Session Tuple Value

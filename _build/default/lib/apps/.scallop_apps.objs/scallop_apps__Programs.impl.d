@@ -1,0 +1,1 @@
+lib/apps/programs.ml: List String

@@ -1,0 +1,185 @@
+(** CLEVR: compositional visual question answering (paper Sec. 6.1,
+    Appendix C.7).
+
+    The Scallop program (Fig. 32) interprets CLEVR-DSL programs against a
+    probabilistic scene graph.  Per-object attribute classifiers are trained
+    end-to-end from question answers; the DSL program and spatial relations
+    are structured inputs (see DESIGN.md substitutions). *)
+
+open Scallop_tensor
+open Scallop_nn
+open Scallop_core
+module Cv = Scallop_data.Clevr
+
+type model = {
+  shape_mlp : Layers.Mlp.t;
+  color_mlp : Layers.Mlp.t;
+  material_mlp : Layers.Mlp.t;
+  size_mlp : Layers.Mlp.t;
+  compiled : Session.compiled;
+}
+
+let create_model ~rng ~dim =
+  {
+    shape_mlp = Layers.Mlp.create rng [ dim; 32; Array.length Cv.shapes ];
+    color_mlp = Layers.Mlp.create rng [ dim; 32; Array.length Cv.colors ];
+    material_mlp = Layers.Mlp.create rng [ dim; 32; Array.length Cv.materials ];
+    size_mlp = Layers.Mlp.create rng [ dim; 32; Array.length Cv.sizes ];
+    compiled = Session.compile Programs.clevr;
+  }
+
+let params m =
+  Layers.Mlp.params m.shape_mlp @ Layers.Mlp.params m.color_mlp
+  @ Layers.Mlp.params m.material_mlp @ Layers.Mlp.params m.size_mlp
+
+(* ---- question encoding: DSL AST → expression facts ------------------------- *)
+
+let encode_question (q : Cv.question) : (string * Tuple.t) list * int =
+  let facts = ref [] in
+  let next = ref 0 in
+  let fresh () =
+    let e = !next in
+    incr next;
+    e
+  in
+  let emit pred vals = facts := (pred, Tuple.of_list vals) :: !facts in
+  let us n = Value.int Value.USize n in
+  let rec enc_filter (f : Cv.filter_expr) : int =
+    match f with
+    | Cv.Scene ->
+        let e = fresh () in
+        emit "scene_expr" [ us e ];
+        e
+    | Cv.Filter_shape (f, v) ->
+        let fe = enc_filter f in
+        let e = fresh () in
+        emit "filter_shape_expr" [ us e; us fe; Value.string v ];
+        e
+    | Cv.Filter_color (f, v) ->
+        let fe = enc_filter f in
+        let e = fresh () in
+        emit "filter_color_expr" [ us e; us fe; Value.string v ];
+        e
+    | Cv.Filter_material (f, v) ->
+        let fe = enc_filter f in
+        let e = fresh () in
+        emit "filter_material_expr" [ us e; us fe; Value.string v ];
+        e
+    | Cv.Filter_size (f, v) ->
+        let fe = enc_filter f in
+        let e = fresh () in
+        emit "filter_size_expr" [ us e; us fe; Value.string v ];
+        e
+    | Cv.Relate (f, r) ->
+        let fe = enc_filter f in
+        let e = fresh () in
+        emit "relate_expr" [ us e; us fe; Value.string r ];
+        e
+  in
+  let count_of f =
+    let fe = enc_filter f in
+    let e = fresh () in
+    emit "count_expr" [ us e; us fe ];
+    e
+  in
+  let root =
+    match q with
+    | Cv.Count f -> count_of f
+    | Cv.Exists f ->
+        let fe = enc_filter f in
+        let e = fresh () in
+        emit "exists_expr" [ us e; us fe ];
+        e
+    | Cv.Query_attr (attr, f) ->
+        let fe = enc_filter f in
+        let e = fresh () in
+        emit ("query_" ^ attr ^ "_expr") [ us e; us fe ];
+        e
+    | Cv.Greater_than (a, b) ->
+        let ea = count_of a and eb = count_of b in
+        let e = fresh () in
+        emit "greater_than_expr" [ us e; us ea; us eb ];
+        e
+    | Cv.Less_than (a, b) ->
+        let ea = count_of a and eb = count_of b in
+        let e = fresh () in
+        emit "less_than_expr" [ us e; us ea; us eb ];
+        e
+    | Cv.Equal_count (a, b) ->
+        let ea = count_of a and eb = count_of b in
+        let e = fresh () in
+        emit "equal_expr" [ us e; us ea; us eb ];
+        e
+  in
+  emit "root_expr" [ us root ];
+  (List.rev !facts, root)
+
+(* ---- candidate answers -------------------------------------------------------- *)
+
+let answer_candidates : string array =
+  Array.concat
+    [
+      Array.init 7 string_of_int;
+      [| "true"; "false" |];
+      Cv.shapes; Cv.colors; Cv.materials; Cv.sizes;
+    ]
+
+let candidate_tuples = Array.map (fun s -> Tuple.of_list [ Value.string s ]) answer_candidates
+
+let candidate_index s =
+  let rec go i = if i >= Array.length answer_candidates then None
+    else if answer_candidates.(i) = s then Some i else go (i + 1) in
+  go 0
+
+(* ---- forward ------------------------------------------------------------------- *)
+
+let attr_tuples oid values =
+  Array.map (fun v -> Tuple.of_list [ Value.int Value.USize oid; Value.string v ]) values
+
+let forward ?(spec = Registry.Diff_max_min_prob) (m : model) (s : Cv.sample) : Autodiff.t =
+  let per_object pred mlp values images =
+    List.mapi
+      (fun oid img ->
+        let probs = Layers.Mlp.classify mlp (Autodiff.const img) in
+        Scallop_layer.dense_mapping ~pred ~tuples:(attr_tuples oid values) ~probs
+          ~mutually_exclusive:true)
+      images
+  in
+  let inputs =
+    per_object "shape" m.shape_mlp Cv.shapes s.Cv.shape_images
+    @ per_object "color" m.color_mlp Cv.colors s.Cv.color_images
+    @ per_object "material" m.material_mlp Cv.materials s.Cv.material_images
+    @ per_object "size" m.size_mlp Cv.sizes s.Cv.size_images
+  in
+  let question_facts, _root = encode_question s.Cv.question in
+  let static_facts =
+    List.map (fun (o : Cv.obj) -> ("obj", Tuple.of_list [ Value.int Value.USize o.Cv.oid ])) s.Cv.scene.Cv.objects
+    @ List.map
+        (fun (r, a, b) ->
+          ("relate", Tuple.of_list [ Value.string r; Value.int Value.USize a; Value.int Value.USize b ]))
+        (Cv.relations_of s.Cv.scene)
+    @ question_facts
+  in
+  Scallop_layer.forward ~spec ~compiled:m.compiled ~static_facts ~inputs ~out_pred:"result"
+    ~candidates:candidate_tuples ()
+
+let predict ?spec m s =
+  let y = Autodiff.value (forward ?spec m s) in
+  answer_candidates.(Nd.argmax_row y 0)
+
+let train_and_eval ?(dim = 12) ?(noise = 0.35) (config : Common.config) : Common.report =
+  let rng = Scallop_utils.Rng.create config.Common.seed in
+  let data = Cv.create ~noise ~dim ~seed:(config.Common.seed + 1) () in
+  let m = create_model ~rng ~dim in
+  let opt = Optim.adam ~lr:config.Common.lr (params m) in
+  let train_data = Cv.dataset data config.Common.n_train in
+  let test_data = Cv.dataset data config.Common.n_test in
+  let spec = config.Common.provenance in
+  Common.run_task ~task:"CLEVR" ~config ~train_data ~test_data ~opt
+    ~train_step:(fun (s : Cv.sample) ->
+      let y = forward ~spec m s in
+      match candidate_index (Cv.answer_to_string s.Cv.answer) with
+      | Some idx ->
+          Common.bce y (Autodiff.const (Common.one_hot (Array.length answer_candidates) idx))
+      | None -> Autodiff.const (Nd.scalar 0.0))
+    ~eval_sample:(fun s -> predict ~spec m s = Cv.answer_to_string s.Cv.answer)

@@ -1,0 +1,72 @@
+(** Shared configuration, reporting and training utilities for the eight
+    benchmark applications (paper Sec. 6.1). *)
+
+open Scallop_tensor
+open Scallop_core
+
+type config = {
+  seed : int;
+  provenance : Registry.spec;
+  epochs : int;
+  n_train : int;
+  n_test : int;
+  lr : float;
+}
+
+let default_config =
+  {
+    seed = 1234;
+    provenance = Registry.Diff_top_k_proofs_me 3;
+    epochs = 3;
+    n_train = 256;
+    n_test = 100;
+    lr = 0.01;
+  }
+
+type report = {
+  task : string;
+  provenance : string;
+  accuracy : float;  (** test accuracy in [0,1] *)
+  epoch_time : float;  (** mean wall-clock seconds per training epoch *)
+  losses : float list;  (** mean training loss per epoch *)
+}
+
+let pp_report fmt r =
+  Fmt.pf fmt "%-14s %-22s acc=%5.1f%%  t/epoch=%6.2fs" r.task r.provenance (100.0 *. r.accuracy)
+    r.epoch_time
+
+let provenance_name spec = Provenance.name (Registry.create spec)
+
+(** One-hot target row for BCE training. *)
+let one_hot n i = Nd.init [| 1; n |] (fun j -> if j = i then 1.0 else 0.0)
+
+let bce = Autodiff.bce_loss ~eps:1e-6
+
+(** Train/eval skeleton: [train_step] returns the sample loss; [eval_sample]
+    returns whether the prediction was correct.  Returns the report. *)
+let run_task ~task ~(config : config) ~(train_data : 'a list) ~(test_data : 'a list)
+    ~(opt : Optim.t) ~(train_step : 'a -> Autodiff.t) ~(eval_sample : 'a -> bool) : report =
+  let losses = ref [] in
+  let times = ref [] in
+  for _epoch = 1 to config.epochs do
+    let t0 = Unix.gettimeofday () in
+    let total = ref 0.0 in
+    List.iter
+      (fun sample ->
+        let loss = train_step sample in
+        opt.Optim.zero_grad ();
+        Autodiff.backward loss;
+        opt.Optim.step ();
+        total := !total +. Nd.get1 (Autodiff.value loss) 0)
+      train_data;
+    times := (Unix.gettimeofday () -. t0) :: !times;
+    losses := (!total /. float_of_int (max 1 (List.length train_data))) :: !losses
+  done;
+  let correct = List.length (List.filter eval_sample test_data) in
+  {
+    task;
+    provenance = provenance_name config.provenance;
+    accuracy = float_of_int correct /. float_of_int (max 1 (List.length test_data));
+    epoch_time = Scallop_utils.Listx.average !times;
+    losses = List.rev !losses;
+  }

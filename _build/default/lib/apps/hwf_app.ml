@@ -1,0 +1,77 @@
+(** HWF: hand-written formula parsing and evaluation (paper Sec. 6.1,
+    Appendix C.2).
+
+    A 14-way symbol classifier feeds a Scallop program that parses the
+    probabilistic symbol sequence with a context-free grammar and evaluates
+    the arithmetic (Fig. 26).  The output domain is the rationals, so the
+    layer runs with an open candidate set; following the paper we keep only
+    the [sample_k] most likely classes per symbol to prune the parse space. *)
+
+open Scallop_tensor
+open Scallop_nn
+open Scallop_core
+module Hwf = Scallop_data.Hwf
+
+type model = { mlp : Layers.Mlp.t; compiled : Session.compiled }
+
+let create_model ~rng ~dim =
+  { mlp = Layers.Mlp.create rng [ dim; 64; Hwf.num_symbols ]; compiled = Session.compile Programs.hwf }
+
+let symbol_tuples_at idx =
+  Array.map (fun s -> Tuple.of_list [ Value.int Value.USize idx; Value.string s ]) Hwf.symbols
+
+(** Forward one formula: returns the derived (value, probability) pairs as
+    an open-domain output. *)
+let forward ?(spec = Registry.Diff_top_k_proofs_me 3) ?(sample_k = 7) (m : model)
+    (s : Hwf.sample) : Scallop_layer.run_output =
+  let inputs =
+    List.mapi
+      (fun i img ->
+        let probs = Layers.Mlp.classify m.mlp (Autodiff.const img) in
+        Scallop_layer.topk_mapping ~k:sample_k ~pred:"symbol" ~tuples:(symbol_tuples_at i)
+          ~probs ~mutually_exclusive:true)
+      s.Hwf.images
+  in
+  let static_facts =
+    [ ("length", Tuple.of_list [ Value.int Value.USize (List.length s.Hwf.images) ]) ]
+  in
+  Scallop_layer.forward_open ~spec ~compiled:m.compiled ~static_facts ~inputs ~out_pred:"result" ()
+
+let value_of_tuple (t : Tuple.t) =
+  match Value.to_float (Tuple.get t 0) with Some f -> f | None -> nan
+
+let close a b = Float.abs (a -. b) < 1e-3
+
+let predict ?spec ?sample_k m s =
+  let out = forward ?spec ?sample_k m s in
+  let y = Autodiff.value out.Scallop_layer.y in
+  if Array.length out.Scallop_layer.tuples = 0 then None
+  else begin
+    let best = ref 0 in
+    Array.iteri (fun j _ -> if Nd.get1 y j > Nd.get1 y !best then best := j) out.Scallop_layer.tuples;
+    Some (value_of_tuple out.Scallop_layer.tuples.(!best))
+  end
+
+let train_and_eval ?(dim = 16) ?(noise = 0.35) ?(max_len = 7) (config : Common.config) :
+    Common.report =
+  let rng = Scallop_utils.Rng.create config.Common.seed in
+  let data = Hwf.create ~noise ~dim ~seed:(config.Common.seed + 1) () in
+  let m = create_model ~rng ~dim in
+  let opt = Optim.adam ~lr:config.Common.lr (Layers.Mlp.params m.mlp) in
+  let train_data = Hwf.dataset ~max_len data config.Common.n_train in
+  let test_data = Hwf.dataset ~max_len data config.Common.n_test in
+  let spec = config.Common.provenance in
+  Common.run_task ~task:"HWF" ~config ~train_data ~test_data ~opt
+    ~train_step:(fun (s : Hwf.sample) ->
+      let out = forward ~spec m s in
+      let n = Array.length out.Scallop_layer.tuples in
+      if n = 0 then Autodiff.const (Nd.scalar 0.0)
+      else begin
+        let target =
+          Nd.init [| 1; n |] (fun j ->
+              if close (value_of_tuple out.Scallop_layer.tuples.(j)) s.Hwf.value then 1.0 else 0.0)
+        in
+        Common.bce out.Scallop_layer.y (Autodiff.const target)
+      end)
+    ~eval_sample:(fun s ->
+      match predict ~spec m s with Some v -> close v s.Hwf.value | None -> false)

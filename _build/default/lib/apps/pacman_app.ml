@@ -1,0 +1,228 @@
+(** PacMan-Maze: neurosymbolic reinforcement learning (paper Sec. 2,
+    Appendix C.4).
+
+    The entity extractor classifies each cell percept into
+    {empty, actor, goal, enemy}; the path-planning program (Fig. 29) derives
+    the probability that each action starts an enemy-free path to the goal.
+    The action distribution acts as the policy; training updates the
+    extractor from the end-of-episode reward alone (success/failure of the
+    whole action sequence — the paper's algorithmic supervision).  The
+    program's [violation] output (integrity constraints, RQ5) is added to
+    the loss to keep the extractor's scene estimates consistent. *)
+
+open Scallop_tensor
+open Scallop_nn
+open Scallop_core
+module Env = Scallop_envs.Pacman
+
+type model = { mlp : Layers.Mlp.t; compiled : Session.compiled; grid : int }
+
+let create_model ~rng ~dim ~grid =
+  { mlp = Layers.Mlp.create rng [ dim; 32; 4 ]; compiled = Session.compile Programs.pacman; grid }
+
+let cell_tuples grid kind =
+  ignore kind;
+  Array.init (grid * grid) (fun i ->
+      let x = i mod grid and y = i / grid in
+      Tuple.of_list [ Value.int Value.USize x; Value.int Value.USize y ])
+
+(** Select column [c] of an (N,4) probability matrix as a (1,N) row. *)
+let select_col (probs : Autodiff.t) c n =
+  let sel = Nd.zeros [| 4; 1 |] in
+  Nd.set2 sel c 0 1.0;
+  let v = Autodiff.matmul probs (Autodiff.const sel) in
+  Autodiff.custom ~op:"reshape"
+    ~value:(Nd.reshape (Autodiff.value v) [| 1; n |])
+    ~parents:[ { Autodiff.var = v; push = (fun g -> Nd.reshape g [| n; 1 |]) } ]
+
+type decision = {
+  action_probs : Autodiff.t;  (** (1,4) over up/down/right/left *)
+  violation : Autodiff.t;  (** (1,1) integrity-violation probability *)
+}
+
+let forward ?(spec = Registry.Diff_top_k_proofs 1) (m : model) (obs : Nd.t) : decision =
+  let n = m.grid * m.grid in
+  let probs = Layers.Mlp.classify m.mlp (Autodiff.const obs) in
+  (* class order matches Env.cell_class: 0 empty, 1 actor, 2 goal, 3 enemy *)
+  let mapping pred c =
+    Scallop_layer.dense_mapping ~pred ~tuples:(cell_tuples m.grid pred)
+      ~probs:(select_col probs c n) ~mutually_exclusive:false
+  in
+  let inputs = [ mapping "actor" 1; mapping "goal" 2; mapping "enemy" 3 ] in
+  (* grid_node tagged 0.99: the per-step penalty making longer paths less
+     likely (paper footnote 2). *)
+  let grid_probs =
+    Autodiff.const (Nd.create [| 1; n |] 0.99)
+  in
+  let inputs =
+    Scallop_layer.dense_mapping ~pred:"grid_node" ~tuples:(cell_tuples m.grid "grid_node")
+      ~probs:grid_probs ~mutually_exclusive:false
+    :: inputs
+  in
+  let action_candidates = Array.init 4 (fun a -> Tuple.of_list [ Value.int Value.USize a ]) in
+  match
+    Scallop_layer.forward_multi ~spec ~compiled:m.compiled ~inputs
+      ~outputs:[ ("next_action", action_candidates); ("violation", [| Tuple.unit |]) ]
+      ()
+  with
+  | [ action_probs; violation ] -> { action_probs; violation }
+  | _ -> assert false
+
+(** Play one episode; returns (success, per-step (decision, action index)). *)
+let play_episode ?spec ?(epsilon = 0.0) ~rng (m : model) (env : Env.t) =
+  Env.reset env;
+  let steps = ref [] in
+  let finished = ref false in
+  let success = ref false in
+  while not !finished do
+    let obs = Env.observe env in
+    let d = forward ?spec m obs in
+    let a =
+      if Scallop_utils.Rng.float rng < epsilon then Scallop_utils.Rng.int rng 4
+      else Nd.argmax_row (Autodiff.value d.action_probs) 0
+    in
+    steps := (d, a) :: !steps;
+    let r = Env.step env (Env.action_of_index a) in
+    if r.Env.finished then begin
+      finished := true;
+      success := r.Env.reward > 0.5
+    end
+  done;
+  (!success, List.rev !steps)
+
+type transition = { obs : Nd.t; action : int; reward : float; next_obs : Nd.t option }
+
+(** Train for [episodes] episodes with the paper's Deep-Q-Learning setup
+    (Sec. 2, Appendix C.4): the symbolic program's [next_action] probability
+    is the Q-value of each action; transitions go into a replay buffer and
+    each episode trains on a sampled batch with TD targets
+    [rᵢ + γ·max_a Q(sᵢ₊₁, a)] flowing through the logic program.  Episodes
+    that end in success additionally relabel their own steps with target 1
+    (the realized path was enemy-free).  Returns the greedy success rate
+    over [eval_episodes]. *)
+let train_and_eval ?(grid = 5) ?(dim = 12) ?(noise = 0.3) ?(episodes = 60)
+    ?(eval_episodes = 100) ?(violation_weight = 0.1) ?(gamma = 0.99) ?(batch = 12)
+    ?(buffer_size = 3000) (config : Common.config) : Common.report =
+  let rng = Scallop_utils.Rng.create config.Common.seed in
+  let env = Env.create ~grid ~noise ~dim ~max_steps:30 ~seed:(config.Common.seed + 1) () in
+  let m = create_model ~rng ~dim ~grid in
+  let opt = Optim.adam ~lr:config.Common.lr (Layers.Mlp.params m.mlp) in
+  let spec = config.Common.provenance in
+  let losses = ref [] in
+  let buffer = Array.make buffer_size { obs = Nd.zeros [| 1; 1 |]; action = 0; reward = 0.0; next_obs = None } in
+  let buf_len = ref 0 and buf_pos = ref 0 in
+  let push tr =
+    buffer.(!buf_pos) <- tr;
+    buf_pos := (!buf_pos + 1) mod buffer_size;
+    buf_len := min (!buf_len + 1) buffer_size
+  in
+  let train_on (tr : transition) =
+    let target =
+      match tr.next_obs with
+      | None -> tr.reward
+      | Some next ->
+          let d' = forward ~spec m next in
+          Float.min 1.0 (Float.max 0.0 (tr.reward +. (gamma *. Nd.max_elt (Autodiff.value d'.action_probs))))
+    in
+    let d = forward ~spec m tr.obs in
+    let chosen =
+      let selv = Nd.zeros [| 4; 1 |] in
+      Nd.set2 selv tr.action 0 1.0;
+      Autodiff.matmul d.action_probs (Autodiff.const selv)
+    in
+    let loss = Common.bce chosen (Autodiff.const (Nd.scalar target)) in
+    let loss = Autodiff.add loss (Autodiff.scale violation_weight (Autodiff.sum d.violation)) in
+    opt.Optim.zero_grad ();
+    Autodiff.backward loss;
+    opt.Optim.step ();
+    Nd.get1 (Autodiff.value loss) 0
+  in
+  (* Periodic greedy evaluation with best-checkpoint selection: RL training
+     through the bandit-style credit assignment is not monotone (late
+     training can destabilize a good policy), so we keep the best extractor
+     weights seen — standard early stopping. *)
+  let snapshot () = List.map (fun (p : Autodiff.t) -> Nd.copy p.Autodiff.value) (Layers.Mlp.params m.mlp) in
+  let restore snap =
+    List.iter2
+      (fun (p : Autodiff.t) v -> Array.blit v.Nd.data 0 p.Autodiff.value.Nd.data 0 (Nd.numel v))
+      (Layers.Mlp.params m.mlp) snap
+  in
+  let quick_eval n =
+    let ok = ref 0 in
+    for _ = 1 to n do
+      let success, _ = play_episode ~spec ~rng m env in
+      if success then incr ok
+    done;
+    float_of_int !ok /. float_of_int n
+  in
+  let best_score = ref (-1.0) in
+  let best_snap = ref (snapshot ()) in
+  let eval_every = 20 in
+  let t0 = Unix.gettimeofday () in
+  for ep = 1 to episodes do
+    let epsilon = 0.4 *. Float.max 0.0 (1.0 -. (float_of_int ep /. (0.7 *. float_of_int episodes))) in
+    Env.reset env;
+    let episode = ref [] in
+    let finished = ref false in
+    while not !finished do
+      let obs = Env.observe env in
+      let d = forward ~spec m obs in
+      let a =
+        if Scallop_utils.Rng.float rng < epsilon then Scallop_utils.Rng.int rng 4
+        else Nd.argmax_row (Autodiff.value d.action_probs) 0
+      in
+      let r = Env.step env (Env.action_of_index a) in
+      let next_obs = if r.Env.finished then None else Some (Env.observe env) in
+      let tr = { obs; action = a; reward = r.Env.reward; next_obs } in
+      episode := tr :: !episode;
+      finished := r.Env.finished
+    done;
+    let succeeded =
+      match !episode with { reward; next_obs = None; _ } :: _ -> reward > 0.5 | _ -> false
+    in
+    let ep_loss = ref 0.0 in
+    let n_updates = ref 0 in
+    let update tr =
+      incr n_updates;
+      ep_loss := !ep_loss +. train_on tr
+    in
+    if succeeded then
+      (* dense relabeling: the realized path was enemy-free, so every step's
+         action was good; these transitions also enter the (success-only)
+         replay buffer *)
+      List.iter
+        (fun tr ->
+          let tr = { tr with reward = 1.0; next_obs = None } in
+          push tr;
+          update tr)
+        !episode
+    else
+      (* on-policy TD pass over the episode's own steps *)
+      List.iter update !episode;
+    (* replay positive experience to amplify the sparse success signal *)
+    for _ = 1 to batch do
+      if !buf_len > 0 then update buffer.(Scallop_utils.Rng.int rng !buf_len)
+    done;
+    losses := (!ep_loss /. float_of_int (max 1 !n_updates)) :: !losses;
+    if ep mod eval_every = 0 || ep = episodes then begin
+      let score = quick_eval 20 in
+      if score > !best_score then begin
+        best_score := score;
+        best_snap := snapshot ()
+      end
+    end
+  done;
+  restore !best_snap;
+  let train_time = Unix.gettimeofday () -. t0 in
+  let successes = ref 0 in
+  for _ = 1 to eval_episodes do
+    let success, _ = play_episode ~spec ~rng m env in
+    if success then incr successes
+  done;
+  {
+    Common.task = "PacMan-Maze";
+    provenance = Common.provenance_name spec;
+    accuracy = float_of_int !successes /. float_of_int eval_episodes;
+    epoch_time = train_time /. float_of_int episodes;
+    losses = List.rev !losses;
+  }

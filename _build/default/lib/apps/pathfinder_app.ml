@@ -1,0 +1,67 @@
+(** Pathfinder: image classification with long-range dependency
+    (paper Sec. 6.1, Appendix C.3).
+
+    Edge percepts are classified by an MLP into dash-present probabilities;
+    the Scallop program (Fig. 28) computes the transitive closure over
+    present dashes and checks connectivity of the two marked dots, with
+    supervision only on the connected/not-connected bit. *)
+
+open Scallop_tensor
+open Scallop_nn
+open Scallop_core
+module Pf = Scallop_data.Pathfinder
+
+type model = { mlp : Layers.Mlp.t; compiled : Session.compiled; data : Pf.t }
+
+let create_model ~rng ~dim data =
+  { mlp = Layers.Mlp.create rng [ dim; 32; 2 ]; compiled = Session.compile Programs.pathfinder; data }
+
+(** Per-edge dash probability: column 1 of a 2-way softmax. *)
+let edge_probs (m : model) (s : Pf.sample) : Autodiff.t =
+  let feats = Nd.stack_rows s.Pf.edge_images in
+  let logits = Layers.Mlp.classify m.mlp (Autodiff.const feats) in
+  (* select the "present" column: probs shape (E,2) -> (E) via a projection *)
+  let e = List.length s.Pf.edge_images in
+  let sel = Nd.zeros [| 2; 1 |] in
+  Nd.set2 sel 1 0 1.0;
+  Autodiff.matmul logits (Autodiff.const sel) |> fun v ->
+  (* reshape (E,1) -> (1,E) is free: same data *)
+  Autodiff.custom ~op:"reshape"
+    ~value:(Nd.reshape (Autodiff.value v) [| 1; e |])
+    ~parents:[ { Autodiff.var = v; push = (fun g -> Nd.reshape g [| e; 1 |]) } ]
+
+let forward ?(spec = Registry.Diff_top_k_proofs 3) (m : model) (s : Pf.sample) : Autodiff.t =
+  let probs = edge_probs m s in
+  let tuples =
+    Array.map
+      (fun (a, b) -> Tuple.of_list [ Value.int Value.U32 a; Value.int Value.U32 b ])
+      m.data.Pf.edges
+  in
+  let a, b = s.Pf.dots in
+  let static_facts =
+    [
+      ("dot", Tuple.of_list [ Value.int Value.U32 a ]);
+      ("dot", Tuple.of_list [ Value.int Value.U32 b ]);
+    ]
+  in
+  Scallop_layer.forward ~spec ~compiled:m.compiled ~static_facts
+    ~inputs:[ Scallop_layer.dense_mapping ~pred:"dash" ~tuples ~probs ~mutually_exclusive:false ]
+    ~out_pred:"connected" ~candidates:[| Tuple.unit |] ()
+
+let predict ?spec m s = Nd.get1 (Autodiff.value (forward ?spec m s)) 0 > 0.5
+
+let train_and_eval ?(grid = 4) ?(dim = 12) ?(noise = 0.4) (config : Common.config) :
+    Common.report =
+  let rng = Scallop_utils.Rng.create config.Common.seed in
+  let data = Pf.create ~grid ~noise ~dim ~seed:(config.Common.seed + 1) () in
+  let m = create_model ~rng ~dim data in
+  let opt = Optim.adam ~lr:config.Common.lr (Layers.Mlp.params m.mlp) in
+  let train_data = Pf.dataset data config.Common.n_train in
+  let test_data = Pf.dataset data config.Common.n_test in
+  let spec = config.Common.provenance in
+  Common.run_task ~task:"Pathfinder" ~config ~train_data ~test_data ~opt
+    ~train_step:(fun (s : Pf.sample) ->
+      let y = forward ~spec m s in
+      let target = Nd.scalar (if s.Pf.connected then 1.0 else 0.0) in
+      Common.bce y (Autodiff.const target))
+    ~eval_sample:(fun s -> predict ~spec m s = s.Pf.connected)

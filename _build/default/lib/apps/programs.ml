@@ -1,0 +1,222 @@
+(** The Scallop programs of the eight benchmark applications
+    (paper Table 2 and Appendix C).  Kept verbatim as source text both to be
+    compiled by the apps and to report Table 2's LoC column. *)
+
+let mnist_sum2 =
+  {|type digit_1(u32), digit_2(u32)
+rel sum_2(a + b) = digit_1(a), digit_2(b)
+query sum_2|}
+
+let mnist_sum3 =
+  {|type digit_1(u32), digit_2(u32), digit_3(u32)
+rel sum_3(a + b + c) = digit_1(a), digit_2(b), digit_3(c)
+query sum_3|}
+
+let mnist_sum4 =
+  {|type digit_1(u32), digit_2(u32), digit_3(u32), digit_4(u32)
+rel sum_4(a + b + c + d) = digit_1(a), digit_2(b), digit_3(c), digit_4(d)
+query sum_4|}
+
+let mnist_less_than =
+  {|type digit_1(u32), digit_2(u32)
+rel less_than(a < b) = digit_1(a), digit_2(b)
+query less_than|}
+
+let mnist_not_3_or_4 =
+  {|type digit(u32)
+rel not_3_or_4() = not digit(3) and not digit(4)
+query not_3_or_4|}
+
+let mnist_count_3 =
+  {|type digit(digit_id: u32, digit_value: u32)
+rel count_3(x) :- x = count(o: digit(o, 3))
+query count_3|}
+
+let mnist_count_3_or_4 =
+  {|type digit(digit_id: u32, digit_value: u32)
+rel count_3_or_4(x) = x = count(o: digit(o, 3) or digit(o, 4))
+query count_3_or_4|}
+
+(* Appendix Fig. 26 *)
+let hwf =
+  {|type symbol(index: usize, symbol: String)
+type length(n: usize)
+
+rel digit = {"0", "1", "2", "3", "4", "5", "6", "7", "8", "9"}
+
+type term(value: f32, begin: usize, end_: usize)
+rel term(x as f32, b, b + 1) = symbol(b, x) and digit(x)
+
+type mult_div(value: f32, begin: usize, end_: usize)
+rel mult_div(x, b, r) = term(x, b, r)
+rel mult_div(x * y, b, e) = mult_div(x, b, m) and symbol(m, "*") and term(y, m + 1, e)
+rel mult_div(x / y, b, e) = mult_div(x, b, m) and symbol(m, "/") and term(y, m + 1, e)
+
+type add_minus(value: f32, begin: usize, end_: usize)
+rel add_minus(x, b, r) = mult_div(x, b, r)
+rel add_minus(x + y, b, e) = add_minus(x, b, m) and symbol(m, "+") and mult_div(y, m + 1, e)
+rel add_minus(x - y, b, e) = add_minus(x, b, m) and symbol(m, "-") and mult_div(y, m + 1, e)
+
+type result(value: f32)
+rel result(y) = add_minus(y, 0, l) and length(l)
+
+query result|}
+
+(* Appendix Fig. 28, with undirected dashes made explicit *)
+let pathfinder =
+  {|type dash(u32, u32)
+type dot(u32)
+
+rel link(x, y) = dash(x, y) or dash(y, x)
+rel path(x, y) = link(x, y) or (path(x, z) and link(z, y))
+rel connected() = dot(x), dot(y), path(x, y), x != y
+
+query connected|}
+
+(* Appendix Fig. 29 *)
+let pacman =
+  {|type grid_node(x: usize, y: usize)
+type actor(x: usize, y: usize)
+type goal(x: usize, y: usize)
+type enemy(x: usize, y: usize)
+
+const UP = 0, DOWN = 1, RIGHT = 2, LEFT = 3
+
+rel safe_node(x, y) = grid_node(x, y), not enemy(x, y)
+rel edge(x, y, x, yp, UP) = safe_node(x, y), safe_node(x, yp), yp == y + 1
+rel edge(x, y, xp, y, RIGHT) = safe_node(x, y), safe_node(xp, y), xp == x + 1
+rel edge(x, y, x, yp, DOWN) = safe_node(x, y), safe_node(x, yp), yp + 1 == y
+rel edge(x, y, xp, y, LEFT) = safe_node(x, y), safe_node(xp, y), xp + 1 == x
+
+rel next_pos(xp, yp, a) = actor(x, y), edge(x, y, xp, yp, a)
+rel path(x, y, x, y) = next_pos(x, y, _)
+rel path(x1, y1, x3, y3) = path(x1, y1, x2, y2), edge(x2, y2, x3, y3, _)
+rel next_action(a) = next_pos(x, y, a), goal(gx, gy), path(x, y, gx, gy)
+
+rel too_many_goal() = n := count(x, y: goal(x, y)), n > 1
+rel too_many_actor() = n := count(x, y: actor(x, y)), n > 1
+rel violation() = too_many_goal() or too_many_actor()
+
+query next_action
+query violation|}
+
+(* Appendix Fig. 30 *)
+let clutrr =
+  {|type Relation = usize
+
+type question(sub: String, obj: String)
+type kinship(rela: Relation, sub: String, obj: String)
+type composition(r1: Relation, r2: Relation, r3: Relation)
+
+rel kinship(r3, x, z) = composition(r1, r2, r3), kinship(r1, x, y), kinship(r2, y, z), x != z
+rel answer(r) = question(s, o), kinship(r, s, o)
+
+query answer|}
+
+(* Appendix Fig. 31 *)
+let mugen =
+  {|type action(usize, String)
+type expr(usize, String)
+type expr_start(usize)
+type expr_end(usize)
+type action_start(usize)
+type action_end(usize)
+
+rel match_single(tid, vid, vid + 1) = expr(tid, a), action(vid, a)
+rel match_sub(tid, tid, vid_start, vid_end) = match_single(tid, vid_start, vid_end)
+rel match_sub(tid_start, tid_end, vid_start, vid_end) =
+  match_sub(tid_start, tid_end, vid_start, vid_mid), match_single(tid_end, vid_mid, vid_end)
+rel match_sub(tid_start, tid_end, vid_start, vid_end) =
+  match_sub(tid_start, tid_end - 1, vid_start, vid_mid), match_single(tid_end, vid_mid, vid_end)
+
+rel match() = expr_start(tid_start), expr_end(tid_end),
+  action_start(vid_start), action_end(vid_end),
+  match_sub(tid_start, tid_end, vid_start, vid_end)
+
+query match|}
+
+(* Appendix Fig. 32, restricted to the question fragment our generator emits *)
+let clevr =
+  {|type obj(o: usize)
+type size(o: usize, v: String)
+type color(o: usize, v: String)
+type material(o: usize, v: String)
+type shape(o: usize, v: String)
+type relate(r: String, o1: usize, o2: usize)
+
+type scene_expr(e: usize)
+type filter_size_expr(e: usize, f: usize, v: String)
+type filter_color_expr(e: usize, f: usize, v: String)
+type filter_material_expr(e: usize, f: usize, v: String)
+type filter_shape_expr(e: usize, f: usize, v: String)
+type relate_expr(e: usize, f: usize, r: String)
+type count_expr(e: usize, f: usize)
+type exists_expr(e: usize, f: usize)
+type query_size_expr(e: usize, f: usize)
+type query_color_expr(e: usize, f: usize)
+type query_material_expr(e: usize, f: usize)
+type query_shape_expr(e: usize, f: usize)
+type greater_than_expr(e: usize, a: usize, b: usize)
+type less_than_expr(e: usize, a: usize, b: usize)
+type equal_expr(e: usize, a: usize, b: usize)
+type root_expr(e: usize)
+
+rel eval_objs(e, o) = scene_expr(e), obj(o)
+rel eval_objs(e, o) = filter_size_expr(e, f, s), eval_objs(f, o), size(o, s)
+rel eval_objs(e, o) = filter_color_expr(e, f, c), eval_objs(f, o), color(o, c)
+rel eval_objs(e, o) = filter_material_expr(e, f, m), eval_objs(f, o), material(o, m)
+rel eval_objs(e, o) = filter_shape_expr(e, f, s), eval_objs(f, o), shape(o, s)
+rel eval_objs(e, o) = relate_expr(e, f, r), eval_objs(f, p), relate(r, p, o), o != p
+
+rel eval_num(e, n) = n := count(o: eval_objs(f, o) where e: count_expr(e, f))
+
+rel eval_yn(e, b) = b := exists(o: eval_objs(f, o) where e: exists_expr(e, f))
+rel eval_yn(e, x > y) = greater_than_expr(e, a, b), eval_num(a, x), eval_num(b, y)
+rel eval_yn(e, x < y) = less_than_expr(e, a, b), eval_num(a, x), eval_num(b, y)
+rel eval_yn(e, x == y) = equal_expr(e, a, b), eval_num(a, x), eval_num(b, y)
+
+rel eval_query(e, s) = query_size_expr(e, f), eval_objs(f, o), size(o, s)
+rel eval_query(e, c) = query_color_expr(e, f), eval_objs(f, o), color(o, c)
+rel eval_query(e, m) = query_material_expr(e, f), eval_objs(f, o), material(o, m)
+rel eval_query(e, s) = query_shape_expr(e, f), eval_objs(f, o), shape(o, s)
+
+rel result(y as String) = root_expr(e), eval_yn(e, y)
+rel result(y as String) = root_expr(e), eval_num(e, y)
+rel result(y) = root_expr(e), eval_query(e, y)
+
+query result|}
+
+let vqar =
+  {|type obj_name(o: usize, n: String)
+type obj_attr(o: usize, a: String)
+type obj_rela(r: String, o1: usize, o2: usize)
+type is_a(n1: String, n2: String)
+
+type q_is_a(c: String)
+type q_attr(c: String, a: String)
+type q_rel(c1: String, r: String, c2: String)
+
+rel name_of(o, n) = obj_name(o, n)
+rel name_of(o, n2) = name_of(o, n1), is_a(n1, n2)
+
+rel answer(o) = q_is_a(c), name_of(o, c)
+rel answer(o) = q_attr(c, a), name_of(o, c), obj_attr(o, a)
+rel answer(o) = q_rel(c1, r, c2), name_of(o, c1), obj_rela(r, o, o2), name_of(o2, c2), o != o2
+
+query answer|}
+
+let loc src = List.length (List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' src))
+
+(** Paper Table 2 rows: task name, interface relations, features used
+    (Recursion / Negation / Aggregation), and program LoC. *)
+let table2 =
+  [
+    ("MNIST-R", [ "digit(id, digit)" ], (false, true, true), loc mnist_sum2);
+    ("HWF", [ "symbol(id, symbol)"; "length(len)" ], (true, false, false), loc hwf);
+    ("Pathfinder", [ "dot(id)"; "dash(from, to)" ], (true, false, false), loc pathfinder);
+    ("PacMan-Maze", [ "actor(x,y)"; "enemy(x,y)"; "goal(x,y)" ], (true, true, true), loc pacman);
+    ("CLUTRR", [ "kinship(r,s,o)"; "question(s,o)"; "composition(r1,r2,r3)" ], (true, false, false), loc clutrr);
+    ("Mugen", [ "action(frame,act)"; "expr(id,act)" ], (true, false, false), loc mugen);
+    ("CLEVR", [ "size/color/material/shape(o,v)"; "relate(r,o1,o2)"; "*_expr(...)" ], (true, false, true), loc clevr);
+    ("VQAR", [ "obj_name(o,n)"; "obj_attr(o,a)"; "obj_rela(r,o1,o2)"; "is_a(n1,n2)" ], (true, false, false), loc vqar);
+  ]

@@ -1,0 +1,85 @@
+(** VQAR: visual question answering with common-sense reasoning
+    (paper Sec. 6.1).
+
+    The object-name classifier is trained end-to-end: programmatic queries
+    are evaluated against the probabilistic scene graph with the aid of the
+    is-a knowledge base, and supervision is the retrieved object set. *)
+
+open Scallop_tensor
+open Scallop_nn
+open Scallop_core
+module Vq = Scallop_data.Vqar
+
+type model = { name_mlp : Layers.Mlp.t; compiled : Session.compiled }
+
+let create_model ~rng ~dim =
+  {
+    name_mlp = Layers.Mlp.create rng [ dim; 48; Array.length Vq.leaf_names ];
+    compiled = Session.compile Programs.vqar;
+  }
+
+let name_tuples oid =
+  Array.map (fun n -> Tuple.of_list [ Value.int Value.USize oid; Value.string n ]) Vq.leaf_names
+
+let kb_facts =
+  lazy
+    (List.map
+       (fun (a, b) -> ("is_a", Tuple.of_list [ Value.string a; Value.string b ]))
+       Vq.taxonomy)
+
+let query_facts (q : Vq.query) =
+  match q with
+  | Vq.Q_is_a c -> [ ("q_is_a", Tuple.of_list [ Value.string c ]) ]
+  | Vq.Q_attr (c, a) -> [ ("q_attr", Tuple.of_list [ Value.string c; Value.string a ]) ]
+  | Vq.Q_rel (c1, r, c2) ->
+      [ ("q_rel", Tuple.of_list [ Value.string c1; Value.string r; Value.string c2 ]) ]
+
+let forward ?(spec = Registry.Diff_top_k_proofs 3) (m : model) (s : Vq.sample) : Autodiff.t =
+  let inputs =
+    List.mapi
+      (fun oid img ->
+        let probs = Layers.Mlp.classify m.name_mlp (Autodiff.const img) in
+        Scallop_layer.dense_mapping ~pred:"obj_name" ~tuples:(name_tuples oid) ~probs
+          ~mutually_exclusive:true)
+      s.Vq.name_images
+  in
+  let static_facts =
+    Lazy.force kb_facts @ query_facts s.Vq.query
+    @ List.concat_map
+        (fun (o : Vq.obj) ->
+          List.map
+            (fun a -> ("obj_attr", Tuple.of_list [ Value.int Value.USize o.Vq.oid; Value.string a ]))
+            o.Vq.attrs)
+        s.Vq.scene.Vq.objects
+    @ List.map
+        (fun (r, a, b) ->
+          ("obj_rela", Tuple.of_list [ Value.string r; Value.int Value.USize a; Value.int Value.USize b ]))
+        s.Vq.scene.Vq.rels
+  in
+  let n = List.length s.Vq.scene.Vq.objects in
+  let candidates = Array.init n (fun o -> Tuple.of_list [ Value.int Value.USize o ]) in
+  Scallop_layer.forward ~spec ~compiled:m.compiled ~static_facts ~inputs ~out_pred:"answer"
+    ~candidates ()
+
+(** Predicted object set: probability above 0.5. *)
+let predict ?spec m s =
+  let y = Autodiff.value (forward ?spec m s) in
+  List.filteri (fun o _ -> Nd.get1 y o > 0.5) (List.init (Nd.numel y) Fun.id)
+
+(** Exact-set-match accuracy (the paper reports recall-style metrics;
+    exact match is stricter). *)
+let train_and_eval ?(dim = 16) ?(noise = 0.35) (config : Common.config) : Common.report =
+  let rng = Scallop_utils.Rng.create config.Common.seed in
+  let data = Vq.create ~noise ~dim ~seed:(config.Common.seed + 1) () in
+  let m = create_model ~rng ~dim in
+  let opt = Optim.adam ~lr:config.Common.lr (Layers.Mlp.params m.name_mlp) in
+  let train_data = Vq.dataset data config.Common.n_train in
+  let test_data = Vq.dataset data config.Common.n_test in
+  let spec = config.Common.provenance in
+  Common.run_task ~task:"VQAR" ~config ~train_data ~test_data ~opt
+    ~train_step:(fun (s : Vq.sample) ->
+      let y = forward ~spec m s in
+      let n = List.length s.Vq.scene.Vq.objects in
+      let target = Nd.init [| 1; n |] (fun o -> if List.mem o s.Vq.answer then 1.0 else 0.0) in
+      Common.bce y (Autodiff.const target))
+    ~eval_sample:(fun s -> List.sort compare (predict ~spec m s) = List.sort compare s.Vq.answer)

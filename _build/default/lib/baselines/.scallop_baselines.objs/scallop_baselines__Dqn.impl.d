@@ -1,0 +1,1 @@
+lib/baselines/dqn.ml: Array Autodiff Float Layers List Nd Optim Scallop_envs Scallop_nn Scallop_tensor Scallop_utils Unix

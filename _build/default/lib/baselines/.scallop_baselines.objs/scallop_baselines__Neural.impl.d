@@ -1,0 +1,1 @@
+lib/baselines/neural.ml: Array Autodiff Common Layers List Nd Optim Scallop_apps Scallop_data Scallop_nn Scallop_tensor Scallop_utils

@@ -1,0 +1,1 @@
+lib/baselines/ngs.ml: Array Autodiff Common Float Layers List Nd Optim Scallop_apps Scallop_data Scallop_nn Scallop_tensor Scallop_utils Unix

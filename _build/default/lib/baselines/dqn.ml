@@ -1,0 +1,124 @@
+(** Deep Q-Network baseline for PacMan-Maze (paper Sec. 2 / 6.3).
+
+    A standard DQN [Mnih et al. 2015]: an MLP maps the flattened observation
+    to four Q-values; ε-greedy exploration, uniform replay buffer, periodic
+    target-network refresh.  The paper's comparison point: DQN needs ~50K
+    episodes where the neurosymbolic agent needs ~50. *)
+
+open Scallop_tensor
+open Scallop_nn
+module Env = Scallop_envs.Pacman
+
+type transition = { obs : Nd.t; action : int; reward : float; next_obs : Nd.t option }
+
+type t = {
+  qnet : Layers.Mlp.t;
+  mutable target : Nd.t list;  (** snapshot of qnet parameter values *)
+  buffer : transition array;
+  mutable buf_len : int;
+  mutable buf_pos : int;
+  rng : Scallop_utils.Rng.t;
+}
+
+let flatten obs = Nd.reshape obs [| 1; Nd.numel obs |]
+
+let snapshot mlp = List.map (fun (p : Autodiff.t) -> Nd.copy p.Autodiff.value) (Layers.Mlp.params mlp)
+
+let create ~rng ~input_dim ~buffer_size =
+  let qnet = Layers.Mlp.create rng [ input_dim; 128; 64; 4 ] in
+  {
+    qnet;
+    target = snapshot qnet;
+    buffer = Array.make buffer_size { obs = Nd.zeros [| 1; 1 |]; action = 0; reward = 0.0; next_obs = None };
+    buf_len = 0;
+    buf_pos = 0;
+    rng;
+  }
+
+let push t tr =
+  t.buffer.(t.buf_pos) <- tr;
+  t.buf_pos <- (t.buf_pos + 1) mod Array.length t.buffer;
+  t.buf_len <- min (t.buf_len + 1) (Array.length t.buffer)
+
+(** Q-values under the frozen target parameters. *)
+let target_q t (obs : Nd.t) : Nd.t =
+  (* run the MLP manually with the snapshot values *)
+  let rec go layers values h =
+    match (layers, values) with
+    | [], _ -> h
+    | (l : Layers.Linear.t) :: rest, w :: b :: vrest ->
+        ignore l;
+        let out = Nd.add_rowvec (Nd.matmul h w) b in
+        let out = if rest <> [] then Nd.map (fun x -> Float.max 0.0 x) out else out in
+        go rest vrest out
+    | _ -> h
+  in
+  go t.qnet.Layers.Mlp.layers t.target obs
+
+let q_values t obs = Layers.Mlp.forward t.qnet (Autodiff.const obs)
+
+let select_action t ~epsilon obs =
+  if Scallop_utils.Rng.float t.rng < epsilon then Scallop_utils.Rng.int t.rng 4
+  else Nd.argmax_row (Autodiff.value (q_values t obs)) 0
+
+let train_batch t ~(opt : Optim.t) ~gamma ~batch_size =
+  if t.buf_len >= batch_size then begin
+    for _ = 1 to batch_size do
+      let tr = t.buffer.(Scallop_utils.Rng.int t.rng t.buf_len) in
+      let target_value =
+        match tr.next_obs with
+        | None -> tr.reward
+        | Some next -> tr.reward +. (gamma *. Nd.max_elt (target_q t next))
+      in
+      let q = q_values t tr.obs in
+      (* select the taken action's Q *)
+      let sel = Nd.zeros [| 4; 1 |] in
+      Nd.set2 sel tr.action 0 1.0;
+      let qa = Autodiff.matmul q (Autodiff.const sel) in
+      let loss = Autodiff.mse_loss qa (Autodiff.const (Nd.scalar target_value)) in
+      opt.Optim.zero_grad ();
+      Autodiff.backward loss;
+      opt.Optim.step ()
+    done
+  end
+
+(** Train for [episodes]; returns the greedy success rate over
+    [eval_episodes]. *)
+let train_and_eval ?(grid = 5) ?(dim = 12) ?(noise = 0.3) ?(episodes = 500)
+    ?(eval_episodes = 100) ?(gamma = 0.95) ?(batch_size = 16) ?(target_refresh = 10)
+    ?(lr = 0.001) ~seed () : float * float =
+  let env = Env.create ~grid ~noise ~dim ~max_steps:(2 * grid * grid) ~seed:(seed + 1) () in
+  let rng = Scallop_utils.Rng.create seed in
+  let input_dim = grid * grid * dim in
+  let t = create ~rng ~input_dim ~buffer_size:3000 in
+  let opt = Optim.adam ~lr (Layers.Mlp.params t.qnet) in
+  let t0 = Unix.gettimeofday () in
+  for ep = 1 to episodes do
+    let epsilon = Float.max 0.05 (0.9 *. (0.995 ** float_of_int ep)) in
+    Env.reset env;
+    let finished = ref false in
+    while not !finished do
+      let obs = flatten (Env.observe env) in
+      let a = select_action t ~epsilon obs in
+      let r = Env.step env (Env.action_of_index a) in
+      let next_obs = if r.Env.finished then None else Some (flatten (Env.observe env)) in
+      push t { obs; action = a; reward = r.Env.reward; next_obs };
+      finished := r.Env.finished
+    done;
+    train_batch t ~opt ~gamma ~batch_size;
+    if ep mod target_refresh = 0 then t.target <- snapshot t.qnet
+  done;
+  let train_time = Unix.gettimeofday () -. t0 in
+  let successes = ref 0 in
+  for _ = 1 to eval_episodes do
+    Env.reset env;
+    let finished = ref false in
+    while not !finished do
+      let obs = flatten (Env.observe env) in
+      let a = select_action t ~epsilon:0.0 obs in
+      let r = Env.step env (Env.action_of_index a) in
+      if r.Env.finished && r.Env.reward > 0.5 then incr successes;
+      finished := r.Env.finished
+    done
+  done;
+  (float_of_int !successes /. float_of_int eval_episodes, train_time /. float_of_int episodes)

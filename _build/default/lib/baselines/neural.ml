@@ -1,0 +1,122 @@
+(** Purely neural baselines (paper Sec. 6.1): end-to-end MLPs standing in
+    for the CNN / BiLSTM / Transformer baselines.  They see the concatenated
+    raw percepts and predict the task output directly, with no symbolic
+    reasoning — the accuracy and data-efficiency gap against the Scallop
+    solutions is the paper's headline comparison (Figs. 15/17/18). *)
+
+open Scallop_tensor
+open Scallop_nn
+open Scallop_apps
+
+let concat_images (images : Nd.t list) : Nd.t =
+  let total = List.fold_left (fun acc i -> acc + Nd.numel i) 0 images in
+  let out = Nd.zeros [| 1; total |] in
+  let off = ref 0 in
+  List.iter
+    (fun img ->
+      Array.blit img.Nd.data 0 out.Nd.data !off (Nd.numel img);
+      off := !off + Nd.numel img)
+    images;
+  out
+
+(** Generic end-to-end classifier baseline. *)
+let classifier_baseline ~task ~(config : Common.config) ~n_classes ~input_dim
+    ~(train_data : 'a list) ~(test_data : 'a list) ~(features : 'a -> Nd.t)
+    ~(label : 'a -> int) : Common.report =
+  let rng = Scallop_utils.Rng.create config.Common.seed in
+  let mlp = Layers.Mlp.create rng [ input_dim; 128; 64; n_classes ] in
+  let opt = Optim.adam ~lr:config.Common.lr (Layers.Mlp.params mlp) in
+  let report =
+    Common.run_task ~task ~config ~train_data ~test_data ~opt
+      ~train_step:(fun s ->
+        let y = Layers.Mlp.classify mlp (Autodiff.const (features s)) in
+        Autodiff.nll_loss ~eps:1e-9 y [| label s |])
+      ~eval_sample:(fun s ->
+        let y = Layers.Mlp.classify mlp (Autodiff.const (features s)) in
+        Nd.argmax_row (Autodiff.value y) 0 = label s)
+  in
+  { report with Common.provenance = "CNN (end-to-end)" }
+
+(** MNIST-R end-to-end baseline: concatenated digit images → output class. *)
+let mnist_r (config : Common.config) (task : Scallop_data.Mnist.task) : Common.report =
+  let dim = 16 in
+  let data = Scallop_data.Mnist.create ~noise:0.5 ~dim ~seed:(config.Common.seed + 1) () in
+  let train_data = Scallop_data.Mnist.dataset data task config.Common.n_train in
+  let test_data = Scallop_data.Mnist.dataset data task config.Common.n_test in
+  classifier_baseline
+    ~task:(Scallop_data.Mnist.task_name task ^ " (neural)")
+    ~config
+    ~n_classes:(Scallop_data.Mnist.num_outputs task)
+    ~input_dim:(dim * Scallop_data.Mnist.num_images task)
+    ~train_data ~test_data
+    ~features:(fun (s : Scallop_data.Mnist.sample) -> concat_images s.Scallop_data.Mnist.images)
+    ~label:(fun s -> s.Scallop_data.Mnist.target)
+
+(** Pathfinder end-to-end baseline: concatenated edge features + dot
+    one-hots → connected bit. *)
+let pathfinder ?(grid = 4) (config : Common.config) : Common.report =
+  let dim = 12 in
+  let data = Scallop_data.Pathfinder.create ~grid ~noise:0.4 ~dim ~seed:(config.Common.seed + 1) () in
+  let train_data = Scallop_data.Pathfinder.dataset data config.Common.n_train in
+  let test_data = Scallop_data.Pathfinder.dataset data config.Common.n_test in
+  let n_edges = Array.length data.Scallop_data.Pathfinder.edges in
+  let nodes = grid * grid in
+  let features (s : Scallop_data.Pathfinder.sample) =
+    let imgs = concat_images s.Scallop_data.Pathfinder.edge_images in
+    let out = Nd.zeros [| 1; (n_edges * dim) + (2 * nodes) |] in
+    Array.blit imgs.Nd.data 0 out.Nd.data 0 (Nd.numel imgs);
+    let a, b = s.Scallop_data.Pathfinder.dots in
+    Nd.set1 out ((n_edges * dim) + a) 1.0;
+    Nd.set1 out ((n_edges * dim) + nodes + b) 1.0;
+    out
+  in
+  classifier_baseline ~task:"Pathfinder (neural)" ~config ~n_classes:2
+    ~input_dim:((n_edges * dim) + (2 * nodes))
+    ~train_data ~test_data ~features
+    ~label:(fun s -> if s.Scallop_data.Pathfinder.connected then 1 else 0)
+
+(** CLUTRR end-to-end baseline (the BiLSTM role): mean-pooled sentence
+    embeddings → relation class.  Used for the Fig. 18 generalization
+    comparison — it collapses on unseen chain lengths. *)
+let clutrr_generalization ?(train_ks = [ 2; 3 ]) ?(test_ks = [ 2; 3; 4; 5; 6 ])
+    (config : Common.config) : (int * float) list =
+  let dim = 16 in
+  let data = Scallop_data.Clutrr.create ~noise:0.4 ~dim ~seed:(config.Common.seed + 1) () in
+  let rng = Scallop_utils.Rng.create config.Common.seed in
+  let n_rel = Scallop_data.Clutrr.num_relations in
+  let mlp = Layers.Mlp.create rng [ dim; 64; 64; n_rel ] in
+  let opt = Optim.adam ~lr:config.Common.lr (Layers.Mlp.params mlp) in
+  let features (s : Scallop_data.Clutrr.sample) =
+    (* mean-pool the sentence embeddings: order information is degraded, as
+       for bag-of-sentences neural models *)
+    let embs = List.map (Scallop_data.Clutrr.sentence_embedding data) s.Scallop_data.Clutrr.chain in
+    let acc = Nd.zeros [| 1; dim |] in
+    List.iter (fun e -> Nd.add_ acc e) embs;
+    Nd.scale (1.0 /. float_of_int (List.length embs)) acc
+  in
+  let per_k = max 1 (config.Common.n_train / List.length train_ks) in
+  let train_data =
+    List.concat_map (fun k -> Scallop_data.Clutrr.dataset data ~k per_k) train_ks
+  in
+  for _ = 1 to config.Common.epochs do
+    List.iter
+      (fun (s : Scallop_data.Clutrr.sample) ->
+        let y = Layers.Mlp.classify mlp (Autodiff.const (features s)) in
+        let loss = Autodiff.nll_loss ~eps:1e-9 y [| s.Scallop_data.Clutrr.target |] in
+        opt.Optim.zero_grad ();
+        Autodiff.backward loss;
+        opt.Optim.step ())
+      train_data
+  done;
+  List.map
+    (fun k ->
+      let test = Scallop_data.Clutrr.dataset data ~k config.Common.n_test in
+      let correct =
+        List.filter
+          (fun (s : Scallop_data.Clutrr.sample) ->
+            let y = Layers.Mlp.classify mlp (Autodiff.const (features s)) in
+            Nd.argmax_row (Autodiff.value y) 0 = s.Scallop_data.Clutrr.target)
+          test
+      in
+      (k, float_of_int (List.length correct) /. float_of_int (List.length test)))
+    test_ks

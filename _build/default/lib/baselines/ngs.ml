@@ -1,0 +1,171 @@
+(** NGS baselines for HWF (paper Sec. 6.1, Table 5; from [Li et al. 2020]).
+
+    Neural-Grammar-Symbolic methods couple the same symbol classifier with
+    the symbolic evaluator, differing in how they assign credit:
+    - NGS-RL: REINFORCE — sample a symbol sequence, reward = exact answer
+      match, policy gradient with a moving-average baseline.  Known to
+      barely learn on HWF (paper Table 5: ~3%).
+    - NGS-BS (one-step back-search, approximating NGS-m-BS): take the argmax
+      sequence; if its evaluation is wrong, search for a single-symbol
+      correction whose evaluation is right and use the corrected sequence as
+      a pseudo-label for cross-entropy training. *)
+
+open Scallop_tensor
+open Scallop_nn
+open Scallop_apps
+module Hwf = Scallop_data.Hwf
+
+type model = { mlp : Layers.Mlp.t }
+
+let create_model ~rng ~dim = { mlp = Layers.Mlp.create rng [ dim; 64; Hwf.num_symbols ] }
+
+let close a b = Float.abs (a -. b) < 1e-3
+
+let predict_sequence (m : model) (s : Hwf.sample) : int list * Autodiff.t list =
+  let probs =
+    List.map (fun img -> Layers.Mlp.classify m.mlp (Autodiff.const img)) s.Hwf.images
+  in
+  (List.map (fun p -> Nd.argmax_row (Autodiff.value p) 0) probs, probs)
+
+let eval_indices (indices : int list) : float option =
+  Hwf.eval_formula (List.map (fun i -> Hwf.symbols.(i)) indices)
+
+let accuracy (m : model) (test : Hwf.sample list) =
+  let correct =
+    List.filter
+      (fun (s : Hwf.sample) ->
+        let seq, _ = predict_sequence m s in
+        match eval_indices seq with Some v -> close v s.Hwf.value | None -> false)
+      test
+  in
+  float_of_int (List.length correct) /. float_of_int (max 1 (List.length test))
+
+(* ---- NGS-RL -------------------------------------------------------------------- *)
+
+let train_rl ?(dim = 16) ?(noise = 0.35) ?(max_len = 7) (config : Common.config) :
+    Common.report =
+  let rng = Scallop_utils.Rng.create config.Common.seed in
+  let data = Hwf.create ~noise ~dim ~seed:(config.Common.seed + 1) () in
+  let m = create_model ~rng ~dim in
+  let opt = Optim.adam ~lr:config.Common.lr (Layers.Mlp.params m.mlp) in
+  let train = Hwf.dataset ~max_len data config.Common.n_train in
+  let test = Hwf.dataset ~max_len data config.Common.n_test in
+  let baseline = ref 0.0 in
+  let times = ref [] in
+  let losses = ref [] in
+  for _ = 1 to config.Common.epochs do
+    let t0 = Unix.gettimeofday () in
+    let total = ref 0.0 in
+    List.iter
+      (fun (s : Hwf.sample) ->
+        let probs =
+          List.map (fun img -> Layers.Mlp.classify m.mlp (Autodiff.const img)) s.Hwf.images
+        in
+        (* sample a sequence *)
+        let sampled =
+          List.map
+            (fun p -> Scallop_utils.Rng.categorical rng (Autodiff.value p).Nd.data)
+            probs
+        in
+        let reward =
+          match eval_indices sampled with
+          | Some v when close v s.Hwf.value -> 1.0
+          | _ -> 0.0
+        in
+        let advantage = reward -. !baseline in
+        baseline := (0.99 *. !baseline) +. (0.01 *. reward);
+        (* policy gradient: scale the NLL of the sampled labels by -advantage *)
+        if Float.abs advantage > 1e-9 then begin
+          let loss =
+            List.fold_left2
+              (fun acc p lbl ->
+                Autodiff.add acc (Autodiff.nll_loss ~eps:1e-9 p [| lbl |]))
+              (Autodiff.const (Nd.scalar 0.0))
+              probs sampled
+          in
+          let loss = Autodiff.scale advantage loss in
+          opt.Optim.zero_grad ();
+          Autodiff.backward loss;
+          opt.Optim.step ();
+          total := !total +. Float.abs (Nd.get1 (Autodiff.value loss) 0)
+        end)
+      train;
+    times := (Unix.gettimeofday () -. t0) :: !times;
+    losses := (!total /. float_of_int (List.length train)) :: !losses
+  done;
+  {
+    Common.task = "HWF";
+    provenance = "NGS-RL";
+    accuracy = accuracy m test;
+    epoch_time = Scallop_utils.Listx.average !times;
+    losses = List.rev !losses;
+  }
+
+(* ---- NGS-BS (one-step back-search) ---------------------------------------------- *)
+
+let back_search (seq : int list) (target : float) : int list option =
+  (* try replacing each position with every symbol until evaluation matches *)
+  let arr = Array.of_list seq in
+  let n = Array.length arr in
+  let found = ref None in
+  (try
+     for i = 0 to n - 1 do
+       let orig = arr.(i) in
+       for c = 0 to Hwf.num_symbols - 1 do
+         arr.(i) <- c;
+         (match eval_indices (Array.to_list arr) with
+         | Some v when close v target ->
+             found := Some (Array.to_list arr);
+             raise Exit
+         | _ -> ());
+         arr.(i) <- orig
+       done
+     done
+   with Exit -> ());
+  !found
+
+let train_bs ?(dim = 16) ?(noise = 0.35) ?(max_len = 7) (config : Common.config) :
+    Common.report =
+  let rng = Scallop_utils.Rng.create config.Common.seed in
+  let data = Hwf.create ~noise ~dim ~seed:(config.Common.seed + 1) () in
+  let m = create_model ~rng ~dim in
+  let opt = Optim.adam ~lr:config.Common.lr (Layers.Mlp.params m.mlp) in
+  let train = Hwf.dataset ~max_len data config.Common.n_train in
+  let test = Hwf.dataset ~max_len data config.Common.n_test in
+  let times = ref [] in
+  let losses = ref [] in
+  for _ = 1 to config.Common.epochs do
+    let t0 = Unix.gettimeofday () in
+    let total = ref 0.0 in
+    List.iter
+      (fun (s : Hwf.sample) ->
+        let seq, probs = predict_sequence m s in
+        let pseudo_label =
+          match eval_indices seq with
+          | Some v when close v s.Hwf.value -> Some seq
+          | _ -> back_search seq s.Hwf.value
+        in
+        match pseudo_label with
+        | None -> ()
+        | Some labels ->
+            let loss =
+              List.fold_left2
+                (fun acc p lbl -> Autodiff.add acc (Autodiff.nll_loss ~eps:1e-9 p [| lbl |]))
+                (Autodiff.const (Nd.scalar 0.0))
+                probs labels
+            in
+            opt.Optim.zero_grad ();
+            Autodiff.backward loss;
+            opt.Optim.step ();
+            total := !total +. Nd.get1 (Autodiff.value loss) 0)
+      train;
+    times := (Unix.gettimeofday () -. t0) :: !times;
+    losses := (!total /. float_of_int (List.length train)) :: !losses
+  done;
+  {
+    Common.task = "HWF";
+    provenance = "NGS-BS";
+    accuracy = accuracy m test;
+    epoch_time = Scallop_utils.Listx.average !times;
+    losses = List.rev !losses;
+  }

@@ -1,0 +1,1 @@
+lib/bdd/bdd.ml: Array Fmt Hashtbl List

@@ -1,0 +1,1 @@
+lib/core/aggregate.pp.ml: Array Float Foreign Hashtbl List Map Provenance Ram Scallop_utils Tuple Value

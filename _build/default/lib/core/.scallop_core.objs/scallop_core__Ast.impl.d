@@ -1,0 +1,1 @@
+lib/core/ast.pp.ml: Fmt Foreign List String

@@ -1,0 +1,1 @@
+lib/core/compile.pp.ml: Ast Demand Fmt Foreign Front List Option Ram Scallop_utils Set String Tuple Value

@@ -1,0 +1,1 @@
+lib/core/demand.pp.ml: Array Ast Fmt Front Fun List String

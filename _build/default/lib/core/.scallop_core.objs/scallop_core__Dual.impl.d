@@ -1,0 +1,1 @@
+lib/core/dual.pp.ml: Float Fmt Int Map

@@ -1,0 +1,1 @@
+lib/core/foreign.pp.ml: Float Hashtbl List Ppx_deriving_runtime Scallop_utils String Sys Tuple Value

@@ -1,0 +1,1 @@
+lib/core/formula.pp.ml: Bool Float Fmt Hashtbl Int List Map Scallop_utils Set Stdlib

@@ -1,0 +1,1 @@
+lib/core/front.pp.ml: Ast Fmt Foreign Hashtbl List Option Parser Ram Set String

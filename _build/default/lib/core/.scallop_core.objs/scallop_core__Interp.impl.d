@@ -1,0 +1,1 @@
+lib/core/interp.pp.ml: Aggregate Array Float Foreign Hashtbl List Map Option Provenance Ram Scallop_utils String Tuple

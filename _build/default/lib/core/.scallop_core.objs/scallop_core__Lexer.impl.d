@@ -1,0 +1,1 @@
+lib/core/lexer.pp.ml: Array Ast Buffer Fmt List String

@@ -1,0 +1,1 @@
+lib/core/opt.pp.ml: Array Foreign List Ram Tuple Value

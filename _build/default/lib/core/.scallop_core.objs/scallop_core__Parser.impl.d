@@ -1,0 +1,1 @@
+lib/core/parser.pp.ml: Array Ast Fmt Foreign Lexer List

@@ -1,0 +1,1 @@
+lib/core/prov_diff.pp.ml: Dual Float Fmt Formula Input Output Prov_discrete Prov_prob Provenance Wmc

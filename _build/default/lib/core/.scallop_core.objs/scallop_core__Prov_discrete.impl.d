@@ -1,0 +1,1 @@
+lib/core/prov_discrete.pp.ml: Bool Float Fmt Formula Hashtbl Input Int Output Provenance

@@ -1,0 +1,1 @@
+lib/core/prov_prob.pp.ml: Array Float Fmt Formula Input List Output Prov_discrete Provenance Scallop_utils Wmc

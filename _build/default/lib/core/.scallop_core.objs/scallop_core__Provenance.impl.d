@@ -1,0 +1,1 @@
+lib/core/provenance.pp.ml: Dual Fmt Formula

@@ -1,0 +1,1 @@
+lib/core/ram.pp.ml: Array Float Fmt Foreign List Option Tuple Value

@@ -1,0 +1,1 @@
+lib/core/registry.pp.ml: Option Prov_diff Prov_discrete Prov_prob Provenance String

@@ -1,0 +1,1 @@
+lib/core/session.pp.ml: Aggregate Array Ast Compile Demand Fmt Front Hashtbl Interp List Opt Option Parser Provenance Ram Scallop_utils Stratify String Tuple Typecheck Value

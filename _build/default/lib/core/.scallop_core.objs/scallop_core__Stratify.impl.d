@@ -1,0 +1,1 @@
+lib/core/stratify.pp.ml: Array Ast Fmt Foreign Front List Map Scallop_utils Set String

@@ -1,0 +1,1 @@
+lib/core/tuple.pp.ml: Array Fmt List Map Set Value

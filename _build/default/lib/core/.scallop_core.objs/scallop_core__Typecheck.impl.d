@@ -1,0 +1,1 @@
+lib/core/typecheck.pp.ml: Array Ast Fmt Foreign Front Hashtbl List Map Option Ram String Tuple Value

@@ -1,0 +1,1 @@
+lib/core/value.pp.ml: Char Float Fmt Hashtbl Option Ppx_deriving_runtime Sys

@@ -1,0 +1,1 @@
+lib/core/wmc.pp.ml: Array Dual Float Formula Fun Int List Map Option Scallop_bdd

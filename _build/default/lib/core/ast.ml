@@ -1,0 +1,149 @@
+(** Abstract syntax of the Scallop surface language (paper Fig. 20). *)
+
+type pos = { line : int; col : int }
+
+let pp_pos fmt { line; col } = Fmt.pf fmt "%d:%d" line col
+let dummy_pos = { line = 0; col = 0 }
+
+(* ---- value expressions --------------------------------------------------- *)
+
+type constant =
+  | C_int of int
+  | C_float of float
+  | C_bool of bool
+  | C_char of char
+  | C_str of string
+
+type expr =
+  | E_var of string
+  | E_wildcard
+  | E_const of constant
+  | E_binop of Foreign.binop * expr * expr
+  | E_unop of Foreign.unop * expr
+  | E_call of string * expr list  (** $-function application *)
+  | E_if of expr * expr * expr
+  | E_cast of expr * string  (** [expr as type] *)
+
+(* ---- formulas ------------------------------------------------------------- *)
+
+type atom = { pred : string; args : expr list }
+
+type reduce_op =
+  | R_aggregate of string  (** count, sum, prod, min, max, exists, forall *)
+  | R_arg_extremum of string * string list  (** argmin/argmax with arg vars *)
+  | R_sampler of string * int  (** top<K>, categorical<K>, uniform<K> *)
+
+type formula =
+  | F_atom of atom
+  | F_neg_atom of atom
+  | F_and of formula * formula
+  | F_or of formula * formula
+  | F_implies of formula * formula
+  | F_not of formula
+  | F_constraint of expr
+  | F_reduce of reduce
+
+and reduce = {
+  result_vars : string list;
+  op : reduce_op;
+  binding_vars : string list;
+  body : formula;
+  where : (string list * formula) option;  (** explicit group-by domain *)
+}
+
+(* ---- items ---------------------------------------------------------------- *)
+
+type attribute = { attr_name : string; attr_args : constant list }
+
+(** Fact sets: [rel p = {0.9::(a); 0.1::(b); ...}].  Tuples joined by [;]
+    into the same segment are mutually exclusive; [,] separates independent
+    segments (paper Sec. 3.3). *)
+type fact_tuple = { ftag : float option; fargs : expr list }
+
+type item =
+  | I_import of string
+  | I_rel_type of { name : string; fields : (string option * string) list }
+  | I_type_alias of { name : string; target : string }
+  | I_subtype of { name : string; super : string }
+  | I_const of (string * string option * expr) list
+  | I_fact of { tag : float option; atom : atom }
+  | I_fact_set of { pred : string; segments : fact_tuple list list }
+  | I_rule of { tag : float option; head : atom; body : formula }
+  | I_query of string
+  | I_query_atom of atom
+      (** [query p(0, _)]: restricts outputs and seeds demand transformation *)
+
+type decl = { attrs : attribute list; item : item; pos : pos }
+type program = decl list
+
+(* ---- helpers --------------------------------------------------------------- *)
+
+let rec expr_vars = function
+  | E_var v -> [ v ]
+  | E_wildcard | E_const _ -> []
+  | E_binop (_, a, b) -> expr_vars a @ expr_vars b
+  | E_unop (_, a) -> expr_vars a
+  | E_call (_, args) -> List.concat_map expr_vars args
+  | E_if (c, a, b) -> expr_vars c @ expr_vars a @ expr_vars b
+  | E_cast (a, _) -> expr_vars a
+
+let atom_vars a = List.concat_map expr_vars a.args
+
+let rec formula_vars = function
+  | F_atom a | F_neg_atom a -> atom_vars a
+  | F_and (a, b) | F_or (a, b) | F_implies (a, b) -> formula_vars a @ formula_vars b
+  | F_not f -> formula_vars f
+  | F_constraint e -> expr_vars e
+  | F_reduce r ->
+      r.result_vars
+      @ (match r.op with R_arg_extremum (_, args) -> args | _ -> [])
+      @ (match r.where with Some (gv, _) -> gv | None -> [])
+
+(* ---- pretty printing -------------------------------------------------------- *)
+
+let pp_constant fmt = function
+  | C_int n -> Fmt.int fmt n
+  | C_float f -> Fmt.float fmt f
+  | C_bool b -> Fmt.bool fmt b
+  | C_char c -> Fmt.pf fmt "'%c'" c
+  | C_str s -> Fmt.pf fmt "%S" s
+
+let rec pp_expr fmt = function
+  | E_var v -> Fmt.string fmt v
+  | E_wildcard -> Fmt.string fmt "_"
+  | E_const c -> pp_constant fmt c
+  | E_binop (op, a, b) ->
+      Fmt.pf fmt "(%a %s %a)" pp_expr a (Foreign.binop_name op) pp_expr b
+  | E_unop (op, a) -> Fmt.pf fmt "%s%a" (Foreign.unop_name op) pp_expr a
+  | E_call (f, args) -> Fmt.pf fmt "$%s(%a)" f (Fmt.list ~sep:Fmt.comma pp_expr) args
+  | E_if (c, a, b) -> Fmt.pf fmt "if %a then %a else %a" pp_expr c pp_expr a pp_expr b
+  | E_cast (a, ty) -> Fmt.pf fmt "(%a as %s)" pp_expr a ty
+
+let pp_atom fmt a =
+  Fmt.pf fmt "%s(%a)" a.pred (Fmt.list ~sep:Fmt.comma pp_expr) a.args
+
+let rec pp_formula fmt = function
+  | F_atom a -> pp_atom fmt a
+  | F_neg_atom a -> Fmt.pf fmt "not %a" pp_atom a
+  | F_and (a, b) -> Fmt.pf fmt "(%a and %a)" pp_formula a pp_formula b
+  | F_or (a, b) -> Fmt.pf fmt "(%a or %a)" pp_formula a pp_formula b
+  | F_implies (a, b) -> Fmt.pf fmt "(%a implies %a)" pp_formula a pp_formula b
+  | F_not f -> Fmt.pf fmt "not (%a)" pp_formula f
+  | F_constraint e -> pp_expr fmt e
+  | F_reduce r ->
+      let op_str =
+        match r.op with
+        | R_aggregate s -> s
+        | R_arg_extremum (s, args) -> Fmt.str "%s<%s>" s (String.concat ", " args)
+        | R_sampler (s, k) -> Fmt.str "%s<%d>" s k
+      in
+      Fmt.pf fmt "%s := %s(%s: %a%a)"
+        (String.concat ", " r.result_vars)
+        op_str
+        (String.concat ", " r.binding_vars)
+        pp_formula r.body
+        (fun fmt -> function
+          | None -> ()
+          | Some (gv, f) ->
+              Fmt.pf fmt " where %s: %a" (String.concat ", " gv) pp_formula f)
+        r.where

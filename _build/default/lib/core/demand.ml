@@ -1,0 +1,178 @@
+(** Demand (magic-set) transformation under tagged semantics
+    (paper Appendix B.2: the One-overwrite 𝟙(e) exists precisely so that
+    magic-set predicates act as pure demand facts that do not taint derived
+    tags).
+
+    A relation annotated [@demand("bf")] declares that it is only ever
+    needed for specific bindings of its 'b' columns.  The transformation:
+
+    - introduces a demand predicate [__demand$p] over the bound columns,
+    - guards every rule deriving [p] with a demand atom over its head's
+      bound arguments, so tuples outside the demanded set are never
+      computed,
+    - for every body occurrence of [p], derives the demanded bindings from
+      the rule's other positive literals (a coarse but sound
+      sideways-information-passing: any superset of the exact demand is
+      safe), propagating the head's own demand for recursive rules,
+    - demand rules are marked so the compiler wraps their bodies in 𝟙(·):
+      demand tuples always carry tag 1 and never weaken derived tags.
+
+    Demand is seeded by queries with constant arguments
+    ([query path(0, _)]) and by undemanded rules that use [p]. *)
+
+exception Demand_error of string * Ast.pos
+
+let demand_pred p = "__demand$" ^ p
+
+let is_demand_pred p =
+  String.length p > 9 && String.sub p 0 9 = "__demand$"
+
+type pattern = bool array (* true = bound *)
+
+let parse_pattern pos pred s : pattern =
+  let pat =
+    Array.init (String.length s) (fun i ->
+        match s.[i] with
+        | 'b' -> true
+        | 'f' -> false
+        | c -> raise (Demand_error (Fmt.str "bad demand pattern character %C for %s" c pred, pos)))
+  in
+  if not (Array.exists Fun.id pat) then
+    raise (Demand_error (Fmt.str "demand pattern for %s binds no column" pred, pos));
+  pat
+
+(** Collect [@demand] annotations from relation declarations. *)
+let patterns_of_program (program : Ast.program) : (string * pattern) list =
+  List.concat_map
+    (fun (d : Ast.decl) ->
+      match d.Ast.item with
+      | Ast.I_rel_type { name; fields } ->
+          List.filter_map
+            (fun (a : Ast.attribute) ->
+              if a.Ast.attr_name = "demand" then
+                match a.Ast.attr_args with
+                | [ Ast.C_str s ] ->
+                    if String.length s <> List.length fields then
+                      raise
+                        (Demand_error
+                           (Fmt.str "demand pattern %S does not match arity of %s" s name, d.Ast.pos));
+                    Some (name, parse_pattern d.Ast.pos name s)
+                | _ ->
+                    raise
+                      (Demand_error
+                         (Fmt.str "@demand on %s expects one string argument" name, d.Ast.pos))
+              else None)
+            d.Ast.attrs
+      | _ -> [])
+    program
+
+let bound_args pos pat (args : Ast.expr list) =
+  List.filteri (fun i _ -> pat.(i)) args
+  |> List.map (fun (e : Ast.expr) ->
+         match e with
+         | Ast.E_var _ | Ast.E_const _ -> e
+         | Ast.E_wildcard ->
+             raise (Demand_error ("wildcard in demanded (bound) argument position", pos))
+         | _ -> e)
+
+(** Apply the transformation to desugared core rules.  Returns the rewritten
+    rules plus the generated demand rules (whose heads are demand
+    predicates; {!Compile} wraps those bodies in 𝟙). *)
+let transform (patterns : (string * pattern) list) (rules : Front.crule list) :
+    Front.crule list =
+  if patterns = [] then rules
+  else begin
+    let pattern_of p = List.assoc_opt p patterns in
+    (* 1. Guard rules deriving demanded predicates. *)
+    let guarded =
+      List.map
+        (fun (r : Front.crule) ->
+          match pattern_of r.Front.head.Ast.pred with
+          | None -> r
+          | Some pat ->
+              let dargs = bound_args r.Front.rule_pos pat r.Front.head.Ast.args in
+              let guard =
+                Front.L_pos { Ast.pred = demand_pred r.Front.head.Ast.pred; args = dargs }
+              in
+              { r with Front.body = guard :: r.Front.body })
+        rules
+    in
+    (* 2. Demand rules from body occurrences. *)
+    let demand_rules =
+      List.concat_map
+        (fun (r : Front.crule) ->
+          let head_guard =
+            match pattern_of r.Front.head.Ast.pred with
+            | Some pat ->
+                [
+                  Front.L_pos
+                    {
+                      Ast.pred = demand_pred r.Front.head.Ast.pred;
+                      args = bound_args r.Front.rule_pos pat r.Front.head.Ast.args;
+                    };
+                ]
+            | None -> []
+          in
+          List.filter_map
+            (function
+              | Front.L_pos a -> (
+                  match pattern_of a.Ast.pred with
+                  | None -> None
+                  | Some pat ->
+                      let dargs = bound_args r.Front.rule_pos pat a.Ast.args in
+                      (* demand body: every other positive literal (excluding
+                         occurrences of demanded predicates themselves, whose
+                         extents depend on demand) plus the head's demand *)
+                      let body =
+                        List.filter
+                          (function
+                            | Front.L_pos b ->
+                                pattern_of b.Ast.pred = None
+                                && not (is_demand_pred b.Ast.pred)
+                            | Front.L_cond _ -> true
+                            | _ -> false)
+                          r.Front.body
+                        @ head_guard
+                      in
+                      Some
+                        {
+                          Front.head = { Ast.pred = demand_pred a.Ast.pred; args = dargs };
+                          body;
+                          rule_pos = r.Front.rule_pos;
+                        })
+              | _ -> None)
+            r.Front.body)
+        guarded
+    in
+    (* Demand heads whose variables are not bound by the reduced body make
+       the pattern unusable for that rule. *)
+    List.iter
+      (fun (r : Front.crule) ->
+        if is_demand_pred r.Front.head.Ast.pred then begin
+          let bound = Front.bound_vars_of_clause r.Front.body in
+          List.iter
+            (fun v ->
+              if not (Front.SSet.mem v bound) then
+                raise
+                  (Demand_error
+                     ( Fmt.str
+                         "demanded argument %S cannot be derived before evaluating the demanded \
+                          relation (unsupported binding pattern)"
+                         v,
+                       r.Front.rule_pos )))
+            (Ast.atom_vars r.Front.head)
+        end)
+      demand_rules;
+    guarded @ demand_rules
+  end
+
+(** Demand facts seeding from a query atom such as [query path(0, _)]:
+    constants at bound positions become a demand tuple. *)
+let seed_of_query pos (patterns : (string * pattern) list) (a : Ast.atom) :
+    (string * Ast.expr list) option =
+  match List.assoc_opt a.Ast.pred patterns with
+  | None -> None
+  | Some pat ->
+      if List.length a.Ast.args <> Array.length pat then
+        raise (Demand_error (Fmt.str "query arity mismatch for %s" a.Ast.pred, pos));
+      Some (demand_pred a.Ast.pred, bound_args pos pat a.Ast.args)

@@ -1,0 +1,246 @@
+(** Foreign functions and foreign predicates (paper Sec. 3.2).
+
+    Foreign functions (FFs) are polymorphic operations on primitive values
+    used for value creation: arithmetic, comparison, casts, string
+    manipulation, hashing.  An FF may {e fail} (division by zero, overflow to
+    NaN, unparseable cast), in which case the computation of that single
+    fact is omitted rather than raising an error.
+
+    Foreign predicates are relation-like generators such as
+    [range(lo, hi, x)] that enumerate tuples on demand given their bound
+    arguments. *)
+
+(* ---- binary / unary operators ------------------------------------------- *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Land (* && *)
+  | Lor (* || *)
+  | Eq
+  | Neq
+  | Lt
+  | Leq
+  | Gt
+  | Geq
+[@@deriving eq, ord]
+
+type unop = Not | Neg [@@deriving eq, ord]
+
+let binop_name = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Land -> "&&"
+  | Lor -> "||"
+  | Eq -> "=="
+  | Neq -> "!="
+  | Lt -> "<"
+  | Leq -> "<="
+  | Gt -> ">"
+  | Geq -> ">="
+
+let unop_name = function Not -> "!" | Neg -> "-"
+
+(* Numeric binop evaluation with per-type wrapping; [None] on failure. *)
+let arith op (a : Value.t) (b : Value.t) : Value.t option =
+  match (a, b) with
+  | Value.Int (ta, x), Value.Int (tb, y) when Value.equal_ty ta tb -> (
+      match op with
+      | Add -> Some (Value.int ta (x + y))
+      | Sub ->
+          let r = x - y in
+          (* Unsigned subtraction wraps within the type's range; for native
+             unsigned types a negative result is a failure. *)
+          if Value.is_unsigned_ty ta && r < 0 && Value.bits_of_ty ta >= Sys.int_size then None
+          else Some (Value.int ta r)
+      | Mul -> Some (Value.int ta (x * y))
+      | Div -> if y = 0 then None else Some (Value.int ta (x / y))
+      | Mod -> if y = 0 then None else Some (Value.int ta (x mod y))
+      | _ -> None)
+  | Value.Float (ta, x), Value.Float (tb, y) when Value.equal_ty ta tb -> (
+      let mk r = if Float.is_nan r then None else Some (Value.float ta r) in
+      match op with
+      | Add -> mk (x +. y)
+      | Sub -> mk (x -. y)
+      | Mul -> mk (x *. y)
+      | Div -> if y = 0.0 then None else mk (x /. y)
+      | Mod -> if y = 0.0 then None else mk (Float.rem x y)
+      | _ -> None)
+  | _ -> None
+
+let compare_vals op (a : Value.t) (b : Value.t) : Value.t option =
+  let c = Value.compare a b in
+  let r =
+    match op with
+    | Eq -> c = 0
+    | Neq -> c <> 0
+    | Lt -> c < 0
+    | Leq -> c <= 0
+    | Gt -> c > 0
+    | Geq -> c >= 0
+    | _ -> assert false
+  in
+  Some (Value.bool r)
+
+let eval_binop op a b : Value.t option =
+  match op with
+  | Add | Sub | Mul | Div | Mod -> (
+      match (a, b) with
+      (* String concatenation via + mirrors common Datalog practice. *)
+      | Value.S x, Value.S y when op = Add -> Some (Value.string (x ^ y))
+      | _ -> arith op a b)
+  | Land -> (
+      match (a, b) with Value.B x, Value.B y -> Some (Value.bool (x && y)) | _ -> None)
+  | Lor -> (
+      match (a, b) with Value.B x, Value.B y -> Some (Value.bool (x || y)) | _ -> None)
+  | Eq | Neq ->
+      if Value.equal_ty (Value.type_of a) (Value.type_of b) then compare_vals op a b else None
+  | Lt | Leq | Gt | Geq ->
+      if Value.equal_ty (Value.type_of a) (Value.type_of b) then compare_vals op a b else None
+
+let eval_unop op a : Value.t option =
+  match (op, a) with
+  | Not, Value.B b -> Some (Value.bool (not b))
+  | Neg, Value.Int (ty, n) when Value.is_signed_ty ty -> Some (Value.int ty (-n))
+  | Neg, Value.Float (ty, f) -> Some (Value.float ty (-.f))
+  | _ -> None
+
+(* ---- $-functions --------------------------------------------------------- *)
+
+type ff = Value.t list -> Value.t option
+
+let string_concat args =
+  let rec go acc = function
+    | [] -> Some (Value.string acc)
+    | Value.S s :: rest -> go (acc ^ s) rest
+    | v :: rest -> go (acc ^ Value.to_string v) rest
+  in
+  go "" args
+
+let functions : (string * ff) list =
+  [
+    ("hash", fun args -> Some (Value.int Value.U64 (abs (Hashtbl.hash (List.map Value.hash_value args)))));
+    ("string_concat", string_concat);
+    ( "string_length",
+      function [ Value.S s ] -> Some (Value.int Value.USize (String.length s)) | _ -> None );
+    ( "string_char_at",
+      function
+      | [ Value.S s; v ] -> (
+          match Value.to_int v with
+          | Some i when i >= 0 && i < String.length s -> Some (Value.char s.[i])
+          | _ -> None)
+      | _ -> None );
+    ( "substring",
+      function
+      | [ Value.S s; a; b ] -> (
+          match (Value.to_int a, Value.to_int b) with
+          | Some i, Some j when i >= 0 && j >= i && j <= String.length s ->
+              Some (Value.string (String.sub s i (j - i)))
+          | _ -> None)
+      | _ -> None );
+    ( "string_upper",
+      function [ Value.S s ] -> Some (Value.string (String.uppercase_ascii s)) | _ -> None );
+    ( "string_lower",
+      function [ Value.S s ] -> Some (Value.string (String.lowercase_ascii s)) | _ -> None );
+    ( "abs",
+      function
+      | [ Value.Int (ty, n) ] -> Some (Value.int ty (abs n))
+      | [ Value.Float (ty, f) ] -> Some (Value.float ty (Float.abs f))
+      | _ -> None );
+    ( "min",
+      function [ a; b ] -> Some (if Value.compare a b <= 0 then a else b) | _ -> None );
+    ( "max",
+      function [ a; b ] -> Some (if Value.compare a b >= 0 then a else b) | _ -> None );
+    ( "pow",
+      function
+      | [ Value.Float (ty, x); Value.Float (_, y) ] ->
+          let r = x ** y in
+          if Float.is_nan r then None else Some (Value.float ty r)
+      | [ Value.Int (ty, x); Value.Int (_, y) ] when y >= 0 ->
+          let rec pow acc b e = if e = 0 then acc else pow (acc * b) b (e - 1) in
+          Some (Value.int ty (pow 1 x y))
+      | _ -> None );
+    ( "sqrt",
+      function
+      | [ Value.Float (ty, x) ] when x >= 0.0 -> Some (Value.float ty (sqrt x))
+      | _ -> None );
+    ( "exp",
+      function [ Value.Float (ty, x) ] -> Some (Value.float ty (exp x)) | _ -> None );
+    ( "log",
+      function
+      | [ Value.Float (ty, x) ] when x > 0.0 -> Some (Value.float ty (log x))
+      | _ -> None );
+  ]
+
+let lookup_function name : ff option = List.assoc_opt name functions
+
+(* ---- foreign predicates -------------------------------------------------- *)
+
+(** A foreign predicate receives the argument pattern (bound values or
+    [None] for free positions) and enumerates the full tuples it generates.
+    Unsupported binding patterns return [Error] with a message; the compiler
+    surfaces this as a compile-time error where detectable. *)
+type fp = Value.t option array -> (Tuple.t list, string) result
+
+let range_fp : fp =
+ fun args ->
+  match args with
+  | [| Some lo; Some hi; x |] -> (
+      match (Value.to_int lo, Value.to_int hi) with
+      | Some l, Some h ->
+          let ty = Value.type_of lo in
+          let all =
+            List.filter_map
+              (fun i ->
+                let v = Value.int ty i in
+                match x with
+                | None -> Some [| lo; hi; v |]
+                | Some bound -> if Value.equal bound v then Some [| lo; hi; v |] else None)
+              (Scallop_utils.Listx.range l h)
+          in
+          Ok all
+      | _ -> Error "range: bounds must be integers")
+  | _ -> Error "range: first two arguments must be bound"
+
+let string_chars_fp : fp =
+ fun args ->
+  match args with
+  | [| Some (Value.S s); i; c |] ->
+      let all =
+        List.filter_map
+          (fun idx ->
+            let iv = Value.int Value.USize idx and cv = Value.char s.[idx] in
+            let ok_i = match i with None -> true | Some b -> Value.equal b iv in
+            let ok_c = match c with None -> true | Some b -> Value.equal b cv in
+            if ok_i && ok_c then Some [| Value.S s; iv; cv |] else None)
+          (Scallop_utils.Listx.range 0 (String.length s))
+      in
+      Ok all
+  | _ -> Error "string_chars: string argument must be bound"
+
+let succ_fp : fp =
+ fun args ->
+  match args with
+  | [| Some (Value.Int (ty, n)); b |] -> (
+      let sv = Value.int ty (n + 1) in
+      match b with
+      | None -> Ok [ [| Value.Int (ty, n); sv |] ]
+      | Some bound -> Ok (if Value.equal bound sv then [ [| Value.Int (ty, n); sv |] ] else []))
+  | [| a; Some (Value.Int (ty, m)) |] -> (
+      let pv = Value.int ty (m - 1) in
+      match a with
+      | None -> Ok [ [| pv; Value.Int (ty, m) |] ]
+      | Some bound -> Ok (if Value.equal bound pv then [ [| pv; Value.Int (ty, m) |] ] else []))
+  | _ -> Error "succ: one argument must be bound"
+
+let predicates : (string * (int * fp)) list =
+  [ ("range", (3, range_fp)); ("string_chars", (3, string_chars_fp)); ("succ", (2, succ_fp)) ]
+
+let lookup_predicate name = List.assoc_opt name predicates
+let is_foreign_predicate name = lookup_predicate name <> None

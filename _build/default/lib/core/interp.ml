@@ -1,0 +1,427 @@
+(** The SclRam runtime: tagged operational semantics (paper Fig. 7, 23, 24),
+    parameterized by a provenance.
+
+    A database maps predicates to relations; a relation maps tuples to tags.
+    Expression evaluation produces (possibly duplicated) tagged tuples;
+    rule evaluation normalizes them (⊕-merging duplicates and applying early
+    [discard]) and merges with previously derived facts (Rule-1/2/3).
+    Stratum evaluation is the saturation-checked least-fixed-point lfp°. *)
+
+exception Runtime_error of string
+
+type stats = { mutable fixpoint_iterations : int }
+(** Observability: total fixed-point iterations across strata (the Fig. 10
+    saturation traces are measured through this). *)
+
+type config = {
+  rng : Scallop_utils.Rng.t;
+  max_iterations : int;
+  semi_naive : bool;
+  stats : stats option;
+}
+
+let default_config () =
+  { rng = Scallop_utils.Rng.create 0; max_iterations = 10_000; semi_naive = true; stats = None }
+
+let bump_stats config =
+  match config.stats with Some s -> s.fixpoint_iterations <- s.fixpoint_iterations + 1 | None -> ()
+
+(* Delta relations for semi-naive evaluation live in the same database under
+   mangled names that cannot clash with source predicates. *)
+let delta_name p = "\001delta:" ^ p
+
+(** Delta rewriting for semi-naive evaluation (the paper's runtime is
+    "based on semi-naive evaluation specialized for tagged semantics",
+    Sec. 5).  Returns expressions whose union covers every derivation
+    involving at least one changed tuple of the stratum's head predicates:
+    each variant replaces one recursive leaf with its delta relation.
+    Derivations among unchanged tuples were already ⊕-merged in earlier
+    iterations and are preserved by the Rule-1/3 merge, so skipping them is
+    sound.  Stratification guarantees that aggregation bodies, sampling
+    bodies and the right-hand sides of difference/anti-join never mention
+    the current stratum, so they never carry a delta. *)
+let rec delta_variants (heads : string list) (e : Ram.expr) : Ram.expr list =
+  let on sub rebuild = List.map rebuild (delta_variants heads sub) in
+  match e with
+  | Ram.Pred p when List.mem p heads -> [ Ram.Pred (delta_name p) ]
+  | Ram.Pred _ | Ram.Empty | Ram.Singleton -> []
+  | Ram.Select (c, sub) -> on sub (fun s -> Ram.Select (c, s))
+  | Ram.Project (m, sub) -> on sub (fun s -> Ram.Project (m, s))
+  | Ram.One_overwrite sub -> on sub (fun s -> Ram.One_overwrite s)
+  | Ram.Zero_overwrite sub -> on sub (fun s -> Ram.Zero_overwrite s)
+  | Ram.Union (a, b) -> delta_variants heads a @ delta_variants heads b
+  | Ram.Product (a, b) ->
+      on a (fun a' -> Ram.Product (a', b)) @ on b (fun b' -> Ram.Product (a, b'))
+  | Ram.Intersect (a, b) ->
+      on a (fun a' -> Ram.Intersect (a', b)) @ on b (fun b' -> Ram.Intersect (a, b'))
+  | Ram.Join { lkeys; rkeys; left; right } ->
+      on left (fun l -> Ram.Join { lkeys; rkeys; left = l; right })
+      @ on right (fun r -> Ram.Join { lkeys; rkeys; left; right = r })
+  | Ram.Diff (a, b) -> on a (fun a' -> Ram.Diff (a', b))
+  | Ram.Antijoin { lkeys; rkeys; left; right } ->
+      on left (fun l -> Ram.Antijoin { lkeys; rkeys; left = l; right })
+  | Ram.Aggregate _ | Ram.Sample _ -> []
+  | Ram.Foreign_join { name; args; left } ->
+      on left (fun l -> Ram.Foreign_join { name; args; left = l })
+
+module Make (P : Provenance.S) = struct
+  module Agg = Aggregate.Make (P)
+  module SMap = Map.Make (String)
+
+  type relation = P.t Tuple.Map.t
+  type db = relation SMap.t
+
+  let empty_db : db = SMap.empty
+
+  let relation_of db pred : relation =
+    match SMap.find_opt pred db with Some r -> r | None -> Tuple.Map.empty
+
+  let db_add_fact db pred tuple tag =
+    let rel = relation_of db pred in
+    let rel =
+      Tuple.Map.update tuple
+        (fun cur -> Some (match cur with None -> tag | Some t -> P.add t tag))
+        rel
+    in
+    SMap.add pred rel db
+
+  (* ---- normalization (Fig. 24, Normalize) ------------------------------- *)
+
+  let normalize (tuples : (Tuple.t * P.t) list) : relation =
+    List.fold_left
+      (fun acc (u, t) ->
+        Tuple.Map.update u
+          (fun cur -> Some (match cur with None -> t | Some t' -> P.add t' t))
+          acc)
+      Tuple.Map.empty tuples
+    |> Tuple.Map.filter (fun _ t -> not (P.discard t))
+
+  (* ---- grouping helper --------------------------------------------------- *)
+
+  let split_key key_len (u : Tuple.t) =
+    (Array.sub u 0 key_len, Array.sub u key_len (Array.length u - key_len))
+
+  let group_by_key key_len (items : (Tuple.t * P.t) list) :
+      (Tuple.t * (Tuple.t * P.t) list) list =
+    let tbl : (Tuple.t * P.t) list Tuple.Map.t ref = ref Tuple.Map.empty in
+    List.iter
+      (fun (u, t) ->
+        let key, rest = split_key key_len u in
+        tbl :=
+          Tuple.Map.update key
+            (fun cur -> Some ((rest, t) :: Option.value cur ~default:[]))
+            !tbl)
+      items;
+    Tuple.Map.bindings !tbl |> List.map (fun (k, l) -> (k, List.rev l))
+
+  (* ---- samplers ---------------------------------------------------------- *)
+
+  let apply_sampler config sampler (items : (Tuple.t * P.t) list) :
+      (Tuple.t * P.t) list =
+    match sampler with
+    | Ram.Top_k k -> Scallop_utils.Listx.top_k_by (fun (_, t) -> P.weight t) k items
+    | Ram.Categorical k ->
+        if items = [] then []
+        else begin
+          let arr = Array.of_list items in
+          let weights = Array.map (fun (_, t) -> Float.max 0.0 (P.weight t)) arr in
+          let chosen = Hashtbl.create k in
+          for _ = 1 to k do
+            let i = Scallop_utils.Rng.categorical config.rng weights in
+            Hashtbl.replace chosen i ()
+          done;
+          Hashtbl.fold (fun i () acc -> arr.(i) :: acc) chosen []
+        end
+    | Ram.Uniform k ->
+        if items = [] then []
+        else begin
+          let arr = Array.of_list items in
+          let chosen = Hashtbl.create k in
+          for _ = 1 to k do
+            let i = Scallop_utils.Rng.int config.rng (Array.length arr) in
+            Hashtbl.replace chosen i ()
+          done;
+          Hashtbl.fold (fun i () acc -> arr.(i) :: acc) chosen []
+        end
+
+  (* ---- expression evaluation (Fig. 7 / Fig. 23) -------------------------- *)
+
+  let rec eval_expr config (db : db) (e : Ram.expr) : (Tuple.t * P.t) list =
+    match e with
+    | Ram.Empty -> []
+    | Ram.Singleton -> [ (Tuple.unit, P.one) ]
+    | Ram.Pred p -> Tuple.Map.bindings (relation_of db p)
+    | Ram.Select (cond, e) ->
+        List.filter (fun (u, _) -> Ram.eval_cond u cond) (eval_expr config db e)
+    | Ram.Project (m, e) ->
+        List.filter_map
+          (fun (u, t) -> Option.map (fun u' -> (u', t)) (Ram.eval_mapping u m))
+          (eval_expr config db e)
+    | Ram.Union (a, b) -> eval_expr config db a @ eval_expr config db b
+    | Ram.Product (a, b) ->
+        let rb = eval_expr config db b in
+        List.concat_map
+          (fun (ua, ta) -> List.map (fun (ub, tb) -> (Tuple.append ua ub, P.mult ta tb)) rb)
+          (eval_expr config db a)
+    | Ram.Diff (a, b) ->
+        (* Diff-1: tuple absent from b — propagate unchanged.
+           Diff-2: present in both — tag t₁ ⊗ ⊖t₂ (information-preserving). *)
+        let rb = normalize (eval_expr config db b) in
+        List.filter_map
+          (fun (u, ta) ->
+            match Tuple.Map.find_opt u rb with
+            | None -> Some (u, ta)
+            | Some tb -> (
+                match P.negate tb with
+                | Some ntb -> Some (u, P.mult ta ntb)
+                | None -> raise (Runtime_error (P.name ^ " does not support negation"))))
+          (eval_expr config db a)
+    | Ram.Intersect (a, b) ->
+        let rb = normalize (eval_expr config db b) in
+        List.filter_map
+          (fun (u, ta) ->
+            Option.map (fun tb -> (u, P.mult ta tb)) (Tuple.Map.find_opt u rb))
+          (eval_expr config db a)
+    | Ram.Join { lkeys; rkeys; left; right } ->
+        let rights = eval_expr config db right in
+        let index : (Tuple.t * P.t) list Tuple.Map.t =
+          List.fold_left
+            (fun m ((u, _) as item) ->
+              let key = Tuple.project rkeys u in
+              Tuple.Map.update key
+                (fun cur -> Some (item :: Option.value cur ~default:[]))
+                m)
+            Tuple.Map.empty rights
+        in
+        List.concat_map
+          (fun (ul, tl) ->
+            let key = Tuple.project lkeys ul in
+            match Tuple.Map.find_opt key index with
+            | None -> []
+            | Some matches ->
+                List.map (fun (ur, tr) -> (Tuple.append ul ur, P.mult tl tr)) matches)
+          (eval_expr config db left)
+    | Ram.Antijoin { lkeys; rkeys; left; right } ->
+        (* Right side is keyed and ⊕-merged; a left tuple matching key k is
+           tagged t_l ⊗ ⊖(⊕ of right tags at k). *)
+        let index : P.t Tuple.Map.t =
+          List.fold_left
+            (fun m (u, t) ->
+              let key = Tuple.project rkeys u in
+              Tuple.Map.update key
+                (fun cur -> Some (match cur with None -> t | Some t' -> P.add t' t))
+                m)
+            Tuple.Map.empty
+            (eval_expr config db right)
+        in
+        List.filter_map
+          (fun (ul, tl) ->
+            let key = Tuple.project lkeys ul in
+            match Tuple.Map.find_opt key index with
+            | None -> Some (ul, tl)
+            | Some tr -> (
+                match P.negate tr with
+                | Some ntr -> Some (ul, P.mult tl ntr)
+                | None -> raise (Runtime_error (P.name ^ " does not support negation"))))
+          (eval_expr config db left)
+    | Ram.One_overwrite e ->
+        Tuple.Map.bindings (normalize (eval_expr config db e))
+        |> List.map (fun (u, _) -> (u, P.one))
+    | Ram.Zero_overwrite e ->
+        Tuple.Map.bindings (normalize (eval_expr config db e))
+        |> List.map (fun (u, _) -> (u, P.zero))
+    | Ram.Aggregate { agg; key_len; arg_len; group; body } -> (
+        let items = Tuple.Map.bindings (normalize (eval_expr config db body)) in
+        match group with
+        | Ram.No_group ->
+            let rest = List.map (fun (u, t) -> (snd (split_key key_len u), t)) items in
+            Agg.run agg ~arg_len rest |> List.map (fun (r, t) -> (r, t))
+        | Ram.Implicit ->
+            group_by_key key_len items
+            |> List.concat_map (fun (key, group_items) ->
+                   Agg.run agg ~arg_len group_items
+                   |> List.map (fun (r, t) -> (Tuple.append key r, t)))
+        | Ram.Domain dom ->
+            let domain = Tuple.Map.bindings (normalize (eval_expr config db dom)) in
+            let grouped = group_by_key key_len items in
+            List.concat_map
+              (fun (key, tg) ->
+                let group_items =
+                  match List.find_opt (fun (k, _) -> Tuple.compare k key = 0) grouped with
+                  | Some (_, l) -> l
+                  | None -> []
+                in
+                Agg.run agg ~arg_len group_items
+                |> List.map (fun (r, t) -> (Tuple.append key r, P.mult tg t)))
+              domain)
+    | Ram.Sample { sampler; key_len; group; body } -> (
+        let items = Tuple.Map.bindings (normalize (eval_expr config db body)) in
+        match group with
+        | Ram.No_group -> apply_sampler config sampler items
+        | Ram.Implicit | Ram.Domain _ ->
+            group_by_key key_len items
+            |> List.concat_map (fun (key, group_items) ->
+                   apply_sampler config sampler group_items
+                   |> List.map (fun (r, t) -> (Tuple.append key r, t))))
+    | Ram.Foreign_join { name; args; left } -> (
+        match Foreign.lookup_predicate name with
+        | None -> raise (Runtime_error ("unknown foreign predicate $" ^ name))
+        | Some (arity, fp) ->
+            if List.length args <> arity then
+              raise (Runtime_error ("arity mismatch for foreign predicate " ^ name));
+            List.concat_map
+              (fun (ul, tl) ->
+                let pattern =
+                  Array.of_list
+                    (List.map
+                       (function
+                         | Ram.F_col i -> Some ul.(i)
+                         | Ram.F_const v -> Some v
+                         | Ram.F_free -> None)
+                       args)
+                in
+                match fp pattern with
+                | Error msg -> raise (Runtime_error (name ^ ": " ^ msg))
+                | Ok tuples ->
+                    List.map
+                      (fun full ->
+                        (* keep only the free positions, in order *)
+                        let extra =
+                          List.filteri (fun i _ -> List.nth args i = Ram.F_free)
+                            (Array.to_list full)
+                        in
+                        (Tuple.append ul (Tuple.of_list extra), tl))
+                      tuples)
+              (eval_expr config db left))
+
+  (* ---- rules (Fig. 24, Rule-1/2/3) --------------------------------------- *)
+
+  let eval_rule config (db : db) (r : Ram.rule) : relation =
+    let newly = normalize (eval_expr config db r.body) in
+    let old = relation_of db r.head in
+    Tuple.Map.merge
+      (fun _u t_old t_new ->
+        match (t_old, t_new) with
+        | Some t, None -> Some t (* Rule-1 *)
+        | None, Some t -> Some t (* Rule-2 *)
+        | Some t1, Some t2 -> Some (P.add t1 t2) (* Rule-3 *)
+        | None, None -> None)
+      old newly
+
+  (* ---- strata (Fig. 24, lfp°) -------------------------------------------- *)
+
+  let relation_saturated ~(old_rel : relation) (new_rel : relation) : bool =
+    Tuple.Map.for_all
+      (fun u t_new ->
+        match Tuple.Map.find_opt u old_rel with
+        | Some t_old -> P.saturated ~old:t_old t_new
+        | None -> false)
+      new_rel
+
+  let eval_stratum config (db : db) (s : Ram.stratum) : db =
+    let heads = List.map (fun (r : Ram.rule) -> r.head) s.rules in
+    let step (db : db) : db =
+      List.fold_left
+        (fun acc (r : Ram.rule) ->
+          (* Each rule reads the database as of the start of the iteration
+             (db), not the partially updated one; heads are distinct within a
+             stratum so updates never collide. *)
+          SMap.add r.head (eval_rule config db r) acc)
+        db s.rules
+    in
+    if not s.Ram.recursive then begin
+      bump_stats config;
+      step db
+    end
+    else if not config.semi_naive then begin
+      (* Naive lfp° exactly as Fig. 24: re-evaluate all rules until the
+         database saturates.  Kept as the reference implementation. *)
+      let rec iterate db iters =
+        if iters > config.max_iterations then
+          raise
+            (Runtime_error
+               "fixpoint iteration limit exceeded (program may not terminate under this provenance)");
+        bump_stats config;
+        let db' = step db in
+        let saturated =
+          List.for_all
+            (fun h -> relation_saturated ~old_rel:(relation_of db h) (relation_of db' h))
+            heads
+        in
+        if saturated then db' else iterate db' (iters + 1)
+      in
+      iterate db 1
+    end
+    else begin
+      (* Semi-naive: after a full first round, only derivations touching a
+         changed ("delta") tuple are re-evaluated. *)
+      let changed ~(old_rel : relation) (new_rel : relation) : relation =
+        Tuple.Map.filter
+          (fun u t_new ->
+            match Tuple.Map.find_opt u old_rel with
+            | Some t_old -> not (P.saturated ~old:t_old t_new)
+            | None -> true)
+          new_rel
+      in
+      bump_stats config;
+      let db1 = step db in
+      let deltas =
+        List.map (fun h -> (h, changed ~old_rel:(relation_of db h) (relation_of db1 h))) heads
+      in
+      let delta_bodies =
+        List.map (fun (r : Ram.rule) -> (r.head, delta_variants heads r.body)) s.rules
+      in
+      let rec loop db deltas iters =
+        if List.for_all (fun (_, d) -> Tuple.Map.is_empty d) deltas then db
+        else if iters > config.max_iterations then
+          raise
+            (Runtime_error
+               "fixpoint iteration limit exceeded (program may not terminate under this provenance)")
+        else begin
+          bump_stats config;
+          let db_with_deltas =
+            List.fold_left (fun acc (h, d) -> SMap.add (delta_name h) d acc) db deltas
+          in
+          let updates =
+            List.map
+              (fun (head, bodies) ->
+                let newly =
+                  normalize
+                    (List.concat_map (eval_expr config db_with_deltas) bodies)
+                in
+                let old = relation_of db head in
+                let merged =
+                  Tuple.Map.merge
+                    (fun _u t_old t_new ->
+                      match (t_old, t_new) with
+                      | Some t, None -> Some t
+                      | None, Some t -> Some t
+                      | Some t1, Some t2 -> Some (P.add t1 t2)
+                      | None, None -> None)
+                    old newly
+                in
+                (head, merged))
+              delta_bodies
+          in
+          let deltas' =
+            List.map
+              (fun (h, merged) -> (h, changed ~old_rel:(relation_of db h) merged))
+              updates
+          in
+          let db' = List.fold_left (fun acc (h, rel) -> SMap.add h rel acc) db updates in
+          loop db' deltas' (iters + 1)
+        end
+      in
+      loop db1 deltas 2
+    end
+
+  (* ---- programs ----------------------------------------------------------- *)
+
+  let eval_program config (db : db) (p : Ram.program) : db =
+    List.fold_left (eval_stratum config) db p.strata
+
+  (** Recovery phase: apply ρ to the tags of an output relation. *)
+  let recover (db : db) pred : (Tuple.t * Provenance.Output.t) list =
+    Tuple.Map.bindings (relation_of db pred)
+    |> List.map (fun (u, t) -> (u, P.recover t))
+end

@@ -1,0 +1,214 @@
+(** Differentiable provenances (paper Sec. 4.5, Fig. 11).
+
+    Tags carry enough structure to produce, for every output fact, a dual
+    number: the output probability together with its gradient w.r.t. the
+    vector of input probabilities (∂y/∂r).  Each module allocates an input
+    variable id per probabilistic input fact; {!Session} uses the returned
+    ids to route gradients back to the neural network. *)
+
+open Provenance
+
+(* Shared variable-id allocation for dual-number provenances. *)
+module Vars () = struct
+  let next_id = ref 0
+
+  let fresh prob =
+    let id = !next_id in
+    incr next_id;
+    (id, Dual.var id prob)
+end
+
+(** diff-max-min-prob (Sec. 4.5.1): dual numbers propagated with max/min.
+    Derivatives always have at most one non-zero entry (±1); all operations
+    are O(1).  Saturation compares only the probability part. *)
+module Diff_max_min_prob () : S with type t = Dual.t = struct
+  module V = Vars ()
+
+  type t = Dual.t
+
+  let name = "diffminmaxprob"
+  let zero = Dual.zero
+  let one = Dual.one
+  let add = Dual.max
+  let mult = Dual.min
+  let negate t = Some (Dual.complement t)
+  let saturated ~old t = Dual.equal_value old t
+  let discard t = Dual.value t <= 0.0
+  let weight = Dual.value
+
+  let tag_of_input (i : Input.t) =
+    match i.Input.prob with
+    | None -> (Dual.one, None)
+    | Some p ->
+        let id, d = V.fresh p in
+        (d, Some id)
+
+  let recover t = Output.O_dual t
+  let pp = Dual.pp
+end
+
+(** diff-add-mult-prob (Sec. 4.5.2): ⊕ = clamp(+) keeping the derivative,
+    ⊗ = dual product.  Saturation is constantly true, trading recursive
+    precision for guaranteed termination.  O(n) per operation. *)
+module Diff_add_mult_prob () : S with type t = Dual.t = struct
+  module V = Vars ()
+
+  type t = Dual.t
+
+  let name = "diffaddmultprob"
+  let zero = Dual.zero
+  let one = Dual.one
+  let add a b = Dual.clamp (Dual.add a b)
+  let mult = Dual.mul
+  let negate t = Some (Dual.complement t)
+  let saturated ~old:_ _ = true
+  let discard t = Dual.value t <= 0.0
+  let weight = Dual.value
+
+  let tag_of_input (i : Input.t) =
+    match i.Input.prob with
+    | None -> (Dual.one, None)
+    | Some p ->
+        let id, d = V.fresh p in
+        (d, Some id)
+
+  let recover t = Output.O_dual t
+  let pp = Dual.pp
+end
+
+(** diff-nand-mult-prob: the noisy-or / independence heuristic.
+    ⊗ = a·b, ⊕ = 1 − (1−a)(1−b) (i.e. or via nand), ⊖ = 1 − a.  Smooth
+    everywhere, unlike max/min; saturation uses value equality. *)
+module Diff_nand_mult_prob () : S with type t = Dual.t = struct
+  module V = Vars ()
+
+  type t = Dual.t
+
+  let name = "diffnandmultprob"
+  let zero = Dual.zero
+  let one = Dual.one
+  let add a b = Dual.complement (Dual.mul (Dual.complement a) (Dual.complement b))
+  let mult = Dual.mul
+  let negate t = Some (Dual.complement t)
+  let saturated ~old t = Float.abs (Dual.value old -. Dual.value t) < 1e-9
+  let discard t = Dual.value t <= 0.0
+  let weight = Dual.value
+
+  let tag_of_input (i : Input.t) =
+    match i.Input.prob with
+    | None -> (Dual.one, None)
+    | Some p ->
+        let id, d = V.fresh p in
+        (d, Some id)
+
+  let recover t = Output.O_dual t
+  let pp = Dual.pp
+end
+
+(** diff-top-k-proofs (Sec. 4.5.3): DNF formulas with at most k proofs,
+    recovered through differentiable WMC.  [me] enables the mutual-exclusion
+    extension (diff-top-k-proofs-me, Appendix B.4.4). *)
+module Diff_top_k_proofs (K : sig
+  val k : int
+  val me : bool
+end)
+() : S with type t = Formula.t = struct
+  module P = Prov_discrete.Proofs ()
+
+  type t = Formula.t
+
+  let name = Fmt.str "difftopkproofs%s-%d" (if K.me then "me" else "") K.k
+  let zero = Formula.ff
+  let one = Formula.tt
+  let add a b = Formula.disj_k P.env K.k a b
+  let mult a b = Formula.conj_k P.env K.k a b
+  let negate t = Some (Formula.neg_k P.env K.k t)
+  let saturated ~old t = Formula.equal old t
+  let discard t = Formula.is_false t
+  let weight t = Formula.prob_upper_bound P.env t
+
+  let tag_of_input (i : Input.t) =
+    let i = if K.me then i else { i with Input.me_group = None } in
+    P.tag_of_input i
+
+  let recover t = Output.O_dual (Wmc.dual ~env:P.env t)
+  let pp = Formula.pp
+end
+
+(** diff-sample-k-proofs: stochastic proof retention with differentiable
+    WMC recovery. *)
+module Diff_sample_k_proofs (K : sig
+  val k : int
+  val seed : int
+end)
+() : S with type t = Formula.t = struct
+  module Base =
+    Prov_prob.Sample_k_proofs
+      (struct
+        let k = K.k
+        let seed = K.seed
+      end)
+      ()
+
+  include (Base : S with type t = Formula.t)
+
+  (* Reuse Base's stochastic ⊕/⊗/⊖ but recover dual numbers via
+     differentiable WMC over Base's probability environment. *)
+  let name = Fmt.str "diffsamplekproofs-%d" K.k
+  let recover t = Output.O_dual (Wmc.dual ~env:Base.env t)
+end
+
+(** diff-exact-prob: untruncated proof sets with differentiable WMC — the
+    differentiable counterpart of the DeepProbLog-exact baseline (top-k with
+    k ≥ 2ⁿ, Sec. 6.4).  Exact gradients at exponential worst-case cost. *)
+module Diff_exact () : S with type t = Formula.t = struct
+  module Base = Prov_prob.Exact ()
+  include (Base : S with type t = Formula.t)
+
+  let name = "diffexactprobproofs"
+  let recover t = Output.O_dual (Wmc.dual ~env:Base.env t)
+end
+
+(** diff-top-bottom-k-clauses: maintains both a k-proof DNF lower
+    approximation and (implicitly, via negation of the complement) an upper
+    one; the recovered probability is the average of WMC over the DNF of the
+    formula and the complement of WMC over the DNF of its negation.  This
+    smooths the loss landscape when negation is pervasive. *)
+module Diff_top_bottom_k_clauses (K : sig
+  val k : int
+end)
+() : S with type t = Formula.t * Formula.t = struct
+  module P = Prov_discrete.Proofs ()
+
+  (* The pair (φ, ψ) keeps ψ ≈ ¬φ truncated independently, so negation is
+     exact-by-swap instead of the lossy cnf2dnf. *)
+  type t = Formula.t * Formula.t
+
+  let name = Fmt.str "difftopbottomkclauses-%d" K.k
+  let zero = (Formula.ff, Formula.tt)
+  let one = (Formula.tt, Formula.ff)
+
+  let add (a, na) (b, nb) =
+    (Formula.disj_k P.env K.k a b, Formula.conj_k P.env K.k na nb)
+
+  let mult (a, na) (b, nb) =
+    (Formula.conj_k P.env K.k a b, Formula.disj_k P.env K.k na nb)
+
+  let negate (a, na) = Some (na, a)
+  let saturated ~old:(a, _) (b, _) = Formula.equal a b
+  let discard (a, na) = Formula.is_false a && Formula.is_true na
+  let weight (a, _) = Formula.prob_upper_bound P.env a
+
+  let tag_of_input (i : Input.t) =
+    let tag, id = P.tag_of_input i in
+    (match tag with
+    | [ p ] -> ((tag, Formula.neg_k P.env K.k [ p ]), id)
+    | _ -> ((tag, Formula.ff), id))
+
+  let recover (a, na) =
+    let lo = Wmc.dual ~env:P.env a in
+    let hi = Dual.complement (Wmc.dual ~env:P.env na) in
+    Output.O_dual (Dual.scale 0.5 (Dual.add lo hi))
+
+  let pp fmt (a, _) = Formula.pp fmt a
+end

@@ -1,0 +1,103 @@
+(** The provenance framework (paper Sec. 4.1, Fig. 4 and Fig. 21).
+
+    A provenance is an algebraic structure (T, 0, 1, ⊕, ⊗, ⊖, ≐) together
+    with the extended interface of Fig. 21 (early [discard] and sampling
+    [weight]) and the external interface (I, O, τ, ρ) of Sec. 4.4.  The
+    tagged semantics of SclRam is parameterized over this structure; discrete,
+    probabilistic and differentiable reasoning are obtained by instantiating
+    it differently.
+
+    Provenance modules may be stateful (e.g. the differentiable ones allocate
+    input-variable ids and record input probabilities for weighted model
+    counting), so users obtain a {e fresh} instance per execution from
+    {!Registry}. *)
+
+(** External input tag space I: all built-in provenances accept an optional
+    probability plus an optional mutual-exclusion group id.  [None]
+    probability means the fact is unconditionally true (tag 1). *)
+module Input = struct
+  type t = { prob : float option; me_group : int option }
+
+  let none = { prob = None; me_group = None }
+  let prob ?me_group p = { prob = Some p; me_group }
+end
+
+(** External output tag space O: a sum over the output spaces of the built-in
+    provenances.  Downstream code pattern-matches on the arm it expects. *)
+module Output = struct
+  type t =
+    | O_unit
+    | O_bool of bool
+    | O_nat of int
+    | O_prob of float
+    | O_dual of Dual.t
+    | O_proofs of Formula.t
+
+  (** Probability view: every arm has a sensible probability reading, which
+      is what most applications consume. *)
+  let prob = function
+    | O_unit -> 1.0
+    | O_bool b -> if b then 1.0 else 0.0
+    | O_nat n -> if n > 0 then 1.0 else 0.0
+    | O_prob p -> p
+    | O_dual d -> Dual.value d
+    | O_proofs f -> if Formula.is_false f then 0.0 else 1.0
+
+  (** Gradient view; empty for non-differentiable provenances. *)
+  let gradient = function O_dual d -> Dual.deriv_list d | _ -> []
+
+  let pp fmt = function
+    | O_unit -> Fmt.string fmt "()"
+    | O_bool b -> Fmt.bool fmt b
+    | O_nat n -> Fmt.int fmt n
+    | O_prob p -> Fmt.pf fmt "%.6f" p
+    | O_dual d -> Dual.pp fmt d
+    | O_proofs f -> Formula.pp fmt f
+end
+
+module type S = sig
+  type t
+  (** The internal tag space T. *)
+
+  val name : string
+
+  val zero : t
+  (** 0: unconditionally false. *)
+
+  val one : t
+  (** 1: unconditionally true. *)
+
+  val add : t -> t -> t
+  (** ⊕, tag disjunction. *)
+
+  val mult : t -> t -> t
+  (** ⊗, tag conjunction. *)
+
+  val negate : t -> t option
+  (** ⊖, tag negation; [None] if the provenance does not support negation
+      (programs using difference/aggregation will then be rejected). *)
+
+  val saturated : old:t -> t -> bool
+  (** ≐, the saturation check driving fixed-point termination. *)
+
+  val discard : t -> bool
+  (** Early removal: facts whose tag satisfies this are dropped during
+      normalization (Fig. 24, Normalize). *)
+
+  val weight : t -> float
+  (** Sampling weight of a tag (Fig. 21). *)
+
+  val tag_of_input : Input.t -> t * int option
+  (** τ: convert an external input tag.  Returns the internal tag together
+      with the input-variable id allocated for it (differentiable provenances
+      allocate one per probabilistic fact; others return [None]). *)
+
+  val recover : t -> Output.t
+  (** ρ: convert an internal tag to the external output space. *)
+
+  val pp : t Fmt.t
+end
+
+type t = (module S)
+
+let name (module P : S) = P.name

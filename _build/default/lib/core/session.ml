@@ -1,0 +1,167 @@
+(** End-user API: compile once, execute many times under any provenance —
+    the OCaml counterpart of the paper's [scallopy] binding (Sec. 5).
+
+    [compile] runs the full pipeline: parse → desugar (front-IR) → safety
+    check → type inference/elaboration → stratification → RAM compilation.
+    [run] executes a compiled program with a fresh provenance instance,
+    extensional facts, and returns recovered outputs together with the
+    input-variable ids assigned to each probabilistic fact — which is what
+    lets a training loop route ∂y/∂r gradients back to the network that
+    produced r (see {!Scallop_nn.Scallop_layer}). *)
+
+exception Error of string
+
+type compiled = {
+  ram : Ram.program;
+  rel_types : (string, Value.ty array) Hashtbl.t;
+  static_facts : (string * float option * int option * Tuple.t) list;
+  queries : string list;
+  static_me_groups : int;  (** dynamic me-groups are shifted past these *)
+}
+
+let wrap_errors f =
+  try f () with
+  | Parser.Parse_error (msg, p) -> raise (Error (Fmt.str "parse error at %a: %s" Ast.pp_pos p msg))
+  | Front.Front_error (msg, p) -> raise (Error (Fmt.str "error at %a: %s" Ast.pp_pos p msg))
+  | Typecheck.Type_error (msg, p) -> raise (Error (Fmt.str "type error at %a: %s" Ast.pp_pos p msg))
+  | Stratify.Stratification_error msg -> raise (Error msg)
+  | Demand.Demand_error (msg, p) -> raise (Error (Fmt.str "demand error at %a: %s" Ast.pp_pos p msg))
+  | Compile.Compile_error (msg, p) ->
+      raise (Error (Fmt.str "compile error at %a: %s" Ast.pp_pos p msg))
+
+let compile ?load ?(optimize = true) (source : string) : compiled =
+  wrap_errors (fun () ->
+      let ast = Parser.parse_program source in
+      let patterns = Demand.patterns_of_program ast in
+      let front = Front.desugar ?load ast in
+      (* Demand (magic-set) transformation for @demand-annotated relations,
+         seeded by query atoms with constant arguments. *)
+      let front =
+        if patterns = [] then front
+        else begin
+          let rules = Demand.transform patterns front.Front.rules in
+          let seeds =
+            List.filter_map
+              (fun (a, pos) ->
+                Option.map
+                  (fun (dp, args) ->
+                    { Front.pred = dp; prob = None; me_group = None; args; fact_pos = pos })
+                  (Demand.seed_of_query pos patterns a))
+              front.Front.query_atoms
+          in
+          { front with Front.rules; facts = front.Front.facts @ seeds }
+        end
+      in
+      Front.check_safety front;
+      let typed = Typecheck.check { front with Front.rules = front.Front.rules } in
+      let strata = Stratify.stratify typed.Typecheck.rules in
+      let outputs =
+        if typed.Typecheck.queries <> [] then typed.Typecheck.queries
+        else
+          (* default: every rule head is observable *)
+          List.concat_map (List.map (fun (r : Front.crule) -> r.Front.head.Ast.pred)) strata
+          |> Scallop_utils.Listx.dedup_stable String.equal
+      in
+      let ram = Compile.compile_strata strata ~outputs in
+      let ram = if optimize then Opt.optimize_program ram else ram in
+      let static_me_groups =
+        List.fold_left
+          (fun acc (_, _, me, _) -> match me with Some g -> max acc (g + 1) | None -> acc)
+          0 typed.Typecheck.facts
+      in
+      {
+        ram;
+        rel_types = typed.Typecheck.rel_types;
+        static_facts = typed.Typecheck.facts;
+        queries = typed.Typecheck.queries;
+        static_me_groups;
+      })
+
+(* ---- execution ------------------------------------------------------------------ *)
+
+type result = {
+  outputs : (string * (Tuple.t * Provenance.Output.t) list) list;
+  fact_ids : ((string * Tuple.t) * int) list;
+      (** provenance variable id assigned to each tagged input fact *)
+}
+
+(** Coerce an externally provided tuple to the relation's column types, so
+    that e.g. an [i32 3] provided for a [usize] column still joins. *)
+let coerce_tuple (c : compiled) pred (t : Tuple.t) : Tuple.t =
+  match Hashtbl.find_opt c.rel_types pred with
+  | None -> t
+  | Some tys ->
+      if Array.length tys <> Array.length t then
+        raise (Error (Fmt.str "arity mismatch for %s: expected %d" pred (Array.length tys)));
+      Array.mapi
+        (fun i v ->
+          match Value.cast tys.(i) v with
+          | Some v' -> v'
+          | None ->
+              raise
+                (Error
+                   (Fmt.str "value %a does not fit column %d of %s (%s)" Value.pp v i pred
+                      (Value.ty_name tys.(i)))))
+        t
+
+let run ?(config = Interp.default_config ()) ~(provenance : Provenance.t) (c : compiled)
+    ?(facts : (string * (Provenance.Input.t * Tuple.t) list) list = [])
+    ?(outputs : string list option) () : result =
+  let module P = (val provenance : Provenance.S) in
+  let module I = Interp.Make (P) in
+  let fact_ids = ref [] in
+  let add_fact db pred (input : Provenance.Input.t) tuple =
+    let tuple = coerce_tuple c pred tuple in
+    let tag, id = P.tag_of_input input in
+    (match id with Some id -> fact_ids := ((pred, tuple), id) :: !fact_ids | None -> ());
+    I.db_add_fact db pred tuple tag
+  in
+  (* Static (program) facts first — their me-groups use low indices. *)
+  let db =
+    List.fold_left
+      (fun db (pred, prob, me, tuple) ->
+        add_fact db pred { Provenance.Input.prob; me_group = me } tuple)
+      I.empty_db c.static_facts
+  in
+  (* Dynamic facts: shift caller me-groups past the static ones. *)
+  let db =
+    List.fold_left
+      (fun db (pred, entries) ->
+        List.fold_left
+          (fun db ((input : Provenance.Input.t), tuple) ->
+            let input =
+              match input.Provenance.Input.me_group with
+              | Some g -> { input with Provenance.Input.me_group = Some (g + c.static_me_groups) }
+              | None -> input
+            in
+            add_fact db pred input tuple)
+          db entries)
+      db facts
+  in
+  let db =
+    try I.eval_program config db c.ram with
+    | Interp.Runtime_error msg -> raise (Error msg)
+    | Aggregate.Unsupported msg -> raise (Error msg)
+  in
+  let out_rels = match outputs with Some o -> o | None -> c.ram.Ram.outputs in
+  {
+    outputs = List.map (fun pred -> (pred, I.recover db pred)) out_rels;
+    fact_ids = List.rev !fact_ids;
+  }
+
+(** One-shot convenience: compile and run a source string. *)
+let interpret ?config ?load ~provenance ?facts ?outputs (source : string) : result =
+  let c = compile ?load source in
+  run ?config ~provenance c ?facts ?outputs ()
+
+(** Look up one output relation in a result. *)
+let output (r : result) pred : (Tuple.t * Provenance.Output.t) list =
+  match List.assoc_opt pred r.outputs with Some l -> l | None -> []
+
+(** Probability of a specific tuple in an output relation (0 if absent). *)
+let prob_of (r : result) pred tuple : float =
+  match
+    List.find_opt (fun (t, _) -> Tuple.compare t tuple = 0) (output r pred)
+  with
+  | Some (_, o) -> Provenance.Output.prob o
+  | None -> 0.0

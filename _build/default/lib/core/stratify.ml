@@ -1,0 +1,82 @@
+(** Stratification analysis (paper Sec. 3.2 / 4.2).
+
+    Builds the predicate dependency graph (positive edges from rule heads to
+    body atoms; {e constraint} edges through negation and aggregation),
+    computes strongly connected components, rejects programs where a
+    constraint edge stays inside an SCC (negation/aggregation through
+    recursion is not stratifiable), and returns the rules grouped into
+    strata in dependency order. *)
+
+exception Stratification_error of string
+
+module SMap = Map.Make (String)
+module SSet = Set.Make (String)
+
+type dep = { target : string; constraint_ : bool }
+
+(* Predicates that a clause depends on, with the constraint flag set for
+   negated atoms and everything reachable through an aggregation. *)
+let rec clause_deps ~under_agg (clause : Front.clause) : dep list =
+  List.concat_map
+    (function
+      | Front.L_pos a ->
+          if Foreign.is_foreign_predicate a.Ast.pred then []
+          else [ { target = a.Ast.pred; constraint_ = under_agg } ]
+      | Front.L_neg a -> [ { target = a.Ast.pred; constraint_ = true } ]
+      | Front.L_cond _ -> []
+      | Front.L_reduce r ->
+          let body_deps = List.concat_map (clause_deps ~under_agg:true) r.Front.body in
+          let where_deps =
+            match r.Front.where with
+            | Some (_, clauses) -> List.concat_map (clause_deps ~under_agg:true) clauses
+            | None -> []
+          in
+          body_deps @ where_deps)
+    clause
+
+let stratify (rules : Front.crule list) : Front.crule list list =
+  (* Collect every predicate mentioned (heads and bodies). *)
+  let preds = ref SSet.empty in
+  let add p = preds := SSet.add p !preds in
+  List.iter
+    (fun (r : Front.crule) ->
+      add r.Front.head.Ast.pred;
+      List.iter (fun d -> add d.target) (clause_deps ~under_agg:false r.Front.body))
+    rules;
+  let pred_list = SSet.elements !preds in
+  let index = List.mapi (fun i p -> (p, i)) pred_list in
+  let id_of p = List.assoc p index in
+  let n = List.length pred_list in
+  let g = Scallop_utils.Graph.create n in
+  let constraints = ref [] in
+  List.iter
+    (fun (r : Front.crule) ->
+      let h = id_of r.Front.head.Ast.pred in
+      List.iter
+        (fun d ->
+          let t = id_of d.target in
+          Scallop_utils.Graph.add_edge g h t;
+          if d.constraint_ then constraints := (h, t, r.Front.head.Ast.pred, d.target) :: !constraints)
+        (clause_deps ~under_agg:false r.Front.body))
+    rules;
+  let comp, ncomp = Scallop_utils.Graph.scc g in
+  (* Constraint edges may not stay within a component. *)
+  List.iter
+    (fun (h, t, hp, tp) ->
+      if comp.(h) = comp.(t) then
+        raise
+          (Stratification_error
+             (Fmt.str
+                "program is not stratified: %s depends on %s through negation or aggregation \
+                 within a recursive cycle"
+                hp tp)))
+    !constraints;
+  (* Group rules by the SCC of their head; ascending component index is a
+     valid dependencies-first order (see {!Scallop_utils.Graph.scc}). *)
+  let buckets = Array.make ncomp [] in
+  List.iter
+    (fun (r : Front.crule) ->
+      let c = comp.(id_of r.Front.head.Ast.pred) in
+      buckets.(c) <- r :: buckets.(c))
+    rules;
+  Array.to_list buckets |> List.filter_map (fun b -> if b = [] then None else Some (List.rev b))

@@ -1,0 +1,169 @@
+(** Weighted model counting over DNF proof formulas (paper Sec. 4.5.3).
+
+    The recover function ρ of the top-k-proofs provenances converts a DNF
+    formula into an (optionally differentiable) probability.  Two engines:
+
+    - For formulas over {e independent} variables we compile the DNF into an
+      ROBDD ({!Scallop_bdd.Bdd}) and run linear-time algebraic model
+      counting.  This is exact and mirrors the paper's SDD-based WMC.
+
+    - For formulas mentioning {e mutually exclusive} variables (Appendix
+      B.4.4) we use inclusion–exclusion over the proofs with categorical-
+      aware conjunction probabilities: within a group, two distinct positive
+      literals are contradictory, a positive literal subsumes the group's
+      negative literals, and a set of purely negative literals has
+      probability max(0, 1 − Σ rᵢ).  Exact up to [max_ie_proofs] proofs;
+      beyond that the formula is truncated to its most probable proofs
+      (top-k provenances never exceed k ≤ max_ie_proofs in practice).
+
+    Both engines are polymorphic in the weight semiring so the same code
+    yields plain floats and dual numbers. *)
+
+type 'a ops = {
+  zero : 'a;
+  one : 'a;
+  add : 'a -> 'a -> 'a;
+  mul : 'a -> 'a -> 'a;
+  neg : 'a -> 'a; (* additive inverse *)
+  complement : 'a -> 'a; (* 1 - x *)
+  of_float : float -> 'a;
+  max0 : 'a -> 'a; (* clamp below at 0 *)
+}
+
+let float_ops : float ops =
+  {
+    zero = 0.0;
+    one = 1.0;
+    add = ( +. );
+    mul = ( *. );
+    neg = (fun x -> -.x);
+    complement = (fun x -> 1.0 -. x);
+    of_float = Fun.id;
+    max0 = Float.max 0.0;
+  }
+
+let dual_ops : Dual.t ops =
+  {
+    zero = Dual.zero;
+    one = Dual.one;
+    add = Dual.add;
+    mul = Dual.mul;
+    neg = Dual.neg;
+    complement = Dual.complement;
+    of_float = Dual.const;
+    max0 = (fun d -> if Dual.value d < 0.0 then Dual.const 0.0 else d);
+  }
+
+let max_ie_proofs = 16
+
+(* ---- BDD engine (independent variables) -------------------------------- *)
+
+let wmc_bdd (type a) (ops : a ops) ~(weight_of : int -> a) (formula : Formula.t) : a =
+  let m = Scallop_bdd.Bdd.manager () in
+  let dnf =
+    List.map (fun proof -> Formula.proof_literals proof) formula
+  in
+  let root = Scallop_bdd.Bdd.of_dnf m dnf in
+  let vars = Formula.variables formula in
+  Scallop_bdd.Bdd.wmc ~zero:ops.zero ~one:ops.one ~add:ops.add ~mul:ops.mul
+    ~w_pos:weight_of
+    ~w_neg:(fun v -> ops.complement (weight_of v))
+    ~vars root
+
+(* ---- Inclusion–exclusion engine (mutual exclusion aware) ---------------- *)
+
+module IMap = Map.Make (Int)
+
+(* Probability of a single conjunction of literals under categorical group
+   semantics.  Proofs coming out of [Formula.merge_proofs] are already free
+   of within-proof conflicts, but merged subsets during IE may conflict, in
+   which case this returns zero. *)
+let conj_weight (type a) (ops : a ops) ~(weight_of : int -> a) ~(me_group : int -> int option)
+    (proof : Formula.proof) : a =
+  (* Partition literals by group. *)
+  let grouped : (int * bool) list IMap.t ref = ref IMap.empty in
+  let free = ref [] in
+  List.iter
+    (fun (v, s) ->
+      match me_group v with
+      | None -> free := (v, s) :: !free
+      | Some g ->
+          grouped :=
+            IMap.update g (fun l -> Some ((v, s) :: Option.value l ~default:[])) !grouped)
+    (Formula.proof_literals proof);
+  let acc = ref ops.one in
+  List.iter
+    (fun (v, s) ->
+      let w = weight_of v in
+      acc := ops.mul !acc (if s then w else ops.complement w))
+    !free;
+  IMap.iter
+    (fun _g lits ->
+      let pos = List.filter (fun (_, s) -> s) lits in
+      let negs = List.filter (fun (_, s) -> not s) lits in
+      match pos with
+      | (v, _) :: rest ->
+          if rest <> [] then acc := ops.zero (* two positives: contradiction *)
+          else if List.exists (fun (v', _) -> v' = v) negs then acc := ops.zero
+          else acc := ops.mul !acc (weight_of v)
+          (* negatives of other members are implied by exclusivity *)
+      | [] ->
+          (* P(none of the negated members chosen) = 1 - Σ rᵢ, clamped. *)
+          let s =
+            List.fold_left (fun s (v, _) -> ops.add s (weight_of v)) ops.zero negs
+          in
+          acc := ops.mul !acc (ops.max0 (ops.complement s)))
+    !grouped;
+  !acc
+
+let wmc_ie (type a) (ops : a ops) ~(weight_of : int -> a) ~(me_group : int -> int option)
+    ~(env : Formula.env) (formula : Formula.t) : a =
+  let proofs =
+    if List.length formula <= max_ie_proofs then formula
+    else Formula.top_k env max_ie_proofs formula
+  in
+  let proofs = Array.of_list proofs in
+  let n = Array.length proofs in
+  let total = ref ops.zero in
+  (* Iterate over non-empty subsets via bitmasks; n ≤ max_ie_proofs. *)
+  for mask = 1 to (1 lsl n) - 1 do
+    let merged = ref (Some Formula.true_proof) in
+    let size = ref 0 in
+    for i = 0 to n - 1 do
+      if mask land (1 lsl i) <> 0 then begin
+        incr size;
+        match !merged with
+        | None -> ()
+        | Some p -> merged := Formula.merge_proofs env p proofs.(i)
+      end
+    done;
+    (match !merged with
+    | None -> ()
+    | Some p ->
+        let w = conj_weight ops ~weight_of ~me_group p in
+        let w = if !size mod 2 = 1 then w else ops.neg w in
+        total := ops.add !total w)
+  done;
+  !total
+
+(* ---- public entry points ------------------------------------------------ *)
+
+let has_me_vars ~me_group formula =
+  List.exists (fun v -> me_group v <> None) (Formula.variables formula)
+
+(** WMC in an arbitrary weight semiring. *)
+let run (type a) (ops : a ops) ~(weight_of : int -> a) ~(env : Formula.env)
+    (formula : Formula.t) : a =
+  if Formula.is_false formula then ops.zero
+  else if Formula.is_true formula then ops.one
+  else if has_me_vars ~me_group:env.Formula.me_group formula then
+    wmc_ie ops ~weight_of ~me_group:env.Formula.me_group ~env formula
+  else wmc_bdd ops ~weight_of formula
+
+(** Plain probability. *)
+let prob ~(env : Formula.env) formula =
+  run float_ops ~weight_of:env.Formula.prob ~env formula
+
+(** Probability with gradient: each variable [v] is a dual [var v (prob v)]. *)
+let dual ~(env : Formula.env) formula =
+  run dual_ops ~weight_of:(fun v -> Dual.var v (env.Formula.prob v)) ~env formula

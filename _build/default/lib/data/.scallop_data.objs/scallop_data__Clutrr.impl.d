@@ -1,0 +1,1 @@
+lib/data/clutrr.ml: Array Fun Hashtbl List Option Proto Scallop_utils

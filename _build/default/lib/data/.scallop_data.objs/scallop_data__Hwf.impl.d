@@ -1,0 +1,1 @@
+lib/data/hwf.ml: Array List Nd Option Proto Scallop_tensor Scallop_utils

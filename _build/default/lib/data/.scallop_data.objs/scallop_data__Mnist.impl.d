@@ -1,0 +1,1 @@
+lib/data/mnist.ml: List Nd Proto Scallop_tensor Scallop_utils

@@ -1,0 +1,1 @@
+lib/data/mugen.ml: Array List Nd Proto Scallop_tensor Scallop_utils

@@ -1,0 +1,1 @@
+lib/data/pathfinder.ml: Array List Nd Proto Queue Scallop_tensor Scallop_utils

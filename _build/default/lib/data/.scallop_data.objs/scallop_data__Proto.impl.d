@@ -1,0 +1,1 @@
+lib/data/proto.ml: Array List Nd Scallop_tensor Scallop_utils

@@ -1,0 +1,1 @@
+lib/data/vqar.ml: Array List Nd Proto Scallop_tensor Scallop_utils

@@ -1,0 +1,214 @@
+(** Synthetic CLEVR: compositional visual question answering
+    (paper Sec. 6.1, Appendix C.7; from [Johnson et al. 2017]).
+
+    A scene holds objects with shape/color/material/size attributes and 2-D
+    positions inducing spatial relations; questions are programs in a
+    CLEVR-DSL fragment (filter chains ending in count / exists / attribute
+    query / numeric comparison).  Object attributes are perceived as noisy
+    prototypes per attribute family; the DSL program is structured input
+    (the paper extracts it from NL with a BiLSTM — substitution documented
+    in DESIGN.md). *)
+
+open Scallop_tensor
+
+let shapes = [| "cube"; "sphere"; "cylinder" |]
+let colors = [| "red"; "green"; "blue"; "yellow"; "gray"; "purple"; "cyan"; "brown" |]
+let materials = [| "rubber"; "metal" |]
+let sizes = [| "small"; "large" |]
+
+type obj = {
+  oid : int;
+  shape : string;
+  color : string;
+  material : string;
+  size : string;
+  x : float;
+  y : float;
+}
+
+type scene = { objects : obj list }
+
+(** CLEVR-DSL fragment (Appendix C.7 / Fig. 32). *)
+type filter_expr =
+  | Scene
+  | Filter_shape of filter_expr * string
+  | Filter_color of filter_expr * string
+  | Filter_material of filter_expr * string
+  | Filter_size of filter_expr * string
+  | Relate of filter_expr * string  (** objects in relation to the (unique) result *)
+
+type question =
+  | Count of filter_expr
+  | Exists of filter_expr
+  | Query_attr of string * filter_expr  (** attribute of the unique object *)
+  | Greater_than of filter_expr * filter_expr
+  | Less_than of filter_expr * filter_expr
+  | Equal_count of filter_expr * filter_expr
+
+type answer = A_int of int | A_bool of bool | A_str of string
+
+type t = {
+  rng : Scallop_utils.Rng.t;
+  shape_proto : Proto.t;
+  color_proto : Proto.t;
+  material_proto : Proto.t;
+  size_proto : Proto.t;
+}
+
+let create ?(noise = 0.35) ?(dim = 12) ~seed () =
+  let rng = Scallop_utils.Rng.create seed in
+  {
+    rng;
+    shape_proto = Proto.create ~noise ~rng ~classes:(Array.length shapes) ~dim ();
+    color_proto = Proto.create ~noise ~rng ~classes:(Array.length colors) ~dim ();
+    material_proto = Proto.create ~noise ~rng ~classes:(Array.length materials) ~dim ();
+    size_proto = Proto.create ~noise ~rng ~classes:(Array.length sizes) ~dim ();
+  }
+
+let gen_scene ?(min_objects = 3) ?(max_objects = 6) t : scene =
+  let n = min_objects + Scallop_utils.Rng.int t.rng (max_objects - min_objects + 1) in
+  let pick arr = arr.(Scallop_utils.Rng.int t.rng (Array.length arr)) in
+  {
+    objects =
+      List.init n (fun oid ->
+          {
+            oid;
+            shape = pick shapes;
+            color = pick colors;
+            material = pick materials;
+            size = pick sizes;
+            x = Scallop_utils.Rng.float t.rng;
+            y = Scallop_utils.Rng.float t.rng;
+          });
+  }
+
+(** Spatial relations: left/right by x, front/behind by y. *)
+let relations_of (s : scene) : (string * int * int) list =
+  List.concat_map
+    (fun a ->
+      List.concat_map
+        (fun b ->
+          if a.oid = b.oid then []
+          else
+            (if a.x < b.x then [ ("left", b.oid, a.oid) ] else [])
+            @ if a.y < b.y then [ ("front", b.oid, a.oid) ] else [])
+        s.objects)
+    s.objects
+
+(* ---- reference evaluator (ground truth) --------------------------------------- *)
+
+let rec eval_filter (s : scene) = function
+  | Scene -> s.objects
+  | Filter_shape (f, v) -> List.filter (fun o -> o.shape = v) (eval_filter s f)
+  | Filter_color (f, v) -> List.filter (fun o -> o.color = v) (eval_filter s f)
+  | Filter_material (f, v) -> List.filter (fun o -> o.material = v) (eval_filter s f)
+  | Filter_size (f, v) -> List.filter (fun o -> o.size = v) (eval_filter s f)
+  | Relate (f, r) -> (
+      match eval_filter s f with
+      | [ anchor ] ->
+          List.filter
+            (fun o ->
+              o.oid <> anchor.oid
+              &&
+              match r with
+              | "left" -> o.x < anchor.x
+              | "right" -> o.x > anchor.x
+              | "front" -> o.y < anchor.y
+              | "behind" -> o.y > anchor.y
+              | _ -> false)
+            s.objects
+      | _ -> [])
+
+let eval_question (s : scene) = function
+  | Count f -> A_int (List.length (eval_filter s f))
+  | Exists f -> A_bool (eval_filter s f <> [])
+  | Query_attr (attr, f) -> (
+      match eval_filter s f with
+      | [ o ] ->
+          A_str
+            (match attr with
+            | "shape" -> o.shape
+            | "color" -> o.color
+            | "material" -> o.material
+            | _ -> o.size)
+      | _ -> A_str "invalid")
+  | Greater_than (a, b) ->
+      A_bool (List.length (eval_filter s a) > List.length (eval_filter s b))
+  | Less_than (a, b) -> A_bool (List.length (eval_filter s a) < List.length (eval_filter s b))
+  | Equal_count (a, b) ->
+      A_bool (List.length (eval_filter s a) = List.length (eval_filter s b))
+
+(* ---- question generation ------------------------------------------------------- *)
+
+let gen_filter t depth : filter_expr =
+  let pick arr = arr.(Scallop_utils.Rng.int t.rng (Array.length arr)) in
+  let rec go depth acc =
+    if depth = 0 then acc
+    else
+      let acc =
+        match Scallop_utils.Rng.int t.rng 4 with
+        | 0 -> Filter_shape (acc, pick shapes)
+        | 1 -> Filter_color (acc, pick colors)
+        | 2 -> Filter_material (acc, pick materials)
+        | _ -> Filter_size (acc, pick sizes)
+      in
+      go (depth - 1) acc
+  in
+  go depth Scene
+
+let gen_question t : question =
+  let f () = gen_filter t (1 + Scallop_utils.Rng.int t.rng 2) in
+  match Scallop_utils.Rng.int t.rng 5 with
+  | 0 -> Count (f ())
+  | 1 -> Exists (f ())
+  | 2 ->
+      let attr = [| "shape"; "color"; "material"; "size" |] in
+      Query_attr (attr.(Scallop_utils.Rng.int t.rng 4), f ())
+  | 3 -> Greater_than (f (), f ())
+  | _ -> Equal_count (f (), f ())
+
+type sample = {
+  scene : scene;
+  question : question;
+  answer : answer;
+  (* per-object perceived attribute images *)
+  shape_images : Nd.t list;
+  color_images : Nd.t list;
+  material_images : Nd.t list;
+  size_images : Nd.t list;
+}
+
+let index arr v = Array.to_list arr |> List.mapi (fun i x -> (x, i)) |> List.assoc v
+
+let sample t : sample =
+  let scene = gen_scene t in
+  (* avoid degenerate query-attr questions with non-unique filters *)
+  let rec pick_q tries =
+    let q = gen_question t in
+    match (q, eval_question scene q) with
+    | Query_attr _, A_str "invalid" when tries < 20 -> pick_q (tries + 1)
+    | _ -> q
+  in
+  let question = pick_q 0 in
+  {
+    scene;
+    question;
+    answer = eval_question scene question;
+    shape_images =
+      List.map (fun o -> Proto.sample t.shape_proto t.rng (index shapes o.shape)) scene.objects;
+    color_images =
+      List.map (fun o -> Proto.sample t.color_proto t.rng (index colors o.color)) scene.objects;
+    material_images =
+      List.map
+        (fun o -> Proto.sample t.material_proto t.rng (index materials o.material))
+        scene.objects;
+    size_images =
+      List.map (fun o -> Proto.sample t.size_proto t.rng (index sizes o.size)) scene.objects;
+  }
+
+let dataset t n = List.init n (fun _ -> sample t)
+
+let answer_to_string = function
+  | A_int n -> string_of_int n
+  | A_bool b -> string_of_bool b
+  | A_str s -> s

@@ -1,0 +1,231 @@
+(** Synthetic CLUTRR: kinship reasoning with algorithmic supervision
+    (paper Sec. 6.1, Appendix C.5; from [Sinha et al. 2019]).
+
+    A sample is a chain of k atomic kinship facts between characters drawn
+    from a randomly generated family tree, a query pair, and the target
+    relation between the pair (derivable only by composing the chain).  The
+    "natural language" surface is synthesized: each fact becomes a sentence
+    embedding (relation prototype + noise), so the RoBERTa role is played by
+    an MLP relation extractor (see DESIGN.md substitutions).
+
+    The composition knowledge base (the paper's 92 manually specified
+    triplets) is {e derived by enumeration}: we sample many trees, observe
+    which (r1, r2) → r3 compositions hold deterministically, and keep those. *)
+
+(* ---- the 20 kinship relations --------------------------------------------- *)
+
+let relations =
+  [|
+    "father"; "mother"; "son"; "daughter"; "husband"; "wife"; "brother"; "sister";
+    "grandfather"; "grandmother"; "grandson"; "granddaughter"; "uncle"; "aunt";
+    "nephew"; "niece"; "father-in-law"; "mother-in-law"; "son-in-law"; "daughter-in-law";
+  |]
+
+let num_relations = Array.length relations
+let relation_id name = Array.to_list relations |> List.mapi (fun i x -> (x, i)) |> List.assoc name
+
+(* ---- family trees ------------------------------------------------------------ *)
+
+type person = {
+  id : int;
+  male : bool;
+  mutable parents : (int * int) option;  (** (father, mother) *)
+  mutable spouse : int option;
+  mutable children : int list;
+}
+
+type tree = { people : person array }
+
+(** Generate a three-generation family tree. *)
+let gen_tree rng : tree =
+  let people = ref [] in
+  let next = ref 0 in
+  let mk male =
+    let p = { id = !next; male; parents = None; spouse = None; children = [] } in
+    incr next;
+    people := p :: !people;
+    p
+  in
+  let marry a b =
+    a.spouse <- Some b.id;
+    b.spouse <- Some a.id
+  in
+  let have_children father mother n =
+    List.init n (fun _ ->
+        let c = mk (Scallop_utils.Rng.bool rng) in
+        c.parents <- Some (father.id, mother.id);
+        father.children <- c.id :: father.children;
+        mother.children <- c.id :: mother.children;
+        c)
+  in
+  (* generation 0 *)
+  let g0f = mk true and g0m = mk false in
+  marry g0f g0m;
+  let gen1 = have_children g0f g0m (2 + Scallop_utils.Rng.int rng 2) in
+  (* generation 1: marry some and give them children *)
+  List.iter
+    (fun c ->
+      if Scallop_utils.Rng.float rng < 0.8 then begin
+        let sp = mk (not c.male) in
+        marry c sp;
+        let f, m = if c.male then (c, sp) else (sp, c) in
+        ignore (have_children f m (1 + Scallop_utils.Rng.int rng 2))
+      end)
+    gen1;
+  let arr = Array.of_list (List.rev !people) in
+  Array.sort (fun a b -> compare a.id b.id) arr;
+  { people = arr }
+
+let person t i = t.people.(i)
+
+let parents_of t i =
+  match (person t i).parents with Some (f, m) -> [ f; m ] | None -> []
+
+let siblings_of t i =
+  match (person t i).parents with
+  | None -> []
+  | Some (f, _) -> List.filter (fun c -> c <> i) (person t f).children
+
+(** Relation of [b] to [a] ("b is a's <rel>"), if expressible in the 20. *)
+let relation_of t a b : int option =
+  if a = b then None
+  else begin
+    let pa = person t a and pb = person t b in
+    let gendered m f = Some (relation_id (if pb.male then m else f)) in
+    if List.mem b (parents_of t a) then gendered "father" "mother"
+    else if List.mem a (parents_of t b) then gendered "son" "daughter"
+    else if pa.spouse = Some b then gendered "husband" "wife"
+    else if List.mem b (siblings_of t a) then gendered "brother" "sister"
+    else if List.exists (fun p -> List.mem b (parents_of t p)) (parents_of t a) then
+      gendered "grandfather" "grandmother"
+    else if List.exists (fun p -> List.mem a (parents_of t p)) (parents_of t b) then
+      gendered "grandson" "granddaughter"
+    else if List.exists (fun p -> List.mem b (siblings_of t p)) (parents_of t a) then
+      gendered "uncle" "aunt"
+    else if List.exists (fun p -> List.mem a (siblings_of t p)) (parents_of t b) then
+      gendered "nephew" "niece"
+    else
+      match pa.spouse with
+      | Some sp when List.mem b (parents_of t sp) -> gendered "father-in-law" "mother-in-law"
+      | _ ->
+          if
+            List.exists
+              (fun c -> (person t c).spouse = Some b)
+              pa.children
+          then gendered "son-in-law" "daughter-in-law"
+          else None
+  end
+
+(* ---- composition knowledge base ------------------------------------------------ *)
+
+(** Enumerate deterministic compositions over sampled trees: keep
+    (r1, r2, r3) such that whenever b is a's r1 and c is b's r2 and the
+    relation of c to a is defined, it is always r3. *)
+let composition_table =
+  lazy
+    (let rng = Scallop_utils.Rng.create 7777 in
+     let observed : (int * int, int list) Hashtbl.t = Hashtbl.create 256 in
+     for _ = 1 to 200 do
+       let t = gen_tree rng in
+       let n = Array.length t.people in
+       for a = 0 to n - 1 do
+         for b = 0 to n - 1 do
+           match relation_of t a b with
+           | None -> ()
+           | Some r1 ->
+               for c = 0 to n - 1 do
+                 match (relation_of t b c, relation_of t a c) with
+                 | Some r2, Some r3 ->
+                     let cur = Option.value (Hashtbl.find_opt observed (r1, r2)) ~default:[] in
+                     if not (List.mem r3 cur) then Hashtbl.replace observed (r1, r2) (r3 :: cur)
+                 | _ -> ()
+               done
+         done
+       done
+     done;
+     Hashtbl.fold
+       (fun (r1, r2) r3s acc -> match r3s with [ r3 ] -> (r1, r2, r3) :: acc | _ -> acc)
+       observed []
+     |> List.sort compare)
+
+(* ---- samples ---------------------------------------------------------------------- *)
+
+let name_pool =
+  [|
+    "Alice"; "Bob"; "Carol"; "David"; "Emma"; "Frank"; "Grace"; "Henry"; "Ivy"; "Jack";
+    "Kate"; "Liam"; "Mia"; "Noah"; "Olivia"; "Paul"; "Quinn"; "Ruth"; "Sam"; "Tina";
+    "Uma"; "Victor"; "Wendy"; "Xander"; "Yara"; "Zane";
+  |]
+
+type sample = {
+  chain : (int * string * string) list;
+      (** (relation, subject, object): "object is subject's relation" *)
+  query : string * string;
+  target : int;
+  k : int;
+}
+
+type t = { rng : Scallop_utils.Rng.t; proto : Proto.t }
+
+let create ?(noise = 0.4) ?(dim = 16) ~seed () =
+  let rng = Scallop_utils.Rng.create seed in
+  { rng; proto = Proto.create ~noise ~rng ~classes:num_relations ~dim () }
+
+(** Sample a chain of [k] atomic facts whose endpoint relation is defined.
+    Atomic facts use only the 8 immediate-family relations, so longer chains
+    require genuine composition. *)
+let atomic r = r < 8
+
+let sample t ~k : sample option =
+  let tree = gen_tree t.rng in
+  let n = Array.length tree.people in
+  (* random walk over atomic relations without immediately backtracking *)
+  let start = Scallop_utils.Rng.int t.rng n in
+  let rec walk path current remaining =
+    if remaining = 0 then Some (List.rev path)
+    else begin
+      let moves =
+        List.filter_map
+          (fun next ->
+            match relation_of tree current next with
+            | Some r
+              when atomic r
+                   && (not (List.exists (fun (_, _, b) -> b = next) path))
+                   && next <> start ->
+                Some (r, current, next)
+            | _ -> None)
+          (List.init n Fun.id)
+      in
+      match moves with
+      | [] -> None
+      | _ ->
+          let (r, a, b) = Scallop_utils.Rng.choose t.rng moves in
+          walk ((r, a, b) :: path) b (remaining - 1)
+    end
+  in
+  match walk [] start k with
+  | None -> None
+  | Some path ->
+      let final = match List.rev path with (_, _, b) :: _ -> b | [] -> start in
+      (match relation_of tree start final with
+      | None -> None
+      | Some target ->
+          (* assign names *)
+          let names = Array.copy name_pool in
+          Scallop_utils.Rng.shuffle t.rng names;
+          let name i = names.(i mod Array.length names) in
+          Some
+            {
+              chain = List.map (fun (r, a, b) -> (r, name a, name b)) path;
+              query = (name start, name final);
+              target;
+              k;
+            })
+
+let rec sample_retry t ~k =
+  match sample t ~k with Some s -> s | None -> sample_retry t ~k
+
+let dataset t ~k n = List.init n (fun _ -> sample_retry t ~k)
+
+(** Sentence embedding for a chain fact: relation prototype + noise. *)
+let sentence_embedding t (r, _, _) = Proto.sample t.proto t.rng r

@@ -1,0 +1,90 @@
+(** Synthetic Hand-Written Formula dataset (paper Sec. 6.1, from
+    [Li et al. 2020]).
+
+    A formula is a sequence of symbols from the 14-class alphabet
+    0-9 + - × ÷, well-formed by the grammar [digit (op digit)*] with length
+    1–7 and no division by zero; the target is the evaluated rational value
+    (× ÷ bind tighter than + −).  Each symbol is perceived as a noisy
+    prototype image. *)
+
+open Scallop_tensor
+
+let symbols = [| "0"; "1"; "2"; "3"; "4"; "5"; "6"; "7"; "8"; "9"; "+"; "-"; "*"; "/" |]
+let num_symbols = Array.length symbols
+let symbol_index s = Array.to_list symbols |> List.mapi (fun i x -> (x, i)) |> List.assoc s
+
+type t = { proto : Proto.t; rng : Scallop_utils.Rng.t }
+
+let create ?(noise = 0.35) ?(dim = 16) ~seed () =
+  let rng = Scallop_utils.Rng.create seed in
+  { proto = Proto.create ~noise ~rng ~classes:num_symbols ~dim (); rng }
+
+type sample = { images : Nd.t list; syms : string list; value : float }
+
+(** Evaluate a token list with standard precedence.  Total: malformed
+    sequences (as predicted by an untrained model) and division by zero
+    yield [None]. *)
+let eval_formula (syms : string list) : float option =
+  let ( let* ) = Option.bind in
+  let num d = float_of_string_opt d in
+  (* split into terms at + and -, evaluate * / within each term *)
+  let rec eval_term acc = function
+    | [] -> Some (acc, [])
+    | "*" :: d :: rest ->
+        let* dv = num d in
+        eval_term (acc *. dv) rest
+    | "/" :: d :: rest ->
+        let* dv = num d in
+        if dv = 0.0 then None else eval_term (acc /. dv) rest
+    | rest -> Some (acc, rest)
+  in
+  let rec eval_expr acc = function
+    | [] -> Some acc
+    | "+" :: d :: rest ->
+        let* dv = num d in
+        let* v, rest' = eval_term dv rest in
+        eval_expr (acc +. v) rest'
+    | "-" :: d :: rest ->
+        let* dv = num d in
+        let* v, rest' = eval_term dv rest in
+        eval_expr (acc -. v) rest'
+    | _ -> None
+  in
+  match syms with
+  | d :: rest ->
+      let* dv = num d in
+      let* v, rest' = eval_term dv rest in
+      eval_expr v rest'
+  | [] -> None
+
+(** Generate a well-formed formula of odd length [len]: a digit followed by
+    operator-digit pairs.  Division never has a zero denominator. *)
+let gen_formula t len : string list =
+  let digit ?(nonzero = false) () =
+    let d = if nonzero then 1 + Scallop_utils.Rng.int t.rng 9 else Scallop_utils.Rng.int t.rng 10 in
+    string_of_int d
+  in
+  let ops = [| "+"; "-"; "*"; "/" |] in
+  let rec go acc remaining =
+    if remaining <= 0 then List.rev acc
+    else begin
+      let op = ops.(Scallop_utils.Rng.int t.rng 4) in
+      let d = digit ~nonzero:(op = "/") () in
+      go (d :: op :: acc) (remaining - 2)
+    end
+  in
+  let first = digit () in
+  go [ first ] (len - 1)
+
+let sample ?(max_len = 7) t : sample =
+  (* lengths 1,3,5,7 (well-formed formulas have odd length) *)
+  let choices = List.filter (fun l -> l <= max_len) [ 1; 3; 5; 7 ] in
+  let len = List.nth choices (Scallop_utils.Rng.int t.rng (List.length choices)) in
+  let syms = gen_formula t len in
+  let value =
+    match eval_formula syms with Some v -> v | None -> assert false (* no div-by-zero by construction *)
+  in
+  let images = List.map (fun s -> Proto.sample t.proto t.rng (symbol_index s)) syms in
+  { images; syms; value }
+
+let dataset ?max_len t n = List.init n (fun _ -> sample ?max_len t)

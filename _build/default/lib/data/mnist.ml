@@ -1,0 +1,70 @@
+(** Synthetic MNIST for the MNIST-R test suite (paper Sec. 6.1).
+
+    Ten digit classes over the {!Proto} substrate; task datasets pair k
+    digit images with the task's ground-truth output (sum, comparison,
+    negation, count) while withholding the digit labels — algorithmic
+    supervision only. *)
+
+open Scallop_tensor
+
+type t = { proto : Proto.t; rng : Scallop_utils.Rng.t }
+
+let create ?(noise = 0.5) ?(dim = 16) ~seed () =
+  let rng = Scallop_utils.Rng.create seed in
+  { proto = Proto.create ~noise ~rng ~classes:10 ~dim (); rng }
+
+type sample = { images : Nd.t list; digits : int list; target : int }
+
+let sample_digits t n =
+  let digits = List.init n (fun _ -> Scallop_utils.Rng.int t.rng 10) in
+  let images = List.map (Proto.sample t.proto t.rng) digits in
+  (digits, images)
+
+(** MNIST-R subtasks.  [target] encodes the task output as an integer
+    (booleans as 0/1). *)
+type task = Sum2 | Sum3 | Sum4 | Less_than | Not_3_or_4 | Count_3 | Count_3_or_4
+
+let task_name = function
+  | Sum2 -> "sum2"
+  | Sum3 -> "sum3"
+  | Sum4 -> "sum4"
+  | Less_than -> "less-than"
+  | Not_3_or_4 -> "not-3-or-4"
+  | Count_3 -> "count-3"
+  | Count_3_or_4 -> "count-3-or-4"
+
+let all_tasks = [ Sum2; Sum3; Sum4; Less_than; Not_3_or_4; Count_3; Count_3_or_4 ]
+
+let num_images = function
+  | Sum2 -> 2
+  | Sum3 -> 3
+  | Sum4 -> 4
+  | Less_than -> 2
+  | Not_3_or_4 -> 1
+  | Count_3 | Count_3_or_4 -> 8
+
+(** Output domain size of a task (for candidate enumeration). *)
+let num_outputs = function
+  | Sum2 -> 19
+  | Sum3 -> 28
+  | Sum4 -> 37
+  | Less_than -> 2
+  | Not_3_or_4 -> 2
+  | Count_3 | Count_3_or_4 -> 9
+
+let target_of task digits =
+  match (task, digits) with
+  | Sum2, [ a; b ] -> a + b
+  | Sum3, [ a; b; c ] -> a + b + c
+  | Sum4, [ a; b; c; d ] -> a + b + c + d
+  | Less_than, [ a; b ] -> if a < b then 1 else 0
+  | Not_3_or_4, [ a ] -> if a <> 3 && a <> 4 then 1 else 0
+  | Count_3, ds -> List.length (List.filter (( = ) 3) ds)
+  | Count_3_or_4, ds -> List.length (List.filter (fun d -> d = 3 || d = 4) ds)
+  | _ -> invalid_arg "Mnist.target_of: wrong digit count"
+
+let sample t task : sample =
+  let digits, images = sample_digits t (num_images task) in
+  { images; digits; target = target_of task digits }
+
+let dataset t task n = List.init n (fun _ -> sample t task)

@@ -1,0 +1,95 @@
+(** Synthetic Mugen: video–text alignment (paper Sec. 6.1, Appendix C.6;
+    from [Hayes et al. 2022]).
+
+    A "video" is a sequence of frames, each showing the controlled character
+    performing an (action, modifier) pair; the aligned "text" is the
+    sequence of (action, modifier) expressions obtained by collapsing
+    consecutive repeats.  Frames are perceived as noisy prototypes of their
+    (action, modifier) class; the text side is structured (the paper
+    extracts it from NL with rules).  Retrieval tasks pair one text with a
+    pool of videos (TVR) or vice versa (VTR). *)
+
+open Scallop_tensor
+
+let actions = [| "walk"; "jump"; "climb"; "collect"; "kill" |]
+
+(** Modifiers compatible with each action. *)
+let mods_of_action = function
+  | "walk" | "jump" -> [| "left"; "right" |]
+  | "climb" -> [| "up"; "down" |]
+  | "collect" -> [| "coin"; "gem" |]
+  | "kill" -> [| "face"; "barnacle" |]
+  | _ -> [||]
+
+(** Flattened (action, mod) class list — the perception classes. *)
+let classes =
+  Array.to_list actions
+  |> List.concat_map (fun a -> Array.to_list (mods_of_action a) |> List.map (fun m -> (a, m)))
+  |> Array.of_list
+
+let num_classes = Array.length classes
+
+let class_id (a, m) =
+  let rec go i = if classes.(i) = (a, m) then i else go (i + 1) in
+  go 0
+
+type t = { rng : Scallop_utils.Rng.t; proto : Proto.t }
+
+let create ?(noise = 0.4) ?(dim = 16) ~seed () =
+  let rng = Scallop_utils.Rng.create seed in
+  { rng; proto = Proto.create ~noise ~rng ~classes:num_classes ~dim () }
+
+type sample = {
+  frames : (string * string) list;  (** per-frame ground truth *)
+  frame_images : Nd.t list;
+  text : (string * string) list;  (** collapsed event expressions *)
+  aligned : bool;
+}
+
+let collapse frames =
+  List.fold_left
+    (fun acc f -> match acc with x :: _ when x = f -> acc | _ -> f :: acc)
+    [] frames
+  |> List.rev
+
+let gen_frames t len =
+  (* segments of 1-3 identical frames *)
+  let rec go acc remaining =
+    if remaining <= 0 then List.rev acc
+    else begin
+      let c = classes.(Scallop_utils.Rng.int t.rng num_classes) in
+      let seg = 1 + Scallop_utils.Rng.int t.rng (min 3 remaining) in
+      go (List.init seg (fun _ -> c) @ acc) (remaining - seg)
+    end
+  in
+  go [] len
+
+let sample ?(len = 6) t : sample =
+  let frames = gen_frames t len in
+  let aligned = Scallop_utils.Rng.bool t.rng in
+  let text =
+    if aligned then collapse frames
+    else begin
+      (* text from a different video; re-roll until it differs *)
+      let rec other () =
+        let alt = collapse (gen_frames t len) in
+        if alt = collapse frames then other () else alt
+      in
+      other ()
+    end
+  in
+  let frame_images = List.map (fun c -> Proto.sample t.proto t.rng (class_id c)) frames in
+  { frames; frame_images; text; aligned }
+
+(** Retrieval pool: one aligned video + (pool-1) distractors for a text. *)
+let retrieval_pool ?(len = 6) ?(pool = 8) t =
+  let target = sample ~len t in
+  let target = { target with text = collapse target.frames; aligned = true } in
+  let distractors =
+    List.init (pool - 1) (fun _ ->
+        let s = sample ~len t in
+        { s with text = target.text; aligned = false })
+  in
+  (target, distractors)
+
+let dataset ?len t n = List.init n (fun _ -> sample ?len t)

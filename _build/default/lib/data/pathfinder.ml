@@ -1,0 +1,130 @@
+(** Synthetic Pathfinder (paper Sec. 6.1, Appendix C.3; from the Long Range
+    Arena [Tay et al. 2020]).
+
+    Following the paper's architecture, the image is abstracted to a
+    grid-based connectivity graph: conceptual "dots" at grid nodes and
+    conceptual "dashes" on the edges between 4-adjacent nodes.  A sample
+    places two marked dots and a set of present dashes; the label says
+    whether the dots are connected through present dashes.  Positive samples
+    draw a random walk between the dots (plus distractor dashes); negatives
+    drop an edge of every connecting path.  Each edge/dot is perceived as a
+    noisy prototype of present/absent, so the network must learn local
+    presence detection while supervision is only the global connectivity
+    bit.  [grid] defaults to 4 (the Path flavor); use a larger grid for
+    Path-X-style difficulty. *)
+
+open Scallop_tensor
+
+type t = {
+  grid : int;
+  edges : (int * int) array;  (** undirected, node ids are [y*grid+x] *)
+  proto : Proto.t;  (** 2 classes: absent / present *)
+  rng : Scallop_utils.Rng.t;
+}
+
+let node grid x y = (y * grid) + x
+
+let make_edges grid =
+  let acc = ref [] in
+  for y = 0 to grid - 1 do
+    for x = 0 to grid - 1 do
+      if x + 1 < grid then acc := (node grid x y, node grid (x + 1) y) :: !acc;
+      if y + 1 < grid then acc := (node grid x y, node grid x (y + 1)) :: !acc
+    done
+  done;
+  Array.of_list (List.rev !acc)
+
+let create ?(grid = 4) ?(noise = 0.4) ?(dim = 12) ~seed () =
+  let rng = Scallop_utils.Rng.create seed in
+  { grid; edges = make_edges grid; proto = Proto.create ~noise ~rng ~classes:2 ~dim (); rng }
+
+type sample = {
+  dots : int * int;
+  dashes : bool array;  (** aligned with [t.edges] *)
+  edge_images : Nd.t list;
+  connected : bool;
+}
+
+let neighbors t v =
+  Array.to_list t.edges
+  |> List.filter_map (fun (a, b) -> if a = v then Some b else if b = v then Some a else None)
+
+let connected_via t (dashes : bool array) a b =
+  let n = t.grid * t.grid in
+  let seen = Array.make n false in
+  let queue = Queue.create () in
+  Queue.add a queue;
+  seen.(a) <- true;
+  let found = ref false in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    if v = b then found := true;
+    Array.iteri
+      (fun ei (x, y) ->
+        if dashes.(ei) then begin
+          let other = if x = v then Some y else if y = v then Some x else None in
+          match other with
+          | Some w when not seen.(w) ->
+              seen.(w) <- true;
+              Queue.add w queue
+          | _ -> ()
+        end)
+      t.edges
+  done;
+  !found
+
+let sample t : sample =
+  let n = t.grid * t.grid in
+  let a = Scallop_utils.Rng.int t.rng n in
+  let b = ref (Scallop_utils.Rng.int t.rng n) in
+  while !b = a do
+    b := Scallop_utils.Rng.int t.rng n
+  done;
+  let b = !b in
+  let dashes = Array.make (Array.length t.edges) false in
+  (* distractor dashes *)
+  Array.iteri (fun i _ -> if Scallop_utils.Rng.float t.rng < 0.2 then dashes.(i) <- true) t.edges;
+  let want_connected = Scallop_utils.Rng.bool t.rng in
+  if want_connected then begin
+    (* random walk from a to b, turning its edges on *)
+    let v = ref a in
+    let steps = ref 0 in
+    while !v <> b && !steps < 4 * n do
+      incr steps;
+      let nbrs = neighbors t !v in
+      (* bias the walk towards b *)
+      let bx = b mod t.grid and by = b / t.grid in
+      let score w =
+        let wx = w mod t.grid and wy = w / t.grid in
+        -.(abs_float (float_of_int (wx - bx)) +. abs_float (float_of_int (wy - by)))
+      in
+      let w =
+        if Scallop_utils.Rng.float t.rng < 0.7 then
+          List.fold_left (fun acc u -> if score u > score acc then u else acc) (List.hd nbrs) nbrs
+        else Scallop_utils.Rng.choose t.rng nbrs
+      in
+      Array.iteri
+        (fun ei (x, y) -> if (x = !v && y = w) || (y = !v && x = w) then dashes.(ei) <- true)
+        t.edges;
+      v := w
+    done
+  end
+  else begin
+    (* sever all connections: greedily remove dashes on paths *)
+    let guard = ref 0 in
+    while connected_via t dashes a b && !guard < 200 do
+      incr guard;
+      let on = ref [] in
+      Array.iteri (fun i d -> if d then on := i :: !on) dashes;
+      match !on with
+      | [] -> ()
+      | l -> dashes.(List.nth l (Scallop_utils.Rng.int t.rng (List.length l))) <- false
+    done
+  end;
+  let connected = connected_via t dashes a b in
+  let edge_images =
+    Array.to_list (Array.mapi (fun i _ -> Proto.sample t.proto t.rng (if dashes.(i) then 1 else 0)) t.edges)
+  in
+  { dots = (a, b); dashes; edge_images; connected }
+
+let dataset t n = List.init n (fun _ -> sample t)

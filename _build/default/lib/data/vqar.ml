@@ -1,0 +1,142 @@
+(** Synthetic VQAR: visual question answering with a common-sense knowledge
+    base (paper Sec. 6.1; from the GQA-based setup with [Gao et al. 2019]).
+
+    Scenes are graphs of named objects with attributes and pairwise
+    relations; queries are programmatic ("retrieve objects that are-a X,
+    have attribute A, and stand in relation R to an object that is-a Y");
+    and the structured common-sense KB is an is-a taxonomy over object
+    names.  Object names/attributes/relations are perceived as noisy
+    prototypes; the KB and the query are structured inputs (starred in
+    paper Table 2). *)
+
+open Scallop_tensor
+
+(* A small is-a taxonomy: leaf names are what the perception model predicts. *)
+let taxonomy =
+  [
+    ("poodle", "dog"); ("beagle", "dog"); ("dog", "animal"); ("tabby", "cat");
+    ("siamese", "cat"); ("cat", "animal"); ("sparrow", "bird"); ("eagle", "bird");
+    ("bird", "animal"); ("oak", "tree"); ("pine", "tree"); ("tree", "plant");
+    ("rose", "flower"); ("tulip", "flower"); ("flower", "plant"); ("sedan", "car");
+    ("truck", "vehicle"); ("car", "vehicle"); ("animal", "entity"); ("plant", "entity");
+    ("vehicle", "entity");
+  ]
+
+let leaf_names =
+  [| "poodle"; "beagle"; "tabby"; "siamese"; "sparrow"; "eagle"; "oak"; "pine"; "rose";
+     "tulip"; "sedan"; "truck" |]
+
+let attributes = [| "small"; "large"; "dark"; "light"; "old"; "young" |]
+let rel_names = [| "near"; "on"; "behind"; "holding" |]
+
+(** Transitive closure of is-a from a leaf name. *)
+let rec ancestors name =
+  match List.assoc_opt name taxonomy with
+  | None -> [ name ]
+  | Some parent -> name :: ancestors parent
+
+type obj = { oid : int; name : string; attrs : string list }
+type scene = { objects : obj list; rels : (string * int * int) list }
+
+(** Queries: retrieve object ids satisfying the constraints. *)
+type query =
+  | Q_is_a of string  (** objects whose name is-a the given category *)
+  | Q_attr of string * string  (** is-a category with a required attribute *)
+  | Q_rel of string * string * string
+      (** objects is-a cat1 standing in rel to some object is-a cat2 *)
+
+type t = {
+  rng : Scallop_utils.Rng.t;
+  name_proto : Proto.t;
+  attr_proto : Proto.t;
+  rel_proto : Proto.t;
+}
+
+let create ?(noise = 0.35) ?(dim = 16) ~seed () =
+  let rng = Scallop_utils.Rng.create seed in
+  {
+    rng;
+    name_proto = Proto.create ~noise ~rng ~classes:(Array.length leaf_names) ~dim ();
+    attr_proto = Proto.create ~noise ~rng ~classes:(Array.length attributes) ~dim ();
+    rel_proto = Proto.create ~noise ~rng ~classes:(Array.length rel_names) ~dim ();
+  }
+
+let gen_scene ?(min_objects = 3) ?(max_objects = 6) t : scene =
+  let n = min_objects + Scallop_utils.Rng.int t.rng (max_objects - min_objects + 1) in
+  let pick arr = arr.(Scallop_utils.Rng.int t.rng (Array.length arr)) in
+  let objects =
+    List.init n (fun oid ->
+        let attrs =
+          Array.to_list attributes
+          |> List.filter (fun _ -> Scallop_utils.Rng.float t.rng < 0.3)
+        in
+        { oid; name = pick leaf_names; attrs })
+  in
+  let rels =
+    List.concat_map
+      (fun a ->
+        List.filter_map
+          (fun b ->
+            if a.oid <> b.oid && Scallop_utils.Rng.float t.rng < 0.25 then
+              Some (pick rel_names, a.oid, b.oid)
+            else None)
+          objects)
+      objects
+  in
+  { objects; rels }
+
+let eval_query (s : scene) (q : query) : int list =
+  let is_a o cat = List.mem cat (ancestors o.name) in
+  match q with
+  | Q_is_a cat -> List.filter_map (fun o -> if is_a o cat then Some o.oid else None) s.objects
+  | Q_attr (cat, attr) ->
+      List.filter_map
+        (fun o -> if is_a o cat && List.mem attr o.attrs then Some o.oid else None)
+        s.objects
+  | Q_rel (cat1, r, cat2) ->
+      List.filter_map
+        (fun o ->
+          if
+            is_a o cat1
+            && List.exists
+                 (fun (r', a, b) ->
+                   r' = r && a = o.oid
+                   && List.exists (fun o2 -> o2.oid = b && is_a o2 cat2) s.objects)
+                 s.rels
+          then Some o.oid
+          else None)
+        s.objects
+
+let categories =
+  [| "dog"; "cat"; "bird"; "animal"; "tree"; "flower"; "plant"; "vehicle"; "entity"; "car" |]
+
+let gen_query t : query =
+  let pick arr = arr.(Scallop_utils.Rng.int t.rng (Array.length arr)) in
+  match Scallop_utils.Rng.int t.rng 3 with
+  | 0 -> Q_is_a (pick categories)
+  | 1 -> Q_attr (pick categories, pick attributes)
+  | _ -> Q_rel (pick categories, pick rel_names, pick categories)
+
+type sample = {
+  scene : scene;
+  query : query;
+  answer : int list;
+  name_images : Nd.t list;  (** one per object *)
+}
+
+let index arr v = Array.to_list arr |> List.mapi (fun i x -> (x, i)) |> List.assoc v
+
+let sample t : sample =
+  let scene = gen_scene t in
+  let query = gen_query t in
+  {
+    scene;
+    query;
+    answer = eval_query scene query;
+    name_images =
+      List.map
+        (fun o -> Proto.sample t.name_proto t.rng (index leaf_names o.name))
+        scene.objects;
+  }
+
+let dataset t n = List.init n (fun _ -> sample t)

@@ -1,0 +1,1 @@
+lib/envs/pacman.ml: Array Hashtbl List Nd Queue Scallop_data Scallop_tensor Scallop_utils

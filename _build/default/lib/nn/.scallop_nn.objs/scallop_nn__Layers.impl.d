@@ -1,0 +1,1 @@
+lib/nn/layers.ml: Autodiff List Nd Scallop_tensor

@@ -1,0 +1,1 @@
+lib/nn/scallop_layer.ml: Array Autodiff Float Fun Hashtbl Interp List Nd Provenance Registry Scallop_core Scallop_tensor Session Tuple

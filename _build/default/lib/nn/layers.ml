@@ -1,0 +1,58 @@
+(** Neural network layers over the autodiff substrate.
+
+    The benchmark suite's perception models (the "CNN" / "RoBERTa" roles of
+    paper Table 2; see DESIGN.md substitutions) are MLP classifiers built
+    from these layers. *)
+
+open Scallop_tensor
+
+type activation = Relu | Tanh | Sigmoid | Identity
+
+let apply_activation act v =
+  match act with
+  | Relu -> Autodiff.relu v
+  | Tanh -> Autodiff.tanh_ v
+  | Sigmoid -> Autodiff.sigmoid v
+  | Identity -> v
+
+module Linear = struct
+  type t = { w : Autodiff.t; b : Autodiff.t }
+
+  let create rng ~in_dim ~out_dim =
+    {
+      w = Autodiff.param (Nd.xavier rng in_dim out_dim);
+      b = Autodiff.param (Nd.zeros [| 1; out_dim |]);
+    }
+
+  let forward t x = Autodiff.add_rowvec (Autodiff.matmul x t.w) t.b
+  let params t = [ t.w; t.b ]
+end
+
+(** Multi-layer perceptron: [dims] = [in; h1; ...; out]; hidden layers use
+    [activation], the output layer is linear (apply softmax/sigmoid at the
+    loss site). *)
+module Mlp = struct
+  type t = { layers : Linear.t list; activation : activation }
+
+  let create rng ?(activation = Relu) (dims : int list) =
+    let rec build = function
+      | a :: (b :: _ as rest) -> Linear.create rng ~in_dim:a ~out_dim:b :: build rest
+      | _ -> []
+    in
+    { layers = build dims; activation }
+
+  let forward t x =
+    let n = List.length t.layers in
+    List.fold_left
+      (fun (i, h) layer ->
+        let out = Linear.forward layer h in
+        let out = if i < n - 1 then apply_activation t.activation out else out in
+        (i + 1, out))
+      (0, x) t.layers
+    |> snd
+
+  (** Forward pass ending in row-softmax — a classifier head. *)
+  let classify t x = Autodiff.softmax (forward t x)
+
+  let params t = List.concat_map Linear.params t.layers
+end

@@ -1,0 +1,173 @@
+(** The differentiable Scallop layer: a logic program as a network module.
+
+    This is the OCaml counterpart of [scallopy]'s [ScallopModule] (paper
+    Fig. 2c): input distributions produced by neural networks become
+    probabilistic facts, a compiled Scallop program runs under a
+    differentiable provenance, and the recovered output probabilities —
+    together with the Jacobian ∂y/∂r delivered by the provenance's dual
+    numbers — are wrapped back into an autodiff variable, so the surrounding
+    training loop backpropagates end-to-end through the logic program. *)
+
+open Scallop_tensor
+open Scallop_core
+
+type input_mapping = {
+  pred : string;  (** interface relation *)
+  entries : (int * Tuple.t) array;
+      (** (index into [probs], fact tuple); a subset of the distribution may
+          be exposed (e.g. HWF's top-k symbol sampling, Appendix C.2) *)
+  probs : Autodiff.t;  (** probability tensor the indices point into *)
+  mutually_exclusive : bool;  (** one me-group for the whole mapping *)
+}
+
+(** Expose a whole distribution: entry i ↦ tuples.(i). *)
+let dense_mapping ~pred ~tuples ~probs ~mutually_exclusive =
+  { pred; entries = Array.mapi (fun i t -> (i, t)) tuples; probs; mutually_exclusive }
+
+(** Expose only the [k] most probable entries (paper's HWF sampling). *)
+let topk_mapping ~k ~pred ~tuples ~probs ~mutually_exclusive =
+  let v = Autodiff.value probs in
+  let idx = Array.init (Array.length tuples) Fun.id in
+  Array.sort (fun a b -> compare (Nd.get1 v b) (Nd.get1 v a)) idx;
+  let keep = Array.sub idx 0 (min k (Array.length idx)) in
+  { pred; entries = Array.map (fun i -> (i, tuples.(i))) keep; probs; mutually_exclusive }
+
+(** Facts with no attached network output (structured inputs, the starred
+    rows of paper Table 2). *)
+type static_fact = string * Tuple.t
+
+type run_output = {
+  y : Autodiff.t;  (** [1 × n] output probabilities *)
+  tuples : Tuple.t array;  (** tuple of each output column *)
+}
+
+(* Shared implementation: run the program once and wire up the Jacobian for
+   each requested output relation. *)
+let run_multi_internal ~config ~spec ~compiled ~static_facts ~inputs
+    ~(outputs : (string * Tuple.t array option) list) : run_output list =
+  let provenance = Registry.create spec in
+  let facts_by_pred : (string, (Provenance.Input.t * Tuple.t) list ref) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let push pred entry =
+    match Hashtbl.find_opt facts_by_pred pred with
+    | Some l -> l := entry :: !l
+    | None -> Hashtbl.replace facts_by_pred pred (ref [ entry ])
+  in
+  (* Remember which (mapping, entry) produced each pushed fact, keyed by the
+     coerced tuple identity within its relation. *)
+  let slot_of_fact : (string * Tuple.t, int * int) Hashtbl.t = Hashtbl.create 64 in
+  List.iteri
+    (fun mi m ->
+      let me_group = if m.mutually_exclusive then Some mi else None in
+      Array.iter
+        (fun (i, tuple) ->
+          let p = Nd.get1 (Autodiff.value m.probs) i in
+          let p = Float.min 1.0 (Float.max 0.0 p) in
+          let coerced = Session.coerce_tuple compiled m.pred tuple in
+          Hashtbl.replace slot_of_fact (m.pred, coerced) (mi, i);
+          push m.pred (Provenance.Input.prob ?me_group p, tuple))
+        m.entries)
+    inputs;
+  List.iter (fun (pred, tuple) -> push pred (Provenance.Input.none, tuple)) static_facts;
+  let facts = Hashtbl.fold (fun pred l acc -> (pred, List.rev !l) :: acc) facts_by_pred [] in
+  let result =
+    Session.run ~config ~provenance compiled ~facts ~outputs:(List.map fst outputs) ()
+  in
+  let id_to_slot : (int, int * int) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun ((pred, tuple), id) ->
+      match Hashtbl.find_opt slot_of_fact (pred, tuple) with
+      | Some slot -> Hashtbl.replace id_to_slot id slot
+      | None -> ())
+    result.Session.fact_ids;
+  List.map
+    (fun (out_pred, candidates) ->
+      let out_rel = Session.output result out_pred in
+      let out_tuples, out_values =
+        match candidates with
+        | Some cands ->
+            ( cands,
+              Array.map
+                (fun cand ->
+                  let cand = Session.coerce_tuple compiled out_pred cand in
+                  List.find_opt (fun (t, _) -> Tuple.compare t cand = 0) out_rel)
+                cands )
+        | None ->
+            let arr = Array.of_list out_rel in
+            (Array.map fst arr, Array.map (fun x -> Some x) arr)
+      in
+      let n_out = Array.length out_tuples in
+      let y = Nd.zeros [| 1; max 1 n_out |] in
+      let jac : (int * int * float) list array = Array.make (max 1 n_out) [] in
+      Array.iteri
+        (fun j entry ->
+          match entry with
+          | None -> ()
+          | Some (_, o) ->
+              Nd.set1 y j (Provenance.Output.prob o);
+              jac.(j) <-
+                List.filter_map
+                  (fun (id, g) ->
+                    match Hashtbl.find_opt id_to_slot id with
+                    | Some (mi, i) -> Some (mi, i, g)
+                    | None -> None)
+                  (Provenance.Output.gradient o))
+        out_values;
+      let parents =
+        List.mapi
+          (fun mi m ->
+            let push (g : Nd.t) : Nd.t =
+              let contrib = Nd.zeros (Autodiff.value m.probs).Nd.shape in
+              Array.iteri
+                (fun j entries ->
+                  let gj = Nd.get1 g j in
+                  if gj <> 0.0 then
+                    List.iter
+                      (fun (mi', i, dydr) ->
+                        if mi' = mi then
+                          contrib.Nd.data.(i) <- contrib.Nd.data.(i) +. (gj *. dydr))
+                      entries)
+                jac;
+              contrib
+            in
+            { Autodiff.var = m.probs; push })
+          inputs
+      in
+      { y = Autodiff.custom ~op:("scallop:" ^ out_pred) ~value:y ~parents; tuples = out_tuples })
+    outputs
+
+(** Run with a fixed output candidate domain: the result row gives the
+    probability of each candidate (0 when underived). *)
+let forward ?(config = Interp.default_config ()) ~(spec : Registry.spec)
+    ~(compiled : Session.compiled) ?(static_facts : static_fact list = [])
+    ~(inputs : input_mapping list) ~(out_pred : string) ~(candidates : Tuple.t array) () :
+    Autodiff.t =
+  match
+    run_multi_internal ~config ~spec ~compiled ~static_facts ~inputs
+      ~outputs:[ (out_pred, Some candidates) ]
+  with
+  | [ out ] -> out.y
+  | _ -> assert false
+
+(** Run with an open output domain: all derived tuples become candidates
+    (used when the output space is unbounded, e.g. HWF's rational results). *)
+let forward_open ?(config = Interp.default_config ()) ~(spec : Registry.spec)
+    ~(compiled : Session.compiled) ?(static_facts : static_fact list = [])
+    ~(inputs : input_mapping list) ~(out_pred : string) () : run_output =
+  match
+    run_multi_internal ~config ~spec ~compiled ~static_facts ~inputs
+      ~outputs:[ (out_pred, None) ]
+  with
+  | [ out ] -> out
+  | _ -> assert false
+
+(** Run once and read several output relations (e.g. PacMan's [next_action]
+    and [violation]), amortizing the program execution. *)
+let forward_multi ?(config = Interp.default_config ()) ~(spec : Registry.spec)
+    ~(compiled : Session.compiled) ?(static_facts : static_fact list = [])
+    ~(inputs : input_mapping list) ~(outputs : (string * Tuple.t array) list) () :
+    Autodiff.t list =
+  run_multi_internal ~config ~spec ~compiled ~static_facts ~inputs
+    ~outputs:(List.map (fun (p, c) -> (p, Some c)) outputs)
+  |> List.map (fun o -> o.y)

@@ -1,0 +1,1 @@
+lib/tensor/nd.ml: Array Float Fmt List Scallop_utils

@@ -1,0 +1,1 @@
+lib/tensor/optim.ml: Array Autodiff List Nd

@@ -1,0 +1,59 @@
+(** Gradient-descent optimizers over {!Autodiff} parameters. *)
+
+type t = { params : Autodiff.t list; step : unit -> unit; zero_grad : unit -> unit }
+
+let apply_update params update =
+  List.iteri
+    (fun i (p : Autodiff.t) ->
+      match p.Autodiff.grad with
+      | None -> ()
+      | Some g -> update i p g)
+    params
+
+(** Plain SGD with optional momentum. *)
+let sgd ?(momentum = 0.0) ~lr (params : Autodiff.t list) : t =
+  let velocity =
+    List.map (fun (p : Autodiff.t) -> Nd.zeros p.Autodiff.value.Nd.shape) params
+    |> Array.of_list
+  in
+  let step () =
+    apply_update params (fun i p g ->
+        if momentum > 0.0 then begin
+          let v = velocity.(i) in
+          Array.iteri
+            (fun j gj -> v.Nd.data.(j) <- (momentum *. v.Nd.data.(j)) +. gj)
+            g.Nd.data;
+          Array.iteri
+            (fun j vj -> p.Autodiff.value.Nd.data.(j) <- p.Autodiff.value.Nd.data.(j) -. (lr *. vj))
+            v.Nd.data
+        end
+        else
+          Array.iteri
+            (fun j gj -> p.Autodiff.value.Nd.data.(j) <- p.Autodiff.value.Nd.data.(j) -. (lr *. gj))
+            g.Nd.data)
+  in
+  { params; step; zero_grad = (fun () -> Autodiff.zero_grad params) }
+
+(** Adam [Kingma & Ba 2015], the optimizer used by the paper's training
+    setups. *)
+let adam ?(beta1 = 0.9) ?(beta2 = 0.999) ?(eps = 1e-8) ~lr (params : Autodiff.t list) : t =
+  let m = List.map (fun (p : Autodiff.t) -> Nd.zeros p.Autodiff.value.Nd.shape) params |> Array.of_list in
+  let v = List.map (fun (p : Autodiff.t) -> Nd.zeros p.Autodiff.value.Nd.shape) params |> Array.of_list in
+  let t = ref 0 in
+  let step () =
+    incr t;
+    let bc1 = 1.0 -. (beta1 ** float_of_int !t) in
+    let bc2 = 1.0 -. (beta2 ** float_of_int !t) in
+    apply_update params (fun i p g ->
+        let mi = m.(i) and vi = v.(i) in
+        Array.iteri
+          (fun j gj ->
+            mi.Nd.data.(j) <- (beta1 *. mi.Nd.data.(j)) +. ((1.0 -. beta1) *. gj);
+            vi.Nd.data.(j) <- (beta2 *. vi.Nd.data.(j)) +. ((1.0 -. beta2) *. gj *. gj);
+            let mhat = mi.Nd.data.(j) /. bc1 in
+            let vhat = vi.Nd.data.(j) /. bc2 in
+            p.Autodiff.value.Nd.data.(j) <-
+              p.Autodiff.value.Nd.data.(j) -. (lr *. mhat /. (sqrt vhat +. eps)))
+          g.Nd.data)
+  in
+  { params; step; zero_grad = (fun () -> Autodiff.zero_grad params) }

@@ -1,0 +1,1 @@
+lib/utils/graph.ml: Array List Stack

@@ -1,0 +1,1 @@
+lib/utils/listx.ml: Array List Map

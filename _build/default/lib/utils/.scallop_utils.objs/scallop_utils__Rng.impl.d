@@ -1,0 +1,1 @@
+lib/utils/rng.ml: Array Float Int64 List

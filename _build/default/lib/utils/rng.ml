@@ -1,0 +1,96 @@
+(** Deterministic, splittable pseudo-random number generation.
+
+    All stochastic components of the system (dataset generation, weight
+    initialization, samplers, RL environments) draw from this module so that
+    every experiment is reproducible from a single integer seed.  The
+    generator is SplitMix64 [Steele et al. 2014], which has a 64-bit state,
+    passes BigCrush, and supports O(1) splitting. *)
+
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* One SplitMix64 step: advance the state and scramble the output. *)
+let next_int64 t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(** [split t] returns a new generator whose stream is statistically
+    independent of [t]'s subsequent outputs. *)
+let split t = { state = next_int64 t }
+
+(** Uniform int in [0, bound). Raises [Invalid_argument] if [bound <= 0]. *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Keep 62 bits so the value fits OCaml's 63-bit native int non-negatively. *)
+  let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+  r mod bound
+
+(** Uniform float in [0, 1). *)
+let float t =
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+(** Uniform float in [lo, hi). *)
+let uniform t lo hi = lo +. (float t *. (hi -. lo))
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+(* Box–Muller; we discard the second variate for simplicity. *)
+let gaussian ?(mu = 0.0) ?(sigma = 1.0) t =
+  let u1 = max 1e-12 (float t) in
+  let u2 = float t in
+  let z = sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2) in
+  mu +. (sigma *. z)
+
+(** Sample an index according to unnormalized non-negative [weights].
+    Falls back to uniform choice if all weights are zero. *)
+let categorical t weights =
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  if total <= 0.0 then int t (Array.length weights)
+  else begin
+    let x = float t *. total in
+    let acc = ref 0.0 in
+    let res = ref (Array.length weights - 1) in
+    (try
+       Array.iteri
+         (fun i w ->
+           acc := !acc +. w;
+           if x < !acc then begin
+             res := i;
+             raise Exit
+           end)
+         weights
+     with Exit -> ());
+    !res
+  end
+
+(** In-place Fisher–Yates shuffle. *)
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+(** [choose t lst] picks a uniform element of a non-empty list. *)
+let choose t lst =
+  match lst with
+  | [] -> invalid_arg "Rng.choose: empty list"
+  | _ -> List.nth lst (int t (List.length lst))
+
+(** [sample_without_replacement t k arr] returns [k] distinct elements. *)
+let sample_without_replacement t k arr =
+  let n = Array.length arr in
+  if k > n then invalid_arg "Rng.sample_without_replacement: k > n";
+  let copy = Array.copy arr in
+  shuffle t copy;
+  Array.sub copy 0 k

@@ -1,0 +1,1 @@
+test/test_aggregate.ml: Aggregate Alcotest Array Fmt List Prov_discrete Prov_prob Provenance Ram Scallop_core Scallop_utils Tuple Value

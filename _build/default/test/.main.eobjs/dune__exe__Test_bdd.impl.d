@@ -1,0 +1,1 @@
+test/test_bdd.ml: Alcotest Array Bdd Fun List QCheck QCheck_alcotest Scallop_bdd Scallop_utils

@@ -1,0 +1,1 @@
+test/test_data.ml: Alcotest Array Clevr Clutrr Hwf Lazy List Mnist Mugen Pathfinder Proto Scallop_data Scallop_envs Scallop_tensor Scallop_utils String Vqar

@@ -1,0 +1,1 @@
+test/test_demand.ml: Alcotest List Provenance Registry Scallop_core Session String Tuple Value

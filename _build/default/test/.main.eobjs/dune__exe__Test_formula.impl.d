@@ -1,0 +1,1 @@
+test/test_formula.ml: Alcotest Array Dual Formula List Scallop_core Scallop_utils Wmc

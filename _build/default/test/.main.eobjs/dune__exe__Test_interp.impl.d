@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Fmt Interp List Provenance QCheck QCheck_alcotest Ram Registry Scallop_core Scallop_utils Session String Tuple Value

@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Fmt Interp List Option Provenance Registry Scallop_core Scallop_utils Session String Tuple Value

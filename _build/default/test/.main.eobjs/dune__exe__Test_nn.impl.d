@@ -1,0 +1,1 @@
+test/test_nn.ml: Alcotest Array Autodiff Fmt Layers List Nd Option Registry Scallop_core Scallop_layer Scallop_nn Scallop_tensor Scallop_utils Session Tuple Value

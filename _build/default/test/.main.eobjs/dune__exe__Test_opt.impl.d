@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest Fmt Foreign List Opt Provenance Ram Registry Scallop_apps Scallop_core Session Tuple Value

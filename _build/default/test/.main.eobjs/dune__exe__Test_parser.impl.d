@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Array Ast Foreign Lexer List Parser Scallop_apps Scallop_core Session

@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array Dual Float Fmt Formula Lexer List Parser Provenance QCheck QCheck_alcotest Registry Scallop_core Scallop_data Session Sys Tuple Value Wmc

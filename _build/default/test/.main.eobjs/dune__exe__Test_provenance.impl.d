@@ -1,0 +1,1 @@
+test/test_provenance.ml: Alcotest Float Fmt List Option Provenance Registry Scallop_core Scallop_utils Session Tuple Value

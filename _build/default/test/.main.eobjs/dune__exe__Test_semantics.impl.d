@@ -1,0 +1,1 @@
+test/test_semantics.ml: Alcotest Array Fmt Hashtbl List Option Provenance Registry Scallop_core Scallop_utils Session String Tuple Value

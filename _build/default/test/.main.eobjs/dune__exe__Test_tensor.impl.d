@@ -1,0 +1,1 @@
+test/test_tensor.ml: Alcotest Array Autodiff Float Fmt Nd Optim Scallop_nn Scallop_tensor Scallop_utils

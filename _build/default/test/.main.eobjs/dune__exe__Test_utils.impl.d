@@ -1,0 +1,1 @@
+test/test_utils.ml: Alcotest Array Float Fun Graph Int List Listx QCheck QCheck_alcotest Rng Scallop_utils

@@ -1,0 +1,1 @@
+test/test_value.ml: Alcotest Float List Scallop_core Stdlib Tuple Value

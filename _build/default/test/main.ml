@@ -1,0 +1,21 @@
+let () =
+  Alcotest.run "scallop"
+    [
+      ("utils", Test_utils.suite);
+      ("value", Test_value.suite);
+      ("bdd", Test_bdd.suite);
+      ("formula-wmc", Test_formula.suite);
+      ("provenance", Test_provenance.suite);
+      ("aggregate", Test_aggregate.suite);
+      ("parser", Test_parser.suite);
+      ("language", Test_lang.suite);
+      ("tensor", Test_tensor.suite);
+      ("nn", Test_nn.suite);
+      ("data", Test_data.suite);
+      ("interp", Test_interp.suite);
+      ("opt", Test_opt.suite);
+      ("demand", Test_demand.suite);
+      ("semantics", Test_semantics.suite);
+      ("properties", Test_properties.suite);
+      ("apps", Test_apps.suite);
+    ]

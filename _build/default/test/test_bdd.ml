@@ -1,0 +1,140 @@
+(** Tests for the ROBDD substrate: reduction/sharing invariants, boolean
+    algebra laws (property-based), model counting and weighted model
+    counting against brute-force enumeration. *)
+
+open Scallop_bdd
+
+let check = Alcotest.check
+
+let test_reduction () =
+  let m = Bdd.manager () in
+  (* x ∧ ¬x = false, x ∨ ¬x = true *)
+  let x = Bdd.var m 0 in
+  let nx = Bdd.bnot m x in
+  check Alcotest.int "x∧¬x" (Bdd.node_id Bdd.bfalse) (Bdd.node_id (Bdd.band m x nx));
+  check Alcotest.int "x∨¬x" (Bdd.node_id Bdd.btrue) (Bdd.node_id (Bdd.bor m x nx))
+
+let test_hash_consing () =
+  let m = Bdd.manager () in
+  let a = Bdd.band m (Bdd.var m 0) (Bdd.var m 1) in
+  let b = Bdd.band m (Bdd.var m 1) (Bdd.var m 0) in
+  check Alcotest.int "structural sharing" (Bdd.node_id a) (Bdd.node_id b)
+
+(* Random formula generator over [nvars] variables. *)
+type form = V of int | And of form * form | Or of form * form | Not of form | T | F
+
+let rec gen_form rng nvars depth =
+  if depth = 0 then V (Scallop_utils.Rng.int rng nvars)
+  else
+    match Scallop_utils.Rng.int rng 6 with
+    | 0 -> V (Scallop_utils.Rng.int rng nvars)
+    | 1 -> And (gen_form rng nvars (depth - 1), gen_form rng nvars (depth - 1))
+    | 2 -> Or (gen_form rng nvars (depth - 1), gen_form rng nvars (depth - 1))
+    | 3 -> Not (gen_form rng nvars (depth - 1))
+    | 4 -> T
+    | _ -> F
+
+let rec build m = function
+  | V i -> Bdd.var m i
+  | And (a, b) -> Bdd.band m (build m a) (build m b)
+  | Or (a, b) -> Bdd.bor m (build m a) (build m b)
+  | Not a -> Bdd.bnot m (build m a)
+  | T -> Bdd.btrue
+  | F -> Bdd.bfalse
+
+let rec eval_form assign = function
+  | V i -> assign i
+  | And (a, b) -> eval_form assign a && eval_form assign b
+  | Or (a, b) -> eval_form assign a || eval_form assign b
+  | Not a -> not (eval_form assign a)
+  | T -> true
+  | F -> false
+
+let test_eval_agrees () =
+  let rng = Scallop_utils.Rng.create 99 in
+  let nvars = 5 in
+  for _ = 1 to 100 do
+    let f = gen_form rng nvars 4 in
+    let m = Bdd.manager () in
+    let bdd = build m f in
+    for mask = 0 to (1 lsl nvars) - 1 do
+      let assign v = mask land (1 lsl v) <> 0 in
+      if Bdd.eval assign bdd <> eval_form assign f then
+        Alcotest.fail "BDD evaluation disagrees with formula"
+    done
+  done
+
+let test_count_sat_brute_force () =
+  let rng = Scallop_utils.Rng.create 7 in
+  let nvars = 5 in
+  for _ = 1 to 50 do
+    let f = gen_form rng nvars 4 in
+    let m = Bdd.manager () in
+    let bdd = build m f in
+    let brute = ref 0 in
+    for mask = 0 to (1 lsl nvars) - 1 do
+      if eval_form (fun v -> mask land (1 lsl v) <> 0) f then incr brute
+    done;
+    check (Alcotest.float 1e-9) "model count" (float_of_int !brute) (Bdd.count_sat nvars bdd)
+  done
+
+let test_wmc_brute_force () =
+  let rng = Scallop_utils.Rng.create 21 in
+  let nvars = 5 in
+  let probs = Array.init nvars (fun _ -> Scallop_utils.Rng.float rng) in
+  for _ = 1 to 50 do
+    let f = gen_form rng nvars 4 in
+    let m = Bdd.manager () in
+    let bdd = build m f in
+    let brute = ref 0.0 in
+    for mask = 0 to (1 lsl nvars) - 1 do
+      let assign v = mask land (1 lsl v) <> 0 in
+      if eval_form assign f then begin
+        let w = ref 1.0 in
+        for v = 0 to nvars - 1 do
+          w := !w *. (if assign v then probs.(v) else 1.0 -. probs.(v))
+        done;
+        brute := !brute +. !w
+      end
+    done;
+    let wmc =
+      Bdd.wmc ~zero:0.0 ~one:1.0 ~add:( +. ) ~mul:( *. )
+        ~w_pos:(fun v -> probs.(v))
+        ~w_neg:(fun v -> 1.0 -. probs.(v))
+        ~vars:(List.init nvars Fun.id) bdd
+    in
+    check (Alcotest.float 1e-9) "wmc" !brute wmc
+  done
+
+let test_cube_and_dnf () =
+  let m = Bdd.manager () in
+  let c = Bdd.cube m [ (0, true); (2, false) ] in
+  check Alcotest.bool "cube sat" true (Bdd.eval (fun v -> v = 0) c);
+  check Alcotest.bool "cube unsat" false (Bdd.eval (fun v -> v = 0 || v = 2) c);
+  let d = Bdd.of_dnf m [ [ (0, true) ]; [ (1, true) ] ] in
+  check Alcotest.bool "dnf or" true (Bdd.eval (fun v -> v = 1) d);
+  check Alcotest.bool "dnf neither" false (Bdd.eval (fun _ -> false) d)
+
+let qcheck_de_morgan =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:100 ~name:"de morgan on BDDs"
+       QCheck.(pair small_nat small_nat)
+       (fun (s1, s2) ->
+         let rng = Scallop_utils.Rng.create ((s1 * 1000) + s2) in
+         let f1 = gen_form rng 4 3 and f2 = gen_form rng 4 3 in
+         let m = Bdd.manager () in
+         let a = build m f1 and b = build m f2 in
+         let lhs = Bdd.bnot m (Bdd.band m a b) in
+         let rhs = Bdd.bor m (Bdd.bnot m a) (Bdd.bnot m b) in
+         Bdd.node_id lhs = Bdd.node_id rhs))
+
+let suite =
+  [
+    Alcotest.test_case "reduction" `Quick test_reduction;
+    Alcotest.test_case "hash consing" `Quick test_hash_consing;
+    Alcotest.test_case "eval agrees with formula" `Quick test_eval_agrees;
+    Alcotest.test_case "count_sat vs brute force" `Quick test_count_sat_brute_force;
+    Alcotest.test_case "wmc vs brute force" `Quick test_wmc_brute_force;
+    Alcotest.test_case "cube and dnf" `Quick test_cube_and_dnf;
+    qcheck_de_morgan;
+  ]

@@ -1,0 +1,317 @@
+(** Tests for the synthetic dataset generators and the RL environment:
+    structural invariants, ground-truth evaluators, determinism from seed. *)
+
+open Scallop_data
+
+let check = Alcotest.check
+
+(* ---- Proto -------------------------------------------------------------------- *)
+
+let test_proto_deterministic () =
+  let mk () =
+    let rng = Scallop_utils.Rng.create 9 in
+    let p = Proto.create ~rng ~classes:4 ~dim:8 () in
+    Proto.sample p rng 2
+  in
+  check (Alcotest.array (Alcotest.float 1e-12)) "same seed same sample" (mk ()).Scallop_tensor.Nd.data
+    (mk ()).Scallop_tensor.Nd.data
+
+let test_proto_classes_separable () =
+  (* noiseless samples of different classes differ *)
+  let rng = Scallop_utils.Rng.create 10 in
+  let p = Proto.create ~noise:0.0 ~rng ~classes:3 ~dim:8 () in
+  let a = Proto.sample p rng 0 and b = Proto.sample p rng 1 in
+  if a.Scallop_tensor.Nd.data = b.Scallop_tensor.Nd.data then
+    Alcotest.fail "distinct prototypes expected"
+
+(* ---- MNIST-R ------------------------------------------------------------------- *)
+
+let test_mnist_targets () =
+  let d = Mnist.create ~seed:1 () in
+  List.iter
+    (fun task ->
+      List.iter
+        (fun (s : Mnist.sample) ->
+          check Alcotest.int "image count" (Mnist.num_images task) (List.length s.Mnist.images);
+          check Alcotest.int "target" (Mnist.target_of task s.Mnist.digits) s.Mnist.target;
+          if s.Mnist.target < 0 || s.Mnist.target >= Mnist.num_outputs task then
+            Alcotest.fail "target out of output domain")
+        (Mnist.dataset d task 50))
+    Mnist.all_tasks
+
+(* ---- HWF ----------------------------------------------------------------------- *)
+
+let test_hwf_eval_formula () =
+  let cases =
+    [
+      ([ "3" ], Some 3.0);
+      ([ "1"; "+"; "3"; "/"; "5" ], Some 1.6);
+      ([ "2"; "*"; "3"; "+"; "4" ], Some 10.0);
+      ([ "2"; "+"; "3"; "*"; "4" ], Some 14.0);
+      ([ "8"; "/"; "2"; "/"; "2" ], Some 2.0);
+      ([ "5"; "-"; "2"; "-"; "1" ], Some 2.0);
+      ([ "1"; "/"; "0" ], None);
+    ]
+  in
+  List.iter
+    (fun (syms, expected) ->
+      match (Hwf.eval_formula syms, expected) with
+      | Some v, Some e -> check (Alcotest.float 1e-9) (String.concat "" syms) e v
+      | None, None -> ()
+      | _ -> Alcotest.failf "mismatch on %s" (String.concat "" syms))
+    cases
+
+let test_hwf_samples_well_formed () =
+  let d = Hwf.create ~seed:2 () in
+  List.iter
+    (fun (s : Hwf.sample) ->
+      let n = List.length s.Hwf.syms in
+      if n mod 2 = 0 || n > 7 then Alcotest.fail "length must be odd and ≤ 7";
+      match Hwf.eval_formula s.Hwf.syms with
+      | Some v -> check (Alcotest.float 1e-9) "value matches" v s.Hwf.value
+      | None -> Alcotest.fail "sample must evaluate (no div by zero)")
+    (Hwf.dataset d 100)
+
+(* ---- Pathfinder ------------------------------------------------------------------ *)
+
+let test_pathfinder_label_consistent () =
+  let d = Pathfinder.create ~grid:4 ~seed:3 () in
+  List.iter
+    (fun (s : Pathfinder.sample) ->
+      let a, b = s.Pathfinder.dots in
+      check Alcotest.bool "label = BFS reachability" s.Pathfinder.connected
+        (Pathfinder.connected_via d s.Pathfinder.dashes a b);
+      if a = b then Alcotest.fail "dots must differ";
+      check Alcotest.int "one image per edge"
+        (Array.length d.Pathfinder.edges)
+        (List.length s.Pathfinder.edge_images))
+    (Pathfinder.dataset d 50)
+
+let test_pathfinder_balanced () =
+  let d = Pathfinder.create ~grid:4 ~seed:4 () in
+  let samples = Pathfinder.dataset d 200 in
+  let pos = List.length (List.filter (fun s -> s.Pathfinder.connected) samples) in
+  if pos < 40 || pos > 160 then Alcotest.failf "labels too imbalanced: %d/200 positive" pos
+
+(* ---- CLUTRR ---------------------------------------------------------------------- *)
+
+let test_clutrr_composition_table () =
+  let table = Lazy.force Clutrr.composition_table in
+  (* the paper's manual KB has 92 triplets; ours is derived by enumeration
+     and must be substantial and functional (unique r3 per (r1, r2)) *)
+  if List.length table < 40 then
+    Alcotest.failf "composition table too small: %d" (List.length table);
+  let pairs = List.map (fun (a, b, _) -> (a, b)) table in
+  check Alcotest.int "functional" (List.length pairs)
+    (List.length (List.sort_uniq compare pairs));
+  (* spot-check: father's mother is grandmother *)
+  let f = Clutrr.relation_id "father" and m = Clutrr.relation_id "mother" in
+  let gm = Clutrr.relation_id "grandmother" in
+  match List.find_opt (fun (a, b, _) -> a = f && b = m) table with
+  | Some (_, _, r3) -> check Alcotest.int "father∘mother=grandmother" gm r3
+  | None -> Alcotest.fail "father∘mother missing from table"
+
+let test_clutrr_samples () =
+  let d = Clutrr.create ~seed:5 () in
+  List.iter
+    (fun k ->
+      List.iter
+        (fun (s : Clutrr.sample) ->
+          check Alcotest.int "chain length" k (List.length s.Clutrr.chain);
+          if s.Clutrr.target < 0 || s.Clutrr.target >= Clutrr.num_relations then
+            Alcotest.fail "target relation out of range";
+          (* the chain is connected: each fact's object is the next subject *)
+          let rec connected = function
+            | (_, _, b) :: (((_, a, _) :: _) as rest) ->
+                if a <> b then Alcotest.fail "chain not connected" else connected rest
+            | _ -> ()
+          in
+          connected s.Clutrr.chain;
+          (* query endpoints are the chain endpoints *)
+          let qs, qo = s.Clutrr.query in
+          (match s.Clutrr.chain with
+          | (_, a, _) :: _ -> check Alcotest.string "query subject" a qs
+          | [] -> ());
+          match List.rev s.Clutrr.chain with
+          | (_, _, b) :: _ -> check Alcotest.string "query object" b qo
+          | [] -> ())
+        (Clutrr.dataset d ~k 20))
+    [ 2; 3; 4 ]
+
+let test_clutrr_relation_of_gendered () =
+  (* build one deterministic tree and sanity check relations *)
+  let rng = Scallop_utils.Rng.create 6 in
+  let t = Clutrr.gen_tree rng in
+  let n = Array.length t.Clutrr.people in
+  (* every child-parent edge must be father/mother matching gender *)
+  for a = 0 to n - 1 do
+    List.iter
+      (fun p ->
+        match Clutrr.relation_of t a p with
+        | Some r ->
+            let name = Clutrr.relations.(r) in
+            let parent = Clutrr.person t p in
+            if parent.Clutrr.male then check Alcotest.string "father" "father" name
+            else check Alcotest.string "mother" "mother" name
+        | None -> Alcotest.fail "parent relation must be defined")
+      (Clutrr.parents_of t a)
+  done
+
+(* ---- Mugen ------------------------------------------------------------------------ *)
+
+let test_mugen_collapse () =
+  check
+    Alcotest.(list (pair string string))
+    "collapse"
+    [ ("walk", "left"); ("jump", "right"); ("walk", "left") ]
+    (Mugen.collapse
+       [ ("walk", "left"); ("walk", "left"); ("jump", "right"); ("walk", "left") ])
+
+let test_mugen_alignment () =
+  let d = Mugen.create ~seed:7 () in
+  List.iter
+    (fun (s : Mugen.sample) ->
+      let truth = Mugen.collapse s.Mugen.frames = s.Mugen.text in
+      check Alcotest.bool "aligned flag consistent" s.Mugen.aligned truth)
+    (Mugen.dataset d 100)
+
+let test_mugen_mods_compatible () =
+  let d = Mugen.create ~seed:8 () in
+  List.iter
+    (fun (s : Mugen.sample) ->
+      List.iter
+        (fun (a, m) ->
+          if not (Array.mem m (Mugen.mods_of_action a)) then
+            Alcotest.failf "incompatible pair (%s, %s)" a m)
+        s.Mugen.frames)
+    (Mugen.dataset d 50)
+
+(* ---- CLEVR ------------------------------------------------------------------------- *)
+
+let test_clevr_reference_evaluator () =
+  let scene =
+    {
+      Clevr.objects =
+        [
+          { Clevr.oid = 0; shape = "cube"; color = "red"; material = "metal"; size = "small"; x = 0.1; y = 0.5 };
+          { Clevr.oid = 1; shape = "cube"; color = "blue"; material = "rubber"; size = "large"; x = 0.9; y = 0.2 };
+          { Clevr.oid = 2; shape = "sphere"; color = "red"; material = "metal"; size = "large"; x = 0.5; y = 0.9 };
+        ];
+    }
+  in
+  check Alcotest.string "count cubes" "2"
+    (Clevr.answer_to_string (Clevr.eval_question scene (Clevr.Count (Clevr.Filter_shape (Clevr.Scene, "cube")))));
+  check Alcotest.string "exists red sphere" "true"
+    (Clevr.answer_to_string
+       (Clevr.eval_question scene
+          (Clevr.Exists (Clevr.Filter_color (Clevr.Filter_shape (Clevr.Scene, "sphere"), "red")))));
+  check Alcotest.string "query color of sphere" "red"
+    (Clevr.answer_to_string
+       (Clevr.eval_question scene (Clevr.Query_attr ("color", Clevr.Filter_shape (Clevr.Scene, "sphere")))));
+  (* relate: objects left of the (unique) sphere *)
+  check Alcotest.string "count left of sphere" "1"
+    (Clevr.answer_to_string
+       (Clevr.eval_question scene
+          (Clevr.Count (Clevr.Relate (Clevr.Filter_shape (Clevr.Scene, "sphere"), "left")))))
+
+let test_clevr_samples () =
+  let d = Clevr.create ~seed:9 () in
+  List.iter
+    (fun (s : Clevr.sample) ->
+      let n = List.length s.Clevr.scene.Clevr.objects in
+      check Alcotest.int "shape images" n (List.length s.Clevr.shape_images);
+      check Alcotest.string "answer consistent"
+        (Clevr.answer_to_string (Clevr.eval_question s.Clevr.scene s.Clevr.question))
+        (Clevr.answer_to_string s.Clevr.answer))
+    (Clevr.dataset d 50)
+
+(* ---- VQAR ---------------------------------------------------------------------------- *)
+
+let test_vqar_taxonomy () =
+  check Alcotest.(list string) "poodle ancestry"
+    [ "poodle"; "dog"; "animal"; "entity" ]
+    (Vqar.ancestors "poodle")
+
+let test_vqar_query_eval () =
+  let scene =
+    {
+      Vqar.objects =
+        [
+          { Vqar.oid = 0; name = "poodle"; attrs = [ "small" ] };
+          { Vqar.oid = 1; name = "oak"; attrs = [] };
+          { Vqar.oid = 2; name = "tabby"; attrs = [ "small" ] };
+        ];
+      rels = [ ("near", 0, 1) ];
+    }
+  in
+  check Alcotest.(list int) "is-a animal" [ 0; 2 ] (Vqar.eval_query scene (Vqar.Q_is_a "animal"));
+  check Alcotest.(list int) "small animals" [ 0; 2 ]
+    (Vqar.eval_query scene (Vqar.Q_attr ("animal", "small")));
+  check Alcotest.(list int) "dog near plant" [ 0 ]
+    (Vqar.eval_query scene (Vqar.Q_rel ("dog", "near", "plant")))
+
+let test_vqar_samples () =
+  let d = Vqar.create ~seed:11 () in
+  List.iter
+    (fun (s : Vqar.sample) ->
+      check Alcotest.(list int) "answer consistent"
+        (Vqar.eval_query s.Vqar.scene s.Vqar.query)
+        s.Vqar.answer)
+    (Vqar.dataset d 50)
+
+(* ---- PacMan env ------------------------------------------------------------------------ *)
+
+let test_pacman_env () =
+  let env = Scallop_envs.Pacman.create ~grid:5 ~seed:12 () in
+  for _ = 1 to 20 do
+    Scallop_envs.Pacman.reset env;
+    (* every reset yields a solvable maze with distinct actor/goal *)
+    if not (Scallop_envs.Pacman.solvable env) then Alcotest.fail "unsolvable maze";
+    let gt = Scallop_envs.Pacman.ground_truth env in
+    let count c =
+      Array.fold_left
+        (fun acc row -> acc + Array.length (Array.to_list row |> List.filter (( = ) c) |> Array.of_list))
+        0 gt
+    in
+    check Alcotest.int "one actor" 1 (count Scallop_envs.Pacman.Actor);
+    check Alcotest.int "one goal" 1 (count Scallop_envs.Pacman.Goal);
+    let obs = Scallop_envs.Pacman.observe env in
+    check (Alcotest.array Alcotest.int) "obs shape" [| 25; 12 |] obs.Scallop_tensor.Nd.shape
+  done
+
+let test_pacman_step_semantics () =
+  let env = Scallop_envs.Pacman.create ~grid:5 ~max_steps:10 ~seed:13 () in
+  Scallop_envs.Pacman.reset env;
+  (* walking into walls keeps the actor in bounds; episodes terminate *)
+  let finished = ref false in
+  let steps = ref 0 in
+  while not !finished do
+    incr steps;
+    let r = Scallop_envs.Pacman.step env Scallop_envs.Pacman.Up in
+    finished := r.Scallop_envs.Pacman.finished
+  done;
+  if !steps > 10 then Alcotest.fail "step budget not enforced"
+
+let suite =
+  [
+    Alcotest.test_case "proto deterministic" `Quick test_proto_deterministic;
+    Alcotest.test_case "proto classes separable" `Quick test_proto_classes_separable;
+    Alcotest.test_case "mnist targets" `Quick test_mnist_targets;
+    Alcotest.test_case "hwf eval_formula" `Quick test_hwf_eval_formula;
+    Alcotest.test_case "hwf samples well-formed" `Quick test_hwf_samples_well_formed;
+    Alcotest.test_case "pathfinder label consistent" `Quick test_pathfinder_label_consistent;
+    Alcotest.test_case "pathfinder balanced" `Quick test_pathfinder_balanced;
+    Alcotest.test_case "clutrr composition table" `Quick test_clutrr_composition_table;
+    Alcotest.test_case "clutrr samples" `Quick test_clutrr_samples;
+    Alcotest.test_case "clutrr gendered relations" `Quick test_clutrr_relation_of_gendered;
+    Alcotest.test_case "mugen collapse" `Quick test_mugen_collapse;
+    Alcotest.test_case "mugen alignment" `Quick test_mugen_alignment;
+    Alcotest.test_case "mugen mod compatibility" `Quick test_mugen_mods_compatible;
+    Alcotest.test_case "clevr reference evaluator" `Quick test_clevr_reference_evaluator;
+    Alcotest.test_case "clevr samples" `Quick test_clevr_samples;
+    Alcotest.test_case "vqar taxonomy" `Quick test_vqar_taxonomy;
+    Alcotest.test_case "vqar query eval" `Quick test_vqar_query_eval;
+    Alcotest.test_case "vqar samples" `Quick test_vqar_samples;
+    Alcotest.test_case "pacman env invariants" `Quick test_pacman_env;
+    Alcotest.test_case "pacman step semantics" `Quick test_pacman_step_semantics;
+  ]

@@ -1,0 +1,214 @@
+(** Tests for DNF proof formulas and dual numbers: the ∨k/∧k/¬k operations
+    (paper Fig. 13), absorption, mutual-exclusion conflicts, and WMC against
+    brute-force possible-world enumeration — including the categorical
+    (mutually exclusive) semantics of Appendix B.4.4. *)
+
+open Scallop_core
+
+let check = Alcotest.check
+
+let mk_env probs = Formula.env (fun v -> probs.(v))
+
+(* ---- Dual numbers -------------------------------------------------------------- *)
+
+let test_dual_arith () =
+  let a = Dual.var 0 0.5 and b = Dual.var 1 0.25 in
+  let s = Dual.add a b in
+  check (Alcotest.float 1e-9) "add value" 0.75 (Dual.value s);
+  check (Alcotest.float 1e-9) "add grad a" 1.0 (List.assoc 0 (Dual.deriv_list s));
+  let p = Dual.mul a b in
+  check (Alcotest.float 1e-9) "mul value" 0.125 (Dual.value p);
+  check (Alcotest.float 1e-9) "mul grad a" 0.25 (List.assoc 0 (Dual.deriv_list p));
+  check (Alcotest.float 1e-9) "mul grad b" 0.5 (List.assoc 1 (Dual.deriv_list p));
+  let c = Dual.complement a in
+  check (Alcotest.float 1e-9) "compl value" 0.5 (Dual.value c);
+  check (Alcotest.float 1e-9) "compl grad" (-1.0) (List.assoc 0 (Dual.deriv_list c))
+
+let test_dual_minmax_subgradient () =
+  let a = Dual.var 0 0.7 and b = Dual.var 1 0.3 in
+  let m = Dual.max a b in
+  check (Alcotest.float 1e-9) "max takes larger" 0.7 (Dual.value m);
+  check Alcotest.bool "max keeps larger's grad" true
+    (List.mem_assoc 0 (Dual.deriv_list m) && not (List.mem_assoc 1 (Dual.deriv_list m)))
+
+let test_dual_clamp () =
+  let a = Dual.make 1.5 (Dual.deriv (Dual.var 0 1.0)) in
+  let c = Dual.clamp a in
+  check (Alcotest.float 1e-9) "clamped" 1.0 (Dual.value c);
+  check Alcotest.bool "grad kept" true (List.mem_assoc 0 (Dual.deriv_list c))
+
+(* ---- Formula operations ---------------------------------------------------------- *)
+
+let test_formula_basics () =
+  check Alcotest.bool "ff false" true (Formula.is_false Formula.ff);
+  check Alcotest.bool "tt true" true (Formula.is_true Formula.tt);
+  check Alcotest.bool "pos not false" false (Formula.is_false (Formula.of_pos 0))
+
+let test_conj_conflict () =
+  let env = mk_env [| 0.5; 0.5 |] in
+  let a = Formula.of_pos 0 in
+  let na = [ Formula.singleton_neg 0 ] in
+  check Alcotest.bool "x ∧ ¬x = false" true (Formula.is_false (Formula.conj_k env 10 a na))
+
+let test_absorption () =
+  let env = mk_env [| 0.9; 0.8 |] in
+  (* {x0} ∨ {x0 ∧ x1} = {x0} *)
+  let f =
+    Formula.disj_k env 10 (Formula.of_pos 0)
+      [ Formula.proof_of_literals [ (0, true); (1, true) ] ]
+  in
+  check Alcotest.int "absorbed" 1 (List.length f)
+
+let test_top_k_truncation () =
+  let env = mk_env [| 0.9; 0.5; 0.1 |] in
+  let proofs = [ Formula.singleton_pos 2; Formula.singleton_pos 0; Formula.singleton_pos 1 ] in
+  let kept = Formula.top_k env 2 proofs in
+  check Alcotest.int "two kept" 2 (List.length kept);
+  check Alcotest.bool "highest prob kept" true
+    (List.exists (Formula.proof_equal (Formula.singleton_pos 0)) kept);
+  check Alcotest.bool "lowest dropped" false
+    (List.exists (Formula.proof_equal (Formula.singleton_pos 2)) kept)
+
+let test_negation_de_morgan () =
+  let env = mk_env [| 0.6; 0.7 |] in
+  (* ¬(x0 ∨ x1) = ¬x0 ∧ ¬x1 *)
+  let f = Formula.disj_k env 10 (Formula.of_pos 0) (Formula.of_pos 1) in
+  let n = Formula.neg_k env 10 f in
+  check Alcotest.int "single proof" 1 (List.length n);
+  let expected = Formula.proof_of_literals [ (0, false); (1, false) ] in
+  check Alcotest.bool "both negated" true (Formula.proof_equal expected (List.hd n))
+
+let test_negation_involution_small () =
+  let env = mk_env [| 0.6; 0.7; 0.8 |] in
+  let f = Formula.disj_k env 10 (Formula.of_pos 0) (Formula.of_pos 1) in
+  let nn = Formula.neg_k env 64 (Formula.neg_k env 64 f) in
+  (* double negation preserves semantics: check via WMC *)
+  check (Alcotest.float 1e-9) "wmc preserved" (Wmc.prob ~env f) (Wmc.prob ~env nn)
+
+let test_me_conflict () =
+  let env =
+    Formula.env ~me_group:(fun _ -> Some 0) (fun _ -> 0.5)
+  in
+  (* two distinct positive literals of one group conflict *)
+  check (Alcotest.option (Alcotest.testable Formula.pp_proof Formula.proof_equal))
+    "me conflict" None
+    (Formula.merge_proofs env (Formula.singleton_pos 0) (Formula.singleton_pos 1))
+
+(* ---- WMC vs brute force ------------------------------------------------------------ *)
+
+let brute_force_wmc probs (f : Formula.t) =
+  let n = Array.length probs in
+  let total = ref 0.0 in
+  for mask = 0 to (1 lsl n) - 1 do
+    let assign v = mask land (1 lsl v) <> 0 in
+    let holds =
+      List.exists
+        (fun proof ->
+          List.for_all (fun (v, s) -> assign v = s) (Formula.proof_literals proof))
+        f
+    in
+    if holds then begin
+      let w = ref 1.0 in
+      for v = 0 to n - 1 do
+        w := !w *. (if assign v then probs.(v) else 1.0 -. probs.(v))
+      done;
+      total := !total +. !w
+    end
+  done;
+  !total
+
+let random_formula rng nvars max_proofs =
+  List.init
+    (1 + Scallop_utils.Rng.int rng max_proofs)
+    (fun _ ->
+      Formula.proof_of_literals
+        (List.init
+           (1 + Scallop_utils.Rng.int rng nvars)
+           (fun _ -> (Scallop_utils.Rng.int rng nvars, Scallop_utils.Rng.bool rng))))
+  |> Formula.dedup
+
+let test_wmc_vs_brute_force () =
+  let rng = Scallop_utils.Rng.create 31 in
+  for _ = 1 to 100 do
+    let nvars = 2 + Scallop_utils.Rng.int rng 4 in
+    let probs = Array.init nvars (fun _ -> Scallop_utils.Rng.float rng) in
+    let env = mk_env probs in
+    let f = random_formula rng nvars 4 in
+    check (Alcotest.float 1e-9) "wmc = brute force" (brute_force_wmc probs f)
+      (Wmc.prob ~env f)
+  done
+
+let test_wmc_gradient_finite_difference () =
+  let rng = Scallop_utils.Rng.create 37 in
+  for _ = 1 to 30 do
+    let nvars = 3 in
+    let probs = Array.init nvars (fun _ -> 0.2 +. (0.6 *. Scallop_utils.Rng.float rng)) in
+    let f = random_formula rng nvars 3 in
+    let env = mk_env probs in
+    let d = Wmc.dual ~env f in
+    let eps = 1e-6 in
+    List.iter
+      (fun (v, g) ->
+        let probs' = Array.copy probs in
+        probs'.(v) <- probs'.(v) +. eps;
+        let p_plus = Wmc.prob ~env:(mk_env probs') f in
+        probs'.(v) <- probs.(v) -. eps;
+        let p_minus = Wmc.prob ~env:(mk_env probs') f in
+        let fd = (p_plus -. p_minus) /. (2.0 *. eps) in
+        check (Alcotest.float 1e-4) "gradient matches finite difference" fd g)
+      (Dual.deriv_list d)
+  done
+
+(* Categorical brute force: groups partition variables; exactly one variable
+   per group is on, with probability probs.(v). *)
+let test_wmc_me_vs_categorical_brute_force () =
+  (* two groups of two: vars 0,1 in group 0; vars 2,3 in group 1 *)
+  let probs = [| 0.3; 0.7; 0.6; 0.4 |] in
+  let group v = Some (v / 2) in
+  let env = Formula.env ~me_group:group (fun v -> probs.(v)) in
+  let rng = Scallop_utils.Rng.create 41 in
+  for _ = 1 to 50 do
+    let f =
+      random_formula rng 4 3
+      |> List.filter_map (fun p ->
+             (* keep only proofs consistent with exclusivity *)
+             Formula.merge_proofs env p Formula.true_proof)
+    in
+    if f <> [] then begin
+      (* enumerate categorical worlds: pick one var per group *)
+      let total = ref 0.0 in
+      List.iter
+        (fun c0 ->
+          List.iter
+            (fun c1 ->
+              let assign v = v = c0 || v = c1 in
+              let holds =
+                List.exists
+                  (fun proof ->
+                    List.for_all (fun (v, s) -> assign v = s) (Formula.proof_literals proof))
+                  f
+              in
+              if holds then total := !total +. (probs.(c0) *. probs.(c1)))
+            [ 2; 3 ])
+        [ 0; 1 ];
+      check (Alcotest.float 1e-9) "me wmc = categorical brute force" !total (Wmc.prob ~env f)
+    end
+  done
+
+let suite =
+  [
+    Alcotest.test_case "dual arithmetic" `Quick test_dual_arith;
+    Alcotest.test_case "dual min/max subgradient" `Quick test_dual_minmax_subgradient;
+    Alcotest.test_case "dual clamp" `Quick test_dual_clamp;
+    Alcotest.test_case "formula basics" `Quick test_formula_basics;
+    Alcotest.test_case "conjunction conflict" `Quick test_conj_conflict;
+    Alcotest.test_case "absorption" `Quick test_absorption;
+    Alcotest.test_case "top-k truncation" `Quick test_top_k_truncation;
+    Alcotest.test_case "negation de morgan" `Quick test_negation_de_morgan;
+    Alcotest.test_case "double negation wmc" `Quick test_negation_involution_small;
+    Alcotest.test_case "me conflict" `Quick test_me_conflict;
+    Alcotest.test_case "wmc vs brute force" `Quick test_wmc_vs_brute_force;
+    Alcotest.test_case "wmc gradient vs finite diff" `Quick test_wmc_gradient_finite_difference;
+    Alcotest.test_case "me wmc vs categorical brute force" `Quick
+      test_wmc_me_vs_categorical_brute_force;
+  ]

@@ -1,0 +1,188 @@
+(** Tests for the neural layers and, crucially, the differentiable Scallop
+    layer: its Jacobian-based backward pass is checked against central
+    finite differences through the whole logic program. *)
+
+open Scallop_tensor
+open Scallop_nn
+open Scallop_core
+
+let check = Alcotest.check
+let rng = Scallop_utils.Rng.create 2024
+
+let test_linear_shapes () =
+  let l = Layers.Linear.create rng ~in_dim:4 ~out_dim:3 in
+  let x = Autodiff.const (Nd.randn rng [| 2; 4 |]) in
+  let y = Layers.Linear.forward l x in
+  check (Alcotest.array Alcotest.int) "shape" [| 2; 3 |] (Autodiff.value y).Nd.shape
+
+let test_mlp_classify_rows_sum_to_one () =
+  let mlp = Layers.Mlp.create rng [ 4; 8; 5 ] in
+  let x = Autodiff.const (Nd.randn rng [| 3; 4 |]) in
+  let y = Autodiff.value (Layers.Mlp.classify mlp x) in
+  for i = 0 to 2 do
+    let s = ref 0.0 in
+    for j = 0 to 4 do
+      s := !s +. Nd.get2 y i j
+    done;
+    check (Alcotest.float 1e-9) "row sums to 1" 1.0 !s
+  done
+
+let test_mlp_param_count () =
+  let mlp = Layers.Mlp.create rng [ 4; 8; 5 ] in
+  check Alcotest.int "2 layers x (w,b)" 4 (List.length (Layers.Mlp.params mlp))
+
+(* ---- Scallop layer ------------------------------------------------------------ *)
+
+let sum2_src =
+  {|type digit_a(u32), digit_b(u32)
+rel sum_2(a + b) = digit_a(a), digit_b(b)
+query sum_2|}
+
+let digit_tuples n = Array.init n (fun v -> Tuple.of_list [ Value.int Value.U32 v ])
+
+let layer_forward compiled pa pb =
+  Scallop_layer.forward ~spec:(Registry.Diff_top_k_proofs_me 3) ~compiled
+    ~inputs:
+      [
+        Scallop_layer.dense_mapping ~pred:"digit_a" ~tuples:(digit_tuples 3) ~probs:pa
+          ~mutually_exclusive:true;
+        Scallop_layer.dense_mapping ~pred:"digit_b" ~tuples:(digit_tuples 3) ~probs:pb
+          ~mutually_exclusive:true;
+      ]
+    ~out_pred:"sum_2"
+    ~candidates:(Array.init 5 (fun s -> Tuple.of_list [ Value.int Value.U32 s ]))
+    ()
+
+let test_scallop_layer_forward_values () =
+  let compiled = Session.compile sum2_src in
+  let pa = Autodiff.const (Nd.of_array [| 1; 3 |] [| 1.0; 0.0; 0.0 |]) in
+  let pb = Autodiff.const (Nd.of_array [| 1; 3 |] [| 0.0; 1.0; 0.0 |]) in
+  let y = Autodiff.value (layer_forward compiled pa pb) in
+  (* certain digits 0 and 1: sum = 1 with probability 1 *)
+  check (Alcotest.float 1e-6) "p(sum=1)" 1.0 (Nd.get1 y 1);
+  check (Alcotest.float 1e-6) "p(sum=0)" 0.0 (Nd.get1 y 0)
+
+let test_scallop_layer_distribution () =
+  let compiled = Session.compile sum2_src in
+  let pa = Autodiff.const (Nd.of_array [| 1; 3 |] [| 0.5; 0.5; 0.0 |]) in
+  let pb = Autodiff.const (Nd.of_array [| 1; 3 |] [| 0.5; 0.5; 0.0 |]) in
+  let y = Autodiff.value (layer_forward compiled pa pb) in
+  check (Alcotest.float 1e-6) "p(sum=0)" 0.25 (Nd.get1 y 0);
+  check (Alcotest.float 1e-6) "p(sum=1)" 0.5 (Nd.get1 y 1);
+  check (Alcotest.float 1e-6) "p(sum=2)" 0.25 (Nd.get1 y 2)
+
+let test_scallop_layer_gradient_finite_diff () =
+  let compiled = Session.compile sum2_src in
+  let pa0 = Nd.of_array [| 1; 3 |] [| 0.6; 0.3; 0.1 |] in
+  let pb0 = Nd.of_array [| 1; 3 |] [| 0.2; 0.5; 0.3 |] in
+  (* L = BCE(layer(pa, pb), one-hot target) with target sum=2 *)
+  let build pa_nd =
+    let pa = Autodiff.param (Nd.copy pa_nd) in
+    let pb = Autodiff.const pb0 in
+    let y = layer_forward compiled pa pb in
+    let target = Nd.init [| 1; 5 |] (fun j -> if j = 2 then 1.0 else 0.0) in
+    (pa, Autodiff.bce_loss ~eps:1e-9 y (Autodiff.const target))
+  in
+  let pa, loss = build pa0 in
+  Autodiff.backward loss;
+  let grad = Option.get (Autodiff.grad pa) in
+  let eps = 1e-5 in
+  Array.iteri
+    (fun i _ ->
+      let eval delta =
+        let pa' = Nd.copy pa0 in
+        pa'.Nd.data.(i) <- pa'.Nd.data.(i) +. delta;
+        let _, l = build pa' in
+        Nd.get1 (Autodiff.value l) 0
+      in
+      let fd = (eval eps -. eval (-.eps)) /. (2.0 *. eps) in
+      check (Alcotest.float 1e-3) (Fmt.str "dL/dpa[%d]" i) fd grad.Nd.data.(i))
+    pa0.Nd.data
+
+let test_scallop_layer_static_facts () =
+  let src =
+    {|type obs(u32), threshold(u32)
+rel above() = obs(x), threshold(t), x > t
+query above|}
+  in
+  let compiled = Session.compile src in
+  let probs = Autodiff.const (Nd.of_array [| 1; 2 |] [| 0.3; 0.7 |]) in
+  let y =
+    Scallop_layer.forward ~spec:(Registry.Diff_top_k_proofs 3) ~compiled
+      ~static_facts:[ ("threshold", Tuple.of_list [ Value.int Value.U32 5 ]) ]
+      ~inputs:
+        [
+          Scallop_layer.dense_mapping ~pred:"obs"
+            ~tuples:[| Tuple.of_list [ Value.int Value.U32 3 ]; Tuple.of_list [ Value.int Value.U32 9 ] |]
+            ~probs ~mutually_exclusive:false;
+        ]
+      ~out_pred:"above" ~candidates:[| Tuple.unit |] ()
+  in
+  check (Alcotest.float 1e-6) "only 9 > 5" 0.7 (Nd.get1 (Autodiff.value y) 0)
+
+let test_topk_mapping_restricts () =
+  let probs = Autodiff.const (Nd.of_array [| 1; 4 |] [| 0.1; 0.6; 0.05; 0.25 |]) in
+  let tuples = Array.init 4 (fun v -> Tuple.of_list [ Value.int Value.U32 v ]) in
+  let m = Scallop_layer.topk_mapping ~k:2 ~pred:"p" ~tuples ~probs ~mutually_exclusive:true in
+  let kept = Array.to_list m.Scallop_layer.entries |> List.map fst |> List.sort compare in
+  check Alcotest.(list int) "top-2 indices" [ 1; 3 ] kept
+
+let test_forward_open_returns_derived () =
+  let compiled = Session.compile sum2_src in
+  let pa = Autodiff.const (Nd.of_array [| 1; 3 |] [| 0.5; 0.5; 0.0 |]) in
+  let pb = Autodiff.const (Nd.of_array [| 1; 3 |] [| 1.0; 0.0; 0.0 |]) in
+  let out =
+    Scallop_layer.forward_open ~spec:(Registry.Diff_top_k_proofs_me 3) ~compiled
+      ~inputs:
+        [
+          Scallop_layer.dense_mapping ~pred:"digit_a" ~tuples:(digit_tuples 3) ~probs:pa
+            ~mutually_exclusive:true;
+          Scallop_layer.dense_mapping ~pred:"digit_b" ~tuples:(digit_tuples 3) ~probs:pb
+            ~mutually_exclusive:true;
+        ]
+      ~out_pred:"sum_2" ()
+  in
+  (* digit_a ∈ {0, 1} (p 0.5 each) and the 0.0 entry, digit_b = 0 *)
+  check Alcotest.bool "derived sums present" true (Array.length out.Scallop_layer.tuples >= 2)
+
+let test_forward_multi_shares_run () =
+  let src =
+    {|type f(u32)
+rel a() = f(0)
+rel b() = f(1)
+query a
+query b|}
+  in
+  let compiled = Session.compile src in
+  let probs = Autodiff.const (Nd.of_array [| 1; 2 |] [| 0.3; 0.9 |]) in
+  let inputs =
+    [
+      Scallop_layer.dense_mapping ~pred:"f"
+        ~tuples:(Array.init 2 (fun v -> Tuple.of_list [ Value.int Value.U32 v ]))
+        ~probs ~mutually_exclusive:false;
+    ]
+  in
+  match
+    Scallop_layer.forward_multi ~spec:(Registry.Diff_top_k_proofs 3) ~compiled ~inputs
+      ~outputs:[ ("a", [| Tuple.unit |]); ("b", [| Tuple.unit |]) ]
+      ()
+  with
+  | [ ya; yb ] ->
+      check (Alcotest.float 1e-6) "a" 0.3 (Nd.get1 (Autodiff.value ya) 0);
+      check (Alcotest.float 1e-6) "b" 0.9 (Nd.get1 (Autodiff.value yb) 0)
+  | _ -> Alcotest.fail "two outputs expected"
+
+let suite =
+  [
+    Alcotest.test_case "linear shapes" `Quick test_linear_shapes;
+    Alcotest.test_case "mlp classify sums to 1" `Quick test_mlp_classify_rows_sum_to_one;
+    Alcotest.test_case "mlp param count" `Quick test_mlp_param_count;
+    Alcotest.test_case "scallop layer forward values" `Quick test_scallop_layer_forward_values;
+    Alcotest.test_case "scallop layer distribution" `Quick test_scallop_layer_distribution;
+    Alcotest.test_case "scallop layer gradient vs finite diff" `Quick
+      test_scallop_layer_gradient_finite_diff;
+    Alcotest.test_case "scallop layer static facts" `Quick test_scallop_layer_static_facts;
+    Alcotest.test_case "topk mapping restricts" `Quick test_topk_mapping_restricts;
+    Alcotest.test_case "forward_open returns derived" `Quick test_forward_open_returns_derived;
+    Alcotest.test_case "forward_multi shares run" `Quick test_forward_multi_shares_run;
+  ]

@@ -1,0 +1,262 @@
+(** Property-based tests of the provenance algebra (paper Sec. 4.1): each
+    built-in provenance must form a commutative semiring with absorption
+    (where applicable), 0/1 behaviour of ⊖, and a coherent external
+    interface.  Laws are checked up to the provenance's own notion of
+    saturation-equality where exact equality is too strong (top-k formulas
+    are compared by WMC). *)
+
+open Scallop_core
+
+(* A tag generator: random tags built from inputs and operations, so the
+   laws are exercised on reachable tags, not arbitrary ones. *)
+let random_tag (type t) (module P : Provenance.S with type t = t) rng depth : t =
+  let rec go depth =
+    if depth = 0 then
+      match Scallop_utils.Rng.int rng 4 with
+      | 0 -> P.zero
+      | 1 -> P.one
+      | _ -> fst (P.tag_of_input (Provenance.Input.prob (Scallop_utils.Rng.float rng)))
+    else
+      match Scallop_utils.Rng.int rng 3 with
+      | 0 -> P.add (go (depth - 1)) (go (depth - 1))
+      | 1 -> P.mult (go (depth - 1)) (go (depth - 1))
+      | _ -> (
+          match P.negate (go (depth - 1)) with Some t -> t | None -> go (depth - 1))
+  in
+  go depth
+
+let tag_equal (type t) (module P : Provenance.S with type t = t) (a : t) (b : t) =
+  (* probability-level equality through ρ: the observable behaviour *)
+  Float.abs (Provenance.Output.prob (P.recover a) -. Provenance.Output.prob (P.recover b))
+  < 1e-9
+
+type law =
+  | Comm_add
+  | Comm_mult
+  | Assoc_add
+  | Assoc_mult
+  | Add_identity
+  | Mult_identity
+  | Annihilation
+  | Negate_01
+  | Saturate_01
+  | Absorption
+  | Distributivity
+
+let law_name = function
+  | Comm_add -> "⊕ commutative"
+  | Comm_mult -> "⊗ commutative"
+  | Assoc_add -> "⊕ associative"
+  | Assoc_mult -> "⊗ associative"
+  | Add_identity -> "0 additive identity"
+  | Mult_identity -> "1 multiplicative identity"
+  | Annihilation -> "0 annihilates"
+  | Negate_01 -> "⊖0 = 1 and ⊖1 = 0"
+  | Saturate_01 -> "0 and 1 saturate themselves"
+  | Absorption -> "absorption t1 ⊕ (t1 ⊗ t2) = t1"
+  | Distributivity -> "⊗ distributes over ⊕"
+
+(* Check the law on fresh random tags; the local abstract type keeps the
+   first-class module's tag type from escaping. *)
+let holds (type t) (module P : Provenance.S with type t = t) rng law =
+  let eq = tag_equal (module P) in
+  let a = random_tag (module P) rng 2 in
+  let b = random_tag (module P) rng 2 in
+  let c = random_tag (module P) rng 1 in
+  match law with
+  | Comm_add -> eq (P.add a b) (P.add b a)
+  | Comm_mult -> eq (P.mult a b) (P.mult b a)
+  | Assoc_add -> eq (P.add a (P.add b c)) (P.add (P.add a b) c)
+  | Assoc_mult -> eq (P.mult a (P.mult b c)) (P.mult (P.mult a b) c)
+  | Add_identity -> eq (P.add a P.zero) a
+  | Mult_identity -> eq (P.mult a P.one) a
+  | Annihilation -> eq (P.mult a P.zero) P.zero
+  | Negate_01 -> (
+      match (P.negate P.zero, P.negate P.one) with
+      | Some nz, Some no -> eq nz P.one && eq no P.zero
+      | _ -> true)
+  | Saturate_01 -> P.saturated ~old:P.zero P.zero && P.saturated ~old:P.one P.one
+  | Absorption -> eq (P.add a (P.mult a b)) a
+  | Distributivity -> eq (P.mult a (P.add b c)) (P.add (P.mult a b) (P.mult a c))
+
+let law_case name spec law =
+  Alcotest.test_case (name ^ ": " ^ law_name law) `Quick (fun () ->
+      let (module P) = Registry.create spec in
+      let rng = Scallop_utils.Rng.create 17 in
+      for _ = 1 to 50 do
+        if not (holds (module P) rng law) then
+          Alcotest.failf "%s violated for %s" (law_name law) name
+      done)
+
+let law_suite name (spec : Registry.spec) ~absorptive =
+  List.map (law_case name spec)
+    ([
+       Comm_add; Comm_mult; Assoc_add; Assoc_mult; Add_identity; Mult_identity;
+       Annihilation; Negate_01; Saturate_01;
+     ]
+    @ if absorptive then [ Absorption ] else [])
+
+let distributivity name spec = law_case name spec Distributivity
+
+let test_external_interface () =
+  List.iter
+    (fun name ->
+      match Registry.of_string name with
+      | None -> Alcotest.failf "registry does not know %s" name
+      | Some (module P) ->
+          (* untagged inputs recover as (near-)certain *)
+          let t, _ = P.tag_of_input Provenance.Input.none in
+          let p = Provenance.Output.prob (P.recover t) in
+          if p < 0.99 then Alcotest.failf "%s: untagged input recovers %f" name p)
+    Registry.all_names
+
+let test_diff_allocates_ids () =
+  let (module P) = Registry.create (Registry.Diff_top_k_proofs 3) in
+  let _, id1 = P.tag_of_input (Provenance.Input.prob 0.5) in
+  let _, id2 = P.tag_of_input (Provenance.Input.prob 0.6) in
+  match (id1, id2) with
+  | Some a, Some b when a <> b -> ()
+  | _ -> Alcotest.fail "differentiable provenance must allocate distinct variable ids"
+
+let test_fresh_instances_independent () =
+  let (module P1) = Registry.create (Registry.Diff_top_k_proofs 3) in
+  let (module P2) = Registry.create (Registry.Diff_top_k_proofs 3) in
+  let _, id1 = P1.tag_of_input (Provenance.Input.prob 0.5) in
+  let _, id2 = P2.tag_of_input (Provenance.Input.prob 0.5) in
+  Alcotest.(check (option int)) "both start at 0" id1 id2
+
+let test_spec_of_string () =
+  List.iter
+    (fun (s, expected) ->
+      match Registry.spec_of_string s with
+      | Some spec ->
+          Alcotest.(check string) s expected (Provenance.name (Registry.create spec))
+      | None -> Alcotest.failf "cannot parse %s" s)
+    [
+      ("minmaxprob", "minmaxprob");
+      ("dtkp-5", "difftopkproofs-5");
+      ("difftopkproofsme-3", "difftopkproofsme-3");
+      ("topkproofs-7", "topkproofs-7");
+      ("dpl", "exactprobproofs");
+      ("damp", "diffaddmultprob");
+    ]
+
+let suite =
+  List.concat
+    [
+      law_suite "minmaxprob" Registry.Max_min_prob ~absorptive:true;
+      law_suite "boolean" Registry.Boolean ~absorptive:true;
+      (* k = 10 ≫ the proofs our depth-2 tags can accumulate, so the laws
+         hold exactly; truncation at small k trades them for efficiency
+         (paper Sec. 4.5.3). *)
+      law_suite "topkproofs-10" (Registry.Top_k_proofs 10) ~absorptive:true;
+      law_suite "difftopkproofs-10" (Registry.Diff_top_k_proofs 10) ~absorptive:true;
+      law_suite "diffminmaxprob" Registry.Diff_max_min_prob ~absorptive:true;
+      law_suite "diffaddmultprob" Registry.Diff_add_mult_prob ~absorptive:false;
+      law_suite "diffnandmultprob" Registry.Diff_nand_mult_prob ~absorptive:false;
+      [ distributivity "minmaxprob" Registry.Max_min_prob ];
+      [ distributivity "boolean" Registry.Boolean ];
+      [
+        Alcotest.test_case "external interface" `Quick test_external_interface;
+        Alcotest.test_case "diff provenances allocate ids" `Quick test_diff_allocates_ids;
+        Alcotest.test_case "fresh instances independent" `Quick test_fresh_instances_independent;
+        Alcotest.test_case "spec_of_string" `Quick test_spec_of_string;
+      ];
+    ]
+
+(* ---- every provenance executes the canonical programs ------------------------ *)
+
+(* Recursion + negation + aggregation under every registered provenance:
+   no crashes (or a clean "unsupported" error), probabilities within [0,1],
+   and — for exact-capable provenances — agreement with exact inference. *)
+let canonical_src =
+  {|type edge(i32, i32), blocked(i32)
+rel reach(0)
+rel reach(y) = reach(x), edge(x, y), not blocked(y)
+rel n_reached(n) = n := count(x: reach(x))
+query reach
+query n_reached|}
+
+let canonical_facts =
+  let e a b =
+    Tuple.of_list [ Value.int Value.I32 a; Value.int Value.I32 b ]
+  in
+  [
+    ( "edge",
+      [
+        (Provenance.Input.prob 0.9, e 0 1);
+        (Provenance.Input.prob 0.8, e 1 2);
+        (Provenance.Input.prob 0.6, e 0 2);
+        (Provenance.Input.prob 0.9, e 2 3);
+      ] );
+    ("blocked", [ (Provenance.Input.prob 0.3, Tuple.of_list [ Value.int Value.I32 2 ]) ]);
+  ]
+
+let run_canonical name =
+  let provenance = Option.get (Registry.of_string name) in
+  Session.interpret ~provenance ~facts:canonical_facts canonical_src
+
+let test_all_provenances_execute () =
+  List.iter
+    (fun name ->
+      match run_canonical name with
+      | result ->
+          List.iter
+            (fun (_, rows) ->
+              List.iter
+                (fun (_, o) ->
+                  let p = Provenance.Output.prob o in
+                  if Float.is_nan p then Alcotest.failf "%s: NaN probability" name)
+                rows)
+            result.Session.outputs
+      | exception Session.Error msg ->
+          (* natural tags legitimately diverge on recursive counting *)
+          if name <> "natural" then Alcotest.failf "%s failed: %s" name msg)
+    Registry.all_names
+
+let test_formula_provenances_match_exact () =
+  let reference = run_canonical "exactprobproofs" in
+  let tuple_probs r =
+    List.concat_map
+      (fun (pred, rows) ->
+        List.map (fun (t, o) -> ((pred, Tuple.to_string t), Provenance.Output.prob o)) rows)
+      r.Session.outputs
+  in
+  let ref_probs = tuple_probs reference in
+  List.iter
+    (fun name ->
+      let probs = tuple_probs (run_canonical name) in
+      List.iter
+        (fun (key, p_ref) ->
+          match List.assoc_opt key probs with
+          | Some p -> Alcotest.(check (float 1e-6)) (Fmt.str "%s %s" name (snd key)) p_ref p
+          | None -> Alcotest.failf "%s: missing %s" name (snd key))
+        ref_probs)
+    (* k = 20 exceeds any proof count here, so these must be exact *)
+    [ "topkproofs-20"; "difftopkproofs-20"; "diffexactprobproofs" ]
+
+let test_prob_provenances_bounded () =
+  List.iter
+    (fun name ->
+      let r = run_canonical name in
+      List.iter
+        (fun (_, rows) ->
+          List.iter
+            (fun (_, o) ->
+              let p = Provenance.Output.prob o in
+              if p < -1e-9 || p > 1.0 +. 1e-9 then
+                Alcotest.failf "%s: probability %f out of range" name p)
+            rows)
+        r.Session.outputs)
+    [ "minmaxprob"; "addmultprob"; "topkproofs-3"; "samplekproofs-3"; "diffminmaxprob";
+      "diffaddmultprob"; "diffnandmultprob"; "difftopkproofs-3"; "diffsamplekproofs-3";
+      "difftopbottomkclauses-3" ]
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "all provenances execute" `Quick test_all_provenances_execute;
+      Alcotest.test_case "formula provenances match exact" `Quick
+        test_formula_provenances_match_exact;
+      Alcotest.test_case "probabilities bounded" `Quick test_prob_provenances_bounded;
+    ]

@@ -1,0 +1,253 @@
+(** Whole-pipeline semantic validation against brute force.
+
+    The strongest correctness property we can test: for a random
+    probabilistic extensional database, the probability of every derived
+    fact under the exact provenance must equal the brute-force sum over all
+    2ⁿ possible worlds of the input facts, where each world is evaluated
+    under plain boolean semantics.  This exercises parser, compiler,
+    runtime, provenance, and WMC end to end.  Also: nested aggregation,
+    type-system corner cases, and the Fig. 9 numbers from the paper. *)
+
+open Scallop_core
+
+let check = Alcotest.check
+
+(* ---- brute-force possible worlds ------------------------------------------------ *)
+
+(** P(fact) = Σ over worlds containing a derivation, of the world weight. *)
+let brute_force_probs src (facts : (float * string * Tuple.t) list) :
+    (string * Tuple.t * float) list =
+  let n = List.length facts in
+  if n > 12 then invalid_arg "brute_force_probs: too many facts";
+  let arr = Array.of_list facts in
+  let compiled = Session.compile src in
+  let acc : (string * Tuple.t, float) Hashtbl.t = Hashtbl.create 64 in
+  for mask = 0 to (1 lsl n) - 1 do
+    let weight = ref 1.0 in
+    let world_facts = ref [] in
+    Array.iteri
+      (fun i (p, pred, tuple) ->
+        if mask land (1 lsl i) <> 0 then begin
+          weight := !weight *. p;
+          world_facts := (pred, tuple) :: !world_facts
+        end
+        else weight := !weight *. (1.0 -. p))
+      arr;
+    if !weight > 0.0 then begin
+      let by_pred =
+        Scallop_utils.Listx.group_by (module String) fst !world_facts
+        |> List.map (fun (pred, l) -> (pred, List.map (fun (_, t) -> (Provenance.Input.none, t)) l))
+      in
+      let result =
+        Session.run ~provenance:(Registry.create Registry.Boolean) compiled ~facts:by_pred ()
+      in
+      List.iter
+        (fun (pred, rows) ->
+          List.iter
+            (fun (t, o) ->
+              if Provenance.Output.prob o > 0.5 then begin
+                let key = (pred, t) in
+                Hashtbl.replace acc key (Option.value (Hashtbl.find_opt acc key) ~default:0.0 +. !weight)
+              end)
+            rows)
+        result.Session.outputs
+    end
+  done;
+  Hashtbl.fold (fun (pred, t) p l -> (pred, t, p) :: l) acc []
+
+let exact_probs src (facts : (float * string * Tuple.t) list) =
+  let by_pred =
+    Scallop_utils.Listx.group_by (module String)
+      (fun (_, pred, _) -> pred)
+      facts
+    |> List.map (fun (pred, l) ->
+           (pred, List.map (fun (p, _, t) -> (Provenance.Input.prob p, t)) l))
+  in
+  let result =
+    Session.interpret ~provenance:(Registry.create Registry.Exact_prob) ~facts:by_pred src
+  in
+  List.concat_map
+    (fun (pred, rows) ->
+      List.map (fun (t, o) -> (pred, t, Provenance.Output.prob o)) rows)
+    result.Session.outputs
+
+let compare_pipelines name src facts =
+  let brute = brute_force_probs src facts in
+  let exact = exact_probs src facts in
+  List.iter
+    (fun (pred, t, p_exact) ->
+      let p_brute =
+        match List.find_opt (fun (pr, t', _) -> pr = pred && Tuple.compare t t' = 0) brute with
+        | Some (_, _, p) -> p
+        | None -> 0.0
+      in
+      check (Alcotest.float 1e-6) (Fmt.str "%s: %s%s" name pred (Tuple.to_string t)) p_brute
+        p_exact)
+    exact;
+  (* and nothing derivable is missing from the exact output *)
+  List.iter
+    (fun (pred, t, p_brute) ->
+      if p_brute > 1e-9 then
+        match List.find_opt (fun (pr, t', _) -> pr = pred && Tuple.compare t t' = 0) exact with
+        | Some _ -> ()
+        | None -> Alcotest.failf "%s: missing %s%s" name pred (Tuple.to_string t))
+    brute
+
+let i32 n = Value.int Value.I32 n
+let edge a b = Tuple.of_list [ i32 a; i32 b ]
+
+let random_facts seed n max_node =
+  let rng = Scallop_utils.Rng.create seed in
+  List.init n (fun _ ->
+      ( 0.2 +. (0.7 *. Scallop_utils.Rng.float rng),
+        "edge",
+        edge (Scallop_utils.Rng.int rng max_node) (Scallop_utils.Rng.int rng max_node) ))
+  |> Scallop_utils.Listx.dedup_stable (fun (_, _, a) (_, _, b) -> Tuple.compare a b = 0)
+
+let test_reachability_vs_worlds () =
+  let src =
+    {|type edge(i32, i32)
+rel path(a, b) = edge(a, b)
+rel path(a, c) = path(a, b), edge(b, c)
+query path|}
+  in
+  for seed = 0 to 4 do
+    compare_pipelines "reachability" src (random_facts seed 8 4)
+  done
+
+let test_negation_vs_worlds () =
+  let src =
+    {|type edge(i32, i32)
+rel node = {0, 1, 2, 3}
+rel isolated(x) = node(x), not edge(x, _), not edge(_, x)
+query isolated|}
+  in
+  for seed = 5 to 9 do
+    compare_pipelines "isolation" src (random_facts seed 6 4)
+  done
+
+let test_count_vs_worlds () =
+  let src =
+    {|type edge(i32, i32)
+rel degree(x, n) = n := count(y: edge(x, y) where x: src(x))
+rel src = {0, 1}
+query degree|}
+  in
+  for seed = 10 to 13 do
+    compare_pipelines "degree" src (random_facts seed 6 3)
+  done
+
+let test_exists_vs_worlds () =
+  let src =
+    {|type edge(i32, i32)
+rel has_any(b) = b := exists(x, y: edge(x, y))
+query has_any|}
+  in
+  for seed = 14 to 17 do
+    compare_pipelines "exists" src (random_facts seed 5 3)
+  done
+
+(* ---- nested aggregation --------------------------------------------------------- *)
+
+let test_nested_aggregation () =
+  (* count of groups with at least 2 members: aggregation over aggregation *)
+  let r =
+    Session.interpret
+      ~provenance:(Registry.create Registry.Boolean)
+      {|type member(g: i32, p: String)
+rel member = {(0, "a"), (0, "b"), (1, "c"), (2, "d"), (2, "e"), (2, "f")}
+rel group_size(g, n) = n := count(p: member(g, p))
+rel big_groups(m) = m := count(g: group_size(g, n), n >= 2)
+query big_groups|}
+  in
+  match Session.output r "big_groups" with
+  | [ (t, _) ] -> check Alcotest.(option int) "2 big groups" (Some 2) (Value.to_int (Tuple.get t 0))
+  | _ -> Alcotest.fail "nested aggregation"
+
+(* ---- the paper's Fig. 9 numbers --------------------------------------------------- *)
+
+let test_fig9_enemy_count () =
+  (* enemies at B2 (0.8), others low — count distribution must follow the
+     world semantics of Fig. 9's illustration *)
+  let facts =
+    [
+      ("enemy", [ (Provenance.Input.prob 0.8, edge 1 2); (Provenance.Input.prob 0.2, edge 0 2) ]);
+    ]
+  in
+  let r =
+    Session.interpret
+      ~provenance:(Registry.create (Registry.Top_k_proofs 10))
+      ~facts
+      {|type enemy(i32, i32)
+rel num_enemy(n) = n := count(x, y: enemy(x, y))
+query num_enemy|}
+  in
+  let p n =
+    Session.prob_of r "num_enemy" (Tuple.of_list [ Value.int Value.USize n ])
+  in
+  check (Alcotest.float 1e-9) "P(0)" 0.16 (p 0);
+  check (Alcotest.float 1e-9) "P(1)" 0.68 (p 1);
+  check (Alcotest.float 1e-9) "P(2)" 0.16 (p 2)
+
+(* ---- type-system corners ------------------------------------------------------------ *)
+
+let test_type_alias_resolution () =
+  let r =
+    Session.interpret ~provenance:(Registry.create Registry.Boolean)
+      {|type Relation = usize
+type kinship(r: Relation, s: String)
+rel kinship = {(3, "x")}
+rel out(r) = kinship(r, "x")
+query out|}
+  in
+  match Session.output r "out" with
+  | [ (t, _) ] ->
+      check Alcotest.string "usize via alias" "usize" (Value.ty_name (Value.type_of (Tuple.get t 0)))
+  | _ -> Alcotest.fail "alias"
+
+let test_inferred_defaults () =
+  (* untyped integer columns default to i32 *)
+  let c = Session.compile {|rel p = {1, 2}
+rel q(x + 1) = p(x)
+query q|} in
+  match Hashtbl.find_opt c.Session.rel_types "q" with
+  | Some [| ty |] -> check Alcotest.string "default i32" "i32" (Value.ty_name ty)
+  | _ -> Alcotest.fail "missing inferred type"
+
+let test_float_inference () =
+  let c =
+    Session.compile {|rel v = {1.5, 2.5}
+rel doubled(x + x) = v(x)
+query doubled|}
+  in
+  match Hashtbl.find_opt c.Session.rel_types "doubled" with
+  | Some [| ty |] -> check Alcotest.bool "float column" true (Value.is_float_ty ty)
+  | _ -> Alcotest.fail "missing float type"
+
+let test_cross_width_join_coerced () =
+  (* session input tuples are coerced to declared column types *)
+  let c = Session.compile {|type p(u8)
+rel q(x) = p(x)
+query q|} in
+  let r =
+    Session.run ~provenance:(Registry.create Registry.Boolean) c
+      ~facts:[ ("p", [ (Provenance.Input.none, Tuple.of_list [ Value.int Value.I32 300 ]) ]) ]
+      ()
+  in
+  match Session.output r "q" with
+  | [ (t, _) ] -> check Alcotest.(option int) "wrapped to u8" (Some 44) (Value.to_int (Tuple.get t 0))
+  | _ -> Alcotest.fail "coercion"
+
+let suite =
+  [
+    Alcotest.test_case "reachability = possible worlds" `Quick test_reachability_vs_worlds;
+    Alcotest.test_case "negation = possible worlds" `Quick test_negation_vs_worlds;
+    Alcotest.test_case "group-by count = possible worlds" `Quick test_count_vs_worlds;
+    Alcotest.test_case "exists = possible worlds" `Quick test_exists_vs_worlds;
+    Alcotest.test_case "nested aggregation" `Quick test_nested_aggregation;
+    Alcotest.test_case "Fig. 9 enemy counting" `Quick test_fig9_enemy_count;
+    Alcotest.test_case "type alias resolution" `Quick test_type_alias_resolution;
+    Alcotest.test_case "inferred defaults" `Quick test_inferred_defaults;
+    Alcotest.test_case "float inference" `Quick test_float_inference;
+    Alcotest.test_case "cross-width coercion" `Quick test_cross_width_join_coerced;
+  ]

@@ -1,0 +1,181 @@
+(** Tests for the tensor/autodiff substrate: Nd operations against
+    hand-computed results and every autodiff operation's gradient against
+    central finite differences. *)
+
+open Scallop_tensor
+
+let check = Alcotest.check
+
+(* ---- Nd ------------------------------------------------------------------------ *)
+
+let test_matmul () =
+  let a = Nd.of_array [| 2; 3 |] [| 1.; 2.; 3.; 4.; 5.; 6. |] in
+  let b = Nd.of_array [| 3; 2 |] [| 7.; 8.; 9.; 10.; 11.; 12. |] in
+  let c = Nd.matmul a b in
+  check (Alcotest.array (Alcotest.float 1e-9)) "matmul" [| 58.; 64.; 139.; 154. |] c.Nd.data
+
+let test_transpose () =
+  let a = Nd.of_array [| 2; 3 |] [| 1.; 2.; 3.; 4.; 5.; 6. |] in
+  let t = Nd.transpose a in
+  check (Alcotest.array (Alcotest.float 1e-9)) "transpose" [| 1.; 4.; 2.; 5.; 3.; 6. |] t.Nd.data
+
+let test_softmax_rows () =
+  let a = Nd.of_array [| 1; 3 |] [| 0.; 0.; 0. |] in
+  let s = Nd.softmax_rows a in
+  check (Alcotest.float 1e-9) "uniform" (1.0 /. 3.0) (Nd.get2 s 0 1);
+  let b = Nd.of_array [| 1; 2 |] [| 1000.; 0. |] in
+  let s = Nd.softmax_rows b in
+  check (Alcotest.float 1e-9) "stable at large logits" 1.0 (Nd.get2 s 0 0)
+
+let test_add_rowvec_sum_rows () =
+  let m = Nd.of_array [| 2; 2 |] [| 1.; 2.; 3.; 4. |] in
+  let v = Nd.of_array [| 1; 2 |] [| 10.; 20. |] in
+  check (Alcotest.array (Alcotest.float 1e-9)) "add_rowvec" [| 11.; 22.; 13.; 24. |]
+    (Nd.add_rowvec m v).Nd.data;
+  check (Alcotest.array (Alcotest.float 1e-9)) "sum_rows" [| 4.; 6. |] (Nd.sum_rows m).Nd.data
+
+let test_stack_rows () =
+  let r1 = Nd.of_array [| 1; 2 |] [| 1.; 2. |] in
+  let r2 = Nd.of_array [| 1; 2 |] [| 3.; 4. |] in
+  let s = Nd.stack_rows [ r1; r2 ] in
+  check (Alcotest.array Alcotest.int) "shape" [| 2; 2 |] s.Nd.shape;
+  check (Alcotest.array (Alcotest.float 1e-9)) "data" [| 1.; 2.; 3.; 4. |] s.Nd.data
+
+let test_argmax_row () =
+  let m = Nd.of_array [| 2; 3 |] [| 1.; 5.; 2.; 9.; 0.; 3. |] in
+  check Alcotest.int "row 0" 1 (Nd.argmax_row m 0);
+  check Alcotest.int "row 1" 0 (Nd.argmax_row m 1)
+
+(* ---- autodiff gradient checking ------------------------------------------------- *)
+
+(** Numerically check dL/dx where L = build(x), a scalar. *)
+let gradient_check ?(tol = 1e-3) ~name (x0 : Nd.t) (build : Autodiff.t -> Autodiff.t) =
+  let x = Autodiff.param (Nd.copy x0) in
+  let loss = build x in
+  Autodiff.backward loss;
+  let grad = match Autodiff.grad x with Some g -> g | None -> Alcotest.failf "%s: no grad" name in
+  let eps = 1e-5 in
+  Array.iteri
+    (fun i _ ->
+      let eval delta =
+        let x' = Nd.copy x0 in
+        x'.Nd.data.(i) <- x'.Nd.data.(i) +. delta;
+        Nd.get1 (Autodiff.value (build (Autodiff.const x'))) 0
+      in
+      let fd = (eval eps -. eval (-.eps)) /. (2.0 *. eps) in
+      check (Alcotest.float tol) (Fmt.str "%s[%d]" name i) fd grad.Nd.data.(i))
+    x0.Nd.data
+
+let rng = Scallop_utils.Rng.create 100
+
+let test_grad_matmul () =
+  let x0 = Nd.randn rng [| 2; 3 |] in
+  let w = Autodiff.const (Nd.randn rng [| 3; 2 |]) in
+  gradient_check ~name:"matmul" x0 (fun x -> Autodiff.sum (Autodiff.matmul x w))
+
+let test_grad_mul_add () =
+  let x0 = Nd.randn rng [| 1; 4 |] in
+  let y = Autodiff.const (Nd.randn rng [| 1; 4 |]) in
+  gradient_check ~name:"mul" x0 (fun x -> Autodiff.sum (Autodiff.mul x y));
+  gradient_check ~name:"add" x0 (fun x -> Autodiff.sum (Autodiff.add x y));
+  gradient_check ~name:"sub" x0 (fun x -> Autodiff.sum (Autodiff.sub y x))
+
+let test_grad_activations () =
+  let x0 = Nd.randn rng [| 1; 5 |] in
+  gradient_check ~name:"relu" x0 (fun x -> Autodiff.sum (Autodiff.relu x));
+  gradient_check ~name:"sigmoid" x0 (fun x -> Autodiff.sum (Autodiff.sigmoid x));
+  gradient_check ~name:"tanh" x0 (fun x -> Autodiff.sum (Autodiff.tanh_ x))
+
+let test_grad_softmax () =
+  let x0 = Nd.randn rng [| 2; 4 |] in
+  let w = Autodiff.const (Nd.randn rng [| 2; 4 |]) in
+  gradient_check ~name:"softmax" x0 (fun x ->
+      Autodiff.sum (Autodiff.mul (Autodiff.softmax x) w))
+
+let test_grad_losses () =
+  let x0 = Nd.map (fun v -> 0.2 +. (0.6 *. Float.abs (Float.rem v 1.0))) (Nd.randn rng [| 1; 4 |]) in
+  let target = Autodiff.const (Nd.of_array [| 1; 4 |] [| 1.; 0.; 1.; 0. |]) in
+  gradient_check ~name:"bce" x0 (fun x -> Autodiff.bce_loss ~eps:1e-9 x target);
+  gradient_check ~name:"mse" x0 (fun x -> Autodiff.mse_loss x (Autodiff.const (Nd.zeros [| 1; 4 |])));
+  let probs0 = Nd.of_array [| 1; 3 |] [| 0.2; 0.5; 0.3 |] in
+  gradient_check ~name:"nll" probs0 (fun x -> Autodiff.nll_loss ~eps:1e-9 x [| 1 |])
+
+let test_grad_add_rowvec () =
+  let x0 = Nd.randn rng [| 1; 3 |] in
+  let m = Autodiff.const (Nd.randn rng [| 4; 3 |]) in
+  gradient_check ~name:"add_rowvec bias" x0 (fun x ->
+      Autodiff.sum (Autodiff.add_rowvec m x))
+
+let test_grad_mlp_end_to_end () =
+  (* gradient through a whole MLP classifier *)
+  let x0 = Nd.randn rng [| 1; 4 |] in
+  let mlp = Scallop_nn.Layers.Mlp.create rng [ 4; 8; 3 ] in
+  gradient_check ~name:"mlp" x0 (fun x ->
+      Autodiff.nll_loss ~eps:1e-9 (Scallop_nn.Layers.Mlp.classify mlp x) [| 2 |])
+
+let test_grad_accumulation () =
+  (* a variable used twice accumulates both contributions *)
+  let x = Autodiff.param (Nd.of_array [| 1; 1 |] [| 3.0 |]) in
+  let loss = Autodiff.sum (Autodiff.mul x x) in
+  Autodiff.backward loss;
+  match Autodiff.grad x with
+  | Some g -> check (Alcotest.float 1e-9) "d(x^2)/dx = 2x" 6.0 g.Nd.data.(0)
+  | None -> Alcotest.fail "no grad"
+
+(* ---- optimizers ------------------------------------------------------------------ *)
+
+let test_sgd_minimizes_quadratic () =
+  let x = Autodiff.param (Nd.of_array [| 1; 1 |] [| 5.0 |]) in
+  let opt = Optim.sgd ~lr:0.1 [ x ] in
+  for _ = 1 to 100 do
+    let loss = Autodiff.mse_loss x (Autodiff.const (Nd.scalar 2.0)) in
+    opt.Optim.zero_grad ();
+    Autodiff.backward loss;
+    opt.Optim.step ()
+  done;
+  check (Alcotest.float 1e-3) "converged to 2" 2.0 (Autodiff.value x).Nd.data.(0)
+
+let test_adam_minimizes_quadratic () =
+  let x = Autodiff.param (Nd.of_array [| 1; 2 |] [| 5.0; -3.0 |]) in
+  let opt = Optim.adam ~lr:0.1 [ x ] in
+  for _ = 1 to 300 do
+    let loss = Autodiff.mse_loss x (Autodiff.const (Nd.of_array [| 1; 2 |] [| 1.0; 1.0 |])) in
+    opt.Optim.zero_grad ();
+    Autodiff.backward loss;
+    opt.Optim.step ()
+  done;
+  check (Alcotest.float 1e-2) "x0" 1.0 (Autodiff.value x).Nd.data.(0);
+  check (Alcotest.float 1e-2) "x1" 1.0 (Autodiff.value x).Nd.data.(1)
+
+let test_momentum_sgd () =
+  let x = Autodiff.param (Nd.of_array [| 1; 1 |] [| 4.0 |]) in
+  let opt = Optim.sgd ~momentum:0.9 ~lr:0.01 [ x ] in
+  for _ = 1 to 200 do
+    let loss = Autodiff.mse_loss x (Autodiff.const (Nd.scalar 0.0)) in
+    opt.Optim.zero_grad ();
+    Autodiff.backward loss;
+    opt.Optim.step ()
+  done;
+  if Float.abs (Autodiff.value x).Nd.data.(0) > 0.1 then
+    Alcotest.fail "momentum SGD failed to converge"
+
+let suite =
+  [
+    Alcotest.test_case "matmul" `Quick test_matmul;
+    Alcotest.test_case "transpose" `Quick test_transpose;
+    Alcotest.test_case "softmax rows" `Quick test_softmax_rows;
+    Alcotest.test_case "add_rowvec / sum_rows" `Quick test_add_rowvec_sum_rows;
+    Alcotest.test_case "stack_rows" `Quick test_stack_rows;
+    Alcotest.test_case "argmax_row" `Quick test_argmax_row;
+    Alcotest.test_case "grad: matmul" `Quick test_grad_matmul;
+    Alcotest.test_case "grad: mul/add/sub" `Quick test_grad_mul_add;
+    Alcotest.test_case "grad: activations" `Quick test_grad_activations;
+    Alcotest.test_case "grad: softmax" `Quick test_grad_softmax;
+    Alcotest.test_case "grad: losses" `Quick test_grad_losses;
+    Alcotest.test_case "grad: bias broadcast" `Quick test_grad_add_rowvec;
+    Alcotest.test_case "grad: full MLP" `Quick test_grad_mlp_end_to_end;
+    Alcotest.test_case "grad: accumulation" `Quick test_grad_accumulation;
+    Alcotest.test_case "sgd minimizes" `Quick test_sgd_minimizes_quadratic;
+    Alcotest.test_case "adam minimizes" `Quick test_adam_minimizes_quadratic;
+    Alcotest.test_case "momentum sgd" `Quick test_momentum_sgd;
+  ]

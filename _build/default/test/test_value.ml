@@ -1,0 +1,105 @@
+(** Tests for primitive values, typed wrapping, casting, and tuples. *)
+
+open Scallop_core
+
+let check = Alcotest.check
+let value_t = Alcotest.testable Value.pp Value.equal
+
+let test_int_wrapping () =
+  check value_t "u8 wraps" (Value.int Value.U8 4) (Value.int Value.U8 260);
+  check value_t "i8 wraps" (Value.int Value.I8 (-128)) (Value.int Value.I8 128);
+  check value_t "u8 negative wraps" (Value.int Value.U8 255) (Value.int Value.U8 (-1));
+  check value_t "i16 wraps" (Value.int Value.I16 (-32768)) (Value.int Value.I16 32768);
+  check value_t "i32 keeps" (Value.int Value.I32 100000) (Value.int Value.I32 100000)
+
+let test_type_of () =
+  check Alcotest.string "usize" "usize" (Value.ty_name (Value.type_of (Value.int Value.USize 3)));
+  check Alcotest.string "bool" "bool" (Value.ty_name (Value.type_of (Value.bool true)));
+  check Alcotest.string "String" "String" (Value.ty_name (Value.type_of (Value.string "x")))
+
+let test_ty_roundtrip () =
+  List.iter
+    (fun ty ->
+      match Value.ty_of_name (Value.ty_name ty) with
+      | Some ty' -> check Alcotest.bool "roundtrip" true (Value.equal_ty ty ty')
+      | None -> Alcotest.failf "no roundtrip for %s" (Value.ty_name ty))
+    [ Value.I8; Value.I16; Value.I32; Value.I64; Value.ISize; Value.U8; Value.U16;
+      Value.U32; Value.U64; Value.USize; Value.F32; Value.F64; Value.Bool; Value.Char; Value.Str ]
+
+let test_cast () =
+  check (Alcotest.option value_t) "i32 -> f32"
+    (Some (Value.float Value.F32 3.0))
+    (Value.cast Value.F32 (Value.int Value.I32 3));
+  check (Alcotest.option value_t) "i32 -> String"
+    (Some (Value.string "42"))
+    (Value.cast Value.Str (Value.int Value.I32 42));
+  check (Alcotest.option value_t) "String -> i32"
+    (Some (Value.int Value.I32 17))
+    (Value.cast Value.I32 (Value.string "17"));
+  check (Alcotest.option value_t) "bad String -> i32" None
+    (Value.cast Value.I32 (Value.string "hello"));
+  check (Alcotest.option value_t) "u32 -> usize"
+    (Some (Value.int Value.USize 9))
+    (Value.cast Value.USize (Value.int Value.U32 9));
+  check (Alcotest.option value_t) "NaN -> i32 fails" None
+    (Value.cast Value.I32 (Value.float Value.F32 Float.nan));
+  check (Alcotest.option value_t) "f32 -> i32 truncates"
+    (Some (Value.int Value.I32 3))
+    (Value.cast Value.I32 (Value.float Value.F32 3.7))
+
+let test_compare_total_order () =
+  let vals =
+    [ Value.int Value.I32 1; Value.int Value.I32 2; Value.bool false; Value.string "a" ]
+  in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          let ab = Value.compare a b and ba = Value.compare b a in
+          check Alcotest.int "antisymmetric" (Stdlib.compare ab 0) (Stdlib.compare 0 ba))
+        vals)
+    vals
+
+let tuple_t = Alcotest.testable Tuple.pp (fun a b -> Tuple.compare a b = 0)
+
+let test_tuple_compare () =
+  let t1 = Tuple.of_list [ Value.int Value.I32 1; Value.string "a" ] in
+  let t2 = Tuple.of_list [ Value.int Value.I32 1; Value.string "b" ] in
+  if Tuple.compare t1 t2 >= 0 then Alcotest.fail "lexicographic order";
+  check tuple_t "equal" t1 (Tuple.of_list [ Value.int Value.I32 1; Value.string "a" ])
+
+let test_tuple_prefix_order () =
+  let t1 = Tuple.of_list [ Value.int Value.I32 1 ] in
+  let t2 = Tuple.of_list [ Value.int Value.I32 1; Value.int Value.I32 2 ] in
+  if Tuple.compare t1 t2 >= 0 then Alcotest.fail "prefix smaller"
+
+let test_tuple_project_append () =
+  let t = Tuple.of_list [ Value.int Value.I32 10; Value.int Value.I32 20; Value.int Value.I32 30 ] in
+  check tuple_t "project" (Tuple.of_list [ Value.int Value.I32 30; Value.int Value.I32 10 ])
+    (Tuple.project [ 2; 0 ] t);
+  check tuple_t "append"
+    (Tuple.of_list [ Value.int Value.I32 10; Value.int Value.I32 20; Value.int Value.I32 30 ])
+    (Tuple.append (Tuple.of_list [ Value.int Value.I32 10 ])
+       (Tuple.of_list [ Value.int Value.I32 20; Value.int Value.I32 30 ]))
+
+let test_tuple_map () =
+  let m =
+    Tuple.Map.empty
+    |> Tuple.Map.add (Tuple.of_list [ Value.int Value.I32 1 ]) "one"
+    |> Tuple.Map.add (Tuple.of_list [ Value.int Value.I32 2 ]) "two"
+  in
+  check (Alcotest.option Alcotest.string) "lookup" (Some "two")
+    (Tuple.Map.find_opt (Tuple.of_list [ Value.int Value.I32 2 ]) m)
+
+let suite =
+  [
+    Alcotest.test_case "int wrapping" `Quick test_int_wrapping;
+    Alcotest.test_case "type_of" `Quick test_type_of;
+    Alcotest.test_case "ty name roundtrip" `Quick test_ty_roundtrip;
+    Alcotest.test_case "cast" `Quick test_cast;
+    Alcotest.test_case "compare total order" `Quick test_compare_total_order;
+    Alcotest.test_case "tuple compare" `Quick test_tuple_compare;
+    Alcotest.test_case "tuple prefix order" `Quick test_tuple_prefix_order;
+    Alcotest.test_case "tuple project/append" `Quick test_tuple_project_append;
+    Alcotest.test_case "tuple map" `Quick test_tuple_map;
+  ]
