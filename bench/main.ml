@@ -355,7 +355,7 @@ let bench_pacman (m : mode) =
 
 (* ---- micro-benchmarks (Appendix B tables 6-8) -------------------------------------------------- *)
 
-let bench_micro _m =
+let rec bench_micro (m : mode) =
   section "Appendix B (Tables 6-8): provenance operation micro-benchmarks (Bechamel)";
   let open Bechamel in
   let open Toolkit in
@@ -441,7 +441,103 @@ query path|}
   in
   List.iter (fun t -> benchmark (Test.make_grouped ~name:"g" [ t ])) tests;
   Fmt.pr "@.(Appendix B complexity: mmp O(1), damp O(n), dtkp conj O(n^2 k^2), neg/WMC exponential@.";
-  Fmt.pr " in the worst case — the measured ordering above should respect that hierarchy)@."
+  Fmt.pr " in the worst case — the measured ordering above should respect that hierarchy)@.";
+  bench_interp m
+
+(* ---- interpreter workloads (BENCH_interp.json) ------------------------------------------------- *)
+
+(* End-to-end SclRam interpreter throughput on the two shapes every later
+   perf PR is judged against: a deep recursive fixpoint (transitive closure
+   on a chain, maximizing semi-naive iteration count) and a wide aggregation
+   (sum + count over many groups).  Each workload runs with the fixpoint
+   index cache on and off, under discrete, minmaxprob and top-k-proof
+   provenances, and the measurements land in BENCH_interp.json. *)
+and bench_interp (m : mode) =
+  section "Interpreter workloads: fixpoint + aggregation throughput (writes BENCH_interp.json)";
+  let open Scallop_core in
+  let tc_src =
+    {|type edge(i32, i32)
+rel path(a, b) = edge(a, b)
+rel path(a, c) = path(a, b), edge(b, c)
+query path|}
+  in
+  let agg_src =
+    {|type item(i32, i32)
+rel total(g, s) = s := sum(x: item(g, x))
+rel sizes(g, n) = n := count(x: item(g, x))
+query total
+query sizes|}
+  in
+  let chain_facts n =
+    [
+      ( "edge",
+        List.init n (fun i ->
+            ( Provenance.Input.prob 0.9,
+              Tuple.of_list [ Value.int Value.I32 i; Value.int Value.I32 (i + 1) ] )) );
+    ]
+  in
+  let agg_facts ~groups ~per_group =
+    let rng = Scallop_utils.Rng.create 9 in
+    [
+      ( "item",
+        List.concat
+          (List.init groups (fun g ->
+               List.init per_group (fun _ ->
+                   ( Provenance.Input.prob (0.5 +. (0.5 *. Scallop_utils.Rng.float rng)),
+                     Tuple.of_list
+                       [
+                         Value.int Value.I32 g;
+                         Value.int Value.I32 (Scallop_utils.Rng.int rng 10);
+                       ] )))) );
+    ]
+  in
+  let time_once ~cache ~spec compiled facts =
+    let config = { (Interp.default_config ()) with Interp.cache_indices = cache } in
+    let t0 = Unix.gettimeofday () in
+    ignore (Session.run ~config ~provenance:(Registry.create spec) compiled ~facts ());
+    Unix.gettimeofday () -. t0
+  in
+  let results = ref [] in
+  let runs = if m.quick then 3 else 8 in
+  let measure ~name ~prov_name ~spec ~n compiled facts =
+    List.iter
+      (fun cache ->
+        ignore (time_once ~cache ~spec compiled facts);
+        let total = ref 0.0 in
+        for _ = 1 to runs do
+          total := !total +. time_once ~cache ~spec compiled facts
+        done;
+        let mean = !total /. float_of_int runs in
+        Fmt.pr "  %-24s %-12s n=%-5d cache=%-5b %9.2f ms %10.2f ops/sec@." name prov_name n
+          cache (1000.0 *. mean) (1.0 /. mean);
+        Format.pp_print_flush Format.std_formatter ();
+        results :=
+          Fmt.str
+            {|    {"name": %S, "provenance": %S, "n": %d, "cache": %b, "runs": %d, "mean_ms": %.3f, "ops_per_sec": %.3f}|}
+            name prov_name n cache runs (1000.0 *. mean) (1.0 /. mean)
+          :: !results)
+      [ true; false ]
+  in
+  let tc = Session.compile tc_src in
+  let agg = Session.compile agg_src in
+  measure ~name:"transitive-closure-chain" ~prov_name:"boolean" ~spec:Registry.Boolean ~n:500 tc
+    (chain_facts 500);
+  measure ~name:"transitive-closure-chain" ~prov_name:"minmaxprob" ~spec:Registry.Max_min_prob
+    ~n:500 tc (chain_facts 500);
+  measure ~name:"transitive-closure-chain" ~prov_name:"topkproofs-3"
+    ~spec:(Registry.Top_k_proofs 3) ~n:120 tc (chain_facts 120);
+  measure ~name:"aggregation-sum-count" ~prov_name:"boolean" ~spec:Registry.Boolean ~n:2000 agg
+    (agg_facts ~groups:50 ~per_group:40);
+  measure ~name:"aggregation-sum-count" ~prov_name:"minmaxprob" ~spec:Registry.Max_min_prob
+    ~n:2000 agg (agg_facts ~groups:50 ~per_group:40);
+  measure ~name:"aggregation-sum-count" ~prov_name:"topkproofs-3" ~spec:(Registry.Top_k_proofs 3)
+    ~n:60 agg (agg_facts ~groups:6 ~per_group:10);
+  let oc = open_out "BENCH_interp.json" in
+  output_string oc "{\n  \"benchmarks\": [\n";
+  output_string oc (String.concat ",\n" (List.rev !results));
+  output_string oc "\n  ]\n}\n";
+  close_out oc;
+  Fmt.pr "@.  wrote BENCH_interp.json (%d measurements)@." (List.length !results)
 
 (* ---- driver --------------------------------------------------------------------------------------- *)
 

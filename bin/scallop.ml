@@ -34,6 +34,25 @@ let file_arg = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~do
 let seed_arg =
   Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed for samplers.")
 
+let profile_arg =
+  Arg.(
+    value & flag
+    & info [ "profile"; "stats" ]
+        ~doc:"Collect execution statistics and print a per-RAM-node profile after the outputs.")
+
+let no_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "no-cache" ] ~doc:"Disable reuse of join indices across fixpoint iterations.")
+
+let make_config ~seed ~profile ~no_cache =
+  {
+    (Interp.default_config ()) with
+    Interp.rng = Scallop_utils.Rng.create seed;
+    cache_indices = not no_cache;
+    stats = (if profile then Some (Interp.empty_stats ()) else None);
+  }
+
 (* In_channel.input_all works on pipes too (e.g. [scallop run /dev/stdin]). *)
 let read_file path =
   let ic = open_in path in
@@ -54,20 +73,24 @@ let print_outputs (result : Session.result) =
         rows)
     result.Session.outputs
 
-let run_cmd =
-  let run provenance seed path =
+let run_term =
+  let run provenance seed profile no_cache path =
     try
       let source = read_file path in
-      let config = { Interp.rng = Scallop_utils.Rng.create seed; max_iterations = 10_000; semi_naive = true; stats = None } in
+      let config = make_config ~seed ~profile ~no_cache in
       let compiled = Session.compile ~load:(loader_for path) source in
       let result = Session.run ~config ~provenance:(Registry.create provenance) compiled () in
       print_outputs result;
+      (match result.Session.stats with
+      | Some stats -> Fmt.pr "%a" (Interp.pp_profile compiled.Session.plan) stats
+      | None -> ());
       `Ok ()
     with Session.Error msg -> `Error (false, msg)
   in
-  Cmd.v
-    (Cmd.info "run" ~doc:"Execute a Scallop program and print its output relations.")
-    Term.(ret (const run $ provenance_arg $ seed_arg $ file_arg))
+  Term.(ret (const run $ provenance_arg $ seed_arg $ profile_arg $ no_cache_arg $ file_arg))
+
+let run_cmd =
+  Cmd.v (Cmd.info "run" ~doc:"Execute a Scallop program and print its output relations.") run_term
 
 let compile_cmd =
   let run path =
@@ -83,21 +106,30 @@ let compile_cmd =
     Term.(ret (const run $ file_arg))
 
 let repl_cmd =
-  let run provenance seed =
+  let run provenance seed profile no_cache =
     Fmt.pr "Scallop REPL — enter items (rel/type/const/query); an empty line executes.@.";
     let buffer = Buffer.create 256 in
-    let config = { Interp.rng = Scallop_utils.Rng.create seed; max_iterations = 10_000; semi_naive = true; stats = None } in
+    (* One RNG for the whole session (repeated executions keep sampling new
+       draws); a fresh stats sink per execution so profiles don't accumulate. *)
+    let base_config = make_config ~seed ~profile ~no_cache in
     let rec loop () =
       Fmt.pr "scl> %!";
       match In_channel.input_line stdin with
       | None -> ()
       | Some "" ->
           (try
-             let result =
-               Session.interpret ~config ~provenance:(Registry.create provenance)
-                 (Buffer.contents buffer)
+             let config =
+               if profile then { base_config with Interp.stats = Some (Interp.empty_stats ()) }
+               else base_config
              in
-             print_outputs result
+             let compiled = Session.compile (Buffer.contents buffer) in
+             let result =
+               Session.run ~config ~provenance:(Registry.create provenance) compiled ()
+             in
+             print_outputs result;
+             match result.Session.stats with
+             | Some stats -> Fmt.pr "%a" (Interp.pp_profile compiled.Session.plan) stats
+             | None -> ()
            with Session.Error msg -> Fmt.epr "error: %s@." msg);
           loop ()
       | Some line ->
@@ -110,10 +142,12 @@ let repl_cmd =
   in
   Cmd.v
     (Cmd.info "repl" ~doc:"Interactive toplevel: accumulate items, execute on empty line.")
-    Term.(ret (const run $ provenance_arg $ seed_arg))
+    Term.(ret (const run $ provenance_arg $ seed_arg $ profile_arg $ no_cache_arg))
 
 let main_cmd =
-  Cmd.group
+  (* [run] is the default command, so [scallop --profile FILE] works without
+     spelling out [run]. *)
+  Cmd.group ~default:run_term
     (Cmd.info "scallop" ~version:"1.0.0"
        ~doc:"Scallop: a language for neurosymbolic programming (OCaml reproduction).")
     [ run_cmd; compile_cmd; repl_cmd ]

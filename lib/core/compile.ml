@@ -126,8 +126,17 @@ let join_plans (a : plan) (b : plan) : plan =
   let mapping =
     List.init la (fun i -> Ram.Access i) @ List.map (fun i -> Ram.Access i) keep_b
   in
+  (* When nothing is shared, the mapping is the identity over the joined
+     width — skip the no-op Project instead of paying a copy per tuple. *)
+  let identity =
+    List.for_all2
+      (fun i m -> m = Ram.Access i)
+      (List.init (List.length mapping) Fun.id)
+      mapping
+    && List.length mapping = la + List.length b.layout
+  in
   {
-    expr = Ram.Project (mapping, joined);
+    expr = (if identity then joined else Ram.Project (mapping, joined));
     layout = a.layout @ List.filter (fun v -> not (List.mem v a.layout)) b.layout;
   }
 

@@ -5,64 +5,79 @@
     Expression evaluation produces (possibly duplicated) tagged tuples;
     rule evaluation normalizes them (⊕-merging duplicates and applying early
     [discard]) and merges with previously derived facts (Rule-1/2/3).
-    Stratum evaluation is the saturation-checked least-fixed-point lfp°. *)
+    Stratum evaluation is the saturation-checked least-fixed-point lfp°.
+
+    The interpreter evaluates {!Plan.t} trees (RAM expressions annotated at
+    compile time with stable node ids and stratum-invariance flags) rather
+    than raw {!Ram.expr}s.  The annotations drive two features:
+
+    - {e profiling}: when [config.stats] is set, every node evaluation is
+      counted and timed under its node id, and each stratum records an
+      iteration trace (see {!Plan.stats}).  With [stats = None] the only
+      overhead is one match per node.
+    - {e fixpoint caching}: when [config.cache_indices] is set, join and
+      anti-join indices whose right side is invariant within the stratum,
+      normalized right-hand relations of −/∩, and the materialized results
+      of maximal invariant subtrees are computed once per stratum and reused
+      across fixpoint iterations.  Caches are discarded at stratum exit.
+      Invariance excludes samplers, so cached evaluation is observationally
+      identical to uncached evaluation. *)
 
 exception Runtime_error of string
 
-type stats = { mutable fixpoint_iterations : int }
-(** Observability: total fixed-point iterations across strata (the Fig. 10
-    saturation traces are measured through this). *)
+(* Re-exported so existing call sites can keep writing [Interp.stats],
+   [s.Interp.fixpoint_iterations], etc.; the definitions live in {!Plan}
+   next to the node-id assignment they are keyed by. *)
+type node_stat = Plan.node_stat = {
+  mutable evals : int;
+  mutable tuples : int;
+  mutable seconds : float;
+  mutable hits : int;
+}
+
+type stratum_trace = Plan.stratum_trace = {
+  stratum_index : int;
+  mutable iterations : int;
+  mutable delta_sizes : int list;
+}
+
+type stats = Plan.stats = {
+  mutable fixpoint_iterations : int;
+  node_stats : (int, node_stat) Hashtbl.t;
+  mutable stratum_traces : stratum_trace list;
+}
+
+let empty_stats = Plan.empty_stats
+let pp_profile = Plan.pp_profile
 
 type config = {
   rng : Scallop_utils.Rng.t;
   max_iterations : int;
   semi_naive : bool;
-  stats : stats option;
+  cache_indices : bool;
+      (** reuse join indices / invariant sub-relations across fixpoint
+          iterations (sound; see {!Plan}) *)
+  stats : stats option;  (** profiling sink; [None] disables collection *)
 }
 
 let default_config () =
-  { rng = Scallop_utils.Rng.create 0; max_iterations = 10_000; semi_naive = true; stats = None }
+  {
+    rng = Scallop_utils.Rng.create 0;
+    max_iterations = 10_000;
+    semi_naive = true;
+    cache_indices = true;
+    stats = None;
+  }
 
 let bump_stats config =
   match config.stats with Some s -> s.fixpoint_iterations <- s.fixpoint_iterations + 1 | None -> ()
 
-(* Delta relations for semi-naive evaluation live in the same database under
-   mangled names that cannot clash with source predicates. *)
-let delta_name p = "\001delta:" ^ p
-
-(** Delta rewriting for semi-naive evaluation (the paper's runtime is
-    "based on semi-naive evaluation specialized for tagged semantics",
-    Sec. 5).  Returns expressions whose union covers every derivation
-    involving at least one changed tuple of the stratum's head predicates:
-    each variant replaces one recursive leaf with its delta relation.
-    Derivations among unchanged tuples were already ⊕-merged in earlier
-    iterations and are preserved by the Rule-1/3 merge, so skipping them is
-    sound.  Stratification guarantees that aggregation bodies, sampling
-    bodies and the right-hand sides of difference/anti-join never mention
-    the current stratum, so they never carry a delta. *)
-let rec delta_variants (heads : string list) (e : Ram.expr) : Ram.expr list =
-  let on sub rebuild = List.map rebuild (delta_variants heads sub) in
-  match e with
-  | Ram.Pred p when List.mem p heads -> [ Ram.Pred (delta_name p) ]
-  | Ram.Pred _ | Ram.Empty | Ram.Singleton -> []
-  | Ram.Select (c, sub) -> on sub (fun s -> Ram.Select (c, s))
-  | Ram.Project (m, sub) -> on sub (fun s -> Ram.Project (m, s))
-  | Ram.One_overwrite sub -> on sub (fun s -> Ram.One_overwrite s)
-  | Ram.Zero_overwrite sub -> on sub (fun s -> Ram.Zero_overwrite s)
-  | Ram.Union (a, b) -> delta_variants heads a @ delta_variants heads b
-  | Ram.Product (a, b) ->
-      on a (fun a' -> Ram.Product (a', b)) @ on b (fun b' -> Ram.Product (a, b'))
-  | Ram.Intersect (a, b) ->
-      on a (fun a' -> Ram.Intersect (a', b)) @ on b (fun b' -> Ram.Intersect (a, b'))
-  | Ram.Join { lkeys; rkeys; left; right } ->
-      on left (fun l -> Ram.Join { lkeys; rkeys; left = l; right })
-      @ on right (fun r -> Ram.Join { lkeys; rkeys; left; right = r })
-  | Ram.Diff (a, b) -> on a (fun a' -> Ram.Diff (a', b))
-  | Ram.Antijoin { lkeys; rkeys; left; right } ->
-      on left (fun l -> Ram.Antijoin { lkeys; rkeys; left = l; right })
-  | Ram.Aggregate _ | Ram.Sample _ -> []
-  | Ram.Foreign_join { name; args; left } ->
-      on left (fun l -> Ram.Foreign_join { name; args; left = l })
+let record_hit config pid =
+  match config.stats with
+  | Some s ->
+      let st = Plan.node_stat s pid in
+      st.hits <- st.hits + 1
+  | None -> ()
 
 module Make (P : Provenance.S) = struct
   module Agg = Aggregate.Make (P)
@@ -101,72 +116,156 @@ module Make (P : Provenance.S) = struct
   let split_key key_len (u : Tuple.t) =
     (Array.sub u 0 key_len, Array.sub u key_len (Array.length u - key_len))
 
+  let group_map_by_key key_len (items : (Tuple.t * P.t) list) :
+      (Tuple.t * P.t) list Tuple.Map.t =
+    List.fold_left
+      (fun m (u, t) ->
+        let key, rest = split_key key_len u in
+        Tuple.Map.update key
+          (fun cur -> Some ((rest, t) :: Option.value cur ~default:[]))
+          m)
+      Tuple.Map.empty items
+    |> Tuple.Map.map List.rev
+
   let group_by_key key_len (items : (Tuple.t * P.t) list) :
       (Tuple.t * (Tuple.t * P.t) list) list =
-    let tbl : (Tuple.t * P.t) list Tuple.Map.t ref = ref Tuple.Map.empty in
-    List.iter
-      (fun (u, t) ->
-        let key, rest = split_key key_len u in
-        tbl :=
-          Tuple.Map.update key
-            (fun cur -> Some ((rest, t) :: Option.value cur ~default:[]))
-            !tbl)
-      items;
-    Tuple.Map.bindings !tbl |> List.map (fun (k, l) -> (k, List.rev l))
+    Tuple.Map.bindings (group_map_by_key key_len items)
 
   (* ---- samplers ---------------------------------------------------------- *)
 
+  (* All samplers return exactly [min k |items|] tuples in ascending input
+     order (input order is itself canonical: sampler bodies are normalized,
+     so items arrive sorted by tuple).  Draws consume only [config.rng], so
+     a fixed seed gives a fixed sample. *)
   let apply_sampler config sampler (items : (Tuple.t * P.t) list) :
       (Tuple.t * P.t) list =
     match sampler with
     | Ram.Top_k k -> Scallop_utils.Listx.top_k_by (fun (_, t) -> P.weight t) k items
     | Ram.Categorical k ->
-        if items = [] then []
-        else begin
-          let arr = Array.of_list items in
-          let weights = Array.map (fun (_, t) -> Float.max 0.0 (P.weight t)) arr in
-          let chosen = Hashtbl.create k in
-          for _ = 1 to k do
-            let i = Scallop_utils.Rng.categorical config.rng weights in
-            Hashtbl.replace chosen i ()
-          done;
-          Hashtbl.fold (fun i () acc -> arr.(i) :: acc) chosen []
-        end
+        let arr = Array.of_list items in
+        let n = Array.length arr in
+        if k >= n then items
+        else
+          let weights = Array.map (fun (_, t) -> P.weight t) arr in
+          Scallop_utils.Rng.weighted_sample_indices config.rng k weights
+          |> Array.map (fun i -> arr.(i))
+          |> Array.to_list
     | Ram.Uniform k ->
-        if items = [] then []
-        else begin
-          let arr = Array.of_list items in
-          let chosen = Hashtbl.create k in
-          for _ = 1 to k do
-            let i = Scallop_utils.Rng.int config.rng (Array.length arr) in
-            Hashtbl.replace chosen i ()
-          done;
-          Hashtbl.fold (fun i () acc -> arr.(i) :: acc) chosen []
-        end
+        let arr = Array.of_list items in
+        let n = Array.length arr in
+        if k >= n then items
+        else
+          Scallop_utils.Rng.sample_indices config.rng k n
+          |> Array.map (fun i -> arr.(i))
+          |> Array.to_list
+
+  (* ---- fixpoint caches ---------------------------------------------------- *)
+
+  (** Per-stratum caches, keyed by plan node id; valid for the duration of
+      one stratum's fixed point because cached nodes are invariant there. *)
+  type cache = {
+    c_rels : (int, (Tuple.t * P.t) list) Hashtbl.t;
+        (** materialized results of maximal invariant subtrees *)
+    c_joins : (int, (Tuple.t * P.t) list Tuple.Map.t) Hashtbl.t;
+        (** join right-side indices, keyed by the right child's id *)
+    c_antis : (int, P.t Tuple.Map.t) Hashtbl.t;
+        (** anti-join right-side ⊕-merged indices *)
+    c_norms : (int, P.t Tuple.Map.t) Hashtbl.t;
+        (** normalized right-hand relations of −/∩ *)
+  }
+
+  let fresh_cache () =
+    {
+      c_rels = Hashtbl.create 16;
+      c_joins = Hashtbl.create 16;
+      c_antis = Hashtbl.create 16;
+      c_norms = Hashtbl.create 16;
+    }
+
+  let build_join_index rkeys rights : (Tuple.t * P.t) list Tuple.Map.t =
+    List.fold_left
+      (fun m ((u, _) as item) ->
+        let key = Tuple.project rkeys u in
+        Tuple.Map.update key (fun cur -> Some (item :: Option.value cur ~default:[])) m)
+      Tuple.Map.empty rights
+
+  let build_antijoin_index rkeys rights : P.t Tuple.Map.t =
+    List.fold_left
+      (fun m (u, t) ->
+        let key = Tuple.project rkeys u in
+        Tuple.Map.update key
+          (fun cur -> Some (match cur with None -> t | Some t' -> P.add t' t))
+          m)
+      Tuple.Map.empty rights
 
   (* ---- expression evaluation (Fig. 7 / Fig. 23) -------------------------- *)
 
-  let rec eval_expr config (db : db) (e : Ram.expr) : (Tuple.t * P.t) list =
-    match e with
-    | Ram.Empty -> []
-    | Ram.Singleton -> [ (Tuple.unit, P.one) ]
-    | Ram.Pred p -> Tuple.Map.bindings (relation_of db p)
-    | Ram.Select (cond, e) ->
-        List.filter (fun (u, _) -> Ram.eval_cond u cond) (eval_expr config db e)
-    | Ram.Project (m, e) ->
+  (* [eval] wraps [eval_node] with (a) result caching at maximal invariant
+     subtrees — an invariant node reached from a variant parent checks the
+     cache; its own subtree is then evaluated cache-less since every
+     descendant is invariant too — and (b) per-node profiling.  Wall times
+     are inclusive of children. *)
+  let rec eval config (cache : cache option) (db : db) (p : Plan.t) :
+      (Tuple.t * P.t) list =
+    match cache with
+    | Some c when p.Plan.invariant -> (
+        match Hashtbl.find_opt c.c_rels p.Plan.pid with
+        | Some r ->
+            record_hit config p.Plan.pid;
+            r
+        | None ->
+            let r = eval_timed config None db p in
+            Hashtbl.add c.c_rels p.Plan.pid r;
+            r)
+    | _ -> eval_timed config cache db p
+
+  and eval_timed config cache db (p : Plan.t) =
+    match config.stats with
+    | None -> eval_node config cache db p
+    | Some s ->
+        let t0 = Unix.gettimeofday () in
+        let r = eval_node config cache db p in
+        let st = Plan.node_stat s p.Plan.pid in
+        st.evals <- st.evals + 1;
+        st.tuples <- st.tuples + List.length r;
+        st.seconds <- st.seconds +. (Unix.gettimeofday () -. t0);
+        r
+
+  (* Normalized right-hand side of −/∩, cached when invariant. *)
+  and normalized_right config cache db (b : Plan.t) : P.t Tuple.Map.t =
+    match cache with
+    | Some c when b.Plan.invariant -> (
+        match Hashtbl.find_opt c.c_norms b.Plan.pid with
+        | Some m ->
+            record_hit config b.Plan.pid;
+            m
+        | None ->
+            let m = normalize (eval config None db b) in
+            Hashtbl.add c.c_norms b.Plan.pid m;
+            m)
+    | _ -> normalize (eval config cache db b)
+
+  and eval_node config cache (db : db) (p : Plan.t) : (Tuple.t * P.t) list =
+    match p.Plan.desc with
+    | Plan.Empty -> []
+    | Plan.Singleton -> [ (Tuple.unit, P.one) ]
+    | Plan.Pred pr -> Tuple.Map.bindings (relation_of db pr)
+    | Plan.Select (cond, e) ->
+        List.filter (fun (u, _) -> Ram.eval_cond u cond) (eval config cache db e)
+    | Plan.Project (m, e) ->
         List.filter_map
           (fun (u, t) -> Option.map (fun u' -> (u', t)) (Ram.eval_mapping u m))
-          (eval_expr config db e)
-    | Ram.Union (a, b) -> eval_expr config db a @ eval_expr config db b
-    | Ram.Product (a, b) ->
-        let rb = eval_expr config db b in
+          (eval config cache db e)
+    | Plan.Union (a, b) -> eval config cache db a @ eval config cache db b
+    | Plan.Product (a, b) ->
+        let rb = eval config cache db b in
         List.concat_map
           (fun (ua, ta) -> List.map (fun (ub, tb) -> (Tuple.append ua ub, P.mult ta tb)) rb)
-          (eval_expr config db a)
-    | Ram.Diff (a, b) ->
+          (eval config cache db a)
+    | Plan.Diff (a, b) ->
         (* Diff-1: tuple absent from b — propagate unchanged.
            Diff-2: present in both — tag t₁ ⊗ ⊖t₂ (information-preserving). *)
-        let rb = normalize (eval_expr config db b) in
+        let rb = normalized_right config cache db b in
         List.filter_map
           (fun (u, ta) ->
             match Tuple.Map.find_opt u rb with
@@ -175,23 +274,26 @@ module Make (P : Provenance.S) = struct
                 match P.negate tb with
                 | Some ntb -> Some (u, P.mult ta ntb)
                 | None -> raise (Runtime_error (P.name ^ " does not support negation"))))
-          (eval_expr config db a)
-    | Ram.Intersect (a, b) ->
-        let rb = normalize (eval_expr config db b) in
+          (eval config cache db a)
+    | Plan.Intersect (a, b) ->
+        let rb = normalized_right config cache db b in
         List.filter_map
           (fun (u, ta) ->
             Option.map (fun tb -> (u, P.mult ta tb)) (Tuple.Map.find_opt u rb))
-          (eval_expr config db a)
-    | Ram.Join { lkeys; rkeys; left; right } ->
-        let rights = eval_expr config db right in
-        let index : (Tuple.t * P.t) list Tuple.Map.t =
-          List.fold_left
-            (fun m ((u, _) as item) ->
-              let key = Tuple.project rkeys u in
-              Tuple.Map.update key
-                (fun cur -> Some (item :: Option.value cur ~default:[]))
-                m)
-            Tuple.Map.empty rights
+          (eval config cache db a)
+    | Plan.Join { lkeys; rkeys; left; right } ->
+        let index =
+          match cache with
+          | Some c when right.Plan.invariant -> (
+              match Hashtbl.find_opt c.c_joins right.Plan.pid with
+              | Some idx ->
+                  record_hit config right.Plan.pid;
+                  idx
+              | None ->
+                  let idx = build_join_index rkeys (eval config None db right) in
+                  Hashtbl.add c.c_joins right.Plan.pid idx;
+                  idx)
+          | _ -> build_join_index rkeys (eval config cache db right)
         in
         List.concat_map
           (fun (ul, tl) ->
@@ -200,19 +302,22 @@ module Make (P : Provenance.S) = struct
             | None -> []
             | Some matches ->
                 List.map (fun (ur, tr) -> (Tuple.append ul ur, P.mult tl tr)) matches)
-          (eval_expr config db left)
-    | Ram.Antijoin { lkeys; rkeys; left; right } ->
+          (eval config cache db left)
+    | Plan.Antijoin { lkeys; rkeys; left; right } ->
         (* Right side is keyed and ⊕-merged; a left tuple matching key k is
            tagged t_l ⊗ ⊖(⊕ of right tags at k). *)
-        let index : P.t Tuple.Map.t =
-          List.fold_left
-            (fun m (u, t) ->
-              let key = Tuple.project rkeys u in
-              Tuple.Map.update key
-                (fun cur -> Some (match cur with None -> t | Some t' -> P.add t' t))
-                m)
-            Tuple.Map.empty
-            (eval_expr config db right)
+        let index =
+          match cache with
+          | Some c when right.Plan.invariant -> (
+              match Hashtbl.find_opt c.c_antis right.Plan.pid with
+              | Some idx ->
+                  record_hit config right.Plan.pid;
+                  idx
+              | None ->
+                  let idx = build_antijoin_index rkeys (eval config None db right) in
+                  Hashtbl.add c.c_antis right.Plan.pid idx;
+                  idx)
+          | _ -> build_antijoin_index rkeys (eval config cache db right)
         in
         List.filter_map
           (fun (ul, tl) ->
@@ -223,47 +328,46 @@ module Make (P : Provenance.S) = struct
                 match P.negate tr with
                 | Some ntr -> Some (ul, P.mult tl ntr)
                 | None -> raise (Runtime_error (P.name ^ " does not support negation"))))
-          (eval_expr config db left)
-    | Ram.One_overwrite e ->
-        Tuple.Map.bindings (normalize (eval_expr config db e))
+          (eval config cache db left)
+    | Plan.One_overwrite e ->
+        Tuple.Map.bindings (normalize (eval config cache db e))
         |> List.map (fun (u, _) -> (u, P.one))
-    | Ram.Zero_overwrite e ->
-        Tuple.Map.bindings (normalize (eval_expr config db e))
+    | Plan.Zero_overwrite e ->
+        Tuple.Map.bindings (normalize (eval config cache db e))
         |> List.map (fun (u, _) -> (u, P.zero))
-    | Ram.Aggregate { agg; key_len; arg_len; group; body } -> (
-        let items = Tuple.Map.bindings (normalize (eval_expr config db body)) in
+    | Plan.Aggregate { agg; key_len; arg_len; group; body } -> (
+        let items = Tuple.Map.bindings (normalize (eval config cache db body)) in
         match group with
-        | Ram.No_group ->
+        | Plan.No_group ->
             let rest = List.map (fun (u, t) -> (snd (split_key key_len u), t)) items in
-            Agg.run agg ~arg_len rest |> List.map (fun (r, t) -> (r, t))
-        | Ram.Implicit ->
+            Agg.run agg ~arg_len rest
+        | Plan.Implicit ->
             group_by_key key_len items
             |> List.concat_map (fun (key, group_items) ->
                    Agg.run agg ~arg_len group_items
                    |> List.map (fun (r, t) -> (Tuple.append key r, t)))
-        | Ram.Domain dom ->
-            let domain = Tuple.Map.bindings (normalize (eval_expr config db dom)) in
-            let grouped = group_by_key key_len items in
+        | Plan.Domain dom ->
+            let domain = Tuple.Map.bindings (normalize (eval config cache db dom)) in
+            (* group lookup by balanced map, not a linear scan per key *)
+            let grouped = group_map_by_key key_len items in
             List.concat_map
               (fun (key, tg) ->
                 let group_items =
-                  match List.find_opt (fun (k, _) -> Tuple.compare k key = 0) grouped with
-                  | Some (_, l) -> l
-                  | None -> []
+                  Option.value (Tuple.Map.find_opt key grouped) ~default:[]
                 in
                 Agg.run agg ~arg_len group_items
                 |> List.map (fun (r, t) -> (Tuple.append key r, P.mult tg t)))
               domain)
-    | Ram.Sample { sampler; key_len; group; body } -> (
-        let items = Tuple.Map.bindings (normalize (eval_expr config db body)) in
+    | Plan.Sample { sampler; key_len; group; body } -> (
+        let items = Tuple.Map.bindings (normalize (eval config cache db body)) in
         match group with
-        | Ram.No_group -> apply_sampler config sampler items
-        | Ram.Implicit | Ram.Domain _ ->
+        | Plan.No_group -> apply_sampler config sampler items
+        | Plan.Implicit | Plan.Domain _ ->
             group_by_key key_len items
             |> List.concat_map (fun (key, group_items) ->
                    apply_sampler config sampler group_items
                    |> List.map (fun (r, t) -> (Tuple.append key r, t))))
-    | Ram.Foreign_join { name; args; left } -> (
+    | Plan.Foreign_join { name; args; free_cols; left } -> (
         match Foreign.lookup_predicate name with
         | None -> raise (Runtime_error ("unknown foreign predicate $" ^ name))
         | Some (arity, fp) ->
@@ -283,30 +387,27 @@ module Make (P : Provenance.S) = struct
                 match fp pattern with
                 | Error msg -> raise (Runtime_error (name ^ ": " ^ msg))
                 | Ok tuples ->
+                    (* keep only the free positions, in order; positions are
+                       precomputed per node, not per result tuple *)
                     List.map
                       (fun full ->
-                        (* keep only the free positions, in order *)
-                        let extra =
-                          List.filteri (fun i _ -> List.nth args i = Ram.F_free)
-                            (Array.to_list full)
-                        in
-                        (Tuple.append ul (Tuple.of_list extra), tl))
+                        let extra = Array.map (fun i -> full.(i)) free_cols in
+                        (Tuple.append ul extra, tl))
                       tuples)
-              (eval_expr config db left))
+              (eval config cache db left))
 
   (* ---- rules (Fig. 24, Rule-1/2/3) --------------------------------------- *)
 
-  let eval_rule config (db : db) (r : Ram.rule) : relation =
-    let newly = normalize (eval_expr config db r.body) in
-    let old = relation_of db r.head in
-    Tuple.Map.merge
-      (fun _u t_old t_new ->
-        match (t_old, t_new) with
-        | Some t, None -> Some t (* Rule-1 *)
-        | None, Some t -> Some t (* Rule-2 *)
-        | Some t1, Some t2 -> Some (P.add t1 t2) (* Rule-3 *)
-        | None, None -> None)
-      old newly
+  (* Rule-1: tuple only in old — keep.  Rule-2: only newly derived — add.
+     Rule-3: both — ⊕-merge.  [Tuple.Map.union] visits only colliding keys,
+     so merging a small delta into a large accumulated relation costs
+     O(|new| log |old|) rather than O(|old|). *)
+  let merge_newly (old : relation) (newly : relation) : relation =
+    Tuple.Map.union (fun _u t_old t_new -> Some (P.add t_old t_new)) old newly
+
+  let eval_rule config cache (db : db) (r : Plan.rule) : relation =
+    let newly = normalize (eval config cache db r.Plan.body) in
+    merge_newly (relation_of db r.Plan.head) newly
 
   (* ---- strata (Fig. 24, lfp°) -------------------------------------------- *)
 
@@ -318,19 +419,67 @@ module Make (P : Provenance.S) = struct
         | None -> false)
       new_rel
 
-  let eval_stratum config (db : db) (s : Ram.stratum) : db =
-    let heads = List.map (fun (r : Ram.rule) -> r.head) s.rules in
+  (* Changed ("delta") tuples of a full new relation vs. the old one. *)
+  let changed ~(old_rel : relation) (new_rel : relation) : relation =
+    Tuple.Map.filter
+      (fun u t_new ->
+        match Tuple.Map.find_opt u old_rel with
+        | Some t_old -> not (P.saturated ~old:t_old t_new)
+        | None -> true)
+      new_rel
+
+  (* Delta of one semi-naive round, computed from the round's normalized
+     derivations only (O(|newly| log |old|)): a tuple outside [newly] keeps
+     its old tag, and saturation is reflexive (required for termination), so
+     it can never be part of the delta.  Delta tuples carry their merged
+     (old ⊕ new) tag, exactly as [changed] over the merged relation would
+     produce. *)
+  let delta_of ~(old_rel : relation) (newly : relation) : relation =
+    Tuple.Map.fold
+      (fun u t_new acc ->
+        match Tuple.Map.find_opt u old_rel with
+        | None -> Tuple.Map.add u t_new acc
+        | Some t_old ->
+            let merged = P.add t_old t_new in
+            if P.saturated ~old:t_old merged then acc else Tuple.Map.add u merged acc)
+      newly Tuple.Map.empty
+
+  let eval_stratum config (db : db) (sidx : int) (s : Plan.stratum) : db =
+    let heads = s.Plan.heads in
+    let cache = if config.cache_indices then Some (fresh_cache ()) else None in
+    let trace =
+      match config.stats with
+      | Some st ->
+          let tr = { Plan.stratum_index = sidx; iterations = 0; delta_sizes = [] } in
+          st.stratum_traces <- st.stratum_traces @ [ tr ];
+          Some tr
+      | None -> None
+    in
+    let record_iter ?size () =
+      bump_stats config;
+      match trace with
+      | None -> ()
+      | Some tr ->
+          tr.iterations <- tr.iterations + 1;
+          (match size with Some n -> tr.delta_sizes <- n :: tr.delta_sizes | None -> ())
+    in
     let step (db : db) : db =
       List.fold_left
-        (fun acc (r : Ram.rule) ->
+        (fun acc (r : Plan.rule) ->
           (* Each rule reads the database as of the start of the iteration
              (db), not the partially updated one; heads are distinct within a
              stratum so updates never collide. *)
-          SMap.add r.head (eval_rule config db r) acc)
-        db s.rules
+          SMap.add r.Plan.head (eval_rule config cache db r) acc)
+        db s.Plan.rules
     in
-    if not s.Ram.recursive then begin
-      bump_stats config;
+    let changed_count db db' =
+      List.fold_left
+        (fun acc h ->
+          Tuple.Map.cardinal (changed ~old_rel:(relation_of db h) (relation_of db' h)) + acc)
+        0 heads
+    in
+    if not s.Plan.recursive then begin
+      record_iter ();
       step db
     end
     else if not config.semi_naive then begin
@@ -341,8 +490,8 @@ module Make (P : Provenance.S) = struct
           raise
             (Runtime_error
                "fixpoint iteration limit exceeded (program may not terminate under this provenance)");
-        bump_stats config;
         let db' = step db in
+        record_iter ?size:(match trace with Some _ -> Some (changed_count db db') | None -> None) ();
         let saturated =
           List.for_all
             (fun h -> relation_saturated ~old_rel:(relation_of db h) (relation_of db' h))
@@ -355,22 +504,14 @@ module Make (P : Provenance.S) = struct
     else begin
       (* Semi-naive: after a full first round, only derivations touching a
          changed ("delta") tuple are re-evaluated. *)
-      let changed ~(old_rel : relation) (new_rel : relation) : relation =
-        Tuple.Map.filter
-          (fun u t_new ->
-            match Tuple.Map.find_opt u old_rel with
-            | Some t_old -> not (P.saturated ~old:t_old t_new)
-            | None -> true)
-          new_rel
-      in
-      bump_stats config;
       let db1 = step db in
       let deltas =
         List.map (fun h -> (h, changed ~old_rel:(relation_of db h) (relation_of db1 h))) heads
       in
-      let delta_bodies =
-        List.map (fun (r : Ram.rule) -> (r.head, delta_variants heads r.body)) s.rules
+      let delta_size ds =
+        List.fold_left (fun acc (_, d) -> acc + Tuple.Map.cardinal d) 0 ds
       in
+      record_iter ?size:(match trace with Some _ -> Some (delta_size deltas) | None -> None) ();
       let rec loop db deltas iters =
         if List.for_all (fun (_, d) -> Tuple.Map.is_empty d) deltas then db
         else if iters > config.max_iterations then
@@ -378,37 +519,30 @@ module Make (P : Provenance.S) = struct
             (Runtime_error
                "fixpoint iteration limit exceeded (program may not terminate under this provenance)")
         else begin
-          bump_stats config;
           let db_with_deltas =
-            List.fold_left (fun acc (h, d) -> SMap.add (delta_name h) d acc) db deltas
+            List.fold_left (fun acc (h, d) -> SMap.add (Plan.delta_name h) d acc) db deltas
           in
           let updates =
             List.map
-              (fun (head, bodies) ->
+              (fun (r : Plan.rule) ->
                 let newly =
                   normalize
-                    (List.concat_map (eval_expr config db_with_deltas) bodies)
+                    (List.concat_map (eval config cache db_with_deltas) r.Plan.deltas)
                 in
-                let old = relation_of db head in
-                let merged =
-                  Tuple.Map.merge
-                    (fun _u t_old t_new ->
-                      match (t_old, t_new) with
-                      | Some t, None -> Some t
-                      | None, Some t -> Some t
-                      | Some t1, Some t2 -> Some (P.add t1 t2)
-                      | None, None -> None)
-                    old newly
-                in
-                (head, merged))
-              delta_bodies
+                (r.Plan.head, newly))
+              s.Plan.rules
           in
           let deltas' =
             List.map
-              (fun (h, merged) -> (h, changed ~old_rel:(relation_of db h) merged))
+              (fun (h, newly) -> (h, delta_of ~old_rel:(relation_of db h) newly))
               updates
           in
-          let db' = List.fold_left (fun acc (h, rel) -> SMap.add h rel acc) db updates in
+          let db' =
+            List.fold_left
+              (fun acc (h, newly) -> SMap.add h (merge_newly (relation_of db h) newly) acc)
+              db updates
+          in
+          record_iter ?size:(match trace with Some _ -> Some (delta_size deltas') | None -> None) ();
           loop db' deltas' (iters + 1)
         end
       in
@@ -417,8 +551,16 @@ module Make (P : Provenance.S) = struct
 
   (* ---- programs ----------------------------------------------------------- *)
 
+  let eval_plan_program config (db : db) (p : Plan.program) : db =
+    fst
+      (List.fold_left
+         (fun (db, i) s -> (eval_stratum config db i s, i + 1))
+         (db, 0) p.Plan.strata)
+
+  (** Evaluate a raw RAM program by planning it on the fly (compiled sessions
+      plan once at compile time and use {!eval_plan_program} directly). *)
   let eval_program config (db : db) (p : Ram.program) : db =
-    List.fold_left (eval_stratum config) db p.strata
+    eval_plan_program config db (Plan.of_program p)
 
   (** Recovery phase: apply ρ to the tags of an output relation. *)
   let recover (db : db) pred : (Tuple.t * Provenance.Output.t) list =

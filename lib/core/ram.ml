@@ -206,6 +206,35 @@ let rec pp_expr fmt = function
            | F_free -> Fmt.string fmt "_"))
         args
 
+(** One-line label of a node's own operator (children elided) — used by the
+    execution profiler's per-node table, where the tree structure supplies
+    the nesting that [pp_expr] would spell out. *)
+let node_label = function
+  | Empty -> "∅"
+  | Singleton -> "{()}"
+  | Pred p -> p
+  | Select (c, _) -> Fmt.str "@[<h>σ[%a]@]" pp_vexpr c
+  | Project (m, _) -> Fmt.str "@[<h>π[%a]@]" (Fmt.list ~sep:(Fmt.any ",") pp_vexpr) m
+  | Union _ -> "∪"
+  | Product _ -> "×"
+  | Diff _ -> "−"
+  | Intersect _ -> "∩"
+  | Join { lkeys; rkeys; _ } ->
+      Fmt.str "@[<h>⋈[%a;%a]@]"
+        (Fmt.list ~sep:(Fmt.any ",") Fmt.int) lkeys
+        (Fmt.list ~sep:(Fmt.any ",") Fmt.int) rkeys
+  | Antijoin { lkeys; rkeys; _ } ->
+      Fmt.str "@[<h>▷[%a;%a]@]"
+        (Fmt.list ~sep:(Fmt.any ",") Fmt.int) lkeys
+        (Fmt.list ~sep:(Fmt.any ",") Fmt.int) rkeys
+  | One_overwrite _ -> "𝟙"
+  | Zero_overwrite _ -> "∅tag"
+  | Aggregate { agg; key_len; arg_len; group; _ } ->
+      Fmt.str "γ[%s,k=%d,a=%d%s]" (aggregator_name agg) key_len arg_len
+        (match group with No_group -> "" | Implicit -> ",implicit" | Domain _ -> ",domain")
+  | Sample { sampler; key_len; _ } -> Fmt.str "ψ[%s,k=%d]" (sampler_name sampler) key_len
+  | Foreign_join { name; _ } -> Fmt.str "⋉$%s" name
+
 let pp_rule fmt { head; body } = Fmt.pf fmt "%s ← %a" head pp_expr body
 
 let pp_program fmt { strata; outputs } =

@@ -13,6 +13,9 @@ exception Error of string
 
 type compiled = {
   ram : Ram.program;
+  plan : Plan.program;
+      (** RAM annotated with stable node ids and stratum-invariance flags;
+          this is what {!run} executes, and what profiling stats key into *)
   rel_types : (string, Value.ty array) Hashtbl.t;
   static_facts : (string * float option * int option * Tuple.t) list;
   queries : string list;
@@ -71,6 +74,7 @@ let compile ?load ?(optimize = true) (source : string) : compiled =
       in
       {
         ram;
+        plan = Plan.of_program ram;
         rel_types = typed.Typecheck.rel_types;
         static_facts = typed.Typecheck.facts;
         queries = typed.Typecheck.queries;
@@ -83,6 +87,9 @@ type result = {
   outputs : (string * (Tuple.t * Provenance.Output.t) list) list;
   fact_ids : ((string * Tuple.t) * int) list;
       (** provenance variable id assigned to each tagged input fact *)
+  stats : Interp.stats option;
+      (** the profiling sink of the config this run executed under, if any;
+          render with [Interp.pp_profile compiled.plan] *)
 }
 
 (** Coerce an externally provided tuple to the relation's column types, so
@@ -139,7 +146,7 @@ let run ?(config = Interp.default_config ()) ~(provenance : Provenance.t) (c : c
       db facts
   in
   let db =
-    try I.eval_program config db c.ram with
+    try I.eval_plan_program config db c.plan with
     | Interp.Runtime_error msg -> raise (Error msg)
     | Aggregate.Unsupported msg -> raise (Error msg)
   in
@@ -147,6 +154,7 @@ let run ?(config = Interp.default_config ()) ~(provenance : Provenance.t) (c : c
   {
     outputs = List.map (fun pred -> (pred, I.recover db pred)) out_rels;
     fact_ids = List.rev !fact_ids;
+    stats = config.Interp.stats;
   }
 
 (** One-shot convenience: compile and run a source string. *)

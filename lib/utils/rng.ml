@@ -94,3 +94,64 @@ let sample_without_replacement t k arr =
   let copy = Array.copy arr in
   shuffle t copy;
   Array.sub copy 0 k
+
+(** [sample_indices t k n] draws [k] distinct indices uniformly from [0, n)
+    ([k ≤ n]), returned in ascending order.  Partial Fisher–Yates: only the
+    first [k] positions are shuffled. *)
+let sample_indices t k n =
+  if k > n then invalid_arg "Rng.sample_indices: k > n";
+  let idx = Array.init n (fun i -> i) in
+  for i = 0 to k - 1 do
+    let j = i + int t (n - i) in
+    let tmp = idx.(i) in
+    idx.(i) <- idx.(j);
+    idx.(j) <- tmp
+  done;
+  let sel = Array.sub idx 0 k in
+  Array.sort compare sel;
+  sel
+
+(** [weighted_sample_indices t k weights] draws [k] distinct indices without
+    replacement ([k ≤ n]): each round picks proportionally to the remaining
+    non-negative weights (chosen indices are zeroed out), falling back to a
+    uniform choice among the unchosen when no weight remains — so exactly [k]
+    indices are always returned.  Ascending order. *)
+let weighted_sample_indices t k (weights : float array) =
+  let n = Array.length weights in
+  if k > n then invalid_arg "Rng.weighted_sample_indices: k > n";
+  let w = Array.map (fun x -> Float.max 0.0 x) weights in
+  let chosen = Array.make n false in
+  let uniform_unchosen remaining =
+    let j = ref (int t remaining) in
+    let res = ref (-1) in
+    (try
+       for i = 0 to n - 1 do
+         if not chosen.(i) then
+           if !j = 0 then begin
+             res := i;
+             raise Exit
+           end
+           else decr j
+       done
+     with Exit -> ());
+    !res
+  in
+  for round = 0 to k - 1 do
+    let total = Array.fold_left ( +. ) 0.0 w in
+    let i =
+      if total > 0.0 then begin
+        let i = categorical t w in
+        (* float rounding in the categorical scan can land on an
+           already-chosen (zero-weight) index; treat as the uniform case *)
+        if chosen.(i) then uniform_unchosen (n - round) else i
+      end
+      else uniform_unchosen (n - round)
+    in
+    chosen.(i) <- true;
+    w.(i) <- 0.0
+  done;
+  let out = ref [] in
+  for i = n - 1 downto 0 do
+    if chosen.(i) then out := i :: !out
+  done;
+  Array.of_list !out

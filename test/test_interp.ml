@@ -26,9 +26,9 @@ let random_edges seed n max_node =
               ] )) );
   ]
 
-let run_mode ~semi_naive ~provenance ?(stats = None) facts src =
+let run_mode ~semi_naive ~provenance ?(cache = true) ?(stats = None) facts src =
   let config =
-    { Interp.rng = Scallop_utils.Rng.create 0; max_iterations = 10_000; semi_naive; stats }
+    { (Interp.default_config ()) with Interp.semi_naive; cache_indices = cache; stats }
   in
   let r = Session.interpret ~config ~provenance:(Registry.create provenance) ~facts src in
   List.concat_map
@@ -72,7 +72,7 @@ query reach|}
   done
 
 let iterations ~provenance ~semi_naive facts src =
-  let stats = { Interp.fixpoint_iterations = 0 } in
+  let stats = Interp.empty_stats () in
   ignore (run_mode ~semi_naive ~provenance ~stats:(Some stats) facts src);
   stats.Interp.fixpoint_iterations
 
@@ -116,7 +116,7 @@ rel path(a, b) = e(a, b)
 rel path(a, c) = path(a, b), e(b, c)
 query path|} in
   let config =
-    { Interp.rng = Scallop_utils.Rng.create 0; max_iterations = 20; semi_naive = false; stats = None }
+    { (Interp.default_config ()) with Interp.max_iterations = 20; semi_naive = false }
   in
   match Session.interpret ~config ~provenance:(Registry.create Registry.Natural) src with
   | exception Session.Error msg ->
@@ -130,7 +130,7 @@ let test_damp_terminates_on_recursion () =
      graph diameter even on cyclic graphs where tags would otherwise keep
      drifting. *)
   let facts = random_edges 3 20 6 in
-  let stats = { Interp.fixpoint_iterations = 0 } in
+  let stats = Interp.empty_stats () in
   ignore
     (run_mode ~semi_naive:false ~provenance:Registry.Diff_add_mult_prob ~stats:(Some stats) facts
        tc_src);
@@ -139,21 +139,166 @@ let test_damp_terminates_on_recursion () =
       stats.Interp.fixpoint_iterations
 
 let test_delta_variants_structure () =
-  (* Δ(path ⋈ e) for stratum {path} replaces only the path leaf *)
-  let open Ram in
-  let body = Join { lkeys = [ 1 ]; rkeys = [ 0 ]; left = Pred "path"; right = Pred "e" } in
-  match Interp.delta_variants [ "path" ] body with
-  | [ Join { left = Pred d; right = Pred "e"; _ } ] ->
-      check Alcotest.bool "mangled delta name" true (d <> "path" && String.length d > 5)
+  (* Δ(path ⋈ e) for stratum {path} replaces only the path leaf; the spine
+     is rebuilt but the off-spine [e] leaf is shared with the base plan *)
+  let body =
+    Plan.of_expr ~heads:[ "path" ]
+      (Ram.Join { lkeys = [ 1 ]; rkeys = [ 0 ]; left = Ram.Pred "path"; right = Ram.Pred "e" })
+  in
+  check Alcotest.bool "recursive body is variant" false body.Plan.invariant;
+  match Plan.delta_variants ~heads:[ "path" ] body with
+  | [ { Plan.desc = Plan.Join { left; right; _ }; _ } ] -> (
+      match (left.Plan.desc, right.Plan.desc) with
+      | Plan.Pred d, Plan.Pred "e" ->
+          check Alcotest.bool "mangled delta name" true (d <> "path" && String.length d > 5);
+          (match body.Plan.desc with
+          | Plan.Join { right = base_right; _ } ->
+              check Alcotest.bool "off-spine subtree shared" true (base_right == right);
+              check Alcotest.bool "e leaf is invariant" true right.Plan.invariant
+          | _ -> Alcotest.fail "base plan shape")
+      | _ -> Alcotest.fail "unexpected delta leaf shape")
   | l -> Alcotest.failf "expected one delta variant, got %d" (List.length l)
 
 let test_delta_variants_skip_aggregate () =
-  let open Ram in
   let body =
-    Aggregate { agg = Count; key_len = 0; arg_len = 0; group = No_group; body = Pred "q" }
+    Plan.of_expr ~heads:[ "p" ]
+      (Ram.Aggregate
+         { agg = Ram.Count; key_len = 0; arg_len = 0; group = Ram.No_group; body = Ram.Pred "q" })
   in
   check Alcotest.int "aggregates carry no delta" 0
-    (List.length (Interp.delta_variants [ "p" ] body))
+    (List.length (Plan.delta_variants ~heads:[ "p" ] body))
+
+let test_plan_invariance_and_ids () =
+  (* samplers are never invariant; ids are unique in pre-order *)
+  let e =
+    Ram.Union
+      ( Ram.Sample
+          { sampler = Ram.Uniform 2; key_len = 0; group = Ram.No_group; body = Ram.Pred "q" },
+        Ram.Pred "q" )
+  in
+  let p = Plan.of_expr ~heads:[] e in
+  check Alcotest.bool "sampler poisons invariance" false p.Plan.invariant;
+  match p.Plan.desc with
+  | Plan.Union (a, b) ->
+      check Alcotest.bool "sampler node variant" false a.Plan.invariant;
+      check Alcotest.bool "plain pred invariant" true b.Plan.invariant;
+      let ids = [ p.Plan.pid; a.Plan.pid; b.Plan.pid ] in
+      check Alcotest.int "distinct ids" 3 (List.length (List.sort_uniq compare ids))
+  | _ -> Alcotest.fail "plan shape"
+
+(* ---- naive ≡ semi-naive ≡ cached on recursion + negation + aggregation ---- *)
+
+let negagg_src =
+  {|type e(i32, i32), blocked(i32)
+rel path(a, b) = e(a, b), not blocked(b)
+rel path(a, c) = path(a, b), e(b, c), not blocked(c)
+rel reach_count(a, n) = n := count(b: path(a, b))
+query path
+query reach_count|}
+
+(* acyclic (a < b) edge sets keep every provenance's fixpoint finite *)
+let random_dag_facts ?(unit_prob = false) seed n max_node =
+  let rng = Scallop_utils.Rng.create seed in
+  let prob () = if unit_prob then 1.0 else 0.5 +. (0.5 *. Scallop_utils.Rng.float rng) in
+  [
+    ( "e",
+      List.init n (fun _ ->
+          let a = Scallop_utils.Rng.int rng max_node in
+          let b = a + 1 + Scallop_utils.Rng.int rng (max_node - a) in
+          ( Provenance.Input.prob (prob ()),
+            Tuple.of_list [ Value.int Value.I32 a; Value.int Value.I32 b ] )) );
+    ("blocked", [ (Provenance.Input.prob (prob ()), Tuple.of_list [ Value.int Value.I32 2 ]) ]);
+  ]
+
+let path_support rows =
+  List.filter_map
+    (fun s ->
+      if String.length s >= 4 && String.sub s 0 4 = "path" then
+        Some (String.sub s 0 (String.rindex s '='))
+      else None)
+    rows
+  |> List.sort_uniq compare
+
+(* Naive and semi-naive must produce identical recovered outputs whenever ⊕
+   is idempotent (boolean, mmp) — naive re-derivation then merges to the same
+   tag.  addmultprob's ⊕ is a capped sum and its saturation check ignores
+   tags, so naive re-derivation inflates tags toward the cap; exact equality
+   is only guaranteed at the cap (unit probabilities), and with fractional
+   tags the modes agree on the derived tuple set of the recursive relation
+   (aggregate outputs can then differ through ⊖ of drifted tags — same class
+   of caveat as top-k truncation, see DESIGN.md).  Cached vs uncached
+   evaluation must be bit-identical in every mode. *)
+let test_equivalence_negation_aggregation =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:25 ~name:"naive ≡ semi-naive ≡ cached (negation + aggregation)"
+       QCheck.(pair (int_range 0 1000) (int_range 5 20))
+       (fun (seed, n) ->
+         let facts = random_dag_facts seed n 8 in
+         let unit_facts = random_dag_facts ~unit_prob:true seed n 8 in
+         List.for_all
+           (fun provenance ->
+             let semi = run_mode ~semi_naive:true ~provenance facts negagg_src in
+             semi = run_mode ~semi_naive:false ~provenance facts negagg_src
+             && semi = run_mode ~semi_naive:true ~cache:false ~provenance facts negagg_src)
+           [ Registry.Boolean; Registry.Max_min_prob ]
+         && (let semi = run_mode ~semi_naive:true ~provenance:Registry.Add_mult_prob unit_facts negagg_src in
+             semi = run_mode ~semi_naive:false ~provenance:Registry.Add_mult_prob unit_facts negagg_src)
+         && (let semi = run_mode ~semi_naive:true ~provenance:Registry.Add_mult_prob facts negagg_src in
+             semi = run_mode ~semi_naive:true ~cache:false ~provenance:Registry.Add_mult_prob facts negagg_src
+             && path_support semi
+                = path_support (run_mode ~semi_naive:false ~provenance:Registry.Add_mult_prob facts negagg_src))
+         &&
+         let semi = run_mode ~semi_naive:true ~provenance:(Registry.Top_k_proofs 3) facts negagg_src in
+         semi = run_mode ~semi_naive:true ~cache:false ~provenance:(Registry.Top_k_proofs 3) facts negagg_src))
+
+let test_profiler_populates () =
+  let stats = Interp.empty_stats () in
+  let config = { (Interp.default_config ()) with Interp.stats = Some stats } in
+  let compiled = Session.compile negagg_src in
+  let result =
+    Session.run ~config ~provenance:(Registry.create Registry.Boolean) compiled
+      ~facts:(random_dag_facts 7 15 8) ()
+  in
+  check Alcotest.bool "stats returned in result" true
+    (match result.Session.stats with Some s -> s == stats | None -> false);
+  check Alcotest.bool "fixpoint iterations counted" true (stats.Interp.fixpoint_iterations > 0);
+  check Alcotest.bool "node stats recorded" true (Hashtbl.length stats.Interp.node_stats > 0);
+  Hashtbl.iter
+    (fun pid st ->
+      if pid < 0 || pid >= compiled.Session.plan.Plan.node_count then
+        Alcotest.failf "stat recorded for unknown node id %d" pid;
+      if st.Interp.evals <= 0 then Alcotest.failf "node %d recorded without evaluations" pid;
+      if st.Interp.seconds < 0.0 then Alcotest.failf "negative wall time on node %d" pid)
+    stats.Interp.node_stats;
+  (match stats.Interp.stratum_traces with
+  | [] -> Alcotest.fail "no stratum traces"
+  | traces ->
+      let total = List.fold_left (fun acc tr -> acc + tr.Interp.iterations) 0 traces in
+      check Alcotest.int "trace iterations sum to total" stats.Interp.fixpoint_iterations total;
+      check Alcotest.bool "some stratum is recursive (multi-iteration)" true
+        (List.exists (fun tr -> tr.Interp.iterations > 1) traces));
+  (* the profile table renders without raising *)
+  let table = Fmt.str "%a" (Interp.pp_profile compiled.Session.plan) stats in
+  check Alcotest.bool "profile table mentions nodes" true
+    (String.length table > 0 && String.sub table 0 3 = "===")
+
+let test_cache_hits_recorded () =
+  (* recursive stratum with an invariant [e] leaf: the cached join index /
+     sub-relation must be hit on iterations ≥ 2 *)
+  let stats = Interp.empty_stats () in
+  let config = { (Interp.default_config ()) with Interp.stats = Some stats } in
+  let facts =
+    [
+      ( "e",
+        List.init 30 (fun i ->
+            ( Provenance.Input.none,
+              Tuple.of_list [ Value.int Value.I32 i; Value.int Value.I32 (i + 1) ] )) );
+    ]
+  in
+  ignore
+    (Session.interpret ~config ~provenance:(Registry.create Registry.Boolean) ~facts tc_src);
+  let hits = Hashtbl.fold (fun _ st acc -> acc + st.Interp.hits) stats.Interp.node_stats 0 in
+  check Alcotest.bool "fixpoint cache hit at least once" true (hits > 0)
 
 let test_semi_naive_faster_iterations_equal () =
   (* same number of fixpoint rounds, far less work per round; here we just
@@ -180,5 +325,9 @@ let suite =
     Alcotest.test_case "damp terminates immediately" `Quick test_damp_terminates_on_recursion;
     Alcotest.test_case "delta variants structure" `Quick test_delta_variants_structure;
     Alcotest.test_case "delta skips aggregates" `Quick test_delta_variants_skip_aggregate;
+    Alcotest.test_case "plan invariance and ids" `Quick test_plan_invariance_and_ids;
+    test_equivalence_negation_aggregation;
+    Alcotest.test_case "profiler populates stats" `Quick test_profiler_populates;
+    Alcotest.test_case "fixpoint cache records hits" `Quick test_cache_hits_recorded;
     Alcotest.test_case "round counts agree" `Quick test_semi_naive_faster_iterations_equal;
   ]

@@ -10,7 +10,9 @@ open Scallop_core
 let check = Alcotest.check
 
 let run ?(provenance = Registry.Boolean) ?facts ?(seed = 0) src =
-  let config = { Interp.rng = Scallop_utils.Rng.create seed; max_iterations = 10_000; semi_naive = true; stats = None } in
+  let config =
+    { (Interp.default_config ()) with Interp.rng = Scallop_utils.Rng.create seed }
+  in
   Session.interpret ~config ~provenance:(Registry.create provenance) ?facts src
 
 (** Extract an output relation as a sorted list of tuple strings with
@@ -451,15 +453,65 @@ query top_1|}
   in
   check slist "per-group top-1" [ {|(0, "A")@0.9000|}; {|(1, "B")@0.8000|} ] (rows r "top_1")
 
+let uniform_src =
+  {|rel item = {1, 2, 3, 4, 5, 6, 7, 8}
+rel picked(x) = x := uniform<3>(i: item(i))
+query picked|}
+
+let categorical_src =
+  {|type item(usize)
+rel item = {0.1::(1), 0.2::(2), 0.3::(3), 0.15::(4), 0.25::(5)}
+rel picked(x) = x := categorical<3>(i: item(i))
+query picked|}
+
+(* Samplers draw without replacement: exactly min(k, |population|) results. *)
 let test_uniform_sampler_count () =
+  for seed = 0 to 20 do
+    let r = run ~seed uniform_src in
+    check Alcotest.int "uniform<3> returns exactly 3" 3
+      (List.length (rows_no_prob r "picked"))
+  done;
+  (* k ≥ population: everything is returned *)
   let r =
-    run ~seed:5
-      {|rel item = {1, 2, 3, 4, 5, 6, 7, 8}
+    run ~seed:5 {|rel item = {1, 2}
 rel picked(x) = x := uniform<3>(i: item(i))
 query picked|}
   in
-  let n = List.length (rows_no_prob r "picked") in
-  if n < 1 || n > 3 then Alcotest.failf "uniform<3> returned %d tuples" n
+  check slist "k past population" [ "(1)"; "(2)" ] (rows_no_prob r "picked")
+
+let test_categorical_sampler_count () =
+  for seed = 0 to 20 do
+    let r = run ~provenance:Registry.Max_min_prob ~seed categorical_src in
+    check Alcotest.int "categorical<3> returns exactly 3" 3
+      (List.length (rows_no_prob r "picked"))
+  done;
+  (* zero total weight (boolean provenance weights are all equal): still k *)
+  let r = run ~seed:3 {|rel item = {1, 2, 3, 4}
+rel picked(x) = x := categorical<2>(i: item(i))
+query picked|} in
+  check Alcotest.int "categorical under uniform weights" 2
+    (List.length (rows_no_prob r "picked"))
+
+let test_sampler_determinism () =
+  (* same seed → same sample; and samples arrive in sorted tuple order *)
+  List.iter
+    (fun src ->
+      let a = rows_no_prob (run ~seed:11 src) "picked" in
+      let b = rows_no_prob (run ~seed:11 src) "picked" in
+      check slist "same seed, same sample" a b;
+      let unsorted =
+        Session.output (run ~seed:11 src) "picked" |> List.map (fun (t, _) -> Tuple.to_string t)
+      in
+      check slist "emitted in deterministic sorted order" a unsorted)
+    [ uniform_src; categorical_src ];
+  (* different seeds eventually differ (uniform<3> of 8: 56 subsets) *)
+  let base = rows_no_prob (run ~seed:0 uniform_src) "picked" in
+  let any_diff =
+    List.exists
+      (fun seed -> rows_no_prob (run ~seed uniform_src) "picked" <> base)
+      [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ]
+  in
+  check Alcotest.bool "seed actually varies the draw" true any_diff
 
 (* ---- probabilistic extensions ------------------------------------------------------------------ *)
 
@@ -710,6 +762,8 @@ let suite =
     ("top-1 sampler", test_top_1_sampler);
     ("top-k group-by", test_top_k_group_by);
     ("uniform sampler", test_uniform_sampler_count);
+    ("categorical sampler", test_categorical_sampler_count);
+    ("sampler determinism", test_sampler_determinism);
     ("probabilistic facts", test_probabilistic_facts);
     ("independent vs exclusive", test_independent_vs_exclusive);
     ("probabilistic rule", test_probabilistic_rule);

@@ -63,6 +63,42 @@ let test_rng_shuffle_permutation () =
   Array.sort compare sorted;
   check Alcotest.(array int) "permutation" (Array.init 20 Fun.id) sorted
 
+let qcheck_sample_indices =
+  qtest "sample_indices: k distinct ascending indices"
+    QCheck.(triple (int_range 0 500) (int_range 0 15) (int_range 0 15))
+    (fun (seed, a, b) ->
+      let k = min a b and n = max a b in
+      let rng = Rng.create seed in
+      let sel = Rng.sample_indices rng k n in
+      Array.length sel = k
+      && Array.for_all (fun i -> i >= 0 && i < n) sel
+      && Array.for_all Fun.id (Array.mapi (fun j i -> j = 0 || sel.(j - 1) < i) sel))
+
+let qcheck_weighted_sample_indices =
+  qtest "weighted_sample_indices: k distinct ascending, zero weights ok"
+    QCheck.(triple (int_range 0 500) (int_range 0 15) (list_of_size Gen.(0 -- 15) (float_bound_inclusive 1.0)))
+    (fun (seed, a, ws) ->
+      let weights = Array.of_list ws in
+      (* half the cases: all-zero weights, exercising the uniform fallback *)
+      let weights = if seed mod 2 = 0 then Array.map (fun _ -> 0.0) weights else weights in
+      let n = Array.length weights in
+      let k = min a n in
+      let rng = Rng.create seed in
+      let sel = Rng.weighted_sample_indices rng k weights in
+      Array.length sel = k
+      && Array.for_all (fun i -> i >= 0 && i < n) sel
+      && Array.for_all Fun.id (Array.mapi (fun j i -> j = 0 || sel.(j - 1) < i) sel))
+
+let test_weighted_sample_prefers_heavy () =
+  (* index 2 carries 90% of the mass: it must appear in nearly every draw *)
+  let rng = Rng.create 23 in
+  let hits = ref 0 in
+  for _ = 1 to 1000 do
+    let sel = Rng.weighted_sample_indices rng 1 [| 0.05; 0.05; 0.9 |] in
+    if sel.(0) = 2 then incr hits
+  done;
+  if !hits < 800 then Alcotest.failf "heavy index drawn only %d/1000 times" !hits
+
 (* ---- Graph ------------------------------------------------------------------- *)
 
 let test_scc_simple_cycle () =
@@ -147,6 +183,9 @@ let suite =
     Alcotest.test_case "rng gaussian moments" `Quick test_rng_gaussian_moments;
     Alcotest.test_case "rng categorical" `Quick test_rng_categorical;
     Alcotest.test_case "rng shuffle permutation" `Quick test_rng_shuffle_permutation;
+    qcheck_sample_indices;
+    qcheck_weighted_sample_indices;
+    Alcotest.test_case "weighted sample prefers heavy" `Quick test_weighted_sample_prefers_heavy;
     Alcotest.test_case "scc simple cycle" `Quick test_scc_simple_cycle;
     Alcotest.test_case "scc topological order" `Quick test_scc_topological_order;
     Alcotest.test_case "scc self loop" `Quick test_scc_self_loop;
