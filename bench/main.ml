@@ -26,6 +26,10 @@ let section name =
 
 type mode = { quick : bool }
 
+(* Benchmarks that double as correctness checks (batch determinism) bump
+   this; the driver exits nonzero if any check failed. *)
+let bench_failures = ref 0
+
 let base_config (m : mode) =
   if m.quick then
     { Common.default_config with Common.epochs = 3; n_train = 200; n_test = 100 }
@@ -539,6 +543,153 @@ query sizes|}
   close_out oc;
   Fmt.pr "@.  wrote BENCH_interp.json (%d measurements)@." (List.length !results)
 
+(* ---- parallel batch runtime (BENCH_batch.json) ------------------------------------------------- *)
+
+(* Domain-scaling curve for [Session.run_batch] on the batched TC /
+   aggregation workloads: one compiled plan, a batch of per-sample fact
+   sets, executed at 1/2/4/8 domains.  Every parallel run is compared
+   tuple-for-tuple (probabilities included) against the sequential
+   reference, so this benchmark doubles as a correctness check — any
+   divergence bumps [bench_failures] and the driver exits nonzero. *)
+let bench_batch (m : mode) =
+  section "Parallel batch runtime: domain-scaling curve (writes BENCH_batch.json)";
+  let open Scallop_core in
+  let tc_src =
+    {|type edge(i32, i32)
+rel path(a, b) = edge(a, b)
+rel path(a, c) = path(a, b), edge(b, c)
+query path|}
+  in
+  let agg_src =
+    {|type item(i32, i32)
+rel total(g, s) = s := sum(x: item(g, x))
+rel sizes(g, n) = n := count(x: item(g, x))
+query total
+query sizes|}
+  in
+  let batch_size = if m.quick then 12 else 24 in
+  let runs = if m.quick then 3 else 6 in
+  let jobs_curve = [ 1; 2; 4; 8 ] in
+  let base_rng = Scallop_utils.Rng.create 7 in
+  (* Per-sample fact sets drawn from independent substreams: the batch is a
+     realistic minibatch (same program, different inputs). *)
+  let chain_sample n i =
+    let rng = Scallop_utils.Rng.substream base_rng i in
+    [
+      ( "edge",
+        List.init n (fun j ->
+            ( Provenance.Input.prob (0.5 +. (0.5 *. Scallop_utils.Rng.float rng)),
+              Tuple.of_list [ Value.int Value.I32 j; Value.int Value.I32 (j + 1) ] )) );
+    ]
+  in
+  let agg_sample ~groups ~per_group i =
+    let rng = Scallop_utils.Rng.substream base_rng (1000 + i) in
+    [
+      ( "item",
+        List.concat
+          (List.init groups (fun g ->
+               List.init per_group (fun _ ->
+                   ( Provenance.Input.prob (0.5 +. (0.5 *. Scallop_utils.Rng.float rng)),
+                     Tuple.of_list
+                       [
+                         Value.int Value.I32 g;
+                         Value.int Value.I32 (Scallop_utils.Rng.int rng 10);
+                       ] )))) );
+    ]
+  in
+  let output_equal (a : Session.result) (b : Session.result) =
+    let rel_equal (pa, la) (pb, lb) =
+      String.equal pa pb
+      && List.length la = List.length lb
+      && List.for_all2
+           (fun (ta, oa) (tb, ob) -> Tuple.compare ta tb = 0 && Stdlib.compare oa ob = 0)
+           la lb
+    in
+    List.length a.Session.outputs = List.length b.Session.outputs
+    && List.for_all2 rel_equal a.Session.outputs b.Session.outputs
+    && Stdlib.compare a.Session.fact_ids b.Session.fact_ids = 0
+  in
+  let results = ref [] in
+  let measure ~name ~prov_name ~spec ~n compiled batch =
+    (* Sequential reference through the documented equivalence: a plain map
+       of [Session.run] under [batch_config]. *)
+    let config () = Interp.default_config () in
+    let reference =
+      Array.mapi
+        (fun i facts ->
+          Session.run
+            ~config:(Session.batch_config (config ()) i)
+            ~provenance:(Registry.create spec) compiled ~facts ())
+        batch
+    in
+    let seq_mean = ref 0.0 in
+    List.iter
+      (fun jobs ->
+        let run_once () =
+          Session.run_batch ~jobs ~config:(config ())
+            ~provenance_of:(fun _ -> Registry.create spec)
+            compiled batch
+        in
+        let out = run_once () in
+        let ok =
+          Array.length out = Array.length reference
+          && Array.for_all2 output_equal out reference
+        in
+        if not ok then begin
+          incr bench_failures;
+          Fmt.epr "  DIVERGENCE: %s/%s at jobs=%d differs from sequential!@." name prov_name
+            jobs
+        end;
+        let total = ref 0.0 in
+        for _ = 1 to runs do
+          let t0 = Unix.gettimeofday () in
+          ignore (run_once ());
+          total := !total +. (Unix.gettimeofday () -. t0)
+        done;
+        let mean = !total /. float_of_int runs in
+        if jobs = 1 then seq_mean := mean;
+        let speedup = if mean > 0.0 then !seq_mean /. mean else 0.0 in
+        Fmt.pr
+          "  %-24s %-12s n=%-4d batch=%-3d jobs=%d %9.2f ms %8.1f samples/s  x%.2f %s@." name
+          prov_name n batch_size jobs (1000.0 *. mean)
+          (float_of_int batch_size /. mean)
+          speedup
+          (if ok then "" else "DIVERGED");
+        Format.pp_print_flush Format.std_formatter ();
+        results :=
+          Fmt.str
+            {|    {"workload": %S, "provenance": %S, "n": %d, "batch": %d, "jobs": %d, "runs": %d, "mean_ms": %.3f, "samples_per_sec": %.3f, "speedup_vs_seq": %.3f, "deterministic": %b}|}
+            name prov_name n batch_size jobs runs (1000.0 *. mean)
+            (float_of_int batch_size /. mean)
+            speedup ok
+          :: !results)
+      jobs_curve
+  in
+  let tc = Session.compile tc_src in
+  let agg = Session.compile agg_src in
+  let tc_n = if m.quick then 120 else 250 in
+  measure ~name:"transitive-closure-chain" ~prov_name:"minmaxprob" ~spec:Registry.Max_min_prob
+    ~n:tc_n tc
+    (Array.init batch_size (chain_sample tc_n));
+  measure ~name:"transitive-closure-chain" ~prov_name:"topkproofs-2"
+    ~spec:(Registry.Top_k_proofs 2) ~n:60 tc
+    (Array.init batch_size (chain_sample 60));
+  measure ~name:"aggregation-sum-count" ~prov_name:"minmaxprob" ~spec:Registry.Max_min_prob
+    ~n:1600 agg
+    (Array.init batch_size (agg_sample ~groups:40 ~per_group:40));
+  let oc = open_out "BENCH_batch.json" in
+  output_string oc
+    (Fmt.str "{\n  \"cores\": %d,\n  \"benchmarks\": [\n"
+       (Scallop_utils.Pool.default_jobs ()));
+  output_string oc (String.concat ",\n" (List.rev !results));
+  output_string oc "\n  ]\n}\n";
+  close_out oc;
+  Fmt.pr "@.  wrote BENCH_batch.json (%d measurements, %d cores available)@."
+    (List.length !results)
+    (Scallop_utils.Pool.default_jobs ());
+  if !bench_failures > 0 then
+    Fmt.epr "  %d determinism check(s) FAILED@." !bench_failures
+
 (* ---- driver --------------------------------------------------------------------------------------- *)
 
 let all_experiments =
@@ -553,6 +704,7 @@ let all_experiments =
     ("fig19", bench_fig19);
     ("pacman", bench_pacman);
     ("micro", bench_micro);
+    ("batch", bench_batch);
   ]
 
 let () =
@@ -583,4 +735,8 @@ let () =
       Fmt.pr "@.[%s finished in %.1fs]@." name (Unix.gettimeofday () -. t);
       Format.pp_print_flush Format.std_formatter ())
     to_run;
-  Fmt.pr "@.All experiments finished in %.1fs.@." (Unix.gettimeofday () -. t0)
+  Fmt.pr "@.All experiments finished in %.1fs.@." (Unix.gettimeofday () -. t0);
+  if !bench_failures > 0 then begin
+    Fmt.epr "%d correctness check(s) failed.@." !bench_failures;
+    exit 1
+  end

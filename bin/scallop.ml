@@ -31,6 +31,22 @@ let provenance_arg =
 
 let file_arg = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Scallop source file.")
 
+let files_arg =
+  Arg.(
+    non_empty & pos_all file []
+    & info [] ~docv:"FILE" ~doc:"Scallop source file(s); several files run as one batch.")
+
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Execute over $(docv) domains via the worker pool (0 = one per core). With \
+           several FILEs the programs run in parallel; outputs are printed in input \
+           order and are identical to a sequential run.")
+
+let resolve_jobs jobs = if jobs <= 0 then Scallop_utils.Pool.default_jobs () else jobs
+
 let seed_arg =
   Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed for samplers.")
 
@@ -74,20 +90,43 @@ let print_outputs (result : Session.result) =
     result.Session.outputs
 
 let run_term =
-  let run provenance seed profile no_cache path =
+  let run provenance seed profile no_cache jobs paths =
     try
-      let source = read_file path in
-      let config = make_config ~seed ~profile ~no_cache in
-      let compiled = Session.compile ~load:(loader_for path) source in
-      let result = Session.run ~config ~provenance:(Registry.create provenance) compiled () in
-      print_outputs result;
-      (match result.Session.stats with
-      | Some stats -> Fmt.pr "%a" (Interp.pp_profile compiled.Session.plan) stats
-      | None -> ());
+      let jobs = resolve_jobs jobs in
+      (* Compile on the main domain (compilation is cheap and stateful-ish),
+         then fan the executions out: each file runs under its own config —
+         same seed, fresh profiling sink — so results match a sequential run
+         file-for-file regardless of the worker count. *)
+      let compiled =
+        Array.of_list
+          (List.map
+             (fun path -> (path, Session.compile ~load:(loader_for path) (read_file path)))
+             paths)
+      in
+      let run_one (_path, c) =
+        let config = make_config ~seed ~profile ~no_cache in
+        let result = Session.run ~config ~provenance:(Registry.create provenance) c () in
+        (c, result)
+      in
+      let results =
+        if jobs > 1 && Array.length compiled > 1 then
+          Scallop_utils.Pool.with_pool jobs (fun pool ->
+              Scallop_utils.Pool.parallel_map pool ~f:run_one compiled)
+        else Array.map run_one compiled
+      in
+      Array.iteri
+        (fun i (c, result) ->
+          if Array.length compiled > 1 then Fmt.pr "=== %s@." (fst compiled.(i));
+          print_outputs result;
+          match result.Session.stats with
+          | Some stats -> Fmt.pr "%a" (Interp.pp_profile c.Session.plan) stats
+          | None -> ())
+        results;
       `Ok ()
     with Session.Error msg -> `Error (false, msg)
   in
-  Term.(ret (const run $ provenance_arg $ seed_arg $ profile_arg $ no_cache_arg $ file_arg))
+  Term.(
+    ret (const run $ provenance_arg $ seed_arg $ profile_arg $ no_cache_arg $ jobs_arg $ files_arg))
 
 let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Execute a Scallop program and print its output relations.") run_term

@@ -42,6 +42,22 @@ let one_hot n i = Nd.init [| 1; n |] (fun j -> if j = i then 1.0 else 0.0)
 
 let bce = Autodiff.bce_loss ~eps:1e-6
 
+(** Sum a non-empty list of scalar losses into one backward root. *)
+let sum_losses = function
+  | [] -> Autodiff.const (Nd.scalar 0.0)
+  | l :: rest -> List.fold_left Autodiff.add l rest
+
+(** Split [l] into consecutive arrays of at most [size] elements. *)
+let chunks_of size l =
+  if size <= 0 then invalid_arg "Common.chunks_of: size must be positive";
+  let rec go acc cur n = function
+    | [] -> List.rev (if cur = [] then acc else Array.of_list (List.rev cur) :: acc)
+    | x :: rest ->
+        if n = size then go (Array.of_list (List.rev cur) :: acc) [ x ] 1 rest
+        else go acc (x :: cur) (n + 1) rest
+  in
+  go [] [] 0 l
+
 (** Train/eval skeleton: [train_step] returns the sample loss; [eval_sample]
     returns whether the prediction was correct.  Returns the report. *)
 let run_task ~task ~(config : config) ~(train_data : 'a list) ~(test_data : 'a list)
@@ -67,6 +83,47 @@ let run_task ~task ~(config : config) ~(train_data : 'a list) ~(test_data : 'a l
     task;
     provenance = provenance_name config.provenance;
     accuracy = float_of_int correct /. float_of_int (max 1 (List.length test_data));
+    epoch_time = Scallop_utils.Listx.average !times;
+    losses = List.rev !losses;
+  }
+
+(** Minibatched train/eval skeleton for the parallel runtime: [train_batch]
+    returns one scalar loss per sample of the minibatch (typically computed
+    with {!Scallop_nn.Scallop_layer.forward_batch} over a worker pool); the
+    losses are summed into a single backward pass and one optimizer step per
+    minibatch.  [eval_batch] returns per-sample correctness.  With
+    [batch_size = 1] the optimization trajectory coincides with
+    {!run_task}'s sample-at-a-time loop. *)
+let run_task_batched ~task ~(config : config) ~(batch_size : int)
+    ~(train_data : 'a list) ~(test_data : 'a list) ~(opt : Optim.t)
+    ~(train_batch : 'a array -> Autodiff.t array)
+    ~(eval_batch : 'a array -> bool array) : report =
+  let losses = ref [] in
+  let times = ref [] in
+  let train_chunks = chunks_of batch_size train_data in
+  for _epoch = 1 to config.epochs do
+    let t0 = Unix.gettimeofday () in
+    let total = ref 0.0 in
+    List.iter
+      (fun chunk ->
+        let sample_losses = Array.to_list (train_batch chunk) in
+        let loss = sum_losses sample_losses in
+        opt.Optim.zero_grad ();
+        Autodiff.backward loss;
+        opt.Optim.step ();
+        total := !total +. Nd.get1 (Autodiff.value loss) 0)
+      train_chunks;
+    times := (Unix.gettimeofday () -. t0) :: !times;
+    losses := (!total /. float_of_int (max 1 (List.length train_data))) :: !losses
+  done;
+  let correct = ref 0 in
+  List.iter
+    (fun chunk -> Array.iter (fun ok -> if ok then incr correct) (eval_batch chunk))
+    (chunks_of batch_size test_data);
+  {
+    task;
+    provenance = provenance_name config.provenance;
+    accuracy = float_of_int !correct /. float_of_int (max 1 (List.length test_data));
     epoch_time = Scallop_utils.Listx.average !times;
     losses = List.rev !losses;
   }

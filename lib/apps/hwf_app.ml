@@ -37,6 +37,29 @@ let forward ?(spec = Registry.Diff_top_k_proofs_me 3) ?(sample_k = 7) (m : model
   in
   Scallop_layer.forward_open ~spec ~compiled:m.compiled ~static_facts ~inputs ~out_pred:"result" ()
 
+(** Batched forward over a pool: one compiled grammar, many formulas. *)
+let forward_batch ?(spec = Registry.Diff_top_k_proofs_me 3) ?(sample_k = 7) ?pool ?jobs
+    (m : model) (samples : Hwf.sample array) : Scallop_layer.run_output array =
+  let layer_samples =
+    Array.map
+      (fun (s : Hwf.sample) ->
+        let inputs =
+          List.mapi
+            (fun i img ->
+              let probs = Layers.Mlp.classify m.mlp (Autodiff.const img) in
+              Scallop_layer.topk_mapping ~k:sample_k ~pred:"symbol"
+                ~tuples:(symbol_tuples_at i) ~probs ~mutually_exclusive:true)
+            s.Hwf.images
+        in
+        let static_facts =
+          [ ("length", Tuple.of_list [ Value.int Value.USize (List.length s.Hwf.images) ]) ]
+        in
+        { Scallop_layer.inputs; static_facts })
+      samples
+  in
+  Scallop_layer.forward_open_batch ?pool ?jobs ~spec ~compiled:m.compiled ~out_pred:"result"
+    layer_samples
+
 let value_of_tuple (t : Tuple.t) =
   match Value.to_float (Tuple.get t 0) with Some f -> f | None -> nan
 
@@ -75,3 +98,43 @@ let train_and_eval ?(dim = 16) ?(noise = 0.35) ?(max_len = 7) (config : Common.c
       end)
     ~eval_sample:(fun s ->
       match predict ~spec m s with Some v -> close v s.Hwf.value | None -> false)
+
+(** Minibatched counterpart of {!train_and_eval} on the parallel runtime. *)
+let train_and_eval_batched ?(dim = 16) ?(noise = 0.35) ?(max_len = 7) ?(batch_size = 16)
+    ?(jobs = 1) (config : Common.config) : Common.report =
+  let rng = Scallop_utils.Rng.create config.Common.seed in
+  let data = Hwf.create ~noise ~dim ~seed:(config.Common.seed + 1) () in
+  let m = create_model ~rng ~dim in
+  let opt = Optim.adam ~lr:config.Common.lr (Layers.Mlp.params m.mlp) in
+  let train_data = Hwf.dataset ~max_len data config.Common.n_train in
+  let test_data = Hwf.dataset ~max_len data config.Common.n_test in
+  let spec = config.Common.provenance in
+  let loss_of (out : Scallop_layer.run_output) (s : Hwf.sample) =
+    let n = Array.length out.Scallop_layer.tuples in
+    if n = 0 then Autodiff.const (Nd.scalar 0.0)
+    else begin
+      let target =
+        Nd.init [| 1; n |] (fun j ->
+            if close (value_of_tuple out.Scallop_layer.tuples.(j)) s.Hwf.value then 1.0
+            else 0.0)
+      in
+      Common.bce out.Scallop_layer.y (Autodiff.const target)
+    end
+  in
+  let correct_of (out : Scallop_layer.run_output) (s : Hwf.sample) =
+    let y = Autodiff.value out.Scallop_layer.y in
+    if Array.length out.Scallop_layer.tuples = 0 then false
+    else begin
+      let best = ref 0 in
+      Array.iteri
+        (fun j _ -> if Nd.get1 y j > Nd.get1 y !best then best := j)
+        out.Scallop_layer.tuples;
+      close (value_of_tuple out.Scallop_layer.tuples.(!best)) s.Hwf.value
+    end
+  in
+  Scallop_utils.Pool.with_pool (max 1 jobs) (fun pool ->
+      Common.run_task_batched ~task:"HWF" ~config ~batch_size ~train_data ~test_data ~opt
+        ~train_batch:(fun samples ->
+          Array.map2 loss_of (forward_batch ~spec ~pool m samples) samples)
+        ~eval_batch:(fun samples ->
+          Array.map2 correct_of (forward_batch ~spec ~pool m samples) samples))

@@ -48,6 +48,7 @@ type stats = Plan.stats = {
 }
 
 let empty_stats = Plan.empty_stats
+let merge_stats = Plan.merge_stats
 let pp_profile = Plan.pp_profile
 
 type config = {

@@ -270,6 +270,43 @@ type stats = {
 let empty_stats () =
   { fixpoint_iterations = 0; node_stats = Hashtbl.create 64; stratum_traces = [] }
 
+(** [merge_stats ~into src] adds [src]'s counters into [into].  Batched
+    execution gives every sample its own private sink (workers never share
+    one) and folds them into the caller's sink afterwards, in sample order,
+    so aggregated profiles are deterministic and race-free. *)
+let merge_stats ~(into : stats) (src : stats) =
+  into.fixpoint_iterations <- into.fixpoint_iterations + src.fixpoint_iterations;
+  Hashtbl.iter
+    (fun pid (st : node_stat) ->
+      match Hashtbl.find_opt into.node_stats pid with
+      | Some dst ->
+          dst.evals <- dst.evals + st.evals;
+          dst.tuples <- dst.tuples + st.tuples;
+          dst.seconds <- dst.seconds +. st.seconds;
+          dst.hits <- dst.hits + st.hits
+      | None ->
+          Hashtbl.add into.node_stats pid
+            { evals = st.evals; tuples = st.tuples; seconds = st.seconds; hits = st.hits })
+    src.node_stats;
+  (* Stratum traces are positional: fold iteration counts into the matching
+     stratum, extending the list the first time. *)
+  let merge_trace (dst : stratum_trace) (src_tr : stratum_trace) =
+    dst.iterations <- dst.iterations + src_tr.iterations;
+    dst.delta_sizes <- src_tr.delta_sizes @ dst.delta_sizes
+  in
+  let rec go dsts srcs =
+    match (dsts, srcs) with
+    | rest, [] -> rest
+    | [], s :: rest ->
+        { stratum_index = s.stratum_index; iterations = s.iterations;
+          delta_sizes = s.delta_sizes }
+        :: go [] rest
+    | d :: drest, s :: srest ->
+        merge_trace d s;
+        d :: go drest srest
+  in
+  into.stratum_traces <- go into.stratum_traces src.stratum_traces
+
 let node_stat (s : stats) pid : node_stat =
   match Hashtbl.find_opt s.node_stats pid with
   | Some st -> st

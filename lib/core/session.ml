@@ -157,6 +157,65 @@ let run ?(config = Interp.default_config ()) ~(provenance : Provenance.t) (c : c
     stats = config.Interp.stats;
   }
 
+(* ---- batched execution ---------------------------------------------------------- *)
+
+(** Per-sample configuration of a batch rooted at [template]: sample [i]
+    draws from [Rng.substream template.rng i] — an independent, reproducible
+    stream that does not depend on worker count or scheduling — and gets a
+    private profiling sink iff the template profiles.  This is the exact
+    config [run_batch] executes sample [i] under; tests use it to build the
+    sequential reference map. *)
+let batch_config (template : Interp.config) (i : int) : Interp.config =
+  {
+    template with
+    Interp.rng = Scallop_utils.Rng.substream template.Interp.rng i;
+    stats = Option.map (fun _ -> Interp.empty_stats ()) template.Interp.stats;
+  }
+
+(** [run_batch ~provenance_of c batch] executes the compiled plan [c] once
+    per element of [batch] (each element is the [facts] argument of {!run})
+    and returns the results in input order.
+
+    Semantically it is exactly
+
+    {[ Array.mapi
+         (fun i facts ->
+           run ~config:(batch_config config i) ~provenance:(provenance_of i)
+             c ~facts ?outputs ())
+         batch ]}
+
+    but the samples execute on [jobs] domains (or on [pool] if given).  The
+    equivalence is bit-exact at every worker count because all per-run state
+    is private to a sample: [provenance_of i] must return a {e fresh}
+    provenance instance (e.g. [fun _ -> Registry.create spec]), each sample
+    gets its own RNG substream and interpreter caches, and profiling sinks
+    are per-sample and folded into [config]'s sink afterwards, in sample
+    order ({!Interp.merge_stats}). *)
+let run_batch ?(pool : Scallop_utils.Pool.t option) ?(jobs = 1)
+    ?(config = Interp.default_config ()) ~(provenance_of : int -> Provenance.t)
+    (c : compiled) ?(outputs : string list option)
+    (batch : (string * (Provenance.Input.t * Tuple.t) list) list array) : result array =
+  let run_one i facts =
+    run ~config:(batch_config config i) ~provenance:(provenance_of i) c ~facts ?outputs ()
+  in
+  let results =
+    match pool with
+    | Some p -> Scallop_utils.Pool.parallel_mapi p ~f:run_one batch
+    | None ->
+        if jobs <= 1 || Array.length batch <= 1 then Array.mapi run_one batch
+        else
+          Scallop_utils.Pool.with_pool jobs (fun p ->
+              Scallop_utils.Pool.parallel_mapi p ~f:run_one batch)
+  in
+  (match config.Interp.stats with
+  | Some sink ->
+      Array.iter
+        (fun (r : result) ->
+          match r.stats with Some s -> Interp.merge_stats ~into:sink s | None -> ())
+        results
+  | None -> ());
+  results
+
 (** One-shot convenience: compile and run a source string. *)
 let interpret ?config ?load ~provenance ?facts ?outputs (source : string) : result =
   let c = compile ?load source in

@@ -24,11 +24,19 @@ type input_mapping = {
 let dense_mapping ~pred ~tuples ~probs ~mutually_exclusive =
   { pred; entries = Array.mapi (fun i t -> (i, t)) tuples; probs; mutually_exclusive }
 
-(** Expose only the [k] most probable entries (paper's HWF sampling). *)
+(** Expose only the [k] most probable entries (paper's HWF sampling).
+    Equal probabilities tie-break on the lower index, so the selection is a
+    pure function of the distribution — [Array.sort] is not stable, and an
+    unstable tie-break would make top-k selection (and everything downstream
+    of it) irreproducible across runs and workers. *)
 let topk_mapping ~k ~pred ~tuples ~probs ~mutually_exclusive =
   let v = Autodiff.value probs in
   let idx = Array.init (Array.length tuples) Fun.id in
-  Array.sort (fun a b -> compare (Nd.get1 v b) (Nd.get1 v a)) idx;
+  Array.sort
+    (fun a b ->
+      let c = compare (Nd.get1 v b) (Nd.get1 v a) in
+      if c <> 0 then c else compare a b)
+    idx;
   let keep = Array.sub idx 0 (min k (Array.length idx)) in
   { pred; entries = Array.map (fun i -> (i, tuples.(i))) keep; probs; mutually_exclusive }
 
@@ -41,11 +49,24 @@ type run_output = {
   tuples : Tuple.t array;  (** tuple of each output column *)
 }
 
-(* Shared implementation: run the program once and wire up the Jacobian for
-   each requested output relation. *)
-let run_multi_internal ~config ~spec ~compiled ~static_facts ~inputs
-    ~(outputs : (string * Tuple.t array option) list) : run_output list =
-  let provenance = Registry.create spec in
+(* ---- the three phases of a layer execution -----------------------------------
+
+   [prepare_sample] (cheap, main thread): turn input mappings into tagged
+   facts and remember which (mapping, entry) slot produced each fact.
+   [Session.run] / [Session.run_batch] (heavy, parallelizable): pure symbolic
+   execution returning plain data.
+   [wire_outputs] (main thread): route each output's ∂y/∂r Jacobian entries
+   back to the probs tensors of the sample that produced them, creating the
+   autodiff nodes.  Keeping graph construction on the caller's domain makes
+   node ids deterministic in batch order. *)
+
+type prepared = {
+  p_facts : (string * (Provenance.Input.t * Tuple.t) list) list;
+  p_slots : (string * Tuple.t, int * int) Hashtbl.t;
+      (** coerced fact identity -> (mapping index, index into its probs) *)
+}
+
+let prepare_sample ~compiled ~static_facts ~inputs : prepared =
   let facts_by_pred : (string, (Provenance.Input.t * Tuple.t) list ref) Hashtbl.t =
     Hashtbl.create 8
   in
@@ -54,8 +75,6 @@ let run_multi_internal ~config ~spec ~compiled ~static_facts ~inputs
     | Some l -> l := entry :: !l
     | None -> Hashtbl.replace facts_by_pred pred (ref [ entry ])
   in
-  (* Remember which (mapping, entry) produced each pushed fact, keyed by the
-     coerced tuple identity within its relation. *)
   let slot_of_fact : (string * Tuple.t, int * int) Hashtbl.t = Hashtbl.create 64 in
   List.iteri
     (fun mi m ->
@@ -70,10 +89,14 @@ let run_multi_internal ~config ~spec ~compiled ~static_facts ~inputs
         m.entries)
     inputs;
   List.iter (fun (pred, tuple) -> push pred (Provenance.Input.none, tuple)) static_facts;
-  let facts = Hashtbl.fold (fun pred l acc -> (pred, List.rev !l) :: acc) facts_by_pred [] in
-  let result =
-    Session.run ~config ~provenance compiled ~facts ~outputs:(List.map fst outputs) ()
-  in
+  {
+    p_facts = Hashtbl.fold (fun pred l acc -> (pred, List.rev !l) :: acc) facts_by_pred [];
+    p_slots = slot_of_fact;
+  }
+
+let wire_outputs ~compiled ~inputs ~(prepared : prepared) ~(result : Session.result)
+    ~(outputs : (string * Tuple.t array option) list) : run_output list =
+  let slot_of_fact = prepared.p_slots in
   let id_to_slot : (int, int * int) Hashtbl.t = Hashtbl.create 64 in
   List.iter
     (fun ((pred, tuple), id) ->
@@ -136,6 +159,69 @@ let run_multi_internal ~config ~spec ~compiled ~static_facts ~inputs
       in
       { y = Autodiff.custom ~op:("scallop:" ^ out_pred) ~value:y ~parents; tuples = out_tuples })
     outputs
+
+(* Shared implementation: run the program once and wire up the Jacobian for
+   each requested output relation. *)
+let run_multi_internal ~config ~spec ~compiled ~static_facts ~inputs
+    ~(outputs : (string * Tuple.t array option) list) : run_output list =
+  let provenance = Registry.create spec in
+  let prepared = prepare_sample ~compiled ~static_facts ~inputs in
+  let result =
+    Session.run ~config ~provenance compiled ~facts:prepared.p_facts
+      ~outputs:(List.map fst outputs) ()
+  in
+  wire_outputs ~compiled ~inputs ~prepared ~result ~outputs
+
+(* ---- batched execution ----------------------------------------------------------
+
+   One compiled plan, many samples: preparation and Jacobian wiring stay on
+   the calling domain (they build autodiff graph nodes), while the symbolic
+   executions — the dominant cost — fan out across the pool via
+   {!Session.run_batch}, each with a fresh provenance instance and private
+   interpreter state.  Results are positional: sample [i]'s outputs wire
+   back to sample [i]'s probs tensors, so gradients land on the right rows
+   of the batch regardless of which worker ran which sample. *)
+
+(** One element of a batched forward. *)
+type sample = { inputs : input_mapping list; static_facts : static_fact list }
+
+let run_multi_batch ?pool ?jobs ?(config = Interp.default_config ()) ~spec ~compiled
+    ~(outputs : (string * Tuple.t array option) list) (samples : sample array) :
+    run_output list array =
+  let prepared =
+    Array.map
+      (fun s -> prepare_sample ~compiled ~static_facts:s.static_facts ~inputs:s.inputs)
+      samples
+  in
+  let results =
+    Session.run_batch ?pool ?jobs ~config
+      ~provenance_of:(fun _ -> Registry.create spec)
+      compiled
+      ~outputs:(List.map fst outputs)
+      (Array.map (fun p -> p.p_facts) prepared)
+  in
+  Array.mapi
+    (fun i result ->
+      wire_outputs ~compiled ~inputs:samples.(i).inputs ~prepared:prepared.(i) ~result
+        ~outputs)
+    results
+
+(** Batched {!forward}: one output relation with a shared candidate domain;
+    row [i] of the result is sample [i]'s probability vector. *)
+let forward_batch ?pool ?jobs ?config ~(spec : Registry.spec)
+    ~(compiled : Session.compiled) ~(out_pred : string) ~(candidates : Tuple.t array)
+    (samples : sample array) : Autodiff.t array =
+  run_multi_batch ?pool ?jobs ?config ~spec ~compiled
+    ~outputs:[ (out_pred, Some candidates) ]
+    samples
+  |> Array.map (function [ out ] -> out.y | _ -> assert false)
+
+(** Batched {!forward_open}: open candidate domains per sample. *)
+let forward_open_batch ?pool ?jobs ?config ~(spec : Registry.spec)
+    ~(compiled : Session.compiled) ~(out_pred : string) (samples : sample array) :
+    run_output array =
+  run_multi_batch ?pool ?jobs ?config ~spec ~compiled ~outputs:[ (out_pred, None) ] samples
+  |> Array.map (function [ out ] -> out | _ -> assert false)
 
 (** Run with a fixed output candidate domain: the result row gives the
     probability of each candidate (0 when underived). *)

@@ -17,11 +17,13 @@ type t = {
 
 and parent = { var : t; push : Nd.t -> Nd.t  (** upstream grad → contribution *) }
 
-let counter = ref 0
+(* Atomic so variables may be created from any domain (the batched Scallop
+   layer keeps graph construction on the caller, but nothing should corrupt
+   ids if user code builds graphs inside pool workers). *)
+let counter = Atomic.make 0
 
 let make ?(parents = []) ?(op = "leaf") ~requires_grad value =
-  incr counter;
-  { id = !counter; value; grad = None; parents; requires_grad; op }
+  { id = 1 + Atomic.fetch_and_add counter 1; value; grad = None; parents; requires_grad; op }
 
 (** A constant (no gradient tracked). *)
 let const v = make ~requires_grad:false v

@@ -26,6 +26,26 @@ let next_int64 t =
     independent of [t]'s subsequent outputs. *)
 let split t = { state = next_int64 t }
 
+(* The SplitMix64 output scrambler, without advancing any state. *)
+let scramble z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(** [substream t i] derives member [i ≥ 0] of an indexed family of
+    generators rooted at [t]'s {e current} state, without advancing [t].
+    Unlike {!split}, the derivation is a pure function of (state, i): the
+    same base generator yields the same family regardless of how many
+    substreams are taken or in which order — this is what parallel batch
+    execution uses to give every sample its own reproducible stream,
+    independent of worker count and scheduling. *)
+let substream t i =
+  if i < 0 then invalid_arg "Rng.substream: index must be >= 0";
+  { state = scramble (Int64.add t.state (Int64.mul golden (Int64.of_int (i + 1)))) }
+
+(** [split_n t n] is [| substream t 0; ...; substream t (n-1) |]. *)
+let split_n t n = Array.init n (substream t)
+
 (** Uniform int in [0, bound). Raises [Invalid_argument] if [bound <= 0]. *)
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";

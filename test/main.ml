@@ -18,4 +18,5 @@ let () =
       ("semantics", Test_semantics.suite);
       ("properties", Test_properties.suite);
       ("apps", Test_apps.suite);
+      ("parallel", Test_parallel.suite);
     ]

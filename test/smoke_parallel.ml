@@ -1,0 +1,68 @@
+(** Smoke check for the parallel runtime, run by [dune build @smoke]: a
+    2-domain {!Session.run_batch} must be bit-identical to the sequential
+    reference map.  Exits nonzero on any divergence. *)
+
+open Scallop_core
+module Rng = Scallop_utils.Rng
+
+let src =
+  {|type edge(i32, i32)
+rel path(a, b) = edge(a, b)
+rel path(a, c) = path(a, b), edge(b, c)
+rel n_path(n) = n := count(p: path(0, p))
+rel picked(b) = b := uniform<2>(x: path(0, x))
+query path
+query n_path
+query picked|}
+
+let sample data_rng i =
+  let rng = Rng.substream data_rng i in
+  let edges = ref [] in
+  for a = 0 to 5 do
+    for b = 0 to 5 do
+      if a <> b && Rng.float rng < 0.5 then
+        edges :=
+          ( Provenance.Input.prob (0.05 +. (0.9 *. Rng.float rng)),
+            Tuple.of_list [ Value.int Value.I32 a; Value.int Value.I32 b ] )
+          :: !edges
+    done
+  done;
+  [ ("edge", List.rev !edges) ]
+
+let () =
+  let compiled = Session.compile src in
+  let data_rng = Rng.create 2024 in
+  let batch = Array.init 8 (fun i -> sample data_rng i) in
+  let config = { (Interp.default_config ()) with Interp.rng = Rng.create 3 } in
+  let failures = ref 0 in
+  List.iter
+    (fun spec ->
+      let name = Provenance.name (Registry.create spec) in
+      let reference =
+        Array.mapi
+          (fun i facts ->
+            Session.run
+              ~config:(Session.batch_config config i)
+              ~provenance:(Registry.create spec) compiled ~facts ())
+          batch
+      in
+      let parallel =
+        Session.run_batch ~jobs:2 ~config
+          ~provenance_of:(fun _ -> Registry.create spec)
+          compiled batch
+      in
+      Array.iteri
+        (fun i (r : Session.result) ->
+          let ok =
+            Stdlib.compare reference.(i).Session.outputs r.Session.outputs = 0
+            && Stdlib.compare reference.(i).Session.fact_ids r.Session.fact_ids = 0
+          in
+          if not ok then begin
+            incr failures;
+            Fmt.epr "smoke: %s sample %d diverges between jobs=2 and sequential@." name i
+          end)
+        parallel;
+      Fmt.pr "smoke: %-22s 2-domain batch %s@." name
+        (if !failures = 0 then "deterministic" else "DIVERGED"))
+    [ Registry.Boolean; Registry.Max_min_prob; Registry.Diff_top_k_proofs_me 3 ];
+  if !failures > 0 then exit 1

@@ -1,0 +1,337 @@
+(** Determinism of the parallel batched runtime: {!Session.run_batch} over a
+    worker pool must be bit-identical to the sequential reference map
+
+    {[ Array.mapi
+         (fun i facts ->
+           Session.run ~config:(Session.batch_config config i)
+             ~provenance:(Registry.create spec) compiled ~facts ())
+         batch ]}
+
+    at every worker count — same tuples, same probabilities/proofs, same
+    gradients — under discrete, probabilistic and differentiable provenances,
+    for programs with recursion, negation, aggregation and samplers.  Also
+    unit-tests the {!Scallop_utils.Pool} primitives themselves and the
+    {!Scallop_utils.Rng.substream} per-sample seeding API. *)
+
+open Scallop_core
+module Rng = Scallop_utils.Rng
+module Pool = Scallop_utils.Pool
+
+let check = Alcotest.check
+
+(* ---- Pool primitives ------------------------------------------------------------ *)
+
+let test_pool_map_matches_sequential () =
+  List.iter
+    (fun jobs ->
+      List.iter
+        (fun n ->
+          let arr = Array.init n (fun i -> i) in
+          let expected = Array.map (fun x -> (x * x) + 1) arr in
+          let got =
+            Pool.with_pool jobs (fun p -> Pool.parallel_map p ~f:(fun x -> (x * x) + 1) arr)
+          in
+          check
+            Alcotest.(array int)
+            (Fmt.str "jobs=%d n=%d" jobs n)
+            expected got)
+        [ 0; 1; 3; 17; 100 ])
+    [ 1; 2; 4 ]
+
+let test_pool_mapi_order () =
+  let arr = Array.init 33 (fun i -> 100 - i) in
+  let expected = Array.mapi (fun i x -> (i, x)) arr in
+  let got =
+    Pool.with_pool 4 (fun p -> Pool.parallel_mapi p ~f:(fun i x -> (i, x)) arr)
+  in
+  check Alcotest.(array (pair int int)) "results land at their input index" expected got
+
+let test_pool_init_state () =
+  (* Each worker slot gets its own state from [init]; results must not depend
+     on which slot processed which element. *)
+  let arr = Array.init 50 (fun i -> i) in
+  let got =
+    Pool.with_pool 3 (fun p ->
+        Pool.parallel_map_init p
+          ~init:(fun slot -> Buffer.create (8 + slot))
+          ~f:(fun buf _i x ->
+            Buffer.clear buf;
+            Buffer.add_string buf (string_of_int (x * 2));
+            int_of_string (Buffer.contents buf))
+          arr)
+  in
+  check Alcotest.(array int) "per-worker state" (Array.map (fun x -> x * 2) arr) got
+
+exception Boom of int
+
+let test_pool_exception_propagates () =
+  Pool.with_pool 4 (fun p ->
+      (try
+         ignore
+           (Pool.parallel_map p ~f:(fun x -> if x = 13 then raise (Boom x) else x)
+              (Array.init 40 Fun.id));
+         Alcotest.fail "expected Boom"
+       with Boom 13 -> ());
+      (* the pool must survive a failed job and run subsequent ones *)
+      let got = Pool.parallel_map p ~f:succ (Array.init 10 Fun.id) in
+      check Alcotest.(array int) "pool usable after exception" (Array.init 10 succ) got)
+
+let test_pool_reuse () =
+  Pool.with_pool 2 (fun p ->
+      for k = 1 to 5 do
+        let got = Pool.parallel_map p ~f:(fun x -> x + k) (Array.init 20 Fun.id) in
+        check Alcotest.(array int) "reused pool" (Array.init 20 (fun x -> x + k)) got
+      done)
+
+(* ---- Rng substreams ------------------------------------------------------------- *)
+
+let draws rng n = List.init n (fun _ -> Rng.int rng 1_000_000)
+
+let test_substream_pure () =
+  let base = Rng.create 42 in
+  let a = draws (Rng.substream base 7) 5 in
+  (* drawing from a substream must not advance the base, and substream is a
+     pure function of (base state, index) *)
+  let b = draws (Rng.substream base 7) 5 in
+  check Alcotest.(list int) "substream reproducible" a b;
+  let before = draws (Rng.substream base 3) 5 in
+  ignore (draws (Rng.substream base 9) 5);
+  let after = draws (Rng.substream base 3) 5 in
+  check Alcotest.(list int) "independent of sibling order" before after
+
+let test_substream_distinct () =
+  let base = Rng.create 0 in
+  let streams = Rng.split_n base 8 in
+  let firsts = Array.to_list (Array.map (fun r -> Rng.int r 1_000_000) streams) in
+  let distinct = List.sort_uniq compare firsts in
+  check Alcotest.int "substreams differ" (List.length firsts) (List.length distinct)
+
+(* ---- Session.run_batch determinism ---------------------------------------------- *)
+
+(* Recursion + stratified negation + aggregation over probabilistic edges. *)
+let graph_src =
+  {|type edge(i32, i32)
+type node(i32)
+rel path(a, b) = edge(a, b)
+rel path(a, c) = path(a, b), edge(b, c)
+rel unreachable(b) = node(b), not path(0, b)
+rel num_reached(n) = n := count(b: path(0, b))
+query path
+query unreachable
+query num_reached|}
+
+(* Samplers draw from the per-sample RNG substream. *)
+let sampler_src =
+  {|type item(i32)
+rel picked(x) = x := uniform<3>(i: item(i))
+rel cat(x) = x := categorical<2>(i: item(i))
+query picked
+query cat|}
+
+let nodes = 6
+
+(* Per-sample dynamic facts, derived from an RNG substream of [data_rng] so
+   every sample of the batch is different but reproducible. *)
+let graph_sample data_rng i =
+  let rng = Rng.substream data_rng i in
+  let edges = ref [] in
+  for a = 0 to nodes - 1 do
+    for b = 0 to nodes - 1 do
+      if a <> b && Rng.float rng < 0.5 then
+        edges :=
+          ( Provenance.Input.prob (0.05 +. (0.9 *. Rng.float rng)),
+            Tuple.of_list [ Value.int Value.I32 a; Value.int Value.I32 b ] )
+          :: !edges
+    done
+  done;
+  let node_facts =
+    List.init nodes (fun v ->
+        ({ Provenance.Input.prob = None; me_group = None },
+         Tuple.of_list [ Value.int Value.I32 v ]))
+  in
+  [ ("edge", List.rev !edges); ("node", node_facts) ]
+
+let item_sample data_rng i =
+  let rng = Rng.substream data_rng i in
+  let items =
+    List.init 5 (fun v ->
+        ( Provenance.Input.prob (0.1 +. (0.8 *. Rng.float rng)),
+          Tuple.of_list [ Value.int Value.I32 (v + (10 * i)) ] ))
+  in
+  [ ("item", items) ]
+
+let result_equal (a : Session.result) (b : Session.result) =
+  (* Output.t is plain data (booleans, floats, proof sets, duals with their
+     gradient maps), so structural comparison is exactly the bit-identical
+     contract — including gradients for differentiable provenances. *)
+  Stdlib.compare a.Session.outputs b.Session.outputs = 0
+  && Stdlib.compare a.Session.fact_ids b.Session.fact_ids = 0
+
+let check_batch_deterministic ~name ~src ~make_sample ~spec =
+  let compiled = Session.compile src in
+  let data_rng = Rng.create 99 in
+  let batch = Array.init 9 (fun i -> make_sample data_rng i) in
+  let config =
+    { (Interp.default_config ()) with Interp.rng = Rng.create 7 }
+  in
+  let reference =
+    Array.mapi
+      (fun i facts ->
+        Session.run
+          ~config:(Session.batch_config config i)
+          ~provenance:(Registry.create spec) compiled ~facts ())
+      batch
+  in
+  List.iter
+    (fun jobs ->
+      let got =
+        Session.run_batch ~jobs ~config
+          ~provenance_of:(fun _ -> Registry.create spec)
+          compiled batch
+      in
+      check Alcotest.int (Fmt.str "%s jobs=%d: length" name jobs) (Array.length reference)
+        (Array.length got);
+      Array.iteri
+        (fun i r ->
+          if not (result_equal reference.(i) r) then
+            Alcotest.failf "%s jobs=%d: sample %d diverges from sequential reference" name
+              jobs i)
+        got)
+    [ 1; 2; 4 ]
+
+let specs =
+  [
+    ("boolean", Registry.Boolean);
+    ("minmaxprob", Registry.Max_min_prob);
+    ("topkproofs", Registry.Top_k_proofs 3);
+    ("difftopkproofs-me", Registry.Diff_top_k_proofs_me 3);
+  ]
+
+let test_batch_graph () =
+  List.iter
+    (fun (n, spec) ->
+      check_batch_deterministic ~name:("graph/" ^ n) ~src:graph_src
+        ~make_sample:graph_sample ~spec)
+    specs
+
+let test_batch_samplers () =
+  List.iter
+    (fun (n, spec) ->
+      check_batch_deterministic ~name:("sampler/" ^ n) ~src:sampler_src
+        ~make_sample:item_sample ~spec)
+    specs
+
+let test_batch_shared_pool () =
+  (* run_batch over an explicit long-lived pool (the training-loop shape)
+     must agree with the jobs-per-call shape and the sequential map. *)
+  let compiled = Session.compile graph_src in
+  let data_rng = Rng.create 5 in
+  let batch = Array.init 6 (fun i -> graph_sample data_rng i) in
+  let spec = Registry.Diff_top_k_proofs_me 3 in
+  let seq =
+    Session.run_batch ~jobs:1 ~provenance_of:(fun _ -> Registry.create spec) compiled batch
+  in
+  Pool.with_pool 2 (fun pool ->
+      for _round = 1 to 3 do
+        let par =
+          Session.run_batch ~pool
+            ~provenance_of:(fun _ -> Registry.create spec)
+            compiled batch
+        in
+        Array.iteri
+          (fun i r ->
+            if not (result_equal seq.(i) r) then
+              Alcotest.failf "shared pool: sample %d diverges" i)
+          par
+      done)
+
+(* ---- gradients through the batched layer ---------------------------------------- *)
+
+let test_layer_batch_gradients () =
+  (* forward_batch over 2 domains must produce the same probabilities AND
+     route the same gradients to the same probs tensors as the sequential
+     per-sample forward. *)
+  let compiled = Session.compile Scallop_apps.Programs.mnist_sum2 in
+  let spec = Registry.Diff_top_k_proofs_me 3 in
+  let rng = Rng.create 11 in
+  let digit_tuples = Array.init 10 (fun v -> Tuple.of_list [ Value.int Value.U32 v ]) in
+  let candidates = Array.init 19 (fun s -> Tuple.of_list [ Value.int Value.U32 s ]) in
+  let random_dist () =
+    let raw = Array.init 10 (fun _ -> 0.05 +. Rng.float rng) in
+    let total = Array.fold_left ( +. ) 0.0 raw in
+    Scallop_tensor.Nd.init [| 1; 10 |] (fun j -> raw.(j) /. total)
+  in
+  let n_samples = 4 in
+  let dists = Array.init n_samples (fun _ -> (random_dist (), random_dist ())) in
+  let forward_all mk_probs =
+    (* fresh autodiff leaves per run so gradients don't accumulate across
+       the two executions being compared *)
+    let leaves =
+      Array.map (fun (a, b) -> (Scallop_tensor.Autodiff.param a, Scallop_tensor.Autodiff.param b)) dists
+    in
+    let samples =
+      Array.map
+        (fun (pa, pb) ->
+          {
+            Scallop_nn.Scallop_layer.inputs =
+              [
+                Scallop_nn.Scallop_layer.dense_mapping ~pred:"digit_1" ~tuples:digit_tuples
+                  ~probs:pa ~mutually_exclusive:true;
+                Scallop_nn.Scallop_layer.dense_mapping ~pred:"digit_2" ~tuples:digit_tuples
+                  ~probs:pb ~mutually_exclusive:true;
+              ];
+            static_facts = [];
+          })
+        leaves
+    in
+    let ys = mk_probs samples in
+    (* backprop a fixed cotangent through every sample's output *)
+    Array.iter
+      (fun y -> Scallop_tensor.Autodiff.backward (Scallop_tensor.Autodiff.sum y))
+      ys;
+    let grads =
+      Array.map
+        (fun (pa, pb) ->
+          (Scallop_tensor.Autodiff.grad pa, Scallop_tensor.Autodiff.grad pb))
+        leaves
+    in
+    (Array.map Scallop_tensor.Autodiff.value ys, grads)
+  in
+  let seq_ys, seq_grads =
+    forward_all (fun samples ->
+        Array.map
+          (fun (s : Scallop_nn.Scallop_layer.sample) ->
+            Scallop_nn.Scallop_layer.forward ~spec ~compiled ~inputs:s.inputs
+              ~out_pred:"sum_2" ~candidates ())
+          samples)
+  in
+  let par_ys, par_grads =
+    forward_all (fun samples ->
+        Scallop_nn.Scallop_layer.forward_batch ~jobs:2 ~spec ~compiled ~out_pred:"sum_2"
+          ~candidates samples)
+  in
+  let nd = Alcotest.testable Scallop_tensor.Nd.pp (fun a b -> Stdlib.compare a b = 0) in
+  Array.iteri
+    (fun i y -> check nd (Fmt.str "sample %d: probabilities" i) y par_ys.(i))
+    seq_ys;
+  Array.iteri
+    (fun i (ga, gb) ->
+      let pa, pb = par_grads.(i) in
+      check Alcotest.(option nd) (Fmt.str "sample %d: grad digit_1" i) ga pa;
+      check Alcotest.(option nd) (Fmt.str "sample %d: grad digit_2" i) gb pb)
+    seq_grads
+
+let suite =
+  [
+    ("pool: map matches sequential", `Quick, test_pool_map_matches_sequential);
+    ("pool: mapi preserves input order", `Quick, test_pool_mapi_order);
+    ("pool: per-worker init state", `Quick, test_pool_init_state);
+    ("pool: exception propagates, pool survives", `Quick, test_pool_exception_propagates);
+    ("pool: reusable across jobs", `Quick, test_pool_reuse);
+    ("rng: substream is pure and stable", `Quick, test_substream_pure);
+    ("rng: substreams are distinct", `Quick, test_substream_distinct);
+    ("run_batch: graph programs, all provenances", `Quick, test_batch_graph);
+    ("run_batch: sampler programs, all provenances", `Quick, test_batch_samplers);
+    ("run_batch: shared pool across rounds", `Quick, test_batch_shared_pool);
+    ("layer: batched forward matches sequential incl. gradients", `Quick, test_layer_batch_gradients);
+  ]
