@@ -626,7 +626,7 @@ query sizes|}
     List.iter
       (fun jobs ->
         let run_once () =
-          Session.run_batch ~jobs ~config:(config ())
+          Session.run_batch_exn ~jobs ~config:(config ())
             ~provenance_of:(fun _ -> Registry.create spec)
             compiled batch
         in
@@ -690,6 +690,145 @@ query sizes|}
   if !bench_failures > 0 then
     Fmt.epr "  %d determinism check(s) FAILED@." !bench_failures
 
+(* ---- resource governance (BENCH_budget.json) --------------------------------------------------- *)
+
+(* Two questions about the budget layer (see lib/core/budget.ml):
+   1. Overhead: what do the cooperative checks cost on the 500-chain TC
+      workload when a watched budget is active but never exhausted, vs. the
+      default (unwatched) config?  The amortized design targets <= 5%.
+   2. Enforcement latency: how long after its 1-second deadline does a
+      divergent program actually stop?  Must be < 2x the deadline, in both
+      sequential and jobs=2 batched execution; a violation bumps
+      [bench_failures] and the driver exits nonzero. *)
+let bench_budget (m : mode) =
+  section "Resource governance: budget overhead + enforcement latency (writes BENCH_budget.json)";
+  let open Scallop_core in
+  let tc_src =
+    {|type edge(i32, i32)
+rel path(a, b) = edge(a, b)
+rel path(a, c) = path(a, b), edge(b, c)
+query path|}
+  in
+  let chain_facts n =
+    [
+      ( "edge",
+        List.init n (fun i ->
+            ( Provenance.Input.prob 0.9,
+              Tuple.of_list [ Value.int Value.I32 i; Value.int Value.I32 (i + 1) ] )) );
+    ]
+  in
+  let results = ref [] in
+  let runs = if m.quick then 3 else 8 in
+  (* -- overhead on the 500-chain TC benchmark -------------------------------- *)
+  let tc = Session.compile tc_src in
+  let facts = chain_facts 500 in
+  let time_once ~budget ~spec =
+    let config = { (Interp.default_config ()) with Interp.budget } in
+    let t0 = Unix.gettimeofday () in
+    ignore (Session.run ~config ~provenance:(Registry.create spec) tc ~facts ());
+    Unix.gettimeofday () -. t0
+  in
+  (* A watched-but-never-exhausted budget: every axis active, all generous. *)
+  let watched =
+    Budget.make ~timeout:3600.0 ~max_tuples:max_int ~max_node_evals:max_int ()
+  in
+  (* Interleave base/governed runs: measuring one arm wholly after the other
+     biases the later arm by whatever the heap grew to in the meantime. *)
+  let interleaved_means ~spec =
+    ignore (time_once ~budget:Budget.default ~spec);
+    ignore (time_once ~budget:watched ~spec);
+    let base = ref 0.0 and governed = ref 0.0 in
+    for _ = 1 to runs do
+      base := !base +. time_once ~budget:Budget.default ~spec;
+      governed := !governed +. time_once ~budget:watched ~spec
+    done;
+    (!base /. float_of_int runs, !governed /. float_of_int runs)
+  in
+  List.iter
+    (fun (prov_name, spec) ->
+      let base, governed = interleaved_means ~spec in
+      let overhead_pct = 100.0 *. ((governed /. base) -. 1.0) in
+      Fmt.pr "  tc-500 %-12s default %8.2f ms  governed %8.2f ms  overhead %+.2f%%@."
+        prov_name (1000.0 *. base) (1000.0 *. governed) overhead_pct;
+      Format.pp_print_flush Format.std_formatter ();
+      results :=
+        Fmt.str
+          {|    {"name": "tc-500-overhead", "provenance": %S, "runs": %d, "base_ms": %.3f, "governed_ms": %.3f, "overhead_pct": %.2f}|}
+          prov_name runs (1000.0 *. base) (1000.0 *. governed) overhead_pct
+        :: !results)
+    [ ("boolean", Registry.Boolean); ("minmaxprob", Registry.Max_min_prob) ];
+  (* -- enforcement latency on a divergent program ---------------------------- *)
+  let divergent_src =
+    {|type seed(i32)
+rel n(x) = seed(x)
+rel n(x + 1) = n(x)
+query n|}
+  in
+  let div = Session.compile divergent_src in
+  let seed_facts =
+    [ ("seed", [ (Provenance.Input.none, Tuple.of_list [ Value.int Value.I32 0 ]) ]) ]
+  in
+  let deadline = 1.0 in
+  (* Deadline-only budget: lift the iteration cap so the wall clock, not the
+     10k-iteration guardrail, is what stops the program. *)
+  let budget = { Budget.unlimited with Budget.timeout = Some deadline } in
+  let config () = { (Interp.default_config ()) with Interp.budget = budget } in
+  let check ~name outcome elapsed =
+    let stopped_by_deadline =
+      match outcome with
+      | Error (Exec_error.Budget_exceeded { kind = Exec_error.Deadline; _ }) -> true
+      | _ -> false
+    in
+    let within = elapsed < 2.0 *. deadline in
+    if not (stopped_by_deadline && within) then begin
+      incr bench_failures;
+      Fmt.epr "  ENFORCEMENT FAILURE: %s stopped_by_deadline=%b elapsed=%.2fs@." name
+        stopped_by_deadline elapsed
+    end;
+    Fmt.pr "  %-28s deadline=%.1fs stopped in %6.2fs %s@." name deadline elapsed
+      (if stopped_by_deadline && within then "ok" else "VIOLATION");
+    Format.pp_print_flush Format.std_formatter ();
+    results :=
+      Fmt.str
+        {|    {"name": %S, "deadline_s": %.1f, "stopped_s": %.3f, "typed_deadline_error": %b, "within_2x": %b}|}
+        name deadline elapsed stopped_by_deadline within
+      :: !results
+  in
+  let t0 = Unix.gettimeofday () in
+  let outcome =
+    try
+      ignore
+        (Session.run ~config:(config ()) ~provenance:(Registry.create Registry.Boolean) div
+           ~facts:seed_facts ());
+      Ok ()
+    with Session.Error e -> Error e
+  in
+  check ~name:"divergent-sequential" outcome (Unix.gettimeofday () -. t0);
+  (* Batched at jobs=2: the divergent sample must come back as a per-sample
+     [Error] while its sibling (empty seed: converges instantly) completes. *)
+  let batch = [| seed_facts; [ ("seed", []) ] |] in
+  let t0 = Unix.gettimeofday () in
+  let out =
+    Session.run_batch ~jobs:2 ~config:(config ())
+      ~provenance_of:(fun _ -> Registry.create Registry.Boolean)
+      div batch
+  in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let sibling_ok = match out.(1) with Ok _ -> true | Error _ -> false in
+  if not sibling_ok then begin
+    incr bench_failures;
+    Fmt.epr "  ENFORCEMENT FAILURE: sibling sample failed alongside divergent one@."
+  end;
+  check ~name:"divergent-batch-jobs2"
+    (match out.(0) with Ok _ -> Ok () | Error e -> Error e)
+    elapsed;
+  let oc = open_out "BENCH_budget.json" in
+  output_string oc "{\n  \"benchmarks\": [\n";
+  output_string oc (String.concat ",\n" (List.rev !results));
+  output_string oc "\n  ]\n}\n";
+  close_out oc;
+  Fmt.pr "@.  wrote BENCH_budget.json (%d measurements)@." (List.length !results)
+
 (* ---- driver --------------------------------------------------------------------------------------- *)
 
 let all_experiments =
@@ -705,6 +844,7 @@ let all_experiments =
     ("pacman", bench_pacman);
     ("micro", bench_micro);
     ("batch", bench_batch);
+    ("budget", bench_budget);
   ]
 
 let () =

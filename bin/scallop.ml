@@ -61,10 +61,34 @@ let no_cache_arg =
     value & flag
     & info [ "no-cache" ] ~doc:"Disable reuse of join indices across fixpoint iterations.")
 
-let make_config ~seed ~profile ~no_cache =
+let timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "timeout" ] ~docv:"SEC"
+        ~doc:
+          "Wall-clock budget per file, in seconds. A file exceeding it reports a budget \
+           error; remaining files still run and the exit status is nonzero at the end.")
+
+let max_tuples_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-tuples" ] ~docv:"N"
+        ~doc:"Cap the cumulative number of tuples derived by rule evaluations per file.")
+
+let max_iterations_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-iterations" ] ~docv:"N"
+        ~doc:"Cap fixpoint iterations per stratum (default 10000).")
+
+let make_config ?(budget = Budget.default) ~seed ~profile ~no_cache () =
   {
     (Interp.default_config ()) with
     Interp.rng = Scallop_utils.Rng.create seed;
+    budget;
     cache_indices = not no_cache;
     stats = (if profile then Some (Interp.empty_stats ()) else None);
   }
@@ -90,43 +114,69 @@ let print_outputs (result : Session.result) =
     result.Session.outputs
 
 let run_term =
-  let run provenance seed profile no_cache jobs paths =
-    try
-      let jobs = resolve_jobs jobs in
-      (* Compile on the main domain (compilation is cheap and stateful-ish),
-         then fan the executions out: each file runs under its own config —
-         same seed, fresh profiling sink — so results match a sequential run
-         file-for-file regardless of the worker count. *)
-      let compiled =
-        Array.of_list
-          (List.map
-             (fun path -> (path, Session.compile ~load:(loader_for path) (read_file path)))
-             paths)
-      in
-      let run_one (_path, c) =
-        let config = make_config ~seed ~profile ~no_cache in
-        let result = Session.run ~config ~provenance:(Registry.create provenance) c () in
-        (c, result)
-      in
-      let results =
-        if jobs > 1 && Array.length compiled > 1 then
-          Scallop_utils.Pool.with_pool jobs (fun pool ->
-              Scallop_utils.Pool.parallel_map pool ~f:run_one compiled)
-        else Array.map run_one compiled
-      in
-      Array.iteri
-        (fun i (c, result) ->
-          if Array.length compiled > 1 then Fmt.pr "=== %s@." (fst compiled.(i));
-          print_outputs result;
-          match result.Session.stats with
-          | Some stats -> Fmt.pr "%a" (Interp.pp_profile c.Session.plan) stats
-          | None -> ())
-        results;
-      `Ok ()
-    with Session.Error msg -> `Error (false, msg)
+  let run provenance seed profile no_cache jobs timeout max_tuples max_iterations paths =
+    let jobs = resolve_jobs jobs in
+    let budget = Budget.make ?timeout ?max_iterations ?max_tuples () in
+    (* Compile on the main domain (compilation is cheap and stateful-ish),
+       then fan the executions out: each file runs under its own config —
+       same seed, fresh profiling sink — so results match a sequential run
+       file-for-file regardless of the worker count.  Failures are per file:
+       a file that fails to compile, exceeds its budget, or errors at
+       runtime is reported on stderr and the remaining files still run; the
+       exit status is nonzero iff any file failed. *)
+    let compiled =
+      Array.of_list
+        (List.map
+           (fun path ->
+             let c =
+               try Ok (Session.compile ~load:(loader_for path) (read_file path)) with
+               | Session.Error e -> Error e
+               | Sys_error msg -> Error (Exec_error.Invalid_input { msg })
+             in
+             (path, c))
+           paths)
+    in
+    (* Total: errors come back as values, so the pool always drains. *)
+    let run_one (_path, c) =
+      match c with
+      | Error e -> Error e
+      | Ok c -> (
+          let config = make_config ~budget ~seed ~profile ~no_cache () in
+          try Ok (c, Session.run ~config ~provenance:(Registry.create provenance) c ())
+          with Session.Error e -> Error e)
+    in
+    let results =
+      if jobs > 1 && Array.length compiled > 1 then
+        Scallop_utils.Pool.with_pool jobs (fun pool ->
+            Scallop_utils.Pool.parallel_map pool ~f:run_one compiled)
+      else Array.map run_one compiled
+    in
+    let failures = ref 0 in
+    Array.iteri
+      (fun i outcome ->
+        let path = fst compiled.(i) in
+        if Array.length compiled > 1 then Fmt.pr "=== %s@." path;
+        match outcome with
+        | Ok (c, result) -> (
+            print_outputs result;
+            match result.Session.stats with
+            | Some stats -> Fmt.pr "%a" (Interp.pp_profile c.Session.plan) stats
+            | None -> ())
+        | Error e ->
+            incr failures;
+            Fmt.epr "error: %s: %s@." path (Session.error_string e))
+      results;
+    if !failures = 0 then `Ok ()
+    else
+      `Error
+        ( false,
+          Fmt.str "%d of %d file%s failed" !failures (Array.length compiled)
+            (if Array.length compiled = 1 then "" else "s") )
   in
   Term.(
-    ret (const run $ provenance_arg $ seed_arg $ profile_arg $ no_cache_arg $ jobs_arg $ files_arg))
+    ret
+      (const run $ provenance_arg $ seed_arg $ profile_arg $ no_cache_arg $ jobs_arg
+     $ timeout_arg $ max_tuples_arg $ max_iterations_arg $ files_arg))
 
 let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Execute a Scallop program and print its output relations.") run_term
@@ -138,7 +188,7 @@ let compile_cmd =
       let compiled = Session.compile ~load:(loader_for path) source in
       Fmt.pr "%a" Ram.pp_program compiled.Session.ram;
       `Ok ()
-    with Session.Error msg -> `Error (false, msg)
+    with Session.Error e -> `Error (false, Session.error_string e)
   in
   Cmd.v
     (Cmd.info "compile" ~doc:"Compile a Scallop program and dump the SclRam query plan.")
@@ -150,7 +200,7 @@ let repl_cmd =
     let buffer = Buffer.create 256 in
     (* One RNG for the whole session (repeated executions keep sampling new
        draws); a fresh stats sink per execution so profiles don't accumulate. *)
-    let base_config = make_config ~seed ~profile ~no_cache in
+    let base_config = make_config ~seed ~profile ~no_cache () in
     let rec loop () =
       Fmt.pr "scl> %!";
       match In_channel.input_line stdin with
@@ -169,7 +219,7 @@ let repl_cmd =
              match result.Session.stats with
              | Some stats -> Fmt.pr "%a" (Interp.pp_profile compiled.Session.plan) stats
              | None -> ()
-           with Session.Error msg -> Fmt.epr "error: %s@." msg);
+           with Session.Error e -> Fmt.epr "error: %s@." (Session.error_string e));
           loop ()
       | Some line ->
           Buffer.add_string buffer line;

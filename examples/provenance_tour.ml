@@ -50,7 +50,7 @@ let () =
                (fun (t, o) -> Fmt.pr "  %s%a :: %a@." pred Tuple.pp t Provenance.Output.pp o)
                rows)
            result.Session.outputs
-       with Session.Error msg -> Fmt.pr "  (not supported: %s)@." msg);
+       with Session.Error e -> Fmt.pr "  (not supported: %s)@." (Session.error_string e));
       Fmt.pr "@.")
     [
       Registry.Boolean;

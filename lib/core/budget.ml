@@ -1,0 +1,66 @@
+(** Resource budgets for one program execution.
+
+    A budget bounds how much work a single [Session.run] (equivalently, one
+    sample of a [Session.run_batch]) may consume before the interpreter
+    stops it with a structured [Exec_error.Budget_exceeded] diagnostic.
+    The checks are {e cooperative}: the interpreter polls at fixpoint
+    iteration boundaries and (amortized) at RAM-operator boundaries, so a
+    budget is enforced to the granularity of one operator evaluation — a
+    single pathological join finishes before the verdict lands, but no
+    unbounded loop survives.
+
+    Axes:
+    - [timeout]: wall-clock seconds from the start of the run.  Checked at
+      every iteration boundary and every {!clock_check_mask}+1 node
+      evaluations, so enforcement latency is far below one second for any
+      iterating program.
+    - [max_iterations]: fixpoint iterations per stratum (the pre-existing
+      interpreter guardrail, now budgeted and typed).
+    - [max_tuples]: cumulative tuples materialized by rule evaluations —
+      an upper bound on live database growth that costs only a counter.
+    - [max_node_evals]: RAM-plan node evaluations, a machine-independent
+      work measure (useful to make serving quotas reproducible).
+    - [cancel]: a {!Scallop_utils.Cancel} token polled at the same points;
+      firing it aborts the run with [Exec_error.Cancelled].  In a batch,
+      the token is shared by all samples (it cancels the whole batch),
+      while deadlines are per sample.
+
+    [default] preserves the historical behavior: no wall-clock or tuple
+    bound, 10_000 iterations per stratum. *)
+
+type t = {
+  timeout : float option;  (** wall-clock seconds per run *)
+  max_iterations : int;  (** fixpoint-iteration cap per stratum *)
+  max_tuples : int option;  (** cumulative derived-tuple cap *)
+  max_node_evals : int option;  (** RAM-node evaluation cap *)
+  cancel : Scallop_utils.Cancel.t option;  (** cooperative cancellation *)
+}
+
+let default =
+  { timeout = None; max_iterations = 10_000; max_tuples = None;
+    max_node_evals = None; cancel = None }
+
+(** No bounds at all (even the iteration cap) — for programs known to
+    terminate where the caller wants raw throughput. *)
+let unlimited = { default with max_iterations = max_int }
+
+(** [make ()] builds a budget from optional per-axis arguments, starting
+    from {!default} (so the iteration cap stays at 10_000 unless given). *)
+let make ?timeout ?max_iterations ?max_tuples ?max_node_evals ?cancel () =
+  {
+    timeout;
+    max_iterations = Option.value max_iterations ~default:default.max_iterations;
+    max_tuples;
+    max_node_evals;
+    cancel;
+  }
+
+(** Node evaluations between two wall-clock polls, minus one (a power of
+    two; the interpreter tests [evals land clock_check_mask = 0]). *)
+let clock_check_mask = 63
+
+(** Whether any axis beyond the iteration cap is active — when false the
+    interpreter skips the per-node bookkeeping entirely. *)
+let watched t =
+  t.timeout <> None || t.max_tuples <> None || t.max_node_evals <> None
+  || t.cancel <> None

@@ -11,7 +11,8 @@
     at the end.  Multiple rules with the same head within a stratum are
     merged by union so that stratum heads are distinct (Sec. 4.2). *)
 
-exception Compile_error of string * Ast.pos
+(* All compilation failures are typed diagnostics; see {!Exec_error}. *)
+let compile_error msg pos = Exec_error.raise_error (Exec_error.Compile_error { msg; pos })
 
 module SSet = Set.Make (String)
 
@@ -40,14 +41,14 @@ let rec compile_vexpr pos layout (e : Ast.expr) : Ram.vexpr =
   | Ast.E_var v -> (
       match position layout v with
       | Some i -> Ram.Access i
-      | None -> raise (Compile_error (Fmt.str "unbound variable %S" v, pos)))
-  | Ast.E_wildcard -> raise (Compile_error ("wildcard in value expression", pos))
+      | None -> compile_error (Fmt.str "unbound variable %S" v) pos)
+  | Ast.E_wildcard -> compile_error "wildcard in value expression" pos
   | Ast.E_const c -> Ram.Const (const_value c)
   | Ast.E_binop (op, a, b) -> Ram.Binop (op, compile_vexpr pos layout a, compile_vexpr pos layout b)
   | Ast.E_unop (op, a) -> Ram.Unop (op, compile_vexpr pos layout a)
   | Ast.E_call (f, args) ->
       if Foreign.lookup_function f = None then
-        raise (Compile_error (Fmt.str "unknown foreign function $%s" f, pos));
+        compile_error (Fmt.str "unknown foreign function $%s" f) pos;
       Ram.Call (f, List.map (compile_vexpr pos layout) args)
   | Ast.E_if (c, a, b) ->
       Ram.If_then_else
@@ -55,13 +56,13 @@ let rec compile_vexpr pos layout (e : Ast.expr) : Ram.vexpr =
   | Ast.E_cast (a, tyname) -> (
       match Value.ty_of_name tyname with
       | Some ty -> Ram.Cast (ty, compile_vexpr pos layout a)
-      | None -> raise (Compile_error (Fmt.str "unknown type %S" tyname, pos)))
+      | None -> compile_error (Fmt.str "unknown type %S" tyname) pos)
 
 (** Evaluate a variable-free expression at compile time. *)
 let eval_const pos (e : Ast.expr) : Value.t =
   match Ram.eval_vexpr Tuple.unit (compile_vexpr pos [] e) with
   | Some v -> v
-  | None -> raise (Compile_error ("constant expression evaluation failed", pos))
+  | None -> compile_error "constant expression evaluation failed" pos
 
 (* ---- atom normalization --------------------------------------------------------- *)
 
@@ -149,7 +150,7 @@ let project_to pos (p : plan) (target : string list) : plan =
         (fun v ->
           match position p.layout v with
           | Some i -> Ram.Access i
-          | None -> raise (Compile_error (Fmt.str "unbound variable %S in projection" v, pos)))
+          | None -> compile_error (Fmt.str "unbound variable %S in projection" v) pos)
         target
     in
     { expr = Ram.Project (mapping, p.expr); layout = target }
@@ -183,7 +184,7 @@ let rec compile_clause pos ~fresh ~(outer_vars : SSet.t) (clause : Front.clause)
       | Front.L_neg a ->
           let args, extra = normalize_atom pos ~fresh a in
           if extra <> [] then
-            raise (Compile_error ("complex expressions in negated atoms are not supported", pos));
+            compile_error "complex expressions in negated atoms are not supported" pos;
           negs := (a.Ast.pred, args) :: !negs
       | Front.L_cond e -> conds := e :: !conds
       | Front.L_reduce r -> reduces := r :: !reduces)
@@ -292,11 +293,10 @@ let rec compile_clause pos ~fresh ~(outer_vars : SSet.t) (clause : Front.clause)
         apply_ready_conds ()
   done;
   if !foreigns <> [] then
-    raise
-      (Compile_error
-         ( Fmt.str "foreign predicate %s cannot be scheduled (unbound required arguments)"
-             (fst (List.hd !foreigns)),
-           pos ));
+    compile_error
+      (Fmt.str "foreign predicate %s cannot be scheduled (unbound required arguments)"
+         (fst (List.hd !foreigns)))
+      pos;
   (* Phase 3: aggregations.  A reduce's implicit group-by variables are the
      body variables referenced {e outside} it: in the head ([outer_vars]) or
      in any sibling literal of this clause. *)
@@ -323,10 +323,9 @@ let rec compile_clause pos ~fresh ~(outer_vars : SSet.t) (clause : Front.clause)
   reduces := [];
   apply_ready_conds ();
   if !conds <> [] then
-    raise
-      (Compile_error
-         ( Fmt.str "condition mentions unbound variables: %a" Ast.pp_expr (List.hd !conds),
-           pos ));
+    compile_error
+      (Fmt.str "condition mentions unbound variables: %a" Ast.pp_expr (List.hd !conds))
+      pos;
   (* Phase 4: negated atoms as anti-joins. *)
   let final =
     List.fold_left
@@ -379,7 +378,7 @@ and compile_reduce pos ~fresh ~outer_vars (r : Front.creduce) : plan =
           project_to pos sub target)
         body_clauses
     with
-    | [] -> raise (Compile_error ("empty aggregation body", pos))
+    | [] -> compile_error "empty aggregation body" pos
     | first :: rest ->
         List.fold_left
           (fun acc p -> { acc with expr = Ram.Union (acc.expr, p.expr) })
@@ -397,7 +396,7 @@ and compile_reduce pos ~fresh ~outer_vars (r : Front.creduce) : plan =
                 project_to pos sub gv)
               clauses
           with
-          | [] -> raise (Compile_error ("empty where clause", pos))
+          | [] -> compile_error "empty where clause" pos
           | first :: rest ->
               List.fold_left (fun acc p -> { acc with expr = Ram.Union (acc.expr, p.expr) }) first rest
         in

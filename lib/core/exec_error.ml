@@ -1,0 +1,86 @@
+(** Typed execution diagnostics.
+
+    Every user-reachable failure of the pipeline — parse, desugar, type,
+    stratification, compilation, and runtime evaluation including resource
+    budgets — is described by a {!t} value rather than an exception-message
+    string, so a serving layer can pattern-match on the failure class
+    (retry? reject? shed load?) instead of grepping prose.  {!Session}
+    re-raises these as [Session.Error of t]; the rendered form ({!pp},
+    {!to_string}) is stable and is what the CLI prints.
+
+    [Budget_exceeded] and [Cancelled] are the {e recoverable} class: they
+    mean the program was cut off by policy, not that it is wrong.  Batched
+    execution reports them per sample and keeps the surviving samples'
+    results (see [Session.run_batch]). *)
+
+(** Which budget axis was exhausted (see [Budget.t]). *)
+type budget_kind =
+  | Deadline  (** wall-clock timeout *)
+  | Iterations  (** fixpoint-iteration cap of a stratum *)
+  | Tuples  (** cumulative derived-tuple cap *)
+  | Node_evals  (** RAM-node evaluation cap *)
+
+type t =
+  | Budget_exceeded of {
+      kind : budget_kind;
+      stratum : int;  (** stratum being evaluated when the budget ran out *)
+      iterations : int;  (** fixpoint iterations completed in that stratum *)
+      elapsed : float;  (** wall-clock seconds since the run started *)
+    }
+  | Cancelled of { stratum : int; elapsed : float }
+      (** the run's cancellation token fired; [stratum = -1] when the run
+          was cancelled before it started (e.g. a not-yet-scheduled batch
+          sample) *)
+  | Unstratifiable of { head : string; dep : string }
+      (** [head] depends on [dep] through negation or aggregation inside a
+          recursive cycle *)
+  | Parse_error of { msg : string; pos : Ast.pos }
+  | Front_error of { msg : string; pos : Ast.pos }  (** desugaring / safety *)
+  | Type_error of { msg : string; pos : Ast.pos }
+  | Demand_error of { msg : string; pos : Ast.pos }
+  | Compile_error of { msg : string; pos : Ast.pos }
+  | Runtime_error of { msg : string }
+      (** evaluation failure that is a property of the program/provenance
+          pair (unsupported negation, foreign-predicate failure, …) *)
+  | Invalid_input of { msg : string }
+      (** malformed caller-supplied data: arity/type mismatches of dynamic
+          facts, unreadable source files, … *)
+
+exception Error of t
+
+let raise_error e = raise (Error e)
+
+let kind_name = function
+  | Deadline -> "deadline"
+  | Iterations -> "iterations"
+  | Tuples -> "tuples"
+  | Node_evals -> "node-evals"
+
+(** True for the recoverable resource-policy diagnostics ([Budget_exceeded]
+    and [Cancelled]) as opposed to program/input errors. *)
+let is_resource = function Budget_exceeded _ | Cancelled _ -> true | _ -> false
+
+let pp ppf = function
+  | Budget_exceeded { kind; stratum; iterations; elapsed } ->
+      Fmt.pf ppf
+        "budget exceeded (%s) in stratum %d after %d fixpoint iteration%s (%.3fs elapsed)"
+        (kind_name kind) stratum iterations
+        (if iterations = 1 then "" else "s")
+        elapsed
+  | Cancelled { stratum; elapsed } ->
+      if stratum < 0 then Fmt.pf ppf "execution cancelled before it started"
+      else Fmt.pf ppf "execution cancelled in stratum %d (%.3fs elapsed)" stratum elapsed
+  | Unstratifiable { head; dep } ->
+      Fmt.pf ppf
+        "program is not stratified: %s depends on %s through negation or aggregation \
+         within a recursive cycle"
+        head dep
+  | Parse_error { msg; pos } -> Fmt.pf ppf "parse error at %a: %s" Ast.pp_pos pos msg
+  | Front_error { msg; pos } -> Fmt.pf ppf "error at %a: %s" Ast.pp_pos pos msg
+  | Type_error { msg; pos } -> Fmt.pf ppf "type error at %a: %s" Ast.pp_pos pos msg
+  | Demand_error { msg; pos } -> Fmt.pf ppf "demand error at %a: %s" Ast.pp_pos pos msg
+  | Compile_error { msg; pos } -> Fmt.pf ppf "compile error at %a: %s" Ast.pp_pos pos msg
+  | Runtime_error { msg } -> Fmt.string ppf msg
+  | Invalid_input { msg } -> Fmt.string ppf msg
+
+let to_string = Fmt.to_to_string pp

@@ -21,9 +21,18 @@
       of maximal invariant subtrees are computed once per stratum and reused
       across fixpoint iterations.  Caches are discarded at stratum exit.
       Invariance excludes samplers, so cached evaluation is observationally
-      identical to uncached evaluation. *)
+      identical to uncached evaluation.
 
-exception Runtime_error of string
+    Every run is additionally governed by a {!Budget.t} carried in the
+    config: wall-clock deadline, per-stratum fixpoint-iteration cap,
+    cumulative derived-tuple cap, node-evaluation cap, and an optional
+    cooperative cancellation token.  Checks happen at fixpoint-iteration
+    boundaries and (amortized, every {!Budget.clock_check_mask}+1 node
+    evaluations) at operator boundaries; a violated budget aborts the run
+    with a typed [Exec_error.Budget_exceeded] / [Exec_error.Cancelled] and
+    bumps the matching counter in the profiling sink, leaving the caller's
+    inputs untouched.  When no axis beyond the iteration cap is active the
+    per-node bookkeeping is skipped entirely. *)
 
 (* Re-exported so existing call sites can keep writing [Interp.stats],
    [s.Interp.fixpoint_iterations], etc.; the definitions live in {!Plan}
@@ -45,6 +54,7 @@ type stats = Plan.stats = {
   mutable fixpoint_iterations : int;
   node_stats : (int, node_stat) Hashtbl.t;
   mutable stratum_traces : stratum_trace list;
+  budget_stops : Plan.budget_stops;
 }
 
 let empty_stats = Plan.empty_stats
@@ -53,7 +63,7 @@ let pp_profile = Plan.pp_profile
 
 type config = {
   rng : Scallop_utils.Rng.t;
-  max_iterations : int;
+  budget : Budget.t;  (** resource bounds for each run under this config *)
   semi_naive : bool;
   cache_indices : bool;
       (** reuse join indices / invariant sub-relations across fixpoint
@@ -64,7 +74,7 @@ type config = {
 let default_config () =
   {
     rng = Scallop_utils.Rng.create 0;
-    max_iterations = 10_000;
+    budget = Budget.default;
     semi_naive = true;
     cache_indices = true;
     stats = None;
@@ -79,6 +89,106 @@ let record_hit config pid =
       let st = Plan.node_stat s pid in
       st.hits <- st.hits + 1
   | None -> ()
+
+let runtime_error msg = Exec_error.raise_error (Exec_error.Runtime_error { msg })
+
+(* ---- budget monitor ---------------------------------------------------------- *)
+
+(** Per-run budget accounting.  One monitor is created per
+    [eval_plan_program] (equivalently per [Session.run]); it is local to the
+    run's domain, so batched execution never shares one across workers. *)
+type monitor = {
+  mbudget : Budget.t;
+  started : float;  (** wall-clock start of the run *)
+  deadline : float;  (** absolute deadline; [infinity] when no timeout *)
+  watched : bool;  (** see {!Budget.watched}; false skips node bookkeeping *)
+  mutable m_stratum : int;  (** stratum currently being evaluated *)
+  mutable m_iterations : int;  (** fixpoint iterations completed in [m_stratum] *)
+  mutable m_tuples : int;  (** cumulative tuples materialized by rule evals *)
+  mutable m_node_evals : int;  (** RAM-plan node evaluations so far *)
+}
+
+let make_monitor (b : Budget.t) : monitor =
+  let started = Unix.gettimeofday () in
+  {
+    mbudget = b;
+    started;
+    deadline = (match b.Budget.timeout with Some s -> started +. s | None -> infinity);
+    watched = Budget.watched b;
+    m_stratum = 0;
+    m_iterations = 0;
+    m_tuples = 0;
+    m_node_evals = 0;
+  }
+
+(* Abort the run: bump the matching profiler counter, raise the typed
+   diagnostic.  Raising is what unwinds the fixpoint — partial strata are
+   dropped with the stack, so the caller's database is never torn. *)
+let budget_stop config (mon : monitor) (kind : Exec_error.budget_kind) =
+  (match config.stats with
+  | Some s ->
+      let b = s.budget_stops in
+      (match kind with
+      | Exec_error.Deadline -> b.Plan.deadline_stops <- b.Plan.deadline_stops + 1
+      | Exec_error.Iterations -> b.Plan.iteration_stops <- b.Plan.iteration_stops + 1
+      | Exec_error.Tuples -> b.Plan.tuple_stops <- b.Plan.tuple_stops + 1
+      | Exec_error.Node_evals -> b.Plan.node_eval_stops <- b.Plan.node_eval_stops + 1)
+  | None -> ());
+  Exec_error.raise_error
+    (Exec_error.Budget_exceeded
+       {
+         kind;
+         stratum = mon.m_stratum;
+         iterations = mon.m_iterations;
+         elapsed = Unix.gettimeofday () -. mon.started;
+       })
+
+let cancel_stop config (mon : monitor) =
+  (match config.stats with
+  | Some s -> s.budget_stops.Plan.cancelled_stops <- s.budget_stops.Plan.cancelled_stops + 1
+  | None -> ());
+  Exec_error.raise_error
+    (Exec_error.Cancelled
+       { stratum = mon.m_stratum; elapsed = Unix.gettimeofday () -. mon.started })
+
+(* Poll the cancellation token and the wall clock.  Called at every fixpoint
+   iteration boundary and every [Budget.clock_check_mask]+1 node evals. *)
+let check_wall config (mon : monitor) =
+  (match mon.mbudget.Budget.cancel with
+  | Some c when Scallop_utils.Cancel.cancelled c -> cancel_stop config mon
+  | _ -> ());
+  if Unix.gettimeofday () > mon.deadline then budget_stop config mon Exec_error.Deadline
+
+(* One node evaluation is about to run.  With no watched axis this is a
+   single load and branch. *)
+let check_node config (mon : monitor) =
+  if mon.watched then begin
+    mon.m_node_evals <- mon.m_node_evals + 1;
+    (match mon.mbudget.Budget.max_node_evals with
+    | Some cap when mon.m_node_evals > cap -> budget_stop config mon Exec_error.Node_evals
+    | _ -> ());
+    if mon.m_node_evals land Budget.clock_check_mask = 0 then check_wall config mon
+  end
+
+(* Charge [n] freshly materialized tuples against the cumulative cap.  The
+   count is the cardinality of an already-built map, so the charge is O(1)
+   beyond work the rule evaluation did anyway. *)
+let charge_tuples config (mon : monitor) n =
+  if mon.watched then begin
+    mon.m_tuples <- mon.m_tuples + n;
+    match mon.mbudget.Budget.max_tuples with
+    | Some cap when mon.m_tuples > cap -> budget_stop config mon Exec_error.Tuples
+    | _ -> ()
+  end
+
+(* Iteration boundary: [next_iter] is about to start in the current stratum
+   ([next_iter - 1] completed).  The iteration cap is always enforced, even
+   for unwatched budgets — it is the historical non-termination guardrail. *)
+let check_iteration config (mon : monitor) ~next_iter =
+  mon.m_iterations <- next_iter - 1;
+  if next_iter > mon.mbudget.Budget.max_iterations then
+    budget_stop config mon Exec_error.Iterations;
+  if mon.watched then check_wall config mon
 
 module Make (P : Provenance.S) = struct
   module Agg = Aggregate.Make (P)
@@ -206,7 +316,7 @@ module Make (P : Provenance.S) = struct
      cache; its own subtree is then evaluated cache-less since every
      descendant is invariant too — and (b) per-node profiling.  Wall times
      are inclusive of children. *)
-  let rec eval config (cache : cache option) (db : db) (p : Plan.t) :
+  let rec eval config mon (cache : cache option) (db : db) (p : Plan.t) :
       (Tuple.t * P.t) list =
     match cache with
     | Some c when p.Plan.invariant -> (
@@ -215,17 +325,18 @@ module Make (P : Provenance.S) = struct
             record_hit config p.Plan.pid;
             r
         | None ->
-            let r = eval_timed config None db p in
+            let r = eval_timed config mon None db p in
             Hashtbl.add c.c_rels p.Plan.pid r;
             r)
-    | _ -> eval_timed config cache db p
+    | _ -> eval_timed config mon cache db p
 
-  and eval_timed config cache db (p : Plan.t) =
+  and eval_timed config mon cache db (p : Plan.t) =
+    check_node config mon;
     match config.stats with
-    | None -> eval_node config cache db p
+    | None -> eval_node config mon cache db p
     | Some s ->
         let t0 = Unix.gettimeofday () in
-        let r = eval_node config cache db p in
+        let r = eval_node config mon cache db p in
         let st = Plan.node_stat s p.Plan.pid in
         st.evals <- st.evals + 1;
         st.tuples <- st.tuples + List.length r;
@@ -233,7 +344,7 @@ module Make (P : Provenance.S) = struct
         r
 
   (* Normalized right-hand side of −/∩, cached when invariant. *)
-  and normalized_right config cache db (b : Plan.t) : P.t Tuple.Map.t =
+  and normalized_right config mon cache db (b : Plan.t) : P.t Tuple.Map.t =
     match cache with
     | Some c when b.Plan.invariant -> (
         match Hashtbl.find_opt c.c_norms b.Plan.pid with
@@ -241,32 +352,32 @@ module Make (P : Provenance.S) = struct
             record_hit config b.Plan.pid;
             m
         | None ->
-            let m = normalize (eval config None db b) in
+            let m = normalize (eval config mon None db b) in
             Hashtbl.add c.c_norms b.Plan.pid m;
             m)
-    | _ -> normalize (eval config cache db b)
+    | _ -> normalize (eval config mon cache db b)
 
-  and eval_node config cache (db : db) (p : Plan.t) : (Tuple.t * P.t) list =
+  and eval_node config mon cache (db : db) (p : Plan.t) : (Tuple.t * P.t) list =
     match p.Plan.desc with
     | Plan.Empty -> []
     | Plan.Singleton -> [ (Tuple.unit, P.one) ]
     | Plan.Pred pr -> Tuple.Map.bindings (relation_of db pr)
     | Plan.Select (cond, e) ->
-        List.filter (fun (u, _) -> Ram.eval_cond u cond) (eval config cache db e)
+        List.filter (fun (u, _) -> Ram.eval_cond u cond) (eval config mon cache db e)
     | Plan.Project (m, e) ->
         List.filter_map
           (fun (u, t) -> Option.map (fun u' -> (u', t)) (Ram.eval_mapping u m))
-          (eval config cache db e)
-    | Plan.Union (a, b) -> eval config cache db a @ eval config cache db b
+          (eval config mon cache db e)
+    | Plan.Union (a, b) -> eval config mon cache db a @ eval config mon cache db b
     | Plan.Product (a, b) ->
-        let rb = eval config cache db b in
+        let rb = eval config mon cache db b in
         List.concat_map
           (fun (ua, ta) -> List.map (fun (ub, tb) -> (Tuple.append ua ub, P.mult ta tb)) rb)
-          (eval config cache db a)
+          (eval config mon cache db a)
     | Plan.Diff (a, b) ->
         (* Diff-1: tuple absent from b — propagate unchanged.
            Diff-2: present in both — tag t₁ ⊗ ⊖t₂ (information-preserving). *)
-        let rb = normalized_right config cache db b in
+        let rb = normalized_right config mon cache db b in
         List.filter_map
           (fun (u, ta) ->
             match Tuple.Map.find_opt u rb with
@@ -274,14 +385,14 @@ module Make (P : Provenance.S) = struct
             | Some tb -> (
                 match P.negate tb with
                 | Some ntb -> Some (u, P.mult ta ntb)
-                | None -> raise (Runtime_error (P.name ^ " does not support negation"))))
-          (eval config cache db a)
+                | None -> runtime_error (P.name ^ " does not support negation")))
+          (eval config mon cache db a)
     | Plan.Intersect (a, b) ->
-        let rb = normalized_right config cache db b in
+        let rb = normalized_right config mon cache db b in
         List.filter_map
           (fun (u, ta) ->
             Option.map (fun tb -> (u, P.mult ta tb)) (Tuple.Map.find_opt u rb))
-          (eval config cache db a)
+          (eval config mon cache db a)
     | Plan.Join { lkeys; rkeys; left; right } ->
         let index =
           match cache with
@@ -291,10 +402,10 @@ module Make (P : Provenance.S) = struct
                   record_hit config right.Plan.pid;
                   idx
               | None ->
-                  let idx = build_join_index rkeys (eval config None db right) in
+                  let idx = build_join_index rkeys (eval config mon None db right) in
                   Hashtbl.add c.c_joins right.Plan.pid idx;
                   idx)
-          | _ -> build_join_index rkeys (eval config cache db right)
+          | _ -> build_join_index rkeys (eval config mon cache db right)
         in
         List.concat_map
           (fun (ul, tl) ->
@@ -303,7 +414,7 @@ module Make (P : Provenance.S) = struct
             | None -> []
             | Some matches ->
                 List.map (fun (ur, tr) -> (Tuple.append ul ur, P.mult tl tr)) matches)
-          (eval config cache db left)
+          (eval config mon cache db left)
     | Plan.Antijoin { lkeys; rkeys; left; right } ->
         (* Right side is keyed and ⊕-merged; a left tuple matching key k is
            tagged t_l ⊗ ⊖(⊕ of right tags at k). *)
@@ -315,10 +426,10 @@ module Make (P : Provenance.S) = struct
                   record_hit config right.Plan.pid;
                   idx
               | None ->
-                  let idx = build_antijoin_index rkeys (eval config None db right) in
+                  let idx = build_antijoin_index rkeys (eval config mon None db right) in
                   Hashtbl.add c.c_antis right.Plan.pid idx;
                   idx)
-          | _ -> build_antijoin_index rkeys (eval config cache db right)
+          | _ -> build_antijoin_index rkeys (eval config mon cache db right)
         in
         List.filter_map
           (fun (ul, tl) ->
@@ -328,16 +439,16 @@ module Make (P : Provenance.S) = struct
             | Some tr -> (
                 match P.negate tr with
                 | Some ntr -> Some (ul, P.mult tl ntr)
-                | None -> raise (Runtime_error (P.name ^ " does not support negation"))))
-          (eval config cache db left)
+                | None -> runtime_error (P.name ^ " does not support negation")))
+          (eval config mon cache db left)
     | Plan.One_overwrite e ->
-        Tuple.Map.bindings (normalize (eval config cache db e))
+        Tuple.Map.bindings (normalize (eval config mon cache db e))
         |> List.map (fun (u, _) -> (u, P.one))
     | Plan.Zero_overwrite e ->
-        Tuple.Map.bindings (normalize (eval config cache db e))
+        Tuple.Map.bindings (normalize (eval config mon cache db e))
         |> List.map (fun (u, _) -> (u, P.zero))
     | Plan.Aggregate { agg; key_len; arg_len; group; body } -> (
-        let items = Tuple.Map.bindings (normalize (eval config cache db body)) in
+        let items = Tuple.Map.bindings (normalize (eval config mon cache db body)) in
         match group with
         | Plan.No_group ->
             let rest = List.map (fun (u, t) -> (snd (split_key key_len u), t)) items in
@@ -348,7 +459,7 @@ module Make (P : Provenance.S) = struct
                    Agg.run agg ~arg_len group_items
                    |> List.map (fun (r, t) -> (Tuple.append key r, t)))
         | Plan.Domain dom ->
-            let domain = Tuple.Map.bindings (normalize (eval config cache db dom)) in
+            let domain = Tuple.Map.bindings (normalize (eval config mon cache db dom)) in
             (* group lookup by balanced map, not a linear scan per key *)
             let grouped = group_map_by_key key_len items in
             List.concat_map
@@ -360,7 +471,7 @@ module Make (P : Provenance.S) = struct
                 |> List.map (fun (r, t) -> (Tuple.append key r, P.mult tg t)))
               domain)
     | Plan.Sample { sampler; key_len; group; body } -> (
-        let items = Tuple.Map.bindings (normalize (eval config cache db body)) in
+        let items = Tuple.Map.bindings (normalize (eval config mon cache db body)) in
         match group with
         | Plan.No_group -> apply_sampler config sampler items
         | Plan.Implicit | Plan.Domain _ ->
@@ -370,10 +481,10 @@ module Make (P : Provenance.S) = struct
                    |> List.map (fun (r, t) -> (Tuple.append key r, t))))
     | Plan.Foreign_join { name; args; free_cols; left } -> (
         match Foreign.lookup_predicate name with
-        | None -> raise (Runtime_error ("unknown foreign predicate $" ^ name))
+        | None -> runtime_error ("unknown foreign predicate $" ^ name)
         | Some (arity, fp) ->
             if List.length args <> arity then
-              raise (Runtime_error ("arity mismatch for foreign predicate " ^ name));
+              runtime_error ("arity mismatch for foreign predicate " ^ name);
             List.concat_map
               (fun (ul, tl) ->
                 let pattern =
@@ -386,7 +497,7 @@ module Make (P : Provenance.S) = struct
                        args)
                 in
                 match fp pattern with
-                | Error msg -> raise (Runtime_error (name ^ ": " ^ msg))
+                | Error msg -> runtime_error (name ^ ": " ^ msg)
                 | Ok tuples ->
                     (* keep only the free positions, in order; positions are
                        precomputed per node, not per result tuple *)
@@ -395,7 +506,7 @@ module Make (P : Provenance.S) = struct
                         let extra = Array.map (fun i -> full.(i)) free_cols in
                         (Tuple.append ul extra, tl))
                       tuples)
-              (eval config cache db left))
+              (eval config mon cache db left))
 
   (* ---- rules (Fig. 24, Rule-1/2/3) --------------------------------------- *)
 
@@ -406,8 +517,9 @@ module Make (P : Provenance.S) = struct
   let merge_newly (old : relation) (newly : relation) : relation =
     Tuple.Map.union (fun _u t_old t_new -> Some (P.add t_old t_new)) old newly
 
-  let eval_rule config cache (db : db) (r : Plan.rule) : relation =
-    let newly = normalize (eval config cache db r.Plan.body) in
+  let eval_rule config mon cache (db : db) (r : Plan.rule) : relation =
+    let newly = normalize (eval config mon cache db r.Plan.body) in
+    charge_tuples config mon (Tuple.Map.cardinal newly);
     merge_newly (relation_of db r.Plan.head) newly
 
   (* ---- strata (Fig. 24, lfp°) -------------------------------------------- *)
@@ -445,8 +557,10 @@ module Make (P : Provenance.S) = struct
             if P.saturated ~old:t_old merged then acc else Tuple.Map.add u merged acc)
       newly Tuple.Map.empty
 
-  let eval_stratum config (db : db) (sidx : int) (s : Plan.stratum) : db =
+  let eval_stratum config mon (db : db) (sidx : int) (s : Plan.stratum) : db =
     let heads = s.Plan.heads in
+    mon.m_stratum <- sidx;
+    mon.m_iterations <- 0;
     let cache = if config.cache_indices then Some (fresh_cache ()) else None in
     let trace =
       match config.stats with
@@ -470,7 +584,7 @@ module Make (P : Provenance.S) = struct
           (* Each rule reads the database as of the start of the iteration
              (db), not the partially updated one; heads are distinct within a
              stratum so updates never collide. *)
-          SMap.add r.Plan.head (eval_rule config cache db r) acc)
+          SMap.add r.Plan.head (eval_rule config mon cache db r) acc)
         db s.Plan.rules
     in
     let changed_count db db' =
@@ -480,6 +594,7 @@ module Make (P : Provenance.S) = struct
         0 heads
     in
     if not s.Plan.recursive then begin
+      check_iteration config mon ~next_iter:1;
       record_iter ();
       step db
     end
@@ -487,10 +602,7 @@ module Make (P : Provenance.S) = struct
       (* Naive lfp° exactly as Fig. 24: re-evaluate all rules until the
          database saturates.  Kept as the reference implementation. *)
       let rec iterate db iters =
-        if iters > config.max_iterations then
-          raise
-            (Runtime_error
-               "fixpoint iteration limit exceeded (program may not terminate under this provenance)");
+        check_iteration config mon ~next_iter:iters;
         let db' = step db in
         record_iter ?size:(match trace with Some _ -> Some (changed_count db db') | None -> None) ();
         let saturated =
@@ -505,6 +617,7 @@ module Make (P : Provenance.S) = struct
     else begin
       (* Semi-naive: after a full first round, only derivations touching a
          changed ("delta") tuple are re-evaluated. *)
+      check_iteration config mon ~next_iter:1;
       let db1 = step db in
       let deltas =
         List.map (fun h -> (h, changed ~old_rel:(relation_of db h) (relation_of db1 h))) heads
@@ -514,12 +627,12 @@ module Make (P : Provenance.S) = struct
       in
       record_iter ?size:(match trace with Some _ -> Some (delta_size deltas) | None -> None) ();
       let rec loop db deltas iters =
-        if List.for_all (fun (_, d) -> Tuple.Map.is_empty d) deltas then db
-        else if iters > config.max_iterations then
-          raise
-            (Runtime_error
-               "fixpoint iteration limit exceeded (program may not terminate under this provenance)")
+        if List.for_all (fun (_, d) -> Tuple.Map.is_empty d) deltas then begin
+          mon.m_iterations <- iters - 1;
+          db
+        end
         else begin
+          check_iteration config mon ~next_iter:iters;
           let db_with_deltas =
             List.fold_left (fun acc (h, d) -> SMap.add (Plan.delta_name h) d acc) db deltas
           in
@@ -528,8 +641,9 @@ module Make (P : Provenance.S) = struct
               (fun (r : Plan.rule) ->
                 let newly =
                   normalize
-                    (List.concat_map (eval config cache db_with_deltas) r.Plan.deltas)
+                    (List.concat_map (eval config mon cache db_with_deltas) r.Plan.deltas)
                 in
+                charge_tuples config mon (Tuple.Map.cardinal newly);
                 (r.Plan.head, newly))
               s.Plan.rules
           in
@@ -553,9 +667,11 @@ module Make (P : Provenance.S) = struct
   (* ---- programs ----------------------------------------------------------- *)
 
   let eval_plan_program config (db : db) (p : Plan.program) : db =
+    let mon = make_monitor config.budget in
+    if mon.watched then check_wall config mon;
     fst
       (List.fold_left
-         (fun (db, i) s -> (eval_stratum config db i s, i + 1))
+         (fun (db, i) s -> (eval_stratum config mon db i s, i + 1))
          (db, 0) p.Plan.strata)
 
   (** Evaluate a raw RAM program by planning it on the fly (compiled sessions

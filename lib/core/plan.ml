@@ -259,16 +259,38 @@ type stratum_trace = {
       (** changed tuples per iteration, most recent first *)
 }
 
+(** Budget-exhaustion counters: how many runs folded into this sink were
+    stopped by each resource axis (see [Budget.t]).  In a batched execution
+    these make graceful degradation observable — e.g. "3 of 64 samples hit
+    their deadline this epoch" — without parsing error values. *)
+type budget_stops = {
+  mutable deadline_stops : int;
+  mutable iteration_stops : int;
+  mutable tuple_stops : int;
+  mutable node_eval_stops : int;
+  mutable cancelled_stops : int;
+}
+
 type stats = {
   mutable fixpoint_iterations : int;
       (** total fixed-point iterations across strata (the Fig. 10 saturation
           traces are measured through this) *)
   node_stats : (int, node_stat) Hashtbl.t;  (** keyed by plan node id *)
   mutable stratum_traces : stratum_trace list;  (** in stratum order *)
+  budget_stops : budget_stops;
 }
 
+let empty_budget_stops () =
+  { deadline_stops = 0; iteration_stops = 0; tuple_stops = 0; node_eval_stops = 0;
+    cancelled_stops = 0 }
+
+let total_budget_stops (b : budget_stops) =
+  b.deadline_stops + b.iteration_stops + b.tuple_stops + b.node_eval_stops
+  + b.cancelled_stops
+
 let empty_stats () =
-  { fixpoint_iterations = 0; node_stats = Hashtbl.create 64; stratum_traces = [] }
+  { fixpoint_iterations = 0; node_stats = Hashtbl.create 64; stratum_traces = [];
+    budget_stops = empty_budget_stops () }
 
 (** [merge_stats ~into src] adds [src]'s counters into [into].  Batched
     execution gives every sample its own private sink (workers never share
@@ -305,7 +327,13 @@ let merge_stats ~(into : stats) (src : stats) =
         merge_trace d s;
         d :: go drest srest
   in
-  into.stratum_traces <- go into.stratum_traces src.stratum_traces
+  into.stratum_traces <- go into.stratum_traces src.stratum_traces;
+  let bi = into.budget_stops and bs = src.budget_stops in
+  bi.deadline_stops <- bi.deadline_stops + bs.deadline_stops;
+  bi.iteration_stops <- bi.iteration_stops + bs.iteration_stops;
+  bi.tuple_stops <- bi.tuple_stops + bs.tuple_stops;
+  bi.node_eval_stops <- bi.node_eval_stops + bs.node_eval_stops;
+  bi.cancelled_stops <- bi.cancelled_stops + bs.cancelled_stops
 
 let node_stat (s : stats) pid : node_stat =
   match Hashtbl.find_opt s.node_stats pid with
@@ -392,4 +420,10 @@ let pp_profile (prog : program) ppf (stats : stats) =
           Fmt.pf ppf ", changed tuples per iteration: %a"
             (Fmt.list ~sep:(Fmt.any " ") Fmt.int) sizes);
       Fmt.pf ppf "@.")
-    stats.stratum_traces
+    stats.stratum_traces;
+  let b = stats.budget_stops in
+  if total_budget_stops b > 0 then
+    Fmt.pf ppf
+      "budget stops: %d deadline, %d iterations, %d tuples, %d node-evals, %d cancelled@."
+      b.deadline_stops b.iteration_stops b.tuple_stops b.node_eval_stops
+      b.cancelled_stops

@@ -7,9 +7,21 @@
     extensional facts, and returns recovered outputs together with the
     input-variable ids assigned to each probabilistic fact — which is what
     lets a training loop route ∂y/∂r gradients back to the network that
-    produced r (see {!Scallop_nn.Scallop_layer}). *)
+    produced r (see {!Scallop_nn.Scallop_layer}).
 
-exception Error of string
+    Every failure surfaces as [Error of Exec_error.t] — a typed diagnostic
+    a caller can match on (resource exhaustion vs. program error vs. bad
+    input) — rendered for humans by {!error_string}.  Budgets (deadlines,
+    iteration/tuple/node caps, cancellation) travel in
+    [config.Interp.budget]; {!run_batch} isolates failures per sample. *)
+
+exception Error of Exec_error.t
+
+let error_string = Exec_error.to_string
+
+(** Raise [Error] with an [Invalid_input] diagnostic. *)
+let invalid_input fmt =
+  Fmt.kstr (fun msg -> raise (Error (Exec_error.Invalid_input { msg }))) fmt
 
 type compiled = {
   ram : Ram.program;
@@ -24,13 +36,11 @@ type compiled = {
 
 let wrap_errors f =
   try f () with
-  | Parser.Parse_error (msg, p) -> raise (Error (Fmt.str "parse error at %a: %s" Ast.pp_pos p msg))
-  | Front.Front_error (msg, p) -> raise (Error (Fmt.str "error at %a: %s" Ast.pp_pos p msg))
-  | Typecheck.Type_error (msg, p) -> raise (Error (Fmt.str "type error at %a: %s" Ast.pp_pos p msg))
-  | Stratify.Stratification_error msg -> raise (Error msg)
-  | Demand.Demand_error (msg, p) -> raise (Error (Fmt.str "demand error at %a: %s" Ast.pp_pos p msg))
-  | Compile.Compile_error (msg, p) ->
-      raise (Error (Fmt.str "compile error at %a: %s" Ast.pp_pos p msg))
+  | Parser.Parse_error (msg, pos) -> raise (Error (Exec_error.Parse_error { msg; pos }))
+  | Front.Front_error (msg, pos) -> raise (Error (Exec_error.Front_error { msg; pos }))
+  | Typecheck.Type_error (msg, pos) -> raise (Error (Exec_error.Type_error { msg; pos }))
+  | Demand.Demand_error (msg, pos) -> raise (Error (Exec_error.Demand_error { msg; pos }))
+  | Exec_error.Error e -> raise (Error e)
 
 let compile ?load ?(optimize = true) (source : string) : compiled =
   wrap_errors (fun () ->
@@ -99,16 +109,14 @@ let coerce_tuple (c : compiled) pred (t : Tuple.t) : Tuple.t =
   | None -> t
   | Some tys ->
       if Array.length tys <> Array.length t then
-        raise (Error (Fmt.str "arity mismatch for %s: expected %d" pred (Array.length tys)));
+        invalid_input "arity mismatch for %s: expected %d" pred (Array.length tys);
       Array.mapi
         (fun i v ->
           match Value.cast tys.(i) v with
           | Some v' -> v'
           | None ->
-              raise
-                (Error
-                   (Fmt.str "value %a does not fit column %d of %s (%s)" Value.pp v i pred
-                      (Value.ty_name tys.(i)))))
+              invalid_input "value %a does not fit column %d of %s (%s)" Value.pp v i pred
+                (Value.ty_name tys.(i)))
         t
 
 let run ?(config = Interp.default_config ()) ~(provenance : Provenance.t) (c : compiled)
@@ -147,8 +155,8 @@ let run ?(config = Interp.default_config ()) ~(provenance : Provenance.t) (c : c
   in
   let db =
     try I.eval_plan_program config db c.plan with
-    | Interp.Runtime_error msg -> raise (Error msg)
-    | Aggregate.Unsupported msg -> raise (Error msg)
+    | Exec_error.Error e -> raise (Error e)
+    | Aggregate.Unsupported msg -> raise (Error (Exec_error.Runtime_error { msg }))
   in
   let out_rels = match outputs with Some o -> o | None -> c.ram.Ram.outputs in
   {
@@ -174,9 +182,18 @@ let batch_config (template : Interp.config) (i : int) : Interp.config =
 
 (** [run_batch ~provenance_of c batch] executes the compiled plan [c] once
     per element of [batch] (each element is the [facts] argument of {!run})
-    and returns the results in input order.
+    and returns per-sample outcomes in input order: [Ok result] for samples
+    that completed, [Error diag] for samples stopped by their budget, by
+    cancellation, or by a per-sample input/runtime error.
 
-    Semantically it is exactly
+    Failures are isolated: one sample exhausting its budget (or being handed
+    malformed facts) leaves every other sample's result intact, and no
+    worker domain is leaked — errors are materialized as values before they
+    ever reach the pool.  If [config.Interp.budget]'s cancellation token
+    fires, in-flight samples stop at their next safe point and not-yet-
+    started samples return [Error (Cancelled { stratum = -1; _ })].
+
+    For the successful samples the semantics are exactly
 
     {[ Array.mapi
          (fun i facts ->
@@ -190,13 +207,37 @@ let batch_config (template : Interp.config) (i : int) : Interp.config =
     provenance instance (e.g. [fun _ -> Registry.create spec]), each sample
     gets its own RNG substream and interpreter caches, and profiling sinks
     are per-sample and folded into [config]'s sink afterwards, in sample
-    order ({!Interp.merge_stats}). *)
+    order ({!Interp.merge_stats}) — including the sinks of failed samples,
+    whose budget-stop counters make partial batches observable in
+    [Plan.stats]. *)
 let run_batch ?(pool : Scallop_utils.Pool.t option) ?(jobs = 1)
     ?(config = Interp.default_config ()) ~(provenance_of : int -> Provenance.t)
     (c : compiled) ?(outputs : string list option)
-    (batch : (string * (Provenance.Input.t * Tuple.t) list) list array) : result array =
+    (batch : (string * (Provenance.Input.t * Tuple.t) list) list array) :
+    (result, Exec_error.t) Stdlib.result array =
+  let batch_cancelled () =
+    match config.Interp.budget.Budget.cancel with
+    | Some tok -> Scallop_utils.Cancel.cancelled tok
+    | None -> false
+  in
+  (* Total by construction: every failure becomes a value here, so the pool
+     only ever sees normal returns and its workers always drain cleanly. *)
   let run_one i facts =
-    run ~config:(batch_config config i) ~provenance:(provenance_of i) c ~facts ?outputs ()
+    let cfg = batch_config config i in
+    let outcome =
+      if batch_cancelled () then begin
+        (match cfg.Interp.stats with
+        | Some s ->
+            s.Interp.budget_stops.Plan.cancelled_stops <-
+              s.Interp.budget_stops.Plan.cancelled_stops + 1
+        | None -> ());
+        Stdlib.Error (Exec_error.Cancelled { stratum = -1; elapsed = 0.0 })
+      end
+      else
+        try Stdlib.Ok (run ~config:cfg ~provenance:(provenance_of i) c ~facts ?outputs ())
+        with Error e -> Stdlib.Error e
+    in
+    (outcome, cfg.Interp.stats)
   in
   let results =
     match pool with
@@ -210,11 +251,18 @@ let run_batch ?(pool : Scallop_utils.Pool.t option) ?(jobs = 1)
   (match config.Interp.stats with
   | Some sink ->
       Array.iter
-        (fun (r : result) ->
-          match r.stats with Some s -> Interp.merge_stats ~into:sink s | None -> ())
+        (fun (_, stats) ->
+          match stats with Some s -> Interp.merge_stats ~into:sink s | None -> ())
         results
   | None -> ());
-  results
+  Array.map fst results
+
+(** Like {!run_batch} but re-raises the first per-sample failure as
+    [Error] — for callers that treat any failed sample as a batch failure
+    (the historical behavior). *)
+let run_batch_exn ?pool ?jobs ?config ~provenance_of c ?outputs batch : result array =
+  run_batch ?pool ?jobs ?config ~provenance_of c ?outputs batch
+  |> Array.map (function Stdlib.Ok r -> r | Stdlib.Error e -> raise (Error e))
 
 (** One-shot convenience: compile and run a source string. *)
 let interpret ?config ?load ~provenance ?facts ?outputs (source : string) : result =

@@ -5,9 +5,11 @@
     computes strongly connected components, rejects programs where a
     constraint edge stays inside an SCC (negation/aggregation through
     recursion is not stratifiable), and returns the rules grouped into
-    strata in dependency order. *)
+    strata in dependency order.
 
-exception Stratification_error of string
+    Rejection raises [Exec_error.Error (Unstratifiable _)] naming the head
+    and the offending dependency, so callers can report (or test) the pair
+    without parsing a message. *)
 
 module SMap = Map.Make (String)
 module SSet = Set.Make (String)
@@ -64,12 +66,7 @@ let stratify (rules : Front.crule list) : Front.crule list list =
   List.iter
     (fun (h, t, hp, tp) ->
       if comp.(h) = comp.(t) then
-        raise
-          (Stratification_error
-             (Fmt.str
-                "program is not stratified: %s depends on %s through negation or aggregation \
-                 within a recursive cycle"
-                hp tp)))
+        Exec_error.raise_error (Exec_error.Unstratifiable { head = hp; dep = tp }))
     !constraints;
   (* Group rules by the SCC of their head; ascending component index is a
      valid dependencies-first order (see {!Scallop_utils.Graph.scc}). *)

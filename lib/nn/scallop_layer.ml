@@ -185,9 +185,17 @@ let run_multi_internal ~config ~spec ~compiled ~static_facts ~inputs
 (** One element of a batched forward. *)
 type sample = { inputs : input_mapping list; static_facts : static_fact list }
 
-let run_multi_batch ?pool ?jobs ?(config = Interp.default_config ()) ~spec ~compiled
+(** Budget-aware batched forward: sample [i]'s slot is [Ok] with its wired
+    outputs, or [Error diag] when that sample was stopped by the budget in
+    [config.Interp.budget] (deadline, iteration/tuple/node caps,
+    cancellation) or failed on its own inputs.  Skipped samples cost no
+    autodiff nodes; surviving samples are wired exactly as in
+    {!run_multi_batch}, so a training loop can drop (or down-weight) the
+    skipped examples and still backpropagate through the rest of the
+    batch. *)
+let try_run_multi_batch ?pool ?jobs ?(config = Interp.default_config ()) ~spec ~compiled
     ~(outputs : (string * Tuple.t array option) list) (samples : sample array) :
-    run_output list array =
+    (run_output list, Exec_error.t) result array =
   let prepared =
     Array.map
       (fun s -> prepare_sample ~compiled ~static_facts:s.static_facts ~inputs:s.inputs)
@@ -201,10 +209,30 @@ let run_multi_batch ?pool ?jobs ?(config = Interp.default_config ()) ~spec ~comp
       (Array.map (fun p -> p.p_facts) prepared)
   in
   Array.mapi
-    (fun i result ->
-      wire_outputs ~compiled ~inputs:samples.(i).inputs ~prepared:prepared.(i) ~result
-        ~outputs)
+    (fun i outcome ->
+      Result.map
+        (fun result ->
+          wire_outputs ~compiled ~inputs:samples.(i).inputs ~prepared:prepared.(i) ~result
+            ~outputs)
+        outcome)
     results
+
+let run_multi_batch ?pool ?jobs ?config ~spec ~compiled
+    ~(outputs : (string * Tuple.t array option) list) (samples : sample array) :
+    run_output list array =
+  try_run_multi_batch ?pool ?jobs ?config ~spec ~compiled ~outputs samples
+  |> Array.map (function Ok outs -> outs | Error e -> raise (Session.Error e))
+
+(** Budget-aware {!forward_batch}: sample [i]'s slot is its probability
+    vector, or the diagnostic that stopped it ("example skipped"). *)
+let try_forward_batch ?pool ?jobs ?config ~(spec : Registry.spec)
+    ~(compiled : Session.compiled) ~(out_pred : string) ~(candidates : Tuple.t array)
+    (samples : sample array) : (Autodiff.t, Exec_error.t) result array =
+  try_run_multi_batch ?pool ?jobs ?config ~spec ~compiled
+    ~outputs:[ (out_pred, Some candidates) ]
+    samples
+  |> Array.map
+       (Result.map (function [ (out : run_output) ] -> out.y | _ -> assert false))
 
 (** Batched {!forward}: one output relation with a shared candidate domain;
     row [i] of the result is sample [i]'s probability vector. *)

@@ -13,6 +13,13 @@
     the remaining elements are abandoned, and the exception is re-raised on
     the caller's domain once every worker has quiesced.
 
+    Jobs accept an optional {!Cancel.t} token: workers poll it between
+    chunks, stop claiming new work once it fires, and — if any element was
+    left unprocessed — {!Cancel.Cancelled} is raised on the caller's domain
+    after every worker has quiesced.  No domain is ever left running: both
+    the error and the cancellation path drain the pool before returning, so
+    the pool stays reusable afterwards.
+
     The pool is {e not} reentrant: calling [parallel_map] from inside a
     mapped function on the same pool deadlocks.  One job runs at a time;
     concurrent submissions from several domains are serialized by an
@@ -128,15 +135,24 @@ let run_job t (job : int -> unit) =
     [init slot] ([slot] ∈ [0, size)).  Results are positionally ordered;
     for a deterministic result [f] must not depend on [slot] or on the
     chunk schedule.  [chunk] elements are claimed at a time (default 1:
-    full dynamic balancing, right for coarse per-element work). *)
-let parallel_map_init (type s) t ?(chunk = 1) ~(init : int -> s)
+    full dynamic balancing, right for coarse per-element work).  When
+    [cancel] fires before every element was processed, the unfinished job
+    raises {!Cancel.Cancelled} after the workers quiesce. *)
+let parallel_map_init (type s) t ?(chunk = 1) ?cancel ~(init : int -> s)
     ~(f : s -> int -> 'a -> 'b) (arr : 'a array) : 'b array =
   if chunk < 1 then invalid_arg "Pool.parallel_map_init: chunk must be >= 1";
+  let cancelled () =
+    match cancel with Some c -> Cancel.cancelled c | None -> false
+  in
   let n = Array.length arr in
   if n = 0 then [||]
   else if t.size = 1 || n = 1 then begin
     let state = init 0 in
-    Array.mapi (fun i x -> f state i x) arr
+    Array.mapi
+      (fun i x ->
+        if cancelled () then raise Cancel.Cancelled;
+        f state i x)
+      arr
   end
   else begin
     let results : 'b option array = Array.make n None in
@@ -149,7 +165,8 @@ let parallel_map_init (type s) t ?(chunk = 1) ~(init : int -> s)
           let continue = ref true in
           while !continue do
             let start = Atomic.fetch_and_add cursor chunk in
-            if start >= n || Atomic.get error <> None then continue := false
+            if start >= n || Atomic.get error <> None || cancelled () then
+              continue := false
             else
               let stop = min n (start + chunk) in
               try
@@ -163,17 +180,19 @@ let parallel_map_init (type s) t ?(chunk = 1) ~(init : int -> s)
     in
     run_job t job;
     (match Atomic.get error with Some e -> raise e | None -> ());
+    if cancelled () && Array.exists Option.is_none results then
+      raise Cancel.Cancelled;
     Array.map (function Some r -> r | None -> assert false) results
   end
 
 (** [parallel_mapi t ~f arr] = [Array.mapi f arr], in parallel. *)
-let parallel_mapi t ?chunk ~f arr =
-  parallel_map_init t ?chunk ~init:(fun _ -> ()) ~f:(fun () i x -> f i x) arr
+let parallel_mapi t ?chunk ?cancel ~f arr =
+  parallel_map_init t ?chunk ?cancel ~init:(fun _ -> ()) ~f:(fun () i x -> f i x) arr
 
 (** [parallel_map t ~f arr] = [Array.map f arr], in parallel. *)
-let parallel_map t ?chunk ~f arr =
-  parallel_map_init t ?chunk ~init:(fun _ -> ()) ~f:(fun () _ x -> f x) arr
+let parallel_map t ?chunk ?cancel ~f arr =
+  parallel_map_init t ?chunk ?cancel ~init:(fun _ -> ()) ~f:(fun () _ x -> f x) arr
 
 (** [parallel_iter t ~f arr]: run [f] over every element for its effects. *)
-let parallel_iter t ?chunk ~f arr =
-  ignore (parallel_map t ?chunk ~f:(fun x -> f x) arr : unit array)
+let parallel_iter t ?chunk ?cancel ~f arr =
+  ignore (parallel_map t ?chunk ?cancel ~f:(fun x -> f x) arr : unit array)

@@ -1,0 +1,196 @@
+(** Grammar-directed random Scallop programs and the differential oracle
+    over evaluation modes.
+
+    Programs are {e stratified-safe by construction}: relations are
+    organized in levels, positive atoms may reference the current level
+    (recursion) or below, while negation and aggregation reference strictly
+    lower levels only — so every generated program compiles, stratifies and
+    terminates under saturating provenances.  Samplers are deliberately
+    never generated: they consume RNG state, which would make the
+    naive/semi-naive comparison vacuous.  Recursion can likewise be
+    disabled ([~recursion:false]): under {e approximate} provenances such
+    as top-k proofs, the truncated proof sets reached at a recursive
+    fixpoint legitimately depend on derivation order (naive and semi-naive
+    both compute valid top-k approximations, but not always the same one),
+    so the differential oracle is only sound there on non-recursive
+    programs.
+
+    The oracle ({!check_seed}) evaluates one generated program under every
+    mode pair {naive, semi-naive} × {cached, uncached} plus a 2-domain
+    [Session.run_batch], and demands identical outputs — tuples and
+    recovered probabilities both.  Failures name the seed so a run can be
+    replayed with [check_seed ~seed] alone. *)
+
+open Scallop_core
+module Rng = Scallop_utils.Rng
+
+let pick rng (arr : 'a array) : 'a = arr.(Rng.int rng (Array.length arr))
+
+(* ---- generation ------------------------------------------------------------ *)
+
+(* Domain constants are 0..3; arithmetic heads can push derived values a few
+   steps past that, still finite. *)
+let gen_edb rng buf name =
+  Buffer.add_string buf (Fmt.str "type %s(i32, i32)@\n" name);
+  let facts = ref [] in
+  for a = 0 to 3 do
+    for b = 0 to 3 do
+      if Rng.float rng < 0.35 then
+        facts :=
+          Fmt.str "%.2f::(%d, %d)" (0.2 +. (0.8 *. Rng.float rng)) a b :: !facts
+    done
+  done;
+  (* an empty fact set is a parse error; force one edge *)
+  let facts = match !facts with [] -> [ "0.90::(0, 1)" ] | l -> List.rev l in
+  Buffer.add_string buf (Fmt.str "rel %s = {%s}@\n" name (String.concat ", " facts))
+
+(* One rule for [head]; [lower] are binary relations of strictly lower
+   levels (never empty), [self] is [Some head] when a recursive rule is
+   allowed (a non-recursive base rule must already exist). *)
+let gen_rule rng ~head ~lower ~self buf =
+  let low () = pick rng lower in
+  match (self, Rng.int rng (match self with Some _ -> 7 | None -> 6)) with
+  | Some s, 6 ->
+      (* recursive join: the transitive-closure shape *)
+      Buffer.add_string buf (Fmt.str "rel %s(x, z) = %s(x, y), %s(y, z)@\n" head s (low ()))
+  | _, 0 -> Buffer.add_string buf (Fmt.str "rel %s(x, y) = %s(x, y)@\n" head (low ()))
+  | _, 1 -> Buffer.add_string buf (Fmt.str "rel %s(x, y) = %s(y, x)@\n" head (low ()))
+  | _, 2 ->
+      Buffer.add_string buf
+        (Fmt.str "rel %s(x, z) = %s(x, y), %s(y, z)@\n" head (low ()) (low ()))
+  | _, 3 -> Buffer.add_string buf (Fmt.str "rel %s(x, y) = %s(x, y), x != y@\n" head (low ()))
+  | _, 4 ->
+      (* negation over strictly lower levels only *)
+      Buffer.add_string buf
+        (Fmt.str "rel %s(x, y) = %s(x, y), not %s(x, y)@\n" head (low ()) (low ()))
+  | _, _ -> Buffer.add_string buf (Fmt.str "rel %s(x + 1, y) = %s(x, y)@\n" head (low ()))
+
+(** Generate one program from a fresh RNG stream.  Returns the source and
+    the list of queried relations.  [recursion:false] suppresses recursive
+    rules (the RNG draw still happens, so seeds stay comparable). *)
+let gen_program ?(recursion = true) rng : string * string list =
+  let buf = Buffer.create 512 in
+  let edb = [ "e0"; "e1" ] in
+  List.iter (fun name -> gen_edb rng buf name) edb;
+  let levels = 1 + Rng.int rng 2 in
+  let queried = ref [] in
+  let lower = ref (Array.of_list edb) in
+  for level = 1 to levels do
+    let n_rels = 1 + Rng.int rng 2 in
+    let new_rels = ref [] in
+    for r = 0 to n_rels - 1 do
+      let head = Fmt.str "r%d_%d" level r in
+      let recursive = Rng.float rng < 0.4 && recursion in
+      (* base rule first (never recursive), then 0-2 more *)
+      gen_rule rng ~head ~lower:!lower ~self:None buf;
+      let extra = Rng.int rng 2 + if recursive then 1 else 0 in
+      for _ = 1 to extra do
+        gen_rule rng ~head ~lower:!lower ~self:(if recursive then Some head else None) buf
+      done;
+      new_rels := head :: !new_rels;
+      queried := head :: !queried
+    done;
+    lower := Array.append !lower (Array.of_list !new_rels)
+  done;
+  (* one aggregation sink over the topmost relation (strictly lower level) *)
+  let top = (pick rng !lower : string) in
+  Buffer.add_string buf (Fmt.str "rel agg(n) = n := count(x, y: %s(x, y))@\n" top);
+  queried := "agg" :: !queried;
+  List.iter (fun q -> Buffer.add_string buf (Fmt.str "query %s@\n" q)) (List.rev !queried);
+  (Buffer.contents buf, List.rev !queried)
+
+(* ---- oracle ---------------------------------------------------------------- *)
+
+(* Output relations as a canonical, comparable form. *)
+let snapshot (r : Session.result) : (string * (Tuple.t * float) list) list =
+  List.map
+    (fun (pred, rows) ->
+      (pred, List.map (fun (t, o) -> (t, Provenance.Output.prob o)) rows))
+    r.Session.outputs
+
+let snapshots_equal a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (pa, la) (pb, lb) ->
+         String.equal pa pb
+         && List.length la = List.length lb
+         && List.for_all2
+              (fun (ta, xa) (tb, xb) ->
+                Tuple.compare ta tb = 0 && Float.abs (xa -. xb) < 1e-9)
+              la lb)
+       a b
+
+let mode_config ~semi_naive ~cache () =
+  {
+    (Interp.default_config ()) with
+    Interp.semi_naive;
+    cache_indices = cache;
+  }
+
+(** Run the differential oracle for one (provenance, seed) pair.  [Ok] when
+    every evaluation mode agrees; [Error msg] (naming the seed) otherwise. *)
+let check_seed ?(recursion = true) ~(spec : Registry.spec) ~(base_rng : Rng.t) ~(seed : int)
+    () : (unit, string) result =
+  let rng = Rng.substream base_rng seed in
+  let src, _queried = gen_program ~recursion rng in
+  match Session.compile src with
+  | exception Session.Error e ->
+      Error
+        (Fmt.str "seed %d: generated program failed to compile: %s@\n%s" seed
+           (Session.error_string e) src)
+  | compiled -> (
+      let run_mode ~semi_naive ~cache =
+        Session.run
+          ~config:(mode_config ~semi_naive ~cache ())
+          ~provenance:(Registry.create spec) compiled ()
+      in
+      match
+        let reference = snapshot (run_mode ~semi_naive:false ~cache:false) in
+        let modes =
+          [
+            ("naive+cache", snapshot (run_mode ~semi_naive:false ~cache:true));
+            ("semi-naive", snapshot (run_mode ~semi_naive:true ~cache:false));
+            ("semi-naive+cache", snapshot (run_mode ~semi_naive:true ~cache:true));
+          ]
+        in
+        let batch =
+          Session.run_batch ~jobs:2
+            ~provenance_of:(fun _ -> Registry.create spec)
+            compiled
+            [| []; [] |]
+        in
+        let batch_modes =
+          Array.to_list batch
+          |> List.mapi (fun i outcome ->
+                 match outcome with
+                 | Ok r -> (Fmt.str "run_batch[%d] jobs=2" i, snapshot r)
+                 | Error e ->
+                     failwith (Fmt.str "run_batch sample %d failed: %s" i
+                                 (Session.error_string e)))
+        in
+        List.filter_map
+          (fun (name, snap) ->
+            if snapshots_equal reference snap then None else Some name)
+          (modes @ batch_modes)
+      with
+      | [] -> Ok ()
+      | diverged ->
+          Error
+            (Fmt.str "seed %d: modes diverged from naive reference: %s@\n%s" seed
+               (String.concat ", " diverged) src)
+      | exception Failure msg -> Error (Fmt.str "seed %d: %s@\n%s" seed msg src)
+      | exception Session.Error e ->
+          Error
+            (Fmt.str "seed %d: evaluation failed: %s@\n%s" seed
+               (Session.error_string e) src))
+
+(** Run seeds [first..first+count-1]; returns the failures. *)
+let check_range ?(recursion = true) ~spec ~master_seed ~first ~count () : string list =
+  let base_rng = Rng.create master_seed in
+  let failures = ref [] in
+  for seed = first to first + count - 1 do
+    match check_seed ~recursion ~spec ~base_rng ~seed () with
+    | Ok () -> ()
+    | Error msg -> failures := msg :: !failures
+  done;
+  List.rev !failures

@@ -19,4 +19,6 @@ let () =
       ("properties", Test_properties.suite);
       ("apps", Test_apps.suite);
       ("parallel", Test_parallel.suite);
+      ("errors", Test_errors.suite);
+      ("fuzz", Test_fuzz.suite);
     ]

@@ -1,0 +1,90 @@
+(** Smoke check for resource governance, wired into [@smoke]:
+
+    1. a fast fixed-seed differential fuzz sweep (20 programs, boolean
+       provenance) — naive, semi-naive, cached and 2-domain batch modes
+       must all agree;
+    2. budget enforcement — a divergent program under a 1-second deadline
+       must come back as a structured [Budget_exceeded Deadline] within
+       twice its deadline, both sequentially and inside a 2-domain
+       [run_batch] where the sibling sample still completes. *)
+
+open Scallop_core
+module Fuzz_gen = Scallop_fuzz.Fuzz_gen
+
+let failures = ref 0
+
+let fail fmt =
+  Fmt.kstr
+    (fun msg ->
+      incr failures;
+      Fmt.epr "FAIL: %s@." msg)
+    fmt
+
+(* ---- 1. fixed-seed fuzz sweep ---------------------------------------------- *)
+
+let fuzz_sweep () =
+  let count = 20 in
+  match
+    Fuzz_gen.check_range ~spec:Registry.Boolean ~master_seed:0xF02A ~first:0 ~count ()
+  with
+  | [] -> Fmt.pr "fuzz sweep: %d/%d programs agree across all modes@." count count
+  | errs ->
+      List.iter (fun msg -> fail "fuzz: %s" msg) errs
+
+(* ---- 2. budget enforcement ------------------------------------------------- *)
+
+let divergent_src = "type seed(i32)\nrel n(x) = seed(x)\nrel n(x + 1) = n(x)\nquery n"
+let deadline = 1.0
+
+let budget_config () =
+  {
+    (Interp.default_config ()) with
+    Interp.budget = { Budget.unlimited with Budget.timeout = Some deadline };
+  }
+
+let check_deadline name outcome elapsed =
+  (match outcome with
+  | Error (Exec_error.Budget_exceeded { kind = Exec_error.Deadline; _ }) -> ()
+  | Error e -> fail "%s: expected Budget_exceeded Deadline, got %s" name (Exec_error.to_string e)
+  | Ok _ -> fail "%s: divergent program terminated" name);
+  if elapsed >= 2.0 *. deadline then
+    fail "%s: stopped after %.2fs (deadline %.1fs, limit %.1fs)" name elapsed deadline
+      (2.0 *. deadline)
+  else Fmt.pr "%s: stopped in %.2fs (deadline %.1fs)@." name elapsed deadline
+
+let budget_enforcement () =
+  let compiled = Session.compile divergent_src in
+  let seed_facts =
+    [ ("seed", [ (Provenance.Input.none, Tuple.of_list [ Value.int Value.I32 0 ]) ]) ]
+  in
+  (* sequential *)
+  let t0 = Unix.gettimeofday () in
+  let outcome =
+    try
+      Ok
+        (Session.run ~config:(budget_config ()) ~provenance:(Registry.create Registry.Boolean)
+           compiled ~facts:seed_facts ())
+    with Session.Error e -> Error e
+  in
+  check_deadline "sequential deadline" outcome (Unix.gettimeofday () -. t0);
+  (* 2-domain batch: sample 0 diverges, sample 1 (empty seed) completes *)
+  let t0 = Unix.gettimeofday () in
+  let results =
+    Session.run_batch ~jobs:2 ~config:(budget_config ())
+      ~provenance_of:(fun _ -> Registry.create Registry.Boolean)
+      compiled
+      [| seed_facts; [ ("seed", []) ] |]
+  in
+  check_deadline "batch --jobs 2 deadline" results.(0) (Unix.gettimeofday () -. t0);
+  (match results.(1) with
+  | Ok _ -> Fmt.pr "batch sibling sample completed@."
+  | Error e -> fail "batch sibling sample failed: %s" (Exec_error.to_string e))
+
+let () =
+  fuzz_sweep ();
+  budget_enforcement ();
+  if !failures > 0 then begin
+    Fmt.epr "smoke_budget: %d failure%s@." !failures (if !failures = 1 then "" else "s");
+    exit 1
+  end
+  else Fmt.pr "smoke_budget: OK@."

@@ -47,7 +47,7 @@ let () =
           batch
       in
       let parallel =
-        Session.run_batch ~jobs:2 ~config
+        Session.run_batch_exn ~jobs:2 ~config
           ~provenance_of:(fun _ -> Registry.create spec)
           compiled batch
       in

@@ -93,7 +93,8 @@ query q
   (* here the occurrence p(a, b) has bound column a, which IS derivable from
      nothing — expect a demand error since no other literal binds a *)
   match run src with
-  | exception Session.Error msg ->
+  | exception Session.Error e ->
+      let msg = Session.error_string e in
       check Alcotest.bool "mentions demand" true
         (String.length msg >= 6 && String.sub msg 0 6 = "demand")
   | _ -> Alcotest.fail "expected a demand error"

@@ -1,0 +1,183 @@
+(** Golden tests for the typed diagnostics ([Exec_error.t]): each failure
+    class must surface as the documented constructor AND render to the
+    documented string, both from the library API and (for the per-file
+    error policy) from the installed CLI binary. *)
+
+open Scallop_core
+
+let check = Alcotest.check
+
+let divergent_src = "type seed(i32)\nrel n(x) = seed(x)\nrel n(x + 1) = n(x)\nquery n"
+
+let seed_facts =
+  [ ("seed", [ (Provenance.Input.none, Tuple.of_list [ Value.int Value.I32 0 ]) ]) ]
+
+let config_of budget = { (Interp.default_config ()) with Interp.budget }
+
+let run_divergent budget =
+  let c = Session.compile divergent_src in
+  try
+    ignore
+      (Session.run ~config:(config_of budget) ~provenance:(Registry.create Registry.Boolean) c
+         ~facts:seed_facts ());
+    Alcotest.fail "divergent program terminated"
+  with Session.Error e -> e
+
+(* ---- golden constructors and messages -------------------------------------- *)
+
+let test_unstratifiable () =
+  let src = "type e(i32)\nrel p(x) = e(x)\nrel p(x) = e(x), not p(x)\nquery p" in
+  match Session.compile src with
+  | _ -> Alcotest.fail "unstratifiable program compiled"
+  | exception Session.Error e ->
+      (match e with
+      | Exec_error.Unstratifiable { head = "p"; dep = "p" } -> ()
+      | _ -> Alcotest.failf "wrong constructor: %s" (Session.error_string e));
+      check Alcotest.string "rendered message"
+        "program is not stratified: p depends on p through negation or aggregation within a \
+         recursive cycle"
+        (Session.error_string e)
+
+let test_type_error () =
+  let src = "rel p = {(1)}\nrel q(x) = p(x), x == \"a\"\nquery q" in
+  match Session.compile src with
+  | _ -> Alcotest.fail "ill-typed program compiled"
+  | exception Session.Error e ->
+      (match e with
+      | Exec_error.Type_error _ -> ()
+      | _ -> Alcotest.failf "wrong constructor: %s" (Session.error_string e));
+      check Alcotest.string "rendered message" "type error at 1:1: type String is not integer"
+        (Session.error_string e)
+
+let test_iteration_limit () =
+  let e = run_divergent (Budget.make ~max_iterations:20 ()) in
+  (match e with
+  | Exec_error.Budget_exceeded { kind = Exec_error.Iterations; stratum = 0; iterations = 20; _ }
+    ->
+      ()
+  | _ -> Alcotest.failf "wrong constructor: %s" (Session.error_string e));
+  let msg = Session.error_string e in
+  let prefix = "budget exceeded (iterations) in stratum 0 after 20 fixpoint iterations" in
+  if not (String.length msg >= String.length prefix && String.sub msg 0 (String.length prefix) = prefix)
+  then Alcotest.failf "rendered message %S lacks prefix %S" msg prefix
+
+let test_tuple_limit () =
+  match run_divergent { Budget.unlimited with Budget.max_tuples = Some 50 } with
+  | Exec_error.Budget_exceeded { kind = Exec_error.Tuples; stratum = 0; _ } -> ()
+  | e -> Alcotest.failf "wrong constructor: %s" (Session.error_string e)
+
+let test_node_eval_limit () =
+  match run_divergent { Budget.unlimited with Budget.max_node_evals = Some 100 } with
+  | Exec_error.Budget_exceeded { kind = Exec_error.Node_evals; stratum = 0; _ } -> ()
+  | e -> Alcotest.failf "wrong constructor: %s" (Session.error_string e)
+
+let deadline = 0.3
+
+let test_deadline_sequential () =
+  let t0 = Unix.gettimeofday () in
+  let e = run_divergent { Budget.unlimited with Budget.timeout = Some deadline } in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  (match e with
+  | Exec_error.Budget_exceeded { kind = Exec_error.Deadline; stratum = 0; _ } -> ()
+  | _ -> Alcotest.failf "wrong constructor: %s" (Session.error_string e));
+  if elapsed >= 2.0 *. deadline then
+    Alcotest.failf "stopped after %.2fs, more than twice the %.1fs deadline" elapsed deadline
+
+let test_deadline_batch () =
+  (* sample 0 diverges and must fail structurally; sample 1 (empty seed) is a
+     sibling in the same 2-domain batch and must still complete *)
+  let c = Session.compile divergent_src in
+  let t0 = Unix.gettimeofday () in
+  let results =
+    Session.run_batch ~jobs:2
+      ~config:(config_of { Budget.unlimited with Budget.timeout = Some deadline })
+      ~provenance_of:(fun _ -> Registry.create Registry.Boolean)
+      c
+      [| seed_facts; [ ("seed", []) ] |]
+  in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  (match results.(0) with
+  | Error (Exec_error.Budget_exceeded { kind = Exec_error.Deadline; _ }) -> ()
+  | Error e -> Alcotest.failf "sample 0: wrong error: %s" (Session.error_string e)
+  | Ok _ -> Alcotest.fail "sample 0: divergent program terminated");
+  (match results.(1) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "sibling sample failed: %s" (Session.error_string e));
+  if elapsed >= 2.0 *. deadline then
+    Alcotest.failf "batch stopped after %.2fs, more than twice the %.1fs deadline" elapsed
+      deadline
+
+let test_cancelled_before_start () =
+  let cancel = Scallop_utils.Cancel.create () in
+  Scallop_utils.Cancel.cancel cancel;
+  let c = Session.compile divergent_src in
+  let results =
+    Session.run_batch ~jobs:2
+      ~config:(config_of { Budget.unlimited with Budget.cancel = Some cancel })
+      ~provenance_of:(fun _ -> Registry.create Registry.Boolean)
+      c
+      [| seed_facts; [ ("seed", []) ] |]
+  in
+  Array.iteri
+    (fun i outcome ->
+      match outcome with
+      | Error (Exec_error.Cancelled { stratum = -1; _ } as e) ->
+          check Alcotest.string "rendered message" "execution cancelled before it started"
+            (Session.error_string e)
+      | Error e -> Alcotest.failf "sample %d: wrong error: %s" i (Session.error_string e)
+      | Ok _ -> Alcotest.failf "sample %d ran despite pre-cancelled token" i)
+    results
+
+(* ---- CLI per-file error policy ---------------------------------------------- *)
+
+(* One bad file and one good file: the run must exit nonzero, report the bad
+   file on stderr, and still print the good file's outputs. *)
+let test_cli_per_file_errors () =
+  let dir = Filename.temp_file "scallop_cli" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o700;
+  let write name contents =
+    let path = Filename.concat dir name in
+    Out_channel.with_open_text path (fun oc -> output_string oc contents);
+    path
+  in
+  let bad = write "bad.scl" "rel p(x) = \n  = q(x)\n" in
+  let good = write "good.scl" "rel e = {(1, 2)}\nrel p(x, y) = e(x, y)\nquery p\n" in
+  let out = Filename.concat dir "out.txt" in
+  let err = Filename.concat dir "err.txt" in
+  let cmd =
+    Fmt.str "../bin/scallop.exe run %s %s > %s 2> %s" (Filename.quote bad)
+      (Filename.quote good) (Filename.quote out) (Filename.quote err)
+  in
+  let code = Sys.command cmd in
+  let slurp path = In_channel.with_open_text path In_channel.input_all in
+  let stdout_text = slurp out in
+  let stderr_text = slurp err in
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Sys.rmdir dir;
+  if code = 0 then Alcotest.fail "exit code was 0 despite a failing file";
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  if not (contains stderr_text "bad.scl") then
+    Alcotest.failf "stderr does not name the bad file: %S" stderr_text;
+  if not (contains stderr_text "parse error") then
+    Alcotest.failf "stderr lacks the typed parse error: %S" stderr_text;
+  if not (contains stdout_text "p(1, 2)") then
+    Alcotest.failf "good file's output missing from stdout: %S" stdout_text
+
+let suite =
+  [
+    Alcotest.test_case "unstratifiable: constructor and message" `Quick test_unstratifiable;
+    Alcotest.test_case "type error: constructor and message" `Quick test_type_error;
+    Alcotest.test_case "iteration limit: constructor and message" `Quick test_iteration_limit;
+    Alcotest.test_case "tuple limit: constructor" `Quick test_tuple_limit;
+    Alcotest.test_case "node-eval limit: constructor" `Quick test_node_eval_limit;
+    Alcotest.test_case "deadline: sequential, within 2x" `Quick test_deadline_sequential;
+    Alcotest.test_case "deadline: batch jobs=2, sibling survives" `Quick test_deadline_batch;
+    Alcotest.test_case "cancellation before start" `Quick test_cancelled_before_start;
+    Alcotest.test_case "CLI: per-file errors, nonzero exit at end" `Quick
+      test_cli_per_file_errors;
+  ]

@@ -1,0 +1,32 @@
+(** Differential fuzzing: grammar-directed random programs evaluated under
+    every mode pair (naive/semi-naive × cached/uncached) plus a 2-domain
+    [Session.run_batch]; all modes must agree with the naive uncached
+    reference.  Failure messages carry the offending seed and program so a
+    divergence can be replayed deterministically. *)
+
+open Scallop_core
+open Scallop_fuzz
+
+let master_seed = 0xF02A
+
+let check_spec ?(recursion = true) name spec ~first ~count () =
+  match Fuzz_gen.check_range ~recursion ~spec ~master_seed ~first ~count () with
+  | [] -> ()
+  | failures ->
+      let shown = List.filteri (fun i _ -> i < 3) failures in
+      Alcotest.failf "%d of %d seeds diverged under %s (master seed %#x):@\n%s"
+        (List.length failures) count name master_seed
+        (String.concat "\n---\n" shown)
+
+let suite =
+  [
+    Alcotest.test_case "boolean: 70 programs, all modes agree" `Slow
+      (check_spec "boolean" Registry.Boolean ~first:0 ~count:70);
+    Alcotest.test_case "minmaxprob: 70 programs, all modes agree" `Slow
+      (check_spec "minmaxprob" Registry.Max_min_prob ~first:100 ~count:70);
+    (* non-recursive only: truncated proof sets at a recursive fixpoint are
+       derivation-order dependent under top-k, so modes legitimately differ *)
+    Alcotest.test_case "topkproofs-3: 60 non-recursive programs, all modes agree" `Slow
+      (check_spec ~recursion:false "topkproofs-3" (Registry.Top_k_proofs 3) ~first:200
+         ~count:60);
+  ]

@@ -116,12 +116,18 @@ rel path(a, b) = e(a, b)
 rel path(a, c) = path(a, b), e(b, c)
 query path|} in
   let config =
-    { (Interp.default_config ()) with Interp.max_iterations = 20; semi_naive = false }
+    {
+      (Interp.default_config ()) with
+      Interp.budget = Budget.make ~max_iterations:20 ();
+      semi_naive = false;
+    }
   in
   match Session.interpret ~config ~provenance:(Registry.create Registry.Natural) src with
-  | exception Session.Error msg ->
-      check Alcotest.bool "limit message" true
-        (String.length msg > 0 && String.sub msg 0 8 = "fixpoint")
+  | exception Session.Error (Exec_error.Budget_exceeded { kind = Exec_error.Iterations; _ })
+    ->
+      ()
+  | exception Session.Error e ->
+      Alcotest.failf "expected an iteration-limit error, got: %s" (Session.error_string e)
   | _ -> Alcotest.fail "expected iteration limit error"
 
 let test_damp_terminates_on_recursion () =

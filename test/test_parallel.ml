@@ -185,7 +185,7 @@ let check_batch_deterministic ~name ~src ~make_sample ~spec =
   List.iter
     (fun jobs ->
       let got =
-        Session.run_batch ~jobs ~config
+        Session.run_batch_exn ~jobs ~config
           ~provenance_of:(fun _ -> Registry.create spec)
           compiled batch
       in
@@ -229,12 +229,12 @@ let test_batch_shared_pool () =
   let batch = Array.init 6 (fun i -> graph_sample data_rng i) in
   let spec = Registry.Diff_top_k_proofs_me 3 in
   let seq =
-    Session.run_batch ~jobs:1 ~provenance_of:(fun _ -> Registry.create spec) compiled batch
+    Session.run_batch_exn ~jobs:1 ~provenance_of:(fun _ -> Registry.create spec) compiled batch
   in
   Pool.with_pool 2 (fun pool ->
       for _round = 1 to 3 do
         let par =
-          Session.run_batch ~pool
+          Session.run_batch_exn ~pool
             ~provenance_of:(fun _ -> Registry.create spec)
             compiled batch
         in

@@ -158,7 +158,8 @@ let test_all_paper_programs_compile () =
     (fun (name, src) ->
       match Session.compile src with
       | _ -> ()
-      | exception Session.Error msg -> Alcotest.failf "%s failed: %s" name msg)
+      | exception Session.Error e ->
+          Alcotest.failf "%s failed: %s" name (Session.error_string e))
     [
       ("mnist_sum2", Scallop_apps.Programs.mnist_sum2);
       ("mnist_sum3", Scallop_apps.Programs.mnist_sum3);

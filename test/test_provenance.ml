@@ -209,9 +209,10 @@ let test_all_provenances_execute () =
                   if Float.is_nan p then Alcotest.failf "%s: NaN probability" name)
                 rows)
             result.Session.outputs
-      | exception Session.Error msg ->
+      | exception Session.Error e ->
           (* natural tags legitimately diverge on recursive counting *)
-          if name <> "natural" then Alcotest.failf "%s failed: %s" name msg)
+          if name <> "natural" then
+            Alcotest.failf "%s failed: %s" name (Session.error_string e))
     Registry.all_names
 
 let test_formula_provenances_match_exact () =
