@@ -183,3 +183,4 @@ let train_and_eval ?(dim = 12) ?(noise = 0.35) (config : Common.config) : Common
           Common.bce y (Autodiff.const (Common.one_hot (Array.length answer_candidates) idx))
       | None -> Autodiff.const (Nd.scalar 0.0))
     ~eval_sample:(fun s -> predict ~spec m s = Cv.answer_to_string s.Cv.answer)
+    ()

@@ -75,6 +75,7 @@ let train_and_eval ?(dim = 16) ?(noise = 0.4) ?(train_ks = [ 2; 3 ]) ?(test_k = 
       let y = forward ~spec data m s in
       Common.bce y (Autodiff.const (Common.one_hot Cl.num_relations s.Cl.target)))
     ~eval_sample:(fun s -> predict ~spec data m s = s.Cl.target)
+    ()
 
 (** Fig. 18: accuracy per test chain length after training on short chains. *)
 let systematic_generalization ?(dim = 16) ?(noise = 0.4) ?(train_ks = [ 2; 3 ])
@@ -193,3 +194,4 @@ let train_and_eval_rule_learning ?(noise = 0.4) ?(train_ks = [ 2 ]) ?(test_k = 2
     ~eval_sample:(fun s ->
       (* test-time: exploit the learned weights only *)
       Nd.argmax_row (Autodiff.value (rule_forward ~spec ~explore:false rm s)) 0 = s.Cl.target)
+    ()

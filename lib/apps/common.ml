@@ -1,8 +1,28 @@
 (** Shared configuration, reporting and training utilities for the eight
-    benchmark applications (paper Sec. 6.1). *)
+    benchmark applications (paper Sec. 6.1).
+
+    The training skeletons here are the {e fault-tolerant runtime} of the
+    reproduction (DESIGN.md "Fault tolerance"):
+
+    - {e crash-safe checkpointing}: with [?checkpoint], {!run_task} and
+      {!run_task_batched} periodically snapshot parameters, optimizer state
+      (Adam m/v/t or SGD velocity), RNG stream positions and the loss
+      accumulators through {!Scallop_tensor.Serialize} into a
+      {!Scallop_utils.Atomic_io} generation directory, and resume from the
+      newest {e valid} snapshot on restart — a run killed at any step and
+      resumed produces bit-identical final parameters to the uninterrupted
+      run, and a corrupted latest snapshot falls back to the previous
+      generation.
+    - {e numeric guardrails}: every optimizer step goes through a guarded
+      backward pass; an example (or minibatch) whose loss or gradients
+      contain NaN/Inf is skipped and counted instead of poisoning the
+      parameters, and [config.clip_grad] bounds the global gradient norm.
+    - {e fault accounting}: quarantined/degraded example counts surface in
+      {!report}. *)
 
 open Scallop_tensor
 open Scallop_core
+module Faults = Scallop_utils.Faults
 
 type config = {
   seed : int;
@@ -11,6 +31,9 @@ type config = {
   n_train : int;
   n_test : int;
   lr : float;
+  clip_grad : float option;
+      (** when set, clip the global gradient L2 norm to this value before
+          every optimizer step *)
 }
 
 let default_config =
@@ -21,6 +44,7 @@ let default_config =
     n_train = 256;
     n_test = 100;
     lr = 0.01;
+    clip_grad = None;
   }
 
 type report = {
@@ -29,11 +53,13 @@ type report = {
   accuracy : float;  (** test accuracy in [0,1] *)
   epoch_time : float;  (** mean wall-clock seconds per training epoch *)
   losses : float list;  (** mean training loss per epoch *)
+  faults : Faults.t;  (** quarantined / degraded / skipped example counts *)
 }
 
 let pp_report fmt r =
   Fmt.pf fmt "%-14s %-22s acc=%5.1f%%  t/epoch=%6.2fs" r.task r.provenance (100.0 *. r.accuracy)
-    r.epoch_time
+    r.epoch_time;
+  if Faults.total r.faults > 0 then Fmt.pf fmt "  [faults: %a]" Faults.pp r.faults
 
 let provenance_name spec = Provenance.name (Registry.create spec)
 
@@ -58,64 +84,209 @@ let chunks_of size l =
   in
   go [] [] 0 l
 
-(** Train/eval skeleton: [train_step] returns the sample loss; [eval_sample]
-    returns whether the prediction was correct.  Returns the report. *)
-let run_task ~task ~(config : config) ~(train_data : 'a list) ~(test_data : 'a list)
-    ~(opt : Optim.t) ~(train_step : 'a -> Autodiff.t) ~(eval_sample : 'a -> bool) : report =
-  let losses = ref [] in
-  let times = ref [] in
-  for _epoch = 1 to config.epochs do
-    let t0 = Unix.gettimeofday () in
-    let total = ref 0.0 in
-    List.iter
-      (fun sample ->
-        let loss = train_step sample in
-        opt.Optim.zero_grad ();
-        Autodiff.backward loss;
+(* ---- crash-safe checkpointing ------------------------------------------------------ *)
+
+(** Checkpoint policy for a training run: snapshots go to [dir] every
+    [every_n_steps] optimizer steps, keeping the last [keep] generations
+    (so a corrupted newest snapshot still leaves valid fallbacks). *)
+type checkpoint = { dir : string; every_n_steps : int; keep : int }
+
+let checkpoint ?(every_n_steps = 25) ?(keep = 3) dir =
+  if every_n_steps <= 0 then invalid_arg "Common.checkpoint: every_n_steps must be positive";
+  { dir; every_n_steps; keep }
+
+(* Payload layout (wrapped in Atomic_io's checksummed envelope):
+   format tag, completed optimizer steps, per-epoch losses so far
+   (accumulation order), partial-epoch loss sum, parameter values,
+   optimizer state, extra RNG stream positions. *)
+let payload_format = 1
+
+let checkpoint_payload ~done_steps ~losses ~total ~(opt : Optim.t) ~rngs : string =
+  let b = Buffer.create 4096 in
+  Serialize.put_int b payload_format;
+  Serialize.put_int b done_steps;
+  Serialize.put_float_list b losses;
+  Serialize.put_float b total;
+  Serialize.put_params b opt.Optim.params;
+  Serialize.put_optim b opt;
+  Serialize.put_int b (List.length rngs);
+  List.iter (Serialize.put_rng b) rngs;
+  Buffer.contents b
+
+(** Restore a payload produced by {!checkpoint_payload} into [opt] (params
+    + optimizer state, in place) and [rngs]; returns
+    [(done_steps, losses, total)].  Raises [Serialize.Corrupt] on any
+    structural mismatch. *)
+let restore_checkpoint ~payload ~(opt : Optim.t) ~rngs : int * float list * float =
+  let r = Serialize.reader payload in
+  let fmt = Serialize.get_int r in
+  if fmt <> payload_format then Serialize.corrupt "unknown checkpoint format %d" fmt;
+  let done_steps = Serialize.get_int r in
+  let losses = Serialize.get_float_list r in
+  let total = Serialize.get_float r in
+  Serialize.get_params_into r opt.Optim.params;
+  Serialize.get_optim_into r opt;
+  let n_rngs = Serialize.get_int r in
+  if n_rngs <> List.length rngs then
+    Serialize.corrupt "checkpoint holds %d RNG streams, caller supplied %d" n_rngs
+      (List.length rngs);
+  List.iter (Serialize.get_rng_into r) rngs;
+  (done_steps, losses, total)
+
+(* Resume-from-latest-valid: Atomic_io already skips snapshots whose
+   checksum fails; a snapshot that decodes but does not fit the live model
+   (e.g. the architecture changed) is treated the same way — try the next
+   older generation, or start fresh. *)
+let try_resume ~(ck : checkpoint) ~opt ~rngs : (int * float list * float) option =
+  let rec walk gens =
+    match gens with
+    | [] -> None
+    | gen :: older -> (
+        match Scallop_utils.Atomic_io.read_file ~path:(Scallop_utils.Atomic_io.path_of ~dir:ck.dir gen) with
+        | Error _ -> walk older
+        | Ok payload -> (
+            match restore_checkpoint ~payload ~opt ~rngs with
+            | state -> Some state
+            | exception Serialize.Corrupt _ -> walk older))
+  in
+  walk (List.rev (Scallop_utils.Atomic_io.generations ~dir:ck.dir))
+
+(* ---- guarded optimizer step -------------------------------------------------------- *)
+
+(* Run one backward + step with the numeric guardrails: returns the loss
+   value on success, or [None] after quarantining a non-finite loss or
+   gradient (the optimizer is left untouched and gradients are cleared). *)
+let guarded_step ~(config : config) ~(opt : Optim.t) ~(faults : Faults.t) loss : float option
+    =
+  let v = Nd.get1 (Autodiff.value loss) 0 in
+  if not (Float.is_finite v) then begin
+    faults.Faults.nan_quarantined <- faults.Faults.nan_quarantined + 1;
+    opt.Optim.zero_grad ();
+    None
+  end
+  else begin
+    opt.Optim.zero_grad ();
+    match Autodiff.backward_guarded loss with
+    | () ->
+        (match config.clip_grad with
+        | Some max_norm -> ignore (Optim.clip_grad_norm ~max_norm opt)
+        | None -> ());
         opt.Optim.step ();
-        total := !total +. Nd.get1 (Autodiff.value loss) 0)
-      train_data;
-    times := (Unix.gettimeofday () -. t0) :: !times;
-    losses := (!total /. float_of_int (max 1 (List.length train_data))) :: !losses
+        Some v
+    | exception Autodiff.Non_finite _ ->
+        faults.Faults.nan_quarantined <- faults.Faults.nan_quarantined + 1;
+        opt.Optim.zero_grad ();
+        None
+  end
+
+(* ---- training skeletons ------------------------------------------------------------ *)
+
+(* Shared driver for both skeletons: [units] is the array of training units
+   (samples or minibatches), [loss_of_unit u] runs the forward pass(es) and
+   returns the summed loss plus the number of underlying examples.  One
+   optimizer step per unit; checkpoints count units. *)
+let train_loop ~(config : config) ?checkpoint ~(rngs : Scallop_utils.Rng.t list)
+    ~(faults : Faults.t) ~(opt : Optim.t) ~(n_examples : int)
+    ~(units : 'u array) ~(loss_of_unit : 'u -> Autodiff.t) () : float list * float list =
+  let n_units = Array.length units in
+  let losses = ref [] (* reversed: head = most recent epoch *) in
+  let times = ref [] in
+  let total = ref 0.0 in
+  let done_steps = ref 0 in
+  (match checkpoint with
+  | None -> ()
+  | Some ck -> (
+      match try_resume ~ck ~opt ~rngs with
+      | Some (steps, ls, tot) ->
+          done_steps := steps;
+          losses := ls;
+          total := tot
+      | None -> ()));
+  let maybe_save () =
+    match checkpoint with
+    | Some ck when !done_steps mod ck.every_n_steps = 0 ->
+        ignore
+          (Scallop_utils.Atomic_io.save ~dir:ck.dir ~keep:ck.keep
+             (checkpoint_payload ~done_steps:!done_steps ~losses:!losses ~total:!total ~opt
+                ~rngs))
+    | _ -> ()
+  in
+  for epoch = 1 to config.epochs do
+    let epoch_start = (epoch - 1) * n_units in
+    if epoch * n_units > !done_steps && n_units > 0 then begin
+      let t0 = Scallop_utils.Monotonic.now () in
+      if epoch_start >= !done_steps then total := 0.0;
+      for i = 0 to n_units - 1 do
+        let gstep = epoch_start + i in
+        if gstep >= !done_steps then begin
+          let loss = loss_of_unit units.(i) in
+          (match guarded_step ~config ~opt ~faults loss with
+          | Some v -> total := !total +. v
+          | None -> ());
+          done_steps := gstep + 1;
+          if i = n_units - 1 then begin
+            (* epoch complete: fold the accumulator into the loss curve
+               before any snapshot, so a checkpoint taken at an epoch
+               boundary restores a consistent (losses, total) pair *)
+            losses := (!total /. float_of_int (max 1 n_examples)) :: !losses;
+            total := 0.0
+          end;
+          maybe_save ()
+        end
+      done;
+      times := Scallop_utils.Monotonic.elapsed_since t0 :: !times
+    end
   done;
+  (List.rev !losses, !times)
+
+(** Train/eval skeleton: [train_step] returns the sample loss; [eval_sample]
+    returns whether the prediction was correct.  Returns the report.
+
+    With [?checkpoint], training state is snapshotted every
+    [checkpoint.every_n_steps] optimizer steps and the run resumes from the
+    newest valid snapshot; [?rngs] lists any generator streams the
+    [train_step] closure draws from, so they are saved and restored too.
+    Non-finite losses/gradients are quarantined (skipped + counted in the
+    report's [faults]) rather than applied. *)
+let run_task ?checkpoint ?(rngs : Scallop_utils.Rng.t list = []) ?(faults = Faults.create ())
+    ~task ~(config : config) ~(train_data : 'a list) ~(test_data : 'a list) ~(opt : Optim.t)
+    ~(train_step : 'a -> Autodiff.t) ~(eval_sample : 'a -> bool) () : report =
+  let losses, times =
+    train_loop ~config ?checkpoint ~rngs ~faults ~opt
+      ~n_examples:(List.length train_data)
+      ~units:(Array.of_list train_data) ~loss_of_unit:train_step ()
+  in
   let correct = List.length (List.filter eval_sample test_data) in
   {
     task;
     provenance = provenance_name config.provenance;
     accuracy = float_of_int correct /. float_of_int (max 1 (List.length test_data));
-    epoch_time = Scallop_utils.Listx.average !times;
-    losses = List.rev !losses;
+    epoch_time = Scallop_utils.Listx.average times;
+    losses;
+    faults;
   }
 
 (** Minibatched train/eval skeleton for the parallel runtime: [train_batch]
     returns one scalar loss per sample of the minibatch (typically computed
     with {!Scallop_nn.Scallop_layer.forward_batch} over a worker pool); the
     losses are summed into a single backward pass and one optimizer step per
-    minibatch.  [eval_batch] returns per-sample correctness.  With
-    [batch_size = 1] the optimization trajectory coincides with
-    {!run_task}'s sample-at-a-time loop. *)
-let run_task_batched ~task ~(config : config) ~(batch_size : int)
+    minibatch.  With [batch_size = 1] the optimization trajectory coincides
+    with {!run_task}'s sample-at-a-time loop.  [eval_batch] returns
+    per-sample correctness.  Checkpointing and the numeric guardrails work
+    as in {!run_task}, at minibatch granularity. *)
+let run_task_batched ?checkpoint ?(rngs : Scallop_utils.Rng.t list = [])
+    ?(faults = Faults.create ()) ~task ~(config : config) ~(batch_size : int)
     ~(train_data : 'a list) ~(test_data : 'a list) ~(opt : Optim.t)
     ~(train_batch : 'a array -> Autodiff.t array)
-    ~(eval_batch : 'a array -> bool array) : report =
-  let losses = ref [] in
-  let times = ref [] in
-  let train_chunks = chunks_of batch_size train_data in
-  for _epoch = 1 to config.epochs do
-    let t0 = Unix.gettimeofday () in
-    let total = ref 0.0 in
-    List.iter
-      (fun chunk ->
-        let sample_losses = Array.to_list (train_batch chunk) in
-        let loss = sum_losses sample_losses in
-        opt.Optim.zero_grad ();
-        Autodiff.backward loss;
-        opt.Optim.step ();
-        total := !total +. Nd.get1 (Autodiff.value loss) 0)
-      train_chunks;
-    times := (Unix.gettimeofday () -. t0) :: !times;
-    losses := (!total /. float_of_int (max 1 (List.length train_data))) :: !losses
-  done;
+    ~(eval_batch : 'a array -> bool array) () : report =
+  let train_chunks = Array.of_list (chunks_of batch_size train_data) in
+  let losses, times =
+    train_loop ~config ?checkpoint ~rngs ~faults ~opt
+      ~n_examples:(List.length train_data)
+      ~units:train_chunks
+      ~loss_of_unit:(fun chunk -> sum_losses (Array.to_list (train_batch chunk)))
+      ()
+  in
   let correct = ref 0 in
   List.iter
     (fun chunk -> Array.iter (fun ok -> if ok then incr correct) (eval_batch chunk))
@@ -124,6 +295,7 @@ let run_task_batched ~task ~(config : config) ~(batch_size : int)
     task;
     provenance = provenance_name config.provenance;
     accuracy = float_of_int !correct /. float_of_int (max 1 (List.length test_data));
-    epoch_time = Scallop_utils.Listx.average !times;
-    losses = List.rev !losses;
+    epoch_time = Scallop_utils.Listx.average times;
+    losses;
+    faults;
   }

@@ -37,46 +37,82 @@ let forward ?(spec = Registry.Diff_top_k_proofs_me 3) ?(sample_k = 7) (m : model
   in
   Scallop_layer.forward_open ~spec ~compiled:m.compiled ~static_facts ~inputs ~out_pred:"result" ()
 
+let layer_samples_of ~sample_k (m : model) (samples : Hwf.sample array) :
+    Scallop_layer.sample array =
+  Array.map
+    (fun (s : Hwf.sample) ->
+      let inputs =
+        List.mapi
+          (fun i img ->
+            let probs = Layers.Mlp.classify m.mlp (Autodiff.const img) in
+            Scallop_layer.topk_mapping ~k:sample_k ~pred:"symbol"
+              ~tuples:(symbol_tuples_at i) ~probs ~mutually_exclusive:true)
+          s.Hwf.images
+      in
+      let static_facts =
+        [ ("length", Tuple.of_list [ Value.int Value.USize (List.length s.Hwf.images) ]) ]
+      in
+      { Scallop_layer.inputs; static_facts })
+    samples
+
 (** Batched forward over a pool: one compiled grammar, many formulas. *)
 let forward_batch ?(spec = Registry.Diff_top_k_proofs_me 3) ?(sample_k = 7) ?pool ?jobs
     (m : model) (samples : Hwf.sample array) : Scallop_layer.run_output array =
-  let layer_samples =
-    Array.map
-      (fun (s : Hwf.sample) ->
-        let inputs =
-          List.mapi
-            (fun i img ->
-              let probs = Layers.Mlp.classify m.mlp (Autodiff.const img) in
-              Scallop_layer.topk_mapping ~k:sample_k ~pred:"symbol"
-                ~tuples:(symbol_tuples_at i) ~probs ~mutually_exclusive:true)
-            s.Hwf.images
-        in
-        let static_facts =
-          [ ("length", Tuple.of_list [ Value.int Value.USize (List.length s.Hwf.images) ]) ]
-        in
-        { Scallop_layer.inputs; static_facts })
-      samples
-  in
   Scallop_layer.forward_open_batch ?pool ?jobs ~spec ~compiled:m.compiled ~out_pred:"result"
-    layer_samples
+    (layer_samples_of ~sample_k m samples)
 
-let value_of_tuple (t : Tuple.t) =
-  match Value.to_float (Tuple.get t 0) with Some f -> f | None -> nan
+(** Resilient batched forward: per-sample outcomes, with NaN quarantine and
+    budget degradation handled by {!Scallop_layer.resilient_forward_open_batch}. *)
+let resilient_forward_batch ?(spec = Registry.Diff_top_k_proofs_me 3) ?(sample_k = 7) ?pool
+    ?jobs ?config ?faults (m : model) (samples : Hwf.sample array) :
+    (Scallop_layer.run_output, Exec_error.t) result array =
+  Scallop_layer.resilient_forward_open_batch ?pool ?jobs ?config ?faults ~spec
+    ~compiled:m.compiled ~out_pred:"result"
+    (layer_samples_of ~sample_k m samples)
+
+(** Decode a result tuple's numeric value.  [None] for a malformed
+    (non-float) tuple: callers must treat that as a {e counted} per-example
+    failure — mapping it to [nan] (the historical behavior) let the bad
+    value propagate silently into losses and accuracy. *)
+let value_of_tuple (t : Tuple.t) : float option = Value.to_float (Tuple.get t 0)
 
 let close a b = Float.abs (a -. b) < 1e-3
+
+(* Decode every candidate value of an output, or quarantine the example:
+   one malformed tuple poisons the whole target row, so it is counted once
+   (in [faults.malformed]) and the example is skipped. *)
+let decode_values ?faults (out : Scallop_layer.run_output) : float array option =
+  let vals = Array.map value_of_tuple out.Scallop_layer.tuples in
+  if Array.length vals > 0 && Array.for_all Option.is_some vals then
+    Some (Array.map Option.get vals)
+  else begin
+    if Array.exists Option.is_none vals then
+      Option.iter
+        (fun (f : Scallop_utils.Faults.t) ->
+          f.Scallop_utils.Faults.malformed <- f.Scallop_utils.Faults.malformed + 1)
+        faults;
+    None
+  end
 
 let predict ?spec ?sample_k m s =
   let out = forward ?spec ?sample_k m s in
   let y = Autodiff.value out.Scallop_layer.y in
-  if Array.length out.Scallop_layer.tuples = 0 then None
-  else begin
-    let best = ref 0 in
-    Array.iteri (fun j _ -> if Nd.get1 y j > Nd.get1 y !best then best := j) out.Scallop_layer.tuples;
-    Some (value_of_tuple out.Scallop_layer.tuples.(!best))
-  end
+  match decode_values out with
+  | None -> None
+  | Some vals ->
+      let best = ref 0 in
+      Array.iteri (fun j _ -> if Nd.get1 y j > Nd.get1 y !best then best := j) vals;
+      Some vals.(!best)
 
-let train_and_eval ?(dim = 16) ?(noise = 0.35) ?(max_len = 7) (config : Common.config) :
-    Common.report =
+(* Loss of one decoded example: BCE of the output distribution against the
+   candidates that evaluate close to the ground truth. *)
+let loss_of_decoded (out : Scallop_layer.run_output) (vals : float array) (s : Hwf.sample) =
+  let n = Array.length vals in
+  let target = Nd.init [| 1; n |] (fun j -> if close vals.(j) s.Hwf.value then 1.0 else 0.0) in
+  Common.bce out.Scallop_layer.y (Autodiff.const target)
+
+let train_and_eval ?(dim = 16) ?(noise = 0.35) ?(max_len = 7) ?checkpoint
+    (config : Common.config) : Common.report =
   let rng = Scallop_utils.Rng.create config.Common.seed in
   let data = Hwf.create ~noise ~dim ~seed:(config.Common.seed + 1) () in
   let m = create_model ~rng ~dim in
@@ -84,24 +120,23 @@ let train_and_eval ?(dim = 16) ?(noise = 0.35) ?(max_len = 7) (config : Common.c
   let train_data = Hwf.dataset ~max_len data config.Common.n_train in
   let test_data = Hwf.dataset ~max_len data config.Common.n_test in
   let spec = config.Common.provenance in
-  Common.run_task ~task:"HWF" ~config ~train_data ~test_data ~opt
+  let faults = Scallop_utils.Faults.create () in
+  Common.run_task ?checkpoint ~faults ~task:"HWF" ~config ~train_data ~test_data ~opt
     ~train_step:(fun (s : Hwf.sample) ->
       let out = forward ~spec m s in
-      let n = Array.length out.Scallop_layer.tuples in
-      if n = 0 then Autodiff.const (Nd.scalar 0.0)
-      else begin
-        let target =
-          Nd.init [| 1; n |] (fun j ->
-              if close (value_of_tuple out.Scallop_layer.tuples.(j)) s.Hwf.value then 1.0 else 0.0)
-        in
-        Common.bce out.Scallop_layer.y (Autodiff.const target)
-      end)
+      match decode_values ~faults out with
+      | None -> Autodiff.const (Nd.scalar 0.0)
+      | Some vals -> loss_of_decoded out vals s)
     ~eval_sample:(fun s ->
       match predict ~spec m s with Some v -> close v s.Hwf.value | None -> false)
+    ()
 
-(** Minibatched counterpart of {!train_and_eval} on the parallel runtime. *)
+(** Minibatched counterpart of {!train_and_eval} on the parallel runtime.
+    Per-sample failures (budget, NaN quarantine, malformed tuples) go through
+    the resilient layer path: the sample contributes zero loss (training) or
+    counts incorrect (eval) and is tallied in the report's fault record. *)
 let train_and_eval_batched ?(dim = 16) ?(noise = 0.35) ?(max_len = 7) ?(batch_size = 16)
-    ?(jobs = 1) (config : Common.config) : Common.report =
+    ?(jobs = 1) ?checkpoint (config : Common.config) : Common.report =
   let rng = Scallop_utils.Rng.create config.Common.seed in
   let data = Hwf.create ~noise ~dim ~seed:(config.Common.seed + 1) () in
   let m = create_model ~rng ~dim in
@@ -109,32 +144,35 @@ let train_and_eval_batched ?(dim = 16) ?(noise = 0.35) ?(max_len = 7) ?(batch_si
   let train_data = Hwf.dataset ~max_len data config.Common.n_train in
   let test_data = Hwf.dataset ~max_len data config.Common.n_test in
   let spec = config.Common.provenance in
-  let loss_of (out : Scallop_layer.run_output) (s : Hwf.sample) =
-    let n = Array.length out.Scallop_layer.tuples in
-    if n = 0 then Autodiff.const (Nd.scalar 0.0)
-    else begin
-      let target =
-        Nd.init [| 1; n |] (fun j ->
-            if close (value_of_tuple out.Scallop_layer.tuples.(j)) s.Hwf.value then 1.0
-            else 0.0)
-      in
-      Common.bce out.Scallop_layer.y (Autodiff.const target)
-    end
+  let faults = Scallop_utils.Faults.create () in
+  let zero = Autodiff.const (Nd.scalar 0.0) in
+  let loss_of outcome (s : Hwf.sample) =
+    match outcome with
+    | Error _ -> zero
+    | Ok (out : Scallop_layer.run_output) -> (
+        if Array.length out.Scallop_layer.tuples = 0 then zero
+        else
+          match decode_values ~faults out with
+          | None -> zero
+          | Some vals -> loss_of_decoded out vals s)
   in
-  let correct_of (out : Scallop_layer.run_output) (s : Hwf.sample) =
-    let y = Autodiff.value out.Scallop_layer.y in
-    if Array.length out.Scallop_layer.tuples = 0 then false
-    else begin
-      let best = ref 0 in
-      Array.iteri
-        (fun j _ -> if Nd.get1 y j > Nd.get1 y !best then best := j)
-        out.Scallop_layer.tuples;
-      close (value_of_tuple out.Scallop_layer.tuples.(!best)) s.Hwf.value
-    end
+  let correct_of outcome (s : Hwf.sample) =
+    match outcome with
+    | Error _ -> false
+    | Ok (out : Scallop_layer.run_output) -> (
+        match decode_values out with
+        | None -> false
+        | Some vals ->
+            let y = Autodiff.value out.Scallop_layer.y in
+            let best = ref 0 in
+            Array.iteri (fun j _ -> if Nd.get1 y j > Nd.get1 y !best then best := j) vals;
+            close vals.(!best) s.Hwf.value)
   in
   Scallop_utils.Pool.with_pool (max 1 jobs) (fun pool ->
-      Common.run_task_batched ~task:"HWF" ~config ~batch_size ~train_data ~test_data ~opt
+      Common.run_task_batched ?checkpoint ~faults ~task:"HWF" ~config ~batch_size ~train_data
+        ~test_data ~opt
         ~train_batch:(fun samples ->
-          Array.map2 loss_of (forward_batch ~spec ~pool m samples) samples)
+          Array.map2 loss_of (resilient_forward_batch ~spec ~pool ~faults m samples) samples)
         ~eval_batch:(fun samples ->
-          Array.map2 correct_of (forward_batch ~spec ~pool m samples) samples))
+          Array.map2 correct_of (resilient_forward_batch ~spec ~pool m samples) samples)
+        ())

@@ -101,6 +101,29 @@ let forward_batch ?(spec = Registry.Diff_top_k_proofs_me 3) ?pool ?jobs (m : mod
   Scallop_layer.forward_batch ?pool ?jobs ~spec ~compiled:m.compiled ~out_pred:!out_pred
     ~candidates:!candidates layer_samples
 
+(** Resilient batched forward: per-sample outcome slots, with quarantine
+    and budget degradation (see {!Scallop_layer.resilient_forward_batch}). *)
+let resilient_forward_batch ?(spec = Registry.Diff_top_k_proofs_me 3) ?pool ?jobs ?config
+    ?faults (m : model) (samples : Scallop_data.Mnist.sample array) :
+    (Autodiff.t, Exec_error.t) result array =
+  let out_pred = ref "" and candidates = ref [||] in
+  let layer_samples =
+    Array.map
+      (fun (s : Scallop_data.Mnist.sample) ->
+        let probs =
+          List.map
+            (fun img -> Layers.Mlp.classify m.mlp (Autodiff.const img))
+            s.Scallop_data.Mnist.images
+        in
+        let inputs, op, cands = interface m.task probs in
+        out_pred := op;
+        candidates := cands;
+        { Scallop_layer.inputs; static_facts = [] })
+      samples
+  in
+  Scallop_layer.resilient_forward_batch ?pool ?jobs ?config ?faults ~spec ~compiled:m.compiled
+    ~out_pred:!out_pred ~candidates:!candidates layer_samples
+
 let predict ?spec (m : model) s =
   let y = forward ?spec m s in
   if m.task = Not_3_or_4 then if Nd.get1 (Autodiff.value y) 0 > 0.5 then 1 else 0
@@ -120,7 +143,7 @@ let digit_accuracy (m : model) (data : Scallop_data.Mnist.sample list) =
     data;
   float_of_int !correct /. float_of_int (max 1 !total)
 
-let train_and_eval ?(dim = 16) ?(noise = 0.5) (config : Common.config)
+let train_and_eval ?(dim = 16) ?(noise = 0.5) ?checkpoint (config : Common.config)
     (task : Scallop_data.Mnist.task) : Common.report =
   let rng = Scallop_utils.Rng.create config.Common.seed in
   let data = Scallop_data.Mnist.create ~noise ~dim ~seed:(config.Common.seed + 1) () in
@@ -133,7 +156,8 @@ let train_and_eval ?(dim = 16) ?(noise = 0.5) (config : Common.config)
     let _, _, cands = interface task (List.map (fun _ -> Autodiff.const (Nd.zeros [| 1; 10 |])) (List.init (Scallop_data.Mnist.num_images task) Fun.id)) in
     Array.length cands
   in
-  Common.run_task ~task:(Scallop_data.Mnist.task_name task) ~config ~train_data ~test_data ~opt
+  Common.run_task ?checkpoint ~task:(Scallop_data.Mnist.task_name task) ~config ~train_data
+    ~test_data ~opt
     ~train_step:(fun s ->
       let y = forward ~spec m s in
       let target =
@@ -142,12 +166,13 @@ let train_and_eval ?(dim = 16) ?(noise = 0.5) (config : Common.config)
       in
       Common.bce y (Autodiff.const target))
     ~eval_sample:(fun s -> predict ~spec m s = target_index task s)
+    ()
 
 (** Minibatched counterpart of {!train_and_eval}: the logic-program
     executions of each minibatch fan out over [jobs] domains through one
     shared pool; gradients route back to the right samples positionally. *)
 let train_and_eval_batched ?(dim = 16) ?(noise = 0.5) ?(batch_size = 16) ?(jobs = 1)
-    (config : Common.config) (task : Scallop_data.Mnist.task) : Common.report =
+    ?checkpoint (config : Common.config) (task : Scallop_data.Mnist.task) : Common.report =
   let rng = Scallop_utils.Rng.create config.Common.seed in
   let data = Scallop_data.Mnist.create ~noise ~dim ~seed:(config.Common.seed + 1) () in
   let m = create_model ~rng ~dim task in
@@ -163,21 +188,31 @@ let train_and_eval_batched ?(dim = 16) ?(noise = 0.5) ?(batch_size = 16) ?(jobs 
     if task = Not_3_or_4 then Nd.of_array [| 1; 1 |] [| float_of_int s.target |]
     else Common.one_hot n_candidates (target_index task s)
   in
+  let faults = Scallop_utils.Faults.create () in
+  let zero = Autodiff.const (Nd.scalar 0.0) in
   Scallop_utils.Pool.with_pool (max 1 jobs) (fun pool ->
-      Common.run_task_batched ~task:(Scallop_data.Mnist.task_name task) ~config ~batch_size
-        ~train_data ~test_data ~opt
+      Common.run_task_batched ?checkpoint ~faults ~task:(Scallop_data.Mnist.task_name task)
+        ~config ~batch_size ~train_data ~test_data ~opt
         ~train_batch:(fun samples ->
-          let ys = forward_batch ~spec ~pool m samples in
+          let ys = resilient_forward_batch ~spec ~pool ~faults m samples in
           Array.map2
-            (fun y s -> Common.bce y (Autodiff.const (target_row s)))
+            (fun y s ->
+              match y with
+              | Error _ -> zero
+              | Ok y -> Common.bce y (Autodiff.const (target_row s)))
             ys samples)
         ~eval_batch:(fun samples ->
-          let ys = forward_batch ~spec ~pool m samples in
+          let ys = resilient_forward_batch ~spec ~pool m samples in
           Array.map2
             (fun y (s : Scallop_data.Mnist.sample) ->
-              let predicted =
-                if task = Not_3_or_4 then if Nd.get1 (Autodiff.value y) 0 > 0.5 then 1 else 0
-                else Nd.argmax_row (Autodiff.value y) 0
-              in
-              predicted = target_index task s)
-            ys samples))
+              match y with
+              | Error _ -> false
+              | Ok y ->
+                  let predicted =
+                    if task = Not_3_or_4 then
+                      if Nd.get1 (Autodiff.value y) 0 > 0.5 then 1 else 0
+                    else Nd.argmax_row (Autodiff.value y) 0
+                  in
+                  predicted = target_index task s)
+            ys samples)
+        ())

@@ -78,6 +78,7 @@ let train_and_eval ?(dim = 16) ?(noise = 0.4) ?(len = 6) (config : Common.config
     ~eval_sample:(fun s ->
       let y = Nd.get1 (Autodiff.value (score ~spec m ~frame_images:s.Mg.frame_images ~text:s.Mg.text)) 0 in
       y > 0.5 = s.Mg.aligned)
+    ()
 
 (** Text-to-video retrieval accuracy over pools (paper's TVR task). *)
 let retrieval_accuracy ?(spec = Registry.Diff_top_k_proofs 3) ?(pools = 20) ?(pool = 8)

@@ -158,7 +158,7 @@ let train_and_eval ?(grid = 5) ?(dim = 12) ?(noise = 0.3) ?(episodes = 60)
   let best_score = ref (-1.0) in
   let best_snap = ref (snapshot ()) in
   let eval_every = 20 in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Scallop_utils.Monotonic.now () in
   for ep = 1 to episodes do
     let epsilon = 0.4 *. Float.max 0.0 (1.0 -. (float_of_int ep /. (0.7 *. float_of_int episodes))) in
     Env.reset env;
@@ -213,7 +213,7 @@ let train_and_eval ?(grid = 5) ?(dim = 12) ?(noise = 0.3) ?(episodes = 60)
     end
   done;
   restore !best_snap;
-  let train_time = Unix.gettimeofday () -. t0 in
+  let train_time = Scallop_utils.Monotonic.now () -. t0 in
   let successes = ref 0 in
   for _ = 1 to eval_episodes do
     let success, _ = play_episode ~spec ~rng m env in
@@ -222,6 +222,7 @@ let train_and_eval ?(grid = 5) ?(dim = 12) ?(noise = 0.3) ?(episodes = 60)
   {
     Common.task = "PacMan-Maze";
     provenance = Common.provenance_name spec;
+    faults = Scallop_utils.Faults.create ();
     accuracy = float_of_int !successes /. float_of_int eval_episodes;
     epoch_time = train_time /. float_of_int episodes;
     losses = List.rev !losses;

@@ -65,3 +65,4 @@ let train_and_eval ?(grid = 4) ?(dim = 12) ?(noise = 0.4) (config : Common.confi
       let target = Nd.scalar (if s.Pf.connected then 1.0 else 0.0) in
       Common.bce y (Autodiff.const target))
     ~eval_sample:(fun s -> predict ~spec m s = s.Pf.connected)
+    ()

@@ -83,3 +83,4 @@ let train_and_eval ?(dim = 16) ?(noise = 0.35) (config : Common.config) : Common
       let target = Nd.init [| 1; n |] (fun o -> if List.mem o s.Vq.answer then 1.0 else 0.0) in
       Common.bce y (Autodiff.const target))
     ~eval_sample:(fun s -> List.sort compare (predict ~spec m s) = List.sort compare s.Vq.answer)
+    ()

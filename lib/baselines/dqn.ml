@@ -92,7 +92,7 @@ let train_and_eval ?(grid = 5) ?(dim = 12) ?(noise = 0.3) ?(episodes = 500)
   let input_dim = grid * grid * dim in
   let t = create ~rng ~input_dim ~buffer_size:3000 in
   let opt = Optim.adam ~lr (Layers.Mlp.params t.qnet) in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Scallop_utils.Monotonic.now () in
   for ep = 1 to episodes do
     let epsilon = Float.max 0.05 (0.9 *. (0.995 ** float_of_int ep)) in
     Env.reset env;
@@ -108,7 +108,7 @@ let train_and_eval ?(grid = 5) ?(dim = 12) ?(noise = 0.3) ?(episodes = 500)
     train_batch t ~opt ~gamma ~batch_size;
     if ep mod target_refresh = 0 then t.target <- snapshot t.qnet
   done;
-  let train_time = Unix.gettimeofday () -. t0 in
+  let train_time = Scallop_utils.Monotonic.now () -. t0 in
   let successes = ref 0 in
   for _ = 1 to eval_episodes do
     Env.reset env;

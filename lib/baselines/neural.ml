@@ -34,6 +34,7 @@ let classifier_baseline ~task ~(config : Common.config) ~n_classes ~input_dim
       ~eval_sample:(fun s ->
         let y = Layers.Mlp.classify mlp (Autodiff.const (features s)) in
         Nd.argmax_row (Autodiff.value y) 0 = label s)
+      ()
   in
   { report with Common.provenance = "CNN (end-to-end)" }
 

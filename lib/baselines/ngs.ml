@@ -54,7 +54,7 @@ let train_rl ?(dim = 16) ?(noise = 0.35) ?(max_len = 7) (config : Common.config)
   let times = ref [] in
   let losses = ref [] in
   for _ = 1 to config.Common.epochs do
-    let t0 = Unix.gettimeofday () in
+    let t0 = Scallop_utils.Monotonic.now () in
     let total = ref 0.0 in
     List.iter
       (fun (s : Hwf.sample) ->
@@ -90,12 +90,13 @@ let train_rl ?(dim = 16) ?(noise = 0.35) ?(max_len = 7) (config : Common.config)
           total := !total +. Float.abs (Nd.get1 (Autodiff.value loss) 0)
         end)
       train;
-    times := (Unix.gettimeofday () -. t0) :: !times;
+    times := (Scallop_utils.Monotonic.now () -. t0) :: !times;
     losses := (!total /. float_of_int (List.length train)) :: !losses
   done;
   {
     Common.task = "HWF";
     provenance = "NGS-RL";
+    faults = Scallop_utils.Faults.create ();
     accuracy = accuracy m test;
     epoch_time = Scallop_utils.Listx.average !times;
     losses = List.rev !losses;
@@ -135,7 +136,7 @@ let train_bs ?(dim = 16) ?(noise = 0.35) ?(max_len = 7) (config : Common.config)
   let times = ref [] in
   let losses = ref [] in
   for _ = 1 to config.Common.epochs do
-    let t0 = Unix.gettimeofday () in
+    let t0 = Scallop_utils.Monotonic.now () in
     let total = ref 0.0 in
     List.iter
       (fun (s : Hwf.sample) ->
@@ -159,12 +160,13 @@ let train_bs ?(dim = 16) ?(noise = 0.35) ?(max_len = 7) (config : Common.config)
             opt.Optim.step ();
             total := !total +. Nd.get1 (Autodiff.value loss) 0)
       train;
-    times := (Unix.gettimeofday () -. t0) :: !times;
+    times := (Scallop_utils.Monotonic.now () -. t0) :: !times;
     losses := (!total /. float_of_int (List.length train)) :: !losses
   done;
   {
     Common.task = "HWF";
     provenance = "NGS-BS";
+    faults = Scallop_utils.Faults.create ();
     accuracy = accuracy m test;
     epoch_time = Scallop_utils.Listx.average !times;
     losses = List.rev !losses;

@@ -10,10 +10,12 @@
     unbounded loop survives.
 
     Axes:
-    - [timeout]: wall-clock seconds from the start of the run.  Checked at
-      every iteration boundary and every {!clock_check_mask}+1 node
-      evaluations, so enforcement latency is far below one second for any
-      iterating program.
+    - [timeout]: elapsed seconds from the start of the run, measured on the
+      monotonic clock ({!Scallop_utils.Monotonic}), so NTP steps can never
+      fire a deadline early or hold it open late.  Checked at every
+      iteration boundary and every {!clock_check_mask}+1 node evaluations,
+      so enforcement latency is far below one second for any iterating
+      program.
     - [max_iterations]: fixpoint iterations per stratum (the pre-existing
       interpreter guardrail, now budgeted and typed).
     - [max_tuples]: cumulative tuples materialized by rule evaluations —

@@ -39,6 +39,10 @@ type t =
   | Type_error of { msg : string; pos : Ast.pos }
   | Demand_error of { msg : string; pos : Ast.pos }
   | Compile_error of { msg : string; pos : Ast.pos }
+  | Non_finite of { what : string }
+      (** a NaN or infinity was detected in an example's values or
+          gradients; resilient training loops quarantine the example
+          (skip + count) instead of letting it poison the optimizer *)
   | Runtime_error of { msg : string }
       (** evaluation failure that is a property of the program/provenance
           pair (unsupported negation, foreign-predicate failure, …) *)
@@ -60,6 +64,12 @@ let kind_name = function
     and [Cancelled]) as opposed to program/input errors. *)
 let is_resource = function Budget_exceeded _ | Cancelled _ -> true | _ -> false
 
+(** True for the per-example diagnostics a resilient training loop skips
+    and counts rather than propagates: resource exhaustion and non-finite
+    numerics.  Cancellation is excluded — it means the whole batch should
+    stop, not that one example misbehaved. *)
+let is_quarantine = function Budget_exceeded _ | Non_finite _ -> true | _ -> false
+
 let pp ppf = function
   | Budget_exceeded { kind; stratum; iterations; elapsed } ->
       Fmt.pf ppf
@@ -80,6 +90,7 @@ let pp ppf = function
   | Type_error { msg; pos } -> Fmt.pf ppf "type error at %a: %s" Ast.pp_pos pos msg
   | Demand_error { msg; pos } -> Fmt.pf ppf "demand error at %a: %s" Ast.pp_pos pos msg
   | Compile_error { msg; pos } -> Fmt.pf ppf "compile error at %a: %s" Ast.pp_pos pos msg
+  | Non_finite { what } -> Fmt.pf ppf "non-finite numerics: %s" what
   | Runtime_error { msg } -> Fmt.string ppf msg
   | Invalid_input { msg } -> Fmt.string ppf msg
 

@@ -109,7 +109,7 @@ type monitor = {
 }
 
 let make_monitor (b : Budget.t) : monitor =
-  let started = Unix.gettimeofday () in
+  let started = Scallop_utils.Monotonic.now () in
   {
     mbudget = b;
     started;
@@ -140,7 +140,7 @@ let budget_stop config (mon : monitor) (kind : Exec_error.budget_kind) =
          kind;
          stratum = mon.m_stratum;
          iterations = mon.m_iterations;
-         elapsed = Unix.gettimeofday () -. mon.started;
+         elapsed = Scallop_utils.Monotonic.now () -. mon.started;
        })
 
 let cancel_stop config (mon : monitor) =
@@ -149,7 +149,7 @@ let cancel_stop config (mon : monitor) =
   | None -> ());
   Exec_error.raise_error
     (Exec_error.Cancelled
-       { stratum = mon.m_stratum; elapsed = Unix.gettimeofday () -. mon.started })
+       { stratum = mon.m_stratum; elapsed = Scallop_utils.Monotonic.now () -. mon.started })
 
 (* Poll the cancellation token and the wall clock.  Called at every fixpoint
    iteration boundary and every [Budget.clock_check_mask]+1 node evals. *)
@@ -157,7 +157,7 @@ let check_wall config (mon : monitor) =
   (match mon.mbudget.Budget.cancel with
   | Some c when Scallop_utils.Cancel.cancelled c -> cancel_stop config mon
   | _ -> ());
-  if Unix.gettimeofday () > mon.deadline then budget_stop config mon Exec_error.Deadline
+  if Scallop_utils.Monotonic.now () > mon.deadline then budget_stop config mon Exec_error.Deadline
 
 (* One node evaluation is about to run.  With no watched axis this is a
    single load and branch. *)
@@ -335,12 +335,12 @@ module Make (P : Provenance.S) = struct
     match config.stats with
     | None -> eval_node config mon cache db p
     | Some s ->
-        let t0 = Unix.gettimeofday () in
+        let t0 = Scallop_utils.Monotonic.now () in
         let r = eval_node config mon cache db p in
         let st = Plan.node_stat s p.Plan.pid in
         st.evals <- st.evals + 1;
         st.tuples <- st.tuples + List.length r;
-        st.seconds <- st.seconds +. (Unix.gettimeofday () -. t0);
+        st.seconds <- st.seconds +. (Scallop_utils.Monotonic.now () -. t0);
         r
 
   (* Normalized right-hand side of −/∩, cached when invariant. *)

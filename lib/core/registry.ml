@@ -108,6 +108,38 @@ let create : spec -> Provenance.t = function
       in
       (module M)
 
+(** One rung down the graceful-degradation ladder: a cheaper provenance
+    that still executes the same program, or [None] when [spec] is already
+    at the bottom.  Proof-counting provenances halve [k] until [k = 1],
+    then drop to the min-max viterbi approximation (differentiable specs
+    stay differentiable); exact WMC falls back to top-k enumeration.  Used
+    by the resilient Scallop layer: an example that exhausts its budget at
+    full fidelity is retried one rung cheaper instead of being dropped
+    outright. *)
+let degrade : spec -> spec option = function
+  | Diff_top_k_proofs_me k when k > 1 -> Some (Diff_top_k_proofs_me (k / 2))
+  | Diff_top_k_proofs_me _ -> Some Diff_max_min_prob
+  | Diff_top_k_proofs k when k > 1 -> Some (Diff_top_k_proofs (k / 2))
+  | Diff_top_k_proofs _ -> Some Diff_max_min_prob
+  | Diff_sample_k_proofs (k, seed) when k > 1 -> Some (Diff_sample_k_proofs (k / 2, seed))
+  | Diff_sample_k_proofs _ -> Some Diff_max_min_prob
+  | Diff_top_bottom_k_clauses k when k > 1 -> Some (Diff_top_bottom_k_clauses (k / 2))
+  | Diff_top_bottom_k_clauses _ -> Some Diff_max_min_prob
+  | Diff_exact_prob -> Some (Diff_top_k_proofs 3)
+  | Top_k_proofs k when k > 1 -> Some (Top_k_proofs (k / 2))
+  | Top_k_proofs _ -> Some Max_min_prob
+  | Sample_k_proofs (k, seed) when k > 1 -> Some (Sample_k_proofs (k / 2, seed))
+  | Sample_k_proofs _ -> Some Max_min_prob
+  | Exact_prob -> Some (Top_k_proofs 3)
+  | Proofs -> Some Boolean
+  | Unit | Boolean | Natural | Max_min_prob | Add_mult_prob | Diff_max_min_prob
+  | Diff_add_mult_prob | Diff_nand_mult_prob ->
+      None
+
+(** The full ladder from [spec] (inclusive) to the cheapest rung. *)
+let rec degradation_ladder (spec : spec) : spec list =
+  spec :: (match degrade spec with None -> [] | Some s -> degradation_ladder s)
+
 (** Parse a provenance name as used on the CLI and in configs, e.g.
     ["difftopkproofs-3"], ["minmaxprob"], ["exactprobproofs"]. *)
 let spec_of_string s =

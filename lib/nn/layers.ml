@@ -28,6 +28,13 @@ module Linear = struct
   let params t = [ t.w; t.b ]
 end
 
+(** Fault-injection hook for the resilience test suite: when set, every
+    {!Mlp.classify} output value is passed through this function before it
+    enters the autodiff graph (e.g. to replace a row with NaNs and prove
+    the quarantine path).  [None] in production — the hook costs one ref
+    read per classify. *)
+let classify_fault_hook : (Nd.t -> Nd.t) option ref = ref None
+
 (** Multi-layer perceptron: [dims] = [in; h1; ...; out]; hidden layers use
     [activation], the output layer is linear (apply softmax/sigmoid at the
     loss site). *)
@@ -52,7 +59,13 @@ module Mlp = struct
     |> snd
 
   (** Forward pass ending in row-softmax — a classifier head. *)
-  let classify t x = Autodiff.softmax (forward t x)
+  let classify t x =
+    let y = Autodiff.softmax (forward t x) in
+    match !classify_fault_hook with
+    | None -> y
+    | Some f ->
+        Autodiff.custom ~op:"fault-injection" ~value:(f (Autodiff.value y))
+          ~parents:[ { Autodiff.var = y; push = Fun.id } ]
 
   let params t = List.concat_map Linear.params t.layers
 end

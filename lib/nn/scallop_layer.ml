@@ -217,6 +217,117 @@ let try_run_multi_batch ?pool ?jobs ?(config = Interp.default_config ()) ~spec ~
         outcome)
     results
 
+(* ---- resilient execution -------------------------------------------------------
+
+   Numeric quarantine + graceful degradation on top of {!try_run_multi_batch}:
+
+   - any sample whose recovered output probabilities contain a NaN/Inf
+     (poisoned perception input, pathological provenance arithmetic) is
+     turned into [Error (Non_finite _)] before it can enter the autodiff
+     graph;
+   - samples stopped by their budget are retried down the
+     {!Registry.degrade} ladder (e.g. top-k-proofs k → k/2 → … →
+     min-max-prob): the retry re-runs only the failed samples, under the
+     same per-attempt budget, and splices successes back into position;
+   - whatever still fails after the last rung stays [Error] — the caller
+     skips it — and every rescue/skip is counted in a
+     {!Scallop_utils.Faults} record.
+
+   Retries preserve batch determinism: outcomes depend only on the inputs
+   and the ladder, never on worker count or scheduling (failed samples are
+   re-run with the same batch-relative RNG substreams). *)
+
+(** True when every output row of a sample is finite. *)
+let outputs_finite (outs : run_output list) =
+  List.for_all (fun (o : run_output) -> Nd.is_finite (Autodiff.value o.y)) outs
+
+let quarantine_non_finite ?(faults : Scallop_utils.Faults.t option) results =
+  Array.map
+    (function
+      | Ok outs when not (outputs_finite outs) ->
+          (match faults with
+          | Some f -> f.Scallop_utils.Faults.nan_quarantined <- f.Scallop_utils.Faults.nan_quarantined + 1
+          | None -> ());
+          Error (Exec_error.Non_finite { what = "scallop layer output probabilities" })
+      | outcome -> outcome)
+    results
+
+(** Budget-aware batched forward with quarantine and degradation (see
+    above).  [max_degrade] caps the number of ladder rungs tried after the
+    initial spec (default: the whole ladder).  Samples that fail for
+    non-quarantine reasons (bad input, cancellation, …) are returned as-is
+    and never retried. *)
+let resilient_run_multi_batch ?pool ?jobs ?config ?(max_degrade = max_int)
+    ?(faults : Scallop_utils.Faults.t option) ~spec ~compiled
+    ~(outputs : (string * Tuple.t array option) list) (samples : sample array) :
+    (run_output list, Exec_error.t) result array =
+  let results =
+    quarantine_non_finite ?faults
+      (try_run_multi_batch ?pool ?jobs ?config ~spec ~compiled ~outputs samples)
+  in
+  let budget_failed res =
+    let idx = ref [] in
+    Array.iteri
+      (fun i outcome ->
+        match outcome with
+        | Error (Exec_error.Budget_exceeded _) -> idx := i :: !idx
+        | _ -> ())
+      res;
+    List.rev !idx
+  in
+  let rec retry spec rungs_left results =
+    match budget_failed results with
+    | [] -> results
+    | failed -> (
+        match (Registry.degrade spec, rungs_left > 0) with
+        | None, _ | _, false ->
+            (match faults with
+            | Some f ->
+                f.Scallop_utils.Faults.budget_skipped <-
+                  f.Scallop_utils.Faults.budget_skipped + List.length failed
+            | None -> ());
+            results
+        | Some spec', true ->
+            let sub = Array.of_list (List.map (fun i -> samples.(i)) failed) in
+            let sub_results =
+              quarantine_non_finite ?faults
+                (try_run_multi_batch ?pool ?jobs ?config ~spec:spec' ~compiled ~outputs sub)
+            in
+            List.iteri
+              (fun j i ->
+                match sub_results.(j) with
+                | Ok _ as ok ->
+                    (match faults with
+                    | Some f ->
+                        f.Scallop_utils.Faults.degraded <- f.Scallop_utils.Faults.degraded + 1
+                    | None -> ());
+                    results.(i) <- ok
+                | Error _ as e -> results.(i) <- e)
+              failed;
+            retry spec' (rungs_left - 1) results)
+  in
+  retry spec max_degrade results
+
+(** Resilient {!forward_batch}: one candidate-domain output per sample, with
+    NaN quarantine and budget degradation. *)
+let resilient_forward_batch ?pool ?jobs ?config ?max_degrade ?faults ~(spec : Registry.spec)
+    ~(compiled : Session.compiled) ~(out_pred : string) ~(candidates : Tuple.t array)
+    (samples : sample array) : (Autodiff.t, Exec_error.t) result array =
+  resilient_run_multi_batch ?pool ?jobs ?config ?max_degrade ?faults ~spec ~compiled
+    ~outputs:[ (out_pred, Some candidates) ]
+    samples
+  |> Array.map
+       (Result.map (function [ (out : run_output) ] -> out.y | _ -> assert false))
+
+(** Resilient {!forward_open_batch}: open candidate domains per sample. *)
+let resilient_forward_open_batch ?pool ?jobs ?config ?max_degrade ?faults
+    ~(spec : Registry.spec) ~(compiled : Session.compiled) ~(out_pred : string)
+    (samples : sample array) : (run_output, Exec_error.t) result array =
+  resilient_run_multi_batch ?pool ?jobs ?config ?max_degrade ?faults ~spec ~compiled
+    ~outputs:[ (out_pred, None) ]
+    samples
+  |> Array.map (Result.map (function [ out ] -> out | _ -> assert false))
+
 let run_multi_batch ?pool ?jobs ?config ~spec ~compiled
     ~(outputs : (string * Tuple.t array option) list) (samples : sample array) :
     run_output list array =

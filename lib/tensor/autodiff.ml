@@ -181,9 +181,22 @@ let mse_loss p y =
     logic program. *)
 let custom ~op ~value ~parents = make ~parents ~op ~requires_grad:(needs_grad parents) value
 
+(* ---- numeric guardrails ------------------------------------------------------------- *)
+
+(** Raised by {!assert_finite} and {!backward_guarded} when a NaN or
+    infinity is found; the payload names the offending op. *)
+exception Non_finite of string
+
+(** [assert_finite ~what v] raises {!Non_finite} if [v]'s value contains a
+    NaN or an infinity. *)
+let assert_finite ?what (v : t) =
+  if not (Nd.is_finite v.value) then
+    Non_finite (Printf.sprintf "non-finite value in %s" (Option.value what ~default:v.op))
+    |> raise
+
 (* ---- backward pass ------------------------------------------------------------------ *)
 
-let backward (root : t) =
+let backward_internal ~guard (root : t) =
   (* Topological order via DFS; gradients flow from root to leaves. *)
   let visited = Hashtbl.create 64 in
   let order = ref [] in
@@ -195,6 +208,8 @@ let backward (root : t) =
     end
   in
   visit root;
+  if guard && not (Nd.is_finite root.value) then
+    raise (Non_finite (Printf.sprintf "non-finite loss value (op %s)" root.op));
   (* root gradient: ones *)
   root.grad <- Some (Nd.ones root.value.Nd.shape);
   List.iter
@@ -206,11 +221,25 @@ let backward (root : t) =
             (fun p ->
               if p.var.requires_grad then begin
                 let contrib = p.push g in
+                if guard && not (Nd.is_finite contrib) then
+                  raise
+                    (Non_finite
+                       (Printf.sprintf "non-finite gradient flowing from %s into %s" v.op
+                          p.var.op));
                 match p.var.grad with
                 | None -> p.var.grad <- Some (Nd.copy contrib)
                 | Some acc -> Nd.add_ acc contrib
               end)
             v.parents)
     !order
+
+let backward (root : t) = backward_internal ~guard:false root
+
+(** Like {!backward}, but raises {!Non_finite} as soon as the loss value or
+    any gradient contribution contains a NaN/Inf — {e before} the bad
+    numbers can reach an optimizer.  Partially accumulated gradients are
+    left behind on failure; callers recover with [zero_grad] and skip the
+    optimizer step (the quarantine path of resilient training loops). *)
+let backward_guarded (root : t) = backward_internal ~guard:true root
 
 let zero_grad (params : t list) = List.iter (fun p -> p.grad <- None) params

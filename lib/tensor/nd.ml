@@ -55,6 +55,9 @@ let add_ dst src =
   if not (same_shape dst src) then invalid_arg "Nd.add_: shape mismatch";
   Array.iteri (fun i v -> dst.data.(i) <- dst.data.(i) +. v) src.data
 
+(** True iff every element is neither NaN nor infinite. *)
+let is_finite t = Array.for_all Float.is_finite t.data
+
 let sum t = Array.fold_left ( +. ) 0.0 t.data
 let mean t = sum t /. float_of_int (numel t)
 

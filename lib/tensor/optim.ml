@@ -1,6 +1,25 @@
-(** Gradient-descent optimizers over {!Autodiff} parameters. *)
+(** Gradient-descent optimizers over {!Autodiff} parameters.
 
-type t = { params : Autodiff.t list; step : unit -> unit; zero_grad : unit -> unit }
+    Optimizer internals (SGD momentum velocities, Adam first/second moment
+    estimates and step count) are exposed as a first-class {!state} value so
+    checkpointing can serialize them ({!Serialize}) and a resumed run can
+    continue the {e exact} optimization trajectory — resuming Adam without
+    [m]/[v]/[t] silently restarts the bias-correction warmup and diverges
+    from the uninterrupted run. *)
+
+(** Saveable optimizer state.  The arrays alias the tensors the [step]
+    closure updates, so mutating them in place (e.g. when restoring a
+    checkpoint) is visible to subsequent steps. *)
+type state =
+  | Sgd_state of { velocity : Nd.t array }
+  | Adam_state of { m : Nd.t array; v : Nd.t array; mutable t : int }
+
+type t = {
+  params : Autodiff.t list;
+  step : unit -> unit;
+  zero_grad : unit -> unit;
+  state : state;
+}
 
 let apply_update params update =
   List.iteri
@@ -32,18 +51,24 @@ let sgd ?(momentum = 0.0) ~lr (params : Autodiff.t list) : t =
             (fun j gj -> p.Autodiff.value.Nd.data.(j) <- p.Autodiff.value.Nd.data.(j) -. (lr *. gj))
             g.Nd.data)
   in
-  { params; step; zero_grad = (fun () -> Autodiff.zero_grad params) }
+  {
+    params;
+    step;
+    zero_grad = (fun () -> Autodiff.zero_grad params);
+    state = Sgd_state { velocity };
+  }
 
 (** Adam [Kingma & Ba 2015], the optimizer used by the paper's training
     setups. *)
 let adam ?(beta1 = 0.9) ?(beta2 = 0.999) ?(eps = 1e-8) ~lr (params : Autodiff.t list) : t =
   let m = List.map (fun (p : Autodiff.t) -> Nd.zeros p.Autodiff.value.Nd.shape) params |> Array.of_list in
   let v = List.map (fun (p : Autodiff.t) -> Nd.zeros p.Autodiff.value.Nd.shape) params |> Array.of_list in
-  let t = ref 0 in
+  let st = Adam_state { m; v; t = 0 } in
   let step () =
-    incr t;
-    let bc1 = 1.0 -. (beta1 ** float_of_int !t) in
-    let bc2 = 1.0 -. (beta2 ** float_of_int !t) in
+    (match st with Adam_state s -> s.t <- s.t + 1 | _ -> assert false);
+    let t = match st with Adam_state s -> s.t | _ -> assert false in
+    let bc1 = 1.0 -. (beta1 ** float_of_int t) in
+    let bc2 = 1.0 -. (beta2 ** float_of_int t) in
     apply_update params (fun i p g ->
         let mi = m.(i) and vi = v.(i) in
         Array.iteri
@@ -56,4 +81,34 @@ let adam ?(beta1 = 0.9) ?(beta2 = 0.999) ?(eps = 1e-8) ~lr (params : Autodiff.t 
               p.Autodiff.value.Nd.data.(j) -. (lr *. mhat /. (sqrt vhat +. eps)))
           g.Nd.data)
   in
-  { params; step; zero_grad = (fun () -> Autodiff.zero_grad params) }
+  { params; step; zero_grad = (fun () -> Autodiff.zero_grad params); state = st }
+
+(* ---- numeric guardrails ----------------------------------------------------------- *)
+
+(** Global L2 norm of all present parameter gradients. *)
+let grad_norm (o : t) : float =
+  let acc = ref 0.0 in
+  List.iter
+    (fun (p : Autodiff.t) ->
+      match p.Autodiff.grad with
+      | None -> ()
+      | Some g -> Array.iter (fun x -> acc := !acc +. (x *. x)) g.Nd.data)
+    o.params;
+  sqrt !acc
+
+(** [clip_grad_norm ~max_norm o] rescales all gradients in place so their
+    global L2 norm is at most [max_norm] (the standard defense against the
+    exploding gradients a near-deterministic provenance output can
+    produce); returns the pre-clip norm. *)
+let clip_grad_norm ~max_norm (o : t) : float =
+  let n = grad_norm o in
+  if Float.is_finite n && n > max_norm && n > 0.0 then begin
+    let scale = max_norm /. n in
+    List.iter
+      (fun (p : Autodiff.t) ->
+        match p.Autodiff.grad with
+        | None -> ()
+        | Some g -> Array.iteri (fun j x -> g.Nd.data.(j) <- x *. scale) g.Nd.data)
+      o.params
+  end;
+  n

@@ -1,0 +1,38 @@
+(** Shared fault counters for resilient training.
+
+    One record travels through a training run and is bumped wherever an
+    example is quarantined or rescued instead of crashing the run:
+
+    - [nan_quarantined]: examples whose forward produced a NaN/Inf and were
+      skipped before they could poison an optimizer step;
+    - [budget_skipped]: examples dropped because they exhausted their
+      resource budget even after every degradation rung;
+    - [degraded]: examples that succeeded only after re-running under a
+      cheaper provenance (see [Registry.degrade]);
+    - [malformed]: examples whose symbolic output could not be decoded
+      (e.g. a non-float HWF result tuple).
+
+    The counters are observability, not control flow — a fault is counted
+    exactly where it is handled. *)
+
+type t = {
+  mutable nan_quarantined : int;
+  mutable budget_skipped : int;
+  mutable degraded : int;
+  mutable malformed : int;
+}
+
+let create () = { nan_quarantined = 0; budget_skipped = 0; degraded = 0; malformed = 0 }
+
+let total t = t.nan_quarantined + t.budget_skipped + t.degraded + t.malformed
+
+(** Fold [src] into [dst] (e.g. per-epoch counters into a run total). *)
+let merge ~into:(dst : t) (src : t) =
+  dst.nan_quarantined <- dst.nan_quarantined + src.nan_quarantined;
+  dst.budget_skipped <- dst.budget_skipped + src.budget_skipped;
+  dst.degraded <- dst.degraded + src.degraded;
+  dst.malformed <- dst.malformed + src.malformed
+
+let pp fmt t =
+  Fmt.pf fmt "nan=%d budget=%d degraded=%d malformed=%d" t.nan_quarantined t.budget_skipped
+    t.degraded t.malformed

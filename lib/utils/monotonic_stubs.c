@@ -1,0 +1,27 @@
+/* Monotonic clock primitive for Scallop_utils.Monotonic.
+ *
+ * CLOCK_MONOTONIC is immune to wall-clock steps (NTP adjustments,
+ * manual date changes), which is what budget deadlines and epoch
+ * timers need: a duration source, not a calendar. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+#ifdef _WIN32
+#include <windows.h>
+#endif
+
+CAMLprim value scallop_monotonic_now(value unit)
+{
+#ifdef _WIN32
+  LARGE_INTEGER freq, count;
+  QueryPerformanceFrequency(&freq);
+  QueryPerformanceCounter(&count);
+  return caml_copy_double((double)count.QuadPart / (double)freq.QuadPart);
+#else
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return caml_copy_double((double)ts.tv_sec + (double)ts.tv_nsec * 1e-9);
+#endif
+}

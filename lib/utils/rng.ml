@@ -14,6 +14,15 @@ let create seed = { state = Int64.of_int seed }
 
 let copy t = { state = t.state }
 
+(** Raw 64-bit stream position, for serialization: a generator restored
+    with {!set_state} (or rebuilt with {!of_state}) continues the exact
+    output sequence of the generator {!state} was read from. *)
+let state t = t.state
+
+let set_state t s = t.state <- s
+
+let of_state s = { state = s }
+
 (* One SplitMix64 step: advance the state and scramble the output. *)
 let next_int64 t =
   t.state <- Int64.add t.state golden;

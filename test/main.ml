@@ -21,4 +21,6 @@ let () =
       ("parallel", Test_parallel.suite);
       ("errors", Test_errors.suite);
       ("fuzz", Test_fuzz.suite);
+      ("serialize", Test_serialize.suite);
+      ("resilience", Test_resilience.suite);
     ]

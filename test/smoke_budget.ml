@@ -58,7 +58,7 @@ let budget_enforcement () =
     [ ("seed", [ (Provenance.Input.none, Tuple.of_list [ Value.int Value.I32 0 ]) ]) ]
   in
   (* sequential *)
-  let t0 = Unix.gettimeofday () in
+  let t0 = Scallop_utils.Monotonic.now () in
   let outcome =
     try
       Ok
@@ -66,16 +66,16 @@ let budget_enforcement () =
            compiled ~facts:seed_facts ())
     with Session.Error e -> Error e
   in
-  check_deadline "sequential deadline" outcome (Unix.gettimeofday () -. t0);
+  check_deadline "sequential deadline" outcome (Scallop_utils.Monotonic.now () -. t0);
   (* 2-domain batch: sample 0 diverges, sample 1 (empty seed) completes *)
-  let t0 = Unix.gettimeofday () in
+  let t0 = Scallop_utils.Monotonic.now () in
   let results =
     Session.run_batch ~jobs:2 ~config:(budget_config ())
       ~provenance_of:(fun _ -> Registry.create Registry.Boolean)
       compiled
       [| seed_facts; [ ("seed", []) ] |]
   in
-  check_deadline "batch --jobs 2 deadline" results.(0) (Unix.gettimeofday () -. t0);
+  check_deadline "batch --jobs 2 deadline" results.(0) (Scallop_utils.Monotonic.now () -. t0);
   (match results.(1) with
   | Ok _ -> Fmt.pr "batch sibling sample completed@."
   | Error e -> fail "batch sibling sample failed: %s" (Exec_error.to_string e))

@@ -74,9 +74,9 @@ let test_node_eval_limit () =
 let deadline = 0.3
 
 let test_deadline_sequential () =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Scallop_utils.Monotonic.now () in
   let e = run_divergent { Budget.unlimited with Budget.timeout = Some deadline } in
-  let elapsed = Unix.gettimeofday () -. t0 in
+  let elapsed = Scallop_utils.Monotonic.now () -. t0 in
   (match e with
   | Exec_error.Budget_exceeded { kind = Exec_error.Deadline; stratum = 0; _ } -> ()
   | _ -> Alcotest.failf "wrong constructor: %s" (Session.error_string e));
@@ -87,7 +87,7 @@ let test_deadline_batch () =
   (* sample 0 diverges and must fail structurally; sample 1 (empty seed) is a
      sibling in the same 2-domain batch and must still complete *)
   let c = Session.compile divergent_src in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Scallop_utils.Monotonic.now () in
   let results =
     Session.run_batch ~jobs:2
       ~config:(config_of { Budget.unlimited with Budget.timeout = Some deadline })
@@ -95,7 +95,7 @@ let test_deadline_batch () =
       c
       [| seed_facts; [ ("seed", []) ] |]
   in
-  let elapsed = Unix.gettimeofday () -. t0 in
+  let elapsed = Scallop_utils.Monotonic.now () -. t0 in
   (match results.(0) with
   | Error (Exec_error.Budget_exceeded { kind = Exec_error.Deadline; _ }) -> ()
   | Error e -> Alcotest.failf "sample 0: wrong error: %s" (Session.error_string e)
