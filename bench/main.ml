@@ -13,7 +13,7 @@
     continues from the newest valid snapshot; [--clip-grad] bounds the
     global gradient norm on every optimizer step.  Experiments:
       table1 table2 accuracy provenances table4 table5 fig18 fig19 pacman
-      micro batch budget resilience
+      micro batch budget resilience service
 
     Each run prints paper-reported reference numbers alongside measured ones
     (marked [paper]); see EXPERIMENTS.md for the recorded comparison. *)
@@ -1040,6 +1040,163 @@ let bench_resilience (m : mode) =
   close_out oc;
   Fmt.pr "@.  wrote BENCH_resilience.json (%d measurements)@." (List.length !results)
 
+(* ---- inference service (BENCH_service.json) ---------------------------------------------------- *)
+
+(* The supervised service runtime under load, in two regimes:
+
+   1. baseline: no faults — per-request latency percentiles (p50/p99, which
+      include queue wait) and throughput, plus a bit-identity check of
+      [Service.submit] against [Session.run_batch] over the same requests
+      (the determinism contract; divergence bumps [bench_failures]);
+   2. chaos: 10% worker kills + 10% stalls injected — goodput (successful
+      replies per second) and the shed/retry/requeue/respawn counters.
+      Every request must still reach a terminal outcome (violations bump
+      [bench_failures]).
+
+   Measurements land in BENCH_service.json. *)
+let bench_service (m : mode) =
+  section "Inference service: latency, goodput under chaos (writes BENCH_service.json)";
+  let module Service = Scallop_serve.Service in
+  let module Chaos = Scallop_serve.Chaos in
+  let open Scallop_core in
+  let module Rng = Scallop_utils.Rng in
+  let n = if m.quick then 200 else 1000 in
+  let jobs = min 4 (Scallop_utils.Pool.default_jobs ()) in
+  let src =
+    {|type edge(i32, i32)
+rel path(a, b) = edge(a, b)
+rel path(a, c) = path(a, b), edge(b, c)
+rel n_path(c) = c := count(p: path(0, p))
+query n_path|}
+  in
+  let compiled = Session.compile src in
+  let sample data_rng i =
+    let rng = Rng.substream data_rng i in
+    let edges = ref [] in
+    for a = 0 to 6 do
+      for b = 0 to 6 do
+        if a <> b && Rng.float rng < 0.4 then
+          edges :=
+            ( Provenance.Input.prob (0.05 +. (0.9 *. Rng.float rng)),
+              Tuple.of_list [ Value.int Value.I32 a; Value.int Value.I32 b ] )
+            :: !edges
+      done
+    done;
+    [ ("edge", List.rev !edges) ]
+  in
+  let batch = Array.init n (sample (Rng.create 17)) in
+  let interp = { (Interp.default_config ()) with Interp.rng = Rng.create 3 } in
+  let spec = Registry.Max_min_prob in
+  let results = ref [] in
+  let percentile sorted p =
+    let k = Array.length sorted in
+    sorted.(min (k - 1) (int_of_float (ceil (p *. float_of_int k)) - 1))
+  in
+  let run_regime ~name ~chaos =
+    let config =
+      {
+        (Service.default_config ()) with
+        Service.jobs;
+        queue_depth = n;
+        max_retries = 2;
+        backoff_base = 0.001;
+        backoff_cap = 0.01;
+        watchdog_interval = Some 0.01;
+        interp;
+        chaos;
+      }
+    in
+    let svc = Service.create ~config spec in
+    let t0 = Scallop_utils.Monotonic.now () in
+    let tickets = Array.map (fun facts -> Service.submit svc ~facts compiled) batch in
+    let outcomes = Array.map (Service.await svc) tickets in
+    let wall = Scallop_utils.Monotonic.now () -. t0 in
+    Service.shutdown svc;
+    let s = Service.stats svc in
+    let ok =
+      Array.fold_left
+        (fun acc (o : Service.outcome) ->
+          match o.Service.response with Ok _ -> acc + 1 | Error _ -> acc)
+        0 outcomes
+    in
+    if s.Service.completed <> n then begin
+      incr bench_failures;
+      Fmt.epr "  SERVICE FAILURE (%s): %d/%d terminal outcomes@." name s.Service.completed n
+    end;
+    if s.Service.domains_spawned <> s.Service.domains_joined then begin
+      incr bench_failures;
+      Fmt.epr "  SERVICE FAILURE (%s): domain leak (%d spawned, %d joined)@." name
+        s.Service.domains_spawned s.Service.domains_joined
+    end;
+    (svc, outcomes, wall, s, ok)
+  in
+
+  Fmt.pr "  %d requests, %d workers, provenance %s@.@." n jobs (Registry.spec_name spec);
+  (* regime 1: baseline *)
+  let _, outcomes, wall, _, ok = run_regime ~name:"baseline" ~chaos:Chaos.none in
+  let lat = Array.map (fun (o : Service.outcome) -> o.Service.latency) outcomes in
+  Array.sort compare lat;
+  let p50 = 1000.0 *. percentile lat 0.50 and p99 = 1000.0 *. percentile lat 0.99 in
+  let rps = float_of_int n /. wall in
+  Fmt.pr "  baseline: ok=%d/%d  p50=%.2fms  p99=%.2fms  throughput=%.0f req/s@." ok n p50 p99
+    rps;
+  let reference =
+    Session.run_batch ~jobs ~config:interp ~provenance_of:(fun _ -> Registry.create spec)
+      compiled batch
+  in
+  let divergent = ref 0 in
+  Array.iteri
+    (fun i (o : Service.outcome) ->
+      match (o.Service.response, reference.(i)) with
+      | Ok got, Ok want
+        when Stdlib.compare got.Session.outputs want.Session.outputs = 0
+             && Stdlib.compare got.Session.fact_ids want.Session.fact_ids = 0 ->
+          ()
+      | _ -> incr divergent)
+    outcomes;
+  if !divergent > 0 then begin
+    incr bench_failures;
+    Fmt.epr "  DETERMINISM FAILURE: %d/%d requests diverge from run_batch@." !divergent n
+  end
+  else Fmt.pr "  determinism: all %d requests bit-identical to run_batch@." n;
+  results :=
+    Fmt.str
+      {|    {"name": "baseline", "requests": %d, "jobs": %d, "ok": %d, "p50_ms": %.3f, "p99_ms": %.3f, "throughput_rps": %.1f, "divergent": %d}|}
+      n jobs ok p50 p99 rps !divergent
+    :: !results;
+
+  (* regime 2: chaos *)
+  let chaos =
+    {
+      Chaos.kill_prob = 0.1;
+      latency_prob = 0.1;
+      latency = 0.005;
+      budget_fault_prob = 0.0;
+      nan_prob = 0.0;
+      seed = 7;
+    }
+  in
+  let _, _, wall, s, ok = run_regime ~name:"chaos" ~chaos in
+  let goodput = float_of_int ok /. wall in
+  Fmt.pr
+    "  chaos(kill=10%%, stall=10%%): ok=%d/%d  goodput=%.0f req/s  kills=%d stalls=%d \
+     retries=%d requeues=%d respawns=%d shed=%d@."
+    ok n goodput s.Service.chaos_kills s.Service.chaos_stalls s.Service.retries
+    s.Service.requeues s.Service.respawns s.Service.shed;
+  results :=
+    Fmt.str
+      {|    {"name": "chaos", "requests": %d, "jobs": %d, "ok": %d, "goodput_rps": %.1f, "kills": %d, "stalls": %d, "retries": %d, "requeues": %d, "respawns": %d, "shed": %d, "workers_lost": %d}|}
+      n jobs ok goodput s.Service.chaos_kills s.Service.chaos_stalls s.Service.retries
+      s.Service.requeues s.Service.respawns s.Service.shed s.Service.workers_lost
+    :: !results;
+
+  let oc = open_out "BENCH_service.json" in
+  output_string oc "{\n  \"benchmarks\": [\n";
+  output_string oc (String.concat ",\n" (List.rev !results));
+  output_string oc "\n  ]\n}\n";
+  close_out oc;
+  Fmt.pr "@.  wrote BENCH_service.json (%d measurements)@." (List.length !results)
+
 (* ---- driver --------------------------------------------------------------------------------------- *)
 
 let all_experiments =
@@ -1057,6 +1214,7 @@ let all_experiments =
     ("batch", bench_batch);
     ("budget", bench_budget);
     ("resilience", bench_resilience);
+    ("service", bench_service);
   ]
 
 let () =

@@ -233,12 +233,185 @@ let repl_cmd =
     (Cmd.info "repl" ~doc:"Interactive toplevel: accumulate items, execute on empty line.")
     Term.(ret (const run $ provenance_arg $ seed_arg $ profile_arg $ no_cache_arg))
 
+(* ---- [scallop serve]: the supervised inference service over stdio ------------ *)
+
+let serve_cmd =
+  let module Service = Scallop_serve.Service in
+  let module Chaos = Scallop_serve.Chaos in
+  let queue_depth_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-depth" ] ~docv:"N"
+          ~doc:
+            "Admission limit: requests waiting beyond $(docv) are shed immediately with a \
+             typed 'overloaded' reply instead of queueing unboundedly.")
+  in
+  let request_timeout_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "request-timeout" ] ~docv:"SEC"
+          ~doc:
+            "Per-request deadline from submission, in seconds; queue wait, retries and \
+             injected stalls all consume it.")
+  in
+  let max_retries_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "max-retries" ] ~docv:"N"
+          ~doc:
+            "Transient-failure retries per request (worker lost, poisoned numerics), with \
+             capped jittered exponential backoff.")
+  in
+  let chaos_seed_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "chaos-seed" ] ~docv:"SEED"
+          ~doc:"Seed of the fault-injection decision streams (reproducible chaos).")
+  in
+  let prob_arg name doc = Arg.(value & opt float 0.0 & info [ name ] ~docv:"PROB" ~doc) in
+  let chaos_kill_arg = prob_arg "chaos-kill" "Probability an attempt kills its worker domain." in
+  let chaos_latency_arg =
+    prob_arg "chaos-latency" "Probability an attempt stalls without heartbeating."
+  in
+  let chaos_latency_secs_arg =
+    Arg.(
+      value & opt float 0.05
+      & info [ "chaos-latency-secs" ] ~docv:"SEC" ~doc:"Injected stall duration, seconds.")
+  in
+  let chaos_budget_arg =
+    prob_arg "chaos-budget" "Probability an attempt reports a synthetic budget fault."
+  in
+  let chaos_nan_arg =
+    prob_arg "chaos-nan" "Probability a result's output probabilities are NaN-poisoned."
+  in
+  let base_arg =
+    Arg.(
+      value & pos 0 (some file) None
+      & info [] ~docv:"FILE"
+        ~doc:"Optional base program prefixed to every request (types, rules, data).")
+  in
+  let run provenance seed jobs queue_depth request_timeout max_retries chaos_seed chaos_kill
+      chaos_latency chaos_latency_secs chaos_budget chaos_nan base =
+    let base_src = match base with None -> "" | Some path -> read_file path ^ "\n" in
+    let chaos =
+      {
+        Chaos.kill_prob = chaos_kill;
+        latency_prob = chaos_latency;
+        latency = chaos_latency_secs;
+        budget_fault_prob = chaos_budget;
+        nan_prob = chaos_nan;
+        seed = chaos_seed;
+      }
+    in
+    let config =
+      {
+        (Service.default_config ()) with
+        Service.jobs = resolve_jobs jobs;
+        queue_depth;
+        request_timeout;
+        max_retries;
+        interp = make_config ~seed ~profile:false ~no_cache:false ();
+        chaos;
+      }
+    in
+    let svc = Service.create ~config provenance in
+    (* Protocol: one request per stdin line ([;] separates items within a
+       line).  Replies stream on stdout in request order: zero or more
+       [out <id> ...] rows, then exactly one [done <id> ok|error ...] status
+       line per request.  Per-request failures are replies, not a process
+       failure: the exit status is 0 as long as the service answered. *)
+    let pmutex = Mutex.create () in
+    let pcond = Condition.create () in
+    let pending = Queue.create () in
+    let eof = ref false in
+    let printer =
+      Domain.spawn (fun () ->
+          let rec loop () =
+            Mutex.lock pmutex;
+            while Queue.is_empty pending && not !eof do
+              Condition.wait pcond pmutex
+            done;
+            let item = if Queue.is_empty pending then None else Some (Queue.pop pending) in
+            Mutex.unlock pmutex;
+            match item with
+            | None -> ()
+            | Some (n, reply) ->
+                (match reply with
+                | Error e -> Fmt.pr "done %d error compile %s@." n (Session.error_string e)
+                | Ok ticket -> (
+                    let o = Service.await svc ticket in
+                    let rung = Registry.spec_name o.Service.rung in
+                    let ms = 1000.0 *. o.Service.latency in
+                    match o.Service.response with
+                    | Ok result ->
+                        List.iter
+                          (fun (pred, rows) ->
+                            List.iter
+                              (fun (t, tag) ->
+                                Fmt.pr "out %d %a::%s%a@." n Provenance.Output.pp tag pred
+                                  Tuple.pp t)
+                              rows)
+                          result.Session.outputs;
+                        Fmt.pr "done %d ok rung=%s attempts=%d ms=%.1f@." n rung
+                          o.Service.attempts ms
+                    | Error e ->
+                        Fmt.pr "done %d error rung=%s attempts=%d %s@." n rung
+                          o.Service.attempts (Session.error_string e)));
+                loop ()
+          in
+          loop ();
+          Fmt.pr "%!")
+    in
+    let reqno = ref 0 in
+    let rec read_loop () =
+      match In_channel.input_line stdin with
+      | None -> ()
+      | Some line when String.trim line = "" -> read_loop ()
+      | Some line ->
+          let n = !reqno in
+          incr reqno;
+          let src = String.map (fun c -> if c = ';' then '\n' else c) line in
+          let reply =
+            match Session.compile (base_src ^ src) with
+            | compiled -> Ok (Service.submit svc compiled)
+            | exception Session.Error e -> Error e
+          in
+          Mutex.lock pmutex;
+          Queue.push (n, reply) pending;
+          Condition.signal pcond;
+          Mutex.unlock pmutex;
+          read_loop ()
+    in
+    read_loop ();
+    Mutex.lock pmutex;
+    eof := true;
+    Condition.broadcast pcond;
+    Mutex.unlock pmutex;
+    Domain.join printer;
+    Service.shutdown svc;
+    Fmt.epr "service: %a@." Service.pp_stats (Service.stats svc);
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Long-lived query service: newline-delimited requests on stdin, per-request status \
+          lines on stdout, with admission control, retry, circuit-broken degradation and a \
+          supervised worker pool.")
+    Term.(
+      ret
+        (const run $ provenance_arg $ seed_arg $ jobs_arg $ queue_depth_arg
+       $ request_timeout_arg $ max_retries_arg $ chaos_seed_arg $ chaos_kill_arg
+       $ chaos_latency_arg $ chaos_latency_secs_arg $ chaos_budget_arg $ chaos_nan_arg
+       $ base_arg))
+
 let main_cmd =
   (* [run] is the default command, so [scallop --profile FILE] works without
      spelling out [run]. *)
   Cmd.group ~default:run_term
     (Cmd.info "scallop" ~version:"1.0.0"
        ~doc:"Scallop: a language for neurosymbolic programming (OCaml reproduction).")
-    [ run_cmd; compile_cmd; repl_cmd ]
+    [ run_cmd; compile_cmd; repl_cmd; serve_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -57,6 +57,20 @@ let make ?timeout ?max_iterations ?max_tuples ?max_node_evals ?cancel () =
     cancel;
   }
 
+(** [constrain t ?timeout ?cancel ()] narrows a budget for one serving
+    attempt: the effective deadline becomes the tighter of [t]'s own and
+    [timeout] (either may be absent — deadlines only ever shrink), and
+    [cancel], when given, replaces the token so a watchdog can abort just
+    this attempt without touching the budget it was derived from. *)
+let constrain t ?timeout ?cancel () =
+  let timeout =
+    match (t.timeout, timeout) with
+    | Some a, Some b -> Some (Float.min a b)
+    | Some a, None -> Some a
+    | None, b -> b
+  in
+  { t with timeout; cancel = (match cancel with Some _ -> cancel | None -> t.cancel) }
+
 (** Node evaluations between two wall-clock polls, minus one (a power of
     two; the interpreter tests [evals land clock_check_mask = 0]). *)
 let clock_check_mask = 63

@@ -49,6 +49,16 @@ type t =
   | Invalid_input of { msg : string }
       (** malformed caller-supplied data: arity/type mismatches of dynamic
           facts, unreadable source files, … *)
+  | Overloaded of { depth : int; age : float }
+      (** the serving layer shed the request at admission: the queue held
+          [depth] requests and its oldest had been waiting [age] seconds
+          when the limits were exceeded.  The request was never executed —
+          a client may safely retry it elsewhere or later *)
+  | Worker_lost of { worker : int; attempts : int }
+      (** the worker domain executing the request died or stopped
+          heartbeating mid-flight (attempt number [attempts]); the request
+          itself may be fine — it is retried against its remaining retry
+          budget and this error surfaces only once that is exhausted *)
 
 exception Error of t
 
@@ -69,6 +79,29 @@ let is_resource = function Budget_exceeded _ | Cancelled _ -> true | _ -> false
     numerics.  Cancellation is excluded — it means the whole batch should
     stop, not that one example misbehaved. *)
 let is_quarantine = function Budget_exceeded _ | Non_finite _ -> true | _ -> false
+
+(** True for failures a serving layer may retry verbatim with a fresh
+    attempt: the request itself was never shown to be at fault.
+    [Overloaded] means it was shed before executing, [Worker_lost] that the
+    executor died under it, [Non_finite] that a numeric fault (flaky
+    hardware, injected chaos) poisoned one attempt's arithmetic.  The
+    complement is deliberate: [Budget_exceeded] is {e not} transient —
+    re-running the same work under the same budget fails deterministically,
+    so the remedy is degradation (a cheaper provenance rung), not retry —
+    and program/input errors ([Parse_error] … [Invalid_input]) fail every
+    attempt identically. *)
+let is_transient = function
+  | Overloaded _ | Worker_lost _ | Non_finite _ -> true
+  | Budget_exceeded _ | Cancelled _ | Unstratifiable _ | Parse_error _ | Front_error _
+  | Type_error _ | Demand_error _ | Compile_error _ | Runtime_error _ | Invalid_input _ ->
+      false
+
+(** True for the failures the graceful-degradation ladder can rescue by
+    re-running the work under a cheaper provenance: resource exhaustion,
+    where fidelity — not the request — is what must give.  Shared by the
+    resilient training layer ({!Scallop_nn.Scallop_layer}) and the serving
+    circuit breaker so both degrade on exactly the same class. *)
+let is_degradable = function Budget_exceeded _ -> true | _ -> false
 
 let pp ppf = function
   | Budget_exceeded { kind; stratum; iterations; elapsed } ->
@@ -93,5 +126,11 @@ let pp ppf = function
   | Non_finite { what } -> Fmt.pf ppf "non-finite numerics: %s" what
   | Runtime_error { msg } -> Fmt.string ppf msg
   | Invalid_input { msg } -> Fmt.string ppf msg
+  | Overloaded { depth; age } ->
+      Fmt.pf ppf "service overloaded: %d request%s queued, oldest waiting %.3fs" depth
+        (if depth = 1 then "" else "s")
+        age
+  | Worker_lost { worker; attempts } ->
+      Fmt.pf ppf "worker %d lost while executing the request (attempt %d)" worker attempts
 
 let to_string = Fmt.to_to_string pp

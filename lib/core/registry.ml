@@ -140,6 +140,28 @@ let degrade : spec -> spec option = function
 let rec degradation_ladder (spec : spec) : spec list =
   spec :: (match degrade spec with None -> [] | Some s -> degradation_ladder s)
 
+(** CLI-style name of a spec (inverse of {!spec_of_string}), without
+    instantiating a provenance module — cheap enough for per-request status
+    lines in the serving layer. *)
+let spec_name : spec -> string = function
+  | Unit -> "unit"
+  | Boolean -> "boolean"
+  | Natural -> "natural"
+  | Max_min_prob -> "minmaxprob"
+  | Add_mult_prob -> "addmultprob"
+  | Proofs -> "proofs"
+  | Top_k_proofs k -> Fmt.str "topkproofs-%d" k
+  | Sample_k_proofs (k, _) -> Fmt.str "samplekproofs-%d" k
+  | Exact_prob -> "exactprobproofs"
+  | Diff_exact_prob -> "diffexactprobproofs"
+  | Diff_max_min_prob -> "diffminmaxprob"
+  | Diff_add_mult_prob -> "diffaddmultprob"
+  | Diff_nand_mult_prob -> "diffnandmultprob"
+  | Diff_top_k_proofs k -> Fmt.str "difftopkproofs-%d" k
+  | Diff_top_k_proofs_me k -> Fmt.str "difftopkproofsme-%d" k
+  | Diff_sample_k_proofs (k, _) -> Fmt.str "diffsamplekproofs-%d" k
+  | Diff_top_bottom_k_clauses k -> Fmt.str "difftopbottomkclauses-%d" k
+
 (** Parse a provenance name as used on the CLI and in configs, e.g.
     ["difftopkproofs-3"], ["minmaxprob"], ["exactprobproofs"]. *)
 let spec_of_string s =

@@ -222,8 +222,26 @@ let sample t ~k : sample option =
               k;
             })
 
-let rec sample_retry t ~k =
-  match sample t ~k with Some s -> s | None -> sample_retry t ~k
+(* Rejection sampling must not spin forever when the generator config is
+   unsatisfiable (e.g. a chain length no tree topology can realize): cap the
+   attempts and fail with a typed diagnostic the caller can surface. *)
+let max_sample_attempts = 1000
+
+let sample_retry t ~k =
+  let rec go attempts =
+    if attempts >= max_sample_attempts then
+      Scallop_core.Exec_error.raise_error
+        (Scallop_core.Exec_error.Invalid_input
+           {
+             msg =
+               Fmt.str
+                 "clutrr: no valid chain of length %d found in %d sampling attempts — \
+                  the generator configuration is unsatisfiable"
+                 k max_sample_attempts;
+           })
+    else match sample t ~k with Some s -> s | None -> go (attempts + 1)
+  in
+  go 0
 
 let dataset t ~k n = List.init n (fun _ -> sample_retry t ~k)
 

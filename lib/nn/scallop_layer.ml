@@ -265,12 +265,15 @@ let resilient_run_multi_batch ?pool ?jobs ?config ?(max_degrade = max_int)
     quarantine_non_finite ?faults
       (try_run_multi_batch ?pool ?jobs ?config ~spec ~compiled ~outputs samples)
   in
+  (* Degradation triggers on [Exec_error.is_degradable] — the same class
+     the serving circuit breaker degrades on — so training and serving
+     rescue exactly the same failures. *)
   let budget_failed res =
     let idx = ref [] in
     Array.iteri
       (fun i outcome ->
         match outcome with
-        | Error (Exec_error.Budget_exceeded _) -> idx := i :: !idx
+        | Error e when Exec_error.is_degradable e -> idx := i :: !idx
         | _ -> ())
       res;
     List.rev !idx

@@ -1,0 +1,74 @@
+(** Fault-injection configuration for the service runtime.
+
+    Chaos engineering for the query engine: with a {!t} installed, every
+    execution attempt rolls seeded dice and may be hit by one or more
+    injected faults — the worker domain dies mid-request, the attempt
+    stalls without heartbeating, the result comes back as a synthetic
+    [Budget_exceeded], or its output probabilities are poisoned with NaN.
+    The service under chaos must keep accepting and answering: tests and
+    [bench service] use this to prove every submitted request still gets
+    exactly one terminal outcome while faults fire.
+
+    Decisions are drawn from {!Scallop_utils.Rng.substream} of [seed]
+    keyed by a per-attempt ordinal, so a given (seed, ordinal) pair always
+    rolls the same faults regardless of which worker executes the attempt.
+    Probabilities are independent per axis; [none] (all zeros) is the
+    production configuration and short-circuits to no RNG work at all. *)
+
+type t = {
+  kill_prob : float;  (** worker domain dies mid-attempt (simulated crash) *)
+  latency_prob : float;  (** attempt stalls for [latency] s without heartbeating *)
+  latency : float;  (** injected stall duration, seconds *)
+  budget_fault_prob : float;  (** attempt returns a synthetic [Budget_exceeded] *)
+  nan_prob : float;  (** result probabilities poisoned with NaN *)
+  seed : int;  (** root of the decision substreams *)
+}
+
+let none =
+  {
+    kill_prob = 0.0;
+    latency_prob = 0.0;
+    latency = 0.0;
+    budget_fault_prob = 0.0;
+    nan_prob = 0.0;
+    seed = 0;
+  }
+
+(** No fault can ever fire under this configuration. *)
+let is_none t =
+  t.kill_prob <= 0.0 && t.latency_prob <= 0.0 && t.budget_fault_prob <= 0.0
+  && t.nan_prob <= 0.0
+
+(** Raised inside a worker to simulate its domain crashing mid-request: it
+    unwinds the whole worker loop, the domain exits without completing the
+    in-flight request, and only the supervisor's watchdog can recover it. *)
+exception Killed
+
+(** The faults one attempt is subjected to. *)
+type decision = {
+  kill : bool;
+  stall : float;  (** 0 when no latency was injected *)
+  budget_fault : bool;
+  nan : bool;
+}
+
+let no_faults = { kill = false; stall = 0.0; budget_fault = false; nan = false }
+
+(** Roll the dice for attempt [ordinal].  Pure in (config, ordinal). *)
+let decide t ~ordinal : decision =
+  if is_none t then no_faults
+  else begin
+    let rng = Scallop_utils.Rng.substream (Scallop_utils.Rng.create t.seed) ordinal in
+    (* Draw all four axes unconditionally so each axis sees a fixed stream
+       position — changing one probability never re-shuffles the others. *)
+    let kill_roll = Scallop_utils.Rng.float rng in
+    let latency_roll = Scallop_utils.Rng.float rng in
+    let budget_roll = Scallop_utils.Rng.float rng in
+    let nan_roll = Scallop_utils.Rng.float rng in
+    {
+      kill = kill_roll < t.kill_prob;
+      stall = (if latency_roll < t.latency_prob then t.latency else 0.0);
+      budget_fault = budget_roll < t.budget_fault_prob;
+      nan = nan_roll < t.nan_prob;
+    }
+  end

@@ -82,8 +82,20 @@ let create n =
       domains = [];
     }
   in
-  t.domains <-
-    List.init (n - 1) (fun i -> Domain.spawn (fun () -> worker_slot_loop t (i + 1) 0));
+  (* Spawn one at a time so a failure partway (domain limit, OOM) can stop
+     and join the domains already running instead of leaking them. *)
+  (try
+     for i = 1 to n - 1 do
+       t.domains <- Domain.spawn (fun () -> worker_slot_loop t i 0) :: t.domains
+     done
+   with e ->
+     Mutex.lock t.mutex;
+     t.stop <- true;
+     Condition.broadcast t.work_available;
+     Mutex.unlock t.mutex;
+     List.iter Domain.join t.domains;
+     t.domains <- [];
+     raise e);
   t
 
 (** Stop the workers and join their domains.  Idempotent; the pool must not
@@ -101,6 +113,11 @@ let shutdown t =
   Mutex.unlock t.submit;
   List.iter Domain.join domains
 
+(** [with_pool n f] runs [f] over a fresh pool and guarantees every spawned
+    domain is stopped and joined on {e all} exits: normal return, a mapped
+    function's exception re-raised by a job, or an exception raised directly
+    by [f]'s own body between jobs.  Combined with [create]'s partial-spawn
+    cleanup, no code path leaks a domain. *)
 let with_pool n f =
   let t = create n in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

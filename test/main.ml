@@ -23,4 +23,5 @@ let () =
       ("fuzz", Test_fuzz.suite);
       ("serialize", Test_serialize.suite);
       ("resilience", Test_resilience.suite);
+      ("service", Test_service.suite);
     ]

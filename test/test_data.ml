@@ -138,6 +138,23 @@ let test_clutrr_samples () =
         (Clutrr.dataset d ~k 20))
     [ 2; 3; 4 ]
 
+let test_clutrr_unsatisfiable_sampling_capped () =
+  (* No generated family tree can realize a 500-hop chain of distinct
+     people, so rejection sampling can never succeed: the retry loop must
+     stop at its attempt cap with a typed diagnostic instead of spinning
+     forever (it used to loop unboundedly). *)
+  let d = Clutrr.create ~seed:5 () in
+  match Clutrr.sample_retry d ~k:500 with
+  | _ -> Alcotest.fail "sample_retry produced an impossible 500-hop chain"
+  | exception Scallop_core.Exec_error.Error (Scallop_core.Exec_error.Invalid_input { msg }) ->
+      let contains hay needle =
+        let nh = String.length hay and nn = String.length needle in
+        let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+        go 0
+      in
+      if not (contains msg "1000 sampling attempts") then
+        Alcotest.failf "diagnostic does not name the attempt cap: %S" msg
+
 let test_clutrr_relation_of_gendered () =
   (* build one deterministic tree and sanity check relations *)
   let rng = Scallop_utils.Rng.create 6 in
@@ -304,6 +321,8 @@ let suite =
     Alcotest.test_case "clutrr composition table" `Quick test_clutrr_composition_table;
     Alcotest.test_case "clutrr samples" `Quick test_clutrr_samples;
     Alcotest.test_case "clutrr gendered relations" `Quick test_clutrr_relation_of_gendered;
+    Alcotest.test_case "clutrr unsatisfiable sampling is capped" `Quick
+      test_clutrr_unsatisfiable_sampling_capped;
     Alcotest.test_case "mugen collapse" `Quick test_mugen_collapse;
     Alcotest.test_case "mugen alignment" `Quick test_mugen_alignment;
     Alcotest.test_case "mugen mod compatibility" `Quick test_mugen_mods_compatible;

@@ -128,6 +128,58 @@ let test_cancelled_before_start () =
       | Ok _ -> Alcotest.failf "sample %d ran despite pre-cancelled token" i)
     results
 
+(* ---- service runtime errors and the transient/deterministic split ----------- *)
+
+let test_overloaded_golden () =
+  check Alcotest.string "rendered message (plural)"
+    "service overloaded: 64 requests queued, oldest waiting 0.250s"
+    (Session.error_string (Exec_error.Overloaded { depth = 64; age = 0.25 }));
+  check Alcotest.string "rendered message (singular)"
+    "service overloaded: 1 request queued, oldest waiting 0.000s"
+    (Session.error_string (Exec_error.Overloaded { depth = 1; age = 0.0 }))
+
+let test_worker_lost_golden () =
+  check Alcotest.string "rendered message"
+    "worker 2 lost while executing the request (attempt 3)"
+    (Session.error_string (Exec_error.Worker_lost { worker = 2; attempts = 3 }))
+
+(* A client may safely retry exactly the transient class; everything
+   deterministic must not be retried, and only budget exhaustion invites
+   degrading to a cheaper provenance. *)
+let test_transient_classification () =
+  let transient =
+    [
+      Exec_error.Overloaded { depth = 3; age = 0.1 };
+      Exec_error.Worker_lost { worker = 0; attempts = 1 };
+      Exec_error.Non_finite { what = "output probabilities of p" };
+    ]
+  in
+  let deterministic =
+    [
+      Exec_error.Budget_exceeded
+        { kind = Exec_error.Deadline; stratum = 0; iterations = 0; elapsed = 0.1 };
+      Exec_error.Cancelled { stratum = -1; elapsed = 0.0 };
+      Exec_error.Invalid_input { msg = "bad" };
+      Exec_error.Runtime_error { msg = "boom" };
+    ]
+  in
+  List.iter
+    (fun e ->
+      if not (Exec_error.is_transient e) then
+        Alcotest.failf "should be transient: %s" (Session.error_string e);
+      if Exec_error.is_degradable e then
+        Alcotest.failf "transient must not be degradable: %s" (Session.error_string e))
+    transient;
+  List.iter
+    (fun e ->
+      if Exec_error.is_transient e then
+        Alcotest.failf "should not be transient: %s" (Session.error_string e))
+    deterministic;
+  Alcotest.(check bool) "budget exhaustion is the degradable class" true
+    (Exec_error.is_degradable
+       (Exec_error.Budget_exceeded
+          { kind = Exec_error.Iterations; stratum = 1; iterations = 7; elapsed = 0.2 }))
+
 (* ---- CLI per-file error policy ---------------------------------------------- *)
 
 (* One bad file and one good file: the run must exit nonzero, report the bad
@@ -178,6 +230,10 @@ let suite =
     Alcotest.test_case "deadline: sequential, within 2x" `Quick test_deadline_sequential;
     Alcotest.test_case "deadline: batch jobs=2, sibling survives" `Quick test_deadline_batch;
     Alcotest.test_case "cancellation before start" `Quick test_cancelled_before_start;
+    Alcotest.test_case "overloaded: rendered message" `Quick test_overloaded_golden;
+    Alcotest.test_case "worker lost: rendered message" `Quick test_worker_lost_golden;
+    Alcotest.test_case "transient vs deterministic classification" `Quick
+      test_transient_classification;
     Alcotest.test_case "CLI: per-file errors, nonzero exit at end" `Quick
       test_cli_per_file_errors;
   ]

@@ -76,6 +76,31 @@ let test_pool_exception_propagates () =
       let got = Pool.parallel_map p ~f:succ (Array.init 10 Fun.id) in
       check Alcotest.(array int) "pool usable after exception" (Array.init 10 succ) got)
 
+exception Body_boom
+
+let test_with_pool_body_exception_cleanup () =
+  (* An exception raised by the caller's body (between jobs, not inside a
+     mapped function) must still stop and join every worker domain.  OCaml
+     caps live domains at a small fixed number, so looping would exhaust
+     [Domain.spawn] quickly if any domain leaked. *)
+  let escaped = ref None in
+  for _ = 1 to 100 do
+    match
+      Pool.with_pool 3 (fun p ->
+          escaped := Some p;
+          raise Body_boom)
+    with
+    | () -> Alcotest.fail "body exception swallowed"
+    | exception Body_boom -> ()
+  done;
+  (* and the pool really was shut down, not just abandoned *)
+  match !escaped with
+  | None -> Alcotest.fail "body never ran"
+  | Some p -> (
+      match Pool.parallel_map p ~f:Fun.id [| 1; 2; 3 |] with
+      | _ -> Alcotest.fail "pool still accepts jobs after with_pool raised"
+      | exception Invalid_argument _ -> ())
+
 let test_pool_reuse () =
   Pool.with_pool 2 (fun p ->
       for k = 1 to 5 do
@@ -328,6 +353,7 @@ let suite =
     ("pool: per-worker init state", `Quick, test_pool_init_state);
     ("pool: exception propagates, pool survives", `Quick, test_pool_exception_propagates);
     ("pool: reusable across jobs", `Quick, test_pool_reuse);
+    ("pool: body exception joins all domains", `Quick, test_with_pool_body_exception_cleanup);
     ("rng: substream is pure and stable", `Quick, test_substream_pure);
     ("rng: substreams are distinct", `Quick, test_substream_distinct);
     ("run_batch: graph programs, all provenances", `Quick, test_batch_graph);
