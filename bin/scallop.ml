@@ -61,6 +61,15 @@ let no_cache_arg =
     value & flag
     & info [ "no-cache" ] ~doc:"Disable reuse of join indices across fixpoint iterations.")
 
+let no_wmc_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "no-wmc-cache" ]
+        ~doc:
+          "Disable the cross-iteration weighted-model-counting cache used when recovering \
+           probabilities from top-k proof provenances (BDDs and counted results are then \
+           rebuilt from scratch on every recover call).")
+
 let timeout_arg =
   Arg.(
     value
@@ -114,8 +123,10 @@ let print_outputs (result : Session.result) =
     result.Session.outputs
 
 let run_term =
-  let run provenance seed profile no_cache jobs timeout max_tuples max_iterations paths =
+  let run provenance seed profile no_cache no_wmc_cache jobs timeout max_tuples max_iterations
+      paths =
     let jobs = resolve_jobs jobs in
+    Session.set_wmc_cache (not no_wmc_cache);
     let budget = Budget.make ?timeout ?max_iterations ?max_tuples () in
     (* Compile on the main domain (compilation is cheap and stateful-ish),
        then fan the executions out: each file runs under its own config —
@@ -175,8 +186,8 @@ let run_term =
   in
   Term.(
     ret
-      (const run $ provenance_arg $ seed_arg $ profile_arg $ no_cache_arg $ jobs_arg
-     $ timeout_arg $ max_tuples_arg $ max_iterations_arg $ files_arg))
+      (const run $ provenance_arg $ seed_arg $ profile_arg $ no_cache_arg $ no_wmc_cache_arg
+     $ jobs_arg $ timeout_arg $ max_tuples_arg $ max_iterations_arg $ files_arg))
 
 let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Execute a Scallop program and print its output relations.") run_term
@@ -195,7 +206,8 @@ let compile_cmd =
     Term.(ret (const run $ file_arg))
 
 let repl_cmd =
-  let run provenance seed profile no_cache =
+  let run provenance seed profile no_cache no_wmc_cache =
+    Session.set_wmc_cache (not no_wmc_cache);
     Fmt.pr "Scallop REPL — enter items (rel/type/const/query); an empty line executes.@.";
     let buffer = Buffer.create 256 in
     (* One RNG for the whole session (repeated executions keep sampling new
@@ -231,7 +243,8 @@ let repl_cmd =
   in
   Cmd.v
     (Cmd.info "repl" ~doc:"Interactive toplevel: accumulate items, execute on empty line.")
-    Term.(ret (const run $ provenance_arg $ seed_arg $ profile_arg $ no_cache_arg))
+    Term.(
+      ret (const run $ provenance_arg $ seed_arg $ profile_arg $ no_cache_arg $ no_wmc_cache_arg))
 
 (* ---- [scallop serve]: the supervised inference service over stdio ------------ *)
 

@@ -33,6 +33,17 @@ let manager () =
 
 let size m = m.next_id
 
+(** Return the manager to its freshly-created state, dropping every node and
+    apply-cache entry.  Roots obtained earlier remain structurally valid
+    immutable trees, but their node ids will collide with newly allocated
+    ones — callers caching roots must drop them alongside this call. *)
+let clear m =
+  m.next_id <- 2;
+  Hashtbl.reset m.unique;
+  Hashtbl.reset m.and_cache;
+  Hashtbl.reset m.or_cache;
+  Hashtbl.reset m.not_cache
+
 (** Internal smart constructor enforcing reduction (lo == hi collapses) and
     sharing (unique table). *)
 let mk m var lo hi =
@@ -184,10 +195,14 @@ let wmc (type a) ~(zero : a) ~(one : a) ~(add : a -> a -> a) ~(mul : a -> a -> a
         match Hashtbl.find_opt memo id with
         | Some r -> (r, i)
         | None ->
+            (* A False child contributes the annihilating zero: spanning the
+               skipped variables over it would multiply zero O(|vars|) times
+               per node — on long cubes that turns linear counting
+               quadratic. *)
             let wlo, ilo = go lo in
-            let wlo = span (i + 1) ilo wlo in
+            let wlo = match lo with False -> wlo | _ -> span (i + 1) ilo wlo in
             let whi, ihi = go hi in
-            let whi = span (i + 1) ihi whi in
+            let whi = match hi with False -> whi | _ -> span (i + 1) ihi whi in
             let r = add (mul (w_neg var) wlo) (mul (w_pos var) whi) in
             Hashtbl.add memo id r;
             (r, i))

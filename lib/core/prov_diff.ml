@@ -123,7 +123,9 @@ end)
   let add a b = Formula.disj_k P.env K.k a b
   let mult a b = Formula.conj_k P.env K.k a b
   let negate t = Some (Formula.neg_k P.env K.k t)
-  let saturated ~old t = Formula.equal old t
+
+  (* Tags are canonical (see Formula), so ordered comparison suffices. *)
+  let saturated ~old t = Formula.equal_ordered old t
   let discard t = Formula.is_false t
   let weight t = Formula.prob_upper_bound P.env t
 
@@ -195,7 +197,7 @@ end)
     (Formula.conj_k P.env K.k a b, Formula.disj_k P.env K.k na nb)
 
   let negate (a, na) = Some (na, a)
-  let saturated ~old:(a, _) (b, _) = Formula.equal a b
+  let saturated ~old:(a, _) (b, _) = Formula.equal_ordered a b
   let discard (a, na) = Formula.is_false a && Formula.is_true na
   let weight (a, _) = Formula.prob_upper_bound P.env a
 

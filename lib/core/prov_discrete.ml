@@ -115,7 +115,10 @@ end = struct
   let add a b = Formula.disj_k env k a b
   let mult a b = Formula.conj_k env k a b
   let negate t = Some (Formula.neg_k ~beam:4096 env k t)
-  let saturated ~old t = Formula.equal old t
+
+  (* Tags are produced exclusively by the canonical-order operations, so the
+     ordered O(n) comparison replaces the O(n²) set equality. *)
+  let saturated ~old t = Formula.equal_ordered old t
   let discard t = Formula.is_false t
   let weight t = Formula.prob_upper_bound env t
 

@@ -52,7 +52,39 @@ end)
   let add a b = Formula.disj_k P.env K.k a b
   let mult a b = Formula.conj_k P.env K.k a b
   let negate t = Some (Formula.neg_k P.env K.k t)
-  let saturated ~old t = Formula.equal old t
+
+  (* Tags coming out of disj_k/conj_k/neg_k are canonical, so the ordered
+     comparison suffices — O(n) with an O(1) fast path when disj_k returned
+     the old tag physically unchanged. *)
+  let saturated ~old t = Formula.equal_ordered old t
+  let discard t = Formula.is_false t
+  let weight t = Formula.prob_upper_bound P.env t
+  let tag_of_input = P.tag_of_input
+  let recover t = Output.O_prob (Wmc.prob ~env:P.env t)
+  let pp = Formula.pp
+end
+
+(** top-k-proofs over the {e eager} reference operators — the differential
+    test oracle for the guided search (and its benchmark baseline).  Same
+    semantics as {!Top_k_proofs}, materializing every candidate proof before
+    truncating. *)
+module Top_k_proofs_eager (K : sig
+  val k : int
+end)
+() : PROOFS_S = struct
+  module P = Prov_discrete.Proofs ()
+
+  let env = P.env
+
+  type t = Formula.t
+
+  let name = Fmt.str "topkproofseager-%d" K.k
+  let zero = Formula.ff
+  let one = Formula.tt
+  let add a b = Formula.disj_k_eager P.env K.k a b
+  let mult a b = Formula.conj_k_eager P.env K.k a b
+  let negate t = Some (Formula.neg_k_eager P.env K.k t)
+  let saturated ~old t = Formula.equal_ordered old t
   let discard t = Formula.is_false t
   let weight t = Formula.prob_upper_bound P.env t
   let tag_of_input = P.tag_of_input
@@ -78,23 +110,78 @@ end)
 
   let name = Fmt.str "samplekproofs-%d" K.k
 
+  (* k rounds of weighted sampling without replacement.  Array-based with
+     in-place weight zeroing: probabilities are computed once, and each round
+     is one O(n) scan instead of the historic List.nth/List.filteri rebuild
+     (O(k·n²) total).  The draw sequence is bit-identical to the historic
+     list version for a fixed RNG stream (pinned by a golden test):
+
+     - zeroed (already-chosen) entries add exactly +0.0 to the running total
+       and can never be where the cumulative scan first crosses, so the scan
+       selects the same proof the compacted-list scan would;
+     - the scan's float-rounding fallback ("no entry crossed") remaps to the
+       last unchosen index — the compacted list's last element — without
+       consuming randomness;
+     - a non-positive or non-finite total draws a uniform index among the
+       n - round unchosen entries, exactly like Rng.categorical on the
+       compacted weights (both paths advance the RNG state once per round). *)
   let sample_k proofs =
     let proofs = Formula.dedup proofs in
-    if List.length proofs <= K.k then proofs
+    if List.compare_length_with proofs K.k <= 0 then proofs
     else begin
       let arr = Array.of_list proofs in
-      let chosen = ref [] in
-      let remaining = ref (Array.to_list (Array.mapi (fun i p -> (i, p)) arr)) in
-      for _ = 1 to K.k do
-        let weights =
-          Array.of_list (List.map (fun (_, p) -> Formula.proof_prob P.env p) !remaining)
+      let n = Array.length arr in
+      let w = Array.map (Formula.proof_prob P.env) arr in
+      let chosen = Array.make n false in
+      let out = ref [] in
+      let last_unchosen () =
+        let i = ref (n - 1) in
+        while chosen.(!i) do
+          decr i
+        done;
+        !i
+      in
+      let nth_unchosen j =
+        let count = ref j and res = ref (-1) in
+        (try
+           for i = 0 to n - 1 do
+             if not chosen.(i) then
+               if !count = 0 then begin
+                 res := i;
+                 raise Exit
+               end
+               else decr count
+           done
+         with Exit -> ());
+        !res
+      in
+      for round = 0 to K.k - 1 do
+        let total = Array.fold_left ( +. ) 0.0 w in
+        let pick =
+          if total <= 0.0 || not (Float.is_finite total) then
+            nth_unchosen (Scallop_utils.Rng.int rng (n - round))
+          else begin
+            let x = Scallop_utils.Rng.float rng *. total in
+            let acc = ref 0.0 in
+            let res = ref (-1) in
+            (try
+               Array.iteri
+                 (fun i wi ->
+                   acc := !acc +. wi;
+                   if x < !acc then begin
+                     res := i;
+                     raise Exit
+                   end)
+                 w
+             with Exit -> ());
+            if !res >= 0 then !res else last_unchosen ()
+          end
         in
-        let j = Scallop_utils.Rng.categorical rng weights in
-        let (_, p) = List.nth !remaining j in
-        chosen := p :: !chosen;
-        remaining := List.filteri (fun i _ -> i <> j) !remaining
+        chosen.(pick) <- true;
+        w.(pick) <- 0.0;
+        out := arr.(pick) :: !out
       done;
-      List.rev !chosen
+      List.rev !out
     end
 
   let zero = Formula.ff

@@ -280,3 +280,27 @@ let prob_of (r : result) pred tuple : float =
   with
   | Some (_, o) -> Provenance.Output.prob o
   | None -> 0.0
+
+(* ---- cross-iteration WMC cache controls --------------------------------------
+
+   Recovering top-k-proof formulas repeatedly compiles the same DNF to a BDD
+   and re-counts it under the same weights — across fixpoint iterations, and
+   across the runs of a training loop where only a few input probabilities
+   move per step.  {!Wmc} keeps a per-domain cache (hash-consed BDD manager +
+   results keyed on (root, weights), so changed probabilities re-count
+   automatically).  These re-exports let embedders toggle and inspect it
+   without depending on [Wmc] directly; the CLI exposes [--no-wmc-cache]. *)
+
+(** Enable/disable the per-domain WMC cache (on by default).  Disabling does
+    not clear existing entries; they are simply not consulted. *)
+let set_wmc_cache = Wmc.set_cache_enabled
+
+(** Whether the WMC cache is currently enabled. *)
+let wmc_cache_enabled = Wmc.cache_enabled
+
+(** Hit/miss/reset counters and current BDD-manager size for the calling
+    domain's cache. *)
+let wmc_cache_stats = Wmc.cache_stats
+
+(** Drop every cached BDD and counted result on the calling domain. *)
+let clear_wmc_cache = Wmc.clear_cache

@@ -58,6 +58,14 @@ let max_ie_proofs = 16
 
 (* ---- BDD engine (independent variables) -------------------------------- *)
 
+let wmc_of_root (type a) (ops : a ops) ~(weight_of : int -> a) ~vars root : a =
+  Scallop_bdd.Bdd.wmc ~zero:ops.zero ~one:ops.one ~add:ops.add ~mul:ops.mul
+    ~w_pos:weight_of
+    ~w_neg:(fun v -> ops.complement (weight_of v))
+    ~vars root
+
+(* Fresh-manager compilation: used by the generic [run] entry point and when
+   the cross-iteration cache is disabled. *)
 let wmc_bdd (type a) (ops : a ops) ~(weight_of : int -> a) (formula : Formula.t) : a =
   let m = Scallop_bdd.Bdd.manager () in
   let dnf =
@@ -65,10 +73,194 @@ let wmc_bdd (type a) (ops : a ops) ~(weight_of : int -> a) (formula : Formula.t)
   in
   let root = Scallop_bdd.Bdd.of_dnf m dnf in
   let vars = Formula.variables formula in
-  Scallop_bdd.Bdd.wmc ~zero:ops.zero ~one:ops.one ~add:ops.add ~mul:ops.mul
-    ~w_pos:weight_of
-    ~w_neg:(fun v -> ops.complement (weight_of v))
-    ~vars root
+  wmc_of_root ops ~weight_of ~vars root
+
+(* ---- cross-iteration WMC cache ------------------------------------------ *)
+
+(* Recover (ρ) dominates topkproofs runtime: every output tuple used to pay
+   for a fresh BDD manager and a from-scratch DNF compilation, even though
+   fixpoint iterations and successive training steps keep asking about the
+   same (or heavily overlapping) formulas.  The cache below is domain-local
+   (one per worker domain, so parallel batches stay race-free and
+   bit-identical) and has two levels:
+
+   - a {e structural} level: one shared hash-consed manager per domain plus
+     a table from canonical formula identity to its compiled BDD root — the
+     manager hash-conses across formulas, so overlapping proofs share
+     subgraphs and compilation cost survives fixpoint iterations and
+     training steps alike;
+
+   - a {e result} level keyed by (structure, per-variable weights): the
+     weights enter the key, so a training step that moves any input
+     probability misses and recomputes — this is the invalidation rule, and
+     it is what makes caching dual-number WMC sound (gradients depend on the
+     variable values, not just the formula shape).
+
+   Only the independent-variable BDD engine is cached; the
+   inclusion–exclusion path for mutual-exclusion formulas is comparatively
+   cheap and stays uncached.  ROBDDs are canonical given the variable order,
+   so a cached compilation is node-for-node the diagram a fresh manager
+   would build: cached and uncached results are bit-identical. *)
+
+module FKey = struct
+  (* Canonical structural identity: proofs as sorted literal lists, the
+     proof list itself sorted.  Independent of proof insertion order and of
+     the IMap internals. *)
+  type t = (int * bool) list list
+
+  let of_formula (f : Formula.t) : t =
+    List.sort compare (List.map Formula.proof_literals f)
+
+  let equal (a : t) (b : t) = a = b
+
+  (* Fold over the whole structure: formulas from one fixpoint often share
+     long literal prefixes (e.g. every path(0, j) along a chain), so a
+     prefix-limited polymorphic hash would put them all in one bucket. *)
+  let hash (k : t) =
+    List.fold_left
+      (fun h lits ->
+        List.fold_left
+          (fun h (v, s) -> (h * 131) + (2 * v) + (if s then 1 else 0))
+          ((h * 17) + 3)
+          lits)
+      0 k
+    land max_int
+end
+
+module FTbl = Hashtbl.Make (FKey)
+
+(* Results are keyed by the compiled BDD's root node id — unique per
+   structure within one manager generation, O(1) to compare — plus the
+   per-variable weight vector. *)
+module RKey = struct
+  type t = int * float array
+
+  (* Structural (=) on the weights: NaNs never compare equal, so a NaN
+     environment always recomputes. *)
+  let equal ((i1, w1) : t) ((i2, w2) : t) = i1 = i2 && w1 = w2
+
+  let hash ((i, w) : t) =
+    Array.fold_left
+      (fun h x -> (h * 131) lxor Int64.to_int (Int64.bits_of_float x))
+      i w
+    land max_int
+end
+
+module RTbl = Hashtbl.Make (RKey)
+
+type centry = { root : Scallop_bdd.Bdd.t; cvars : int list }
+
+type cache = {
+  manager : Scallop_bdd.Bdd.manager;
+  bdds : centry FTbl.t;
+  probs : float RTbl.t;
+  duals : Dual.t RTbl.t;
+  mutable bdd_hits : int;
+  mutable bdd_misses : int;
+  mutable result_hits : int;
+  mutable result_misses : int;
+  mutable resets : int;
+}
+
+(* Caps chosen so a runaway workload resets rather than grows unboundedly:
+   a reset costs one recompilation wave, unbounded growth costs the heap. *)
+let max_manager_nodes = 2_000_000
+let max_result_entries = 65_536
+
+let fresh_cache () =
+  {
+    manager = Scallop_bdd.Bdd.manager ();
+    bdds = FTbl.create 256;
+    probs = RTbl.create 256;
+    duals = RTbl.create 256;
+    bdd_hits = 0;
+    bdd_misses = 0;
+    result_hits = 0;
+    result_misses = 0;
+    resets = 0;
+  }
+
+let cache_key : cache Domain.DLS.key = Domain.DLS.new_key fresh_cache
+let cache () = Domain.DLS.get cache_key
+
+let enabled = Atomic.make true
+
+(** Globally enable/disable the cross-iteration cache (e.g. the CLI's
+    [--no-wmc-cache]).  Disabled, every call compiles into a fresh manager —
+    the historic behaviour.  Results are identical either way. *)
+let set_cache_enabled b = Atomic.set enabled b
+
+let cache_enabled () = Atomic.get enabled
+
+(** Statistics of the calling domain's cache. *)
+type cache_stats = {
+  bdd_hits : int;
+  bdd_misses : int;
+  result_hits : int;
+  result_misses : int;
+  resets : int;
+  manager_nodes : int;
+}
+
+let cache_stats () : cache_stats =
+  let c = cache () in
+  {
+    bdd_hits = c.bdd_hits;
+    bdd_misses = c.bdd_misses;
+    result_hits = c.result_hits;
+    result_misses = c.result_misses;
+    resets = c.resets;
+    manager_nodes = Scallop_bdd.Bdd.size c.manager;
+  }
+
+(** Drop the calling domain's cached compilations and results (stats and
+    reset counters survive). *)
+let clear_cache () =
+  let c = cache () in
+  Scallop_bdd.Bdd.clear c.manager;
+  FTbl.reset c.bdds;
+  RTbl.reset c.probs;
+  RTbl.reset c.duals
+
+let bdd_of_cached c (formula : Formula.t) : centry =
+  let key = FKey.of_formula formula in
+  match FTbl.find_opt c.bdds key with
+  | Some e ->
+      c.bdd_hits <- c.bdd_hits + 1;
+      e
+  | None ->
+      c.bdd_misses <- c.bdd_misses + 1;
+      if Scallop_bdd.Bdd.size c.manager > max_manager_nodes then begin
+        c.resets <- c.resets + 1;
+        (* Node ids restart after a manager reset and results are keyed by
+           root id, so cached roots and results must all go together. *)
+        Scallop_bdd.Bdd.clear c.manager;
+        FTbl.reset c.bdds;
+        RTbl.reset c.probs;
+        RTbl.reset c.duals
+      end;
+      let root = Scallop_bdd.Bdd.of_dnf c.manager (List.map Formula.proof_literals formula) in
+      let e = { root; cvars = Formula.variables formula } in
+      FTbl.replace c.bdds key e;
+      e
+
+let cached_result (type r) (table : r RTbl.t) c ~(env : Formula.env) formula
+    (compute : vars:int list -> Scallop_bdd.Bdd.t -> r) : r =
+  let e = bdd_of_cached c formula in
+  (* The weight vector enters the key — a training step that moves any input
+     probability misses and recomputes; this is the invalidation rule. *)
+  let values = Array.of_list (List.map env.Formula.prob e.cvars) in
+  let rkey = (Scallop_bdd.Bdd.node_id e.root, values) in
+  match RTbl.find_opt table rkey with
+  | Some r ->
+      c.result_hits <- c.result_hits + 1;
+      r
+  | None ->
+      c.result_misses <- c.result_misses + 1;
+      let r = compute ~vars:e.cvars e.root in
+      if RTbl.length table >= max_result_entries then RTbl.reset table;
+      RTbl.add table rkey r;
+      r
 
 (* ---- Inclusion–exclusion engine (mutual exclusion aware) ---------------- *)
 
@@ -160,10 +352,28 @@ let run (type a) (ops : a ops) ~(weight_of : int -> a) ~(env : Formula.env)
     wmc_ie ops ~weight_of ~me_group:env.Formula.me_group ~env formula
   else wmc_bdd ops ~weight_of formula
 
+(* Shared dispatch for the cached entry points: trivial formulas and the
+   mutual-exclusion IE engine bypass the cache; the BDD path goes through
+   the domain-local cache unless disabled. *)
+let run_cached (type a) (ops : a ops) ~(weight_of : int -> a)
+    ~(table : cache -> a RTbl.t) ~(env : Formula.env) formula : a =
+  if Formula.is_false formula then ops.zero
+  else if Formula.is_true formula then ops.one
+  else if has_me_vars ~me_group:env.Formula.me_group formula then
+    wmc_ie ops ~weight_of ~me_group:env.Formula.me_group ~env formula
+  else if not (cache_enabled ()) then wmc_bdd ops ~weight_of formula
+  else
+    let c = cache () in
+    cached_result (table c) c ~env formula (fun ~vars root ->
+        wmc_of_root ops ~weight_of ~vars root)
+
 (** Plain probability. *)
 let prob ~(env : Formula.env) formula =
-  run float_ops ~weight_of:env.Formula.prob ~env formula
+  run_cached float_ops ~weight_of:env.Formula.prob ~table:(fun c -> c.probs) ~env
+    formula
 
 (** Probability with gradient: each variable [v] is a dual [var v (prob v)]. *)
 let dual ~(env : Formula.env) formula =
-  run dual_ops ~weight_of:(fun v -> Dual.var v (env.Formula.prob v)) ~env formula
+  run_cached dual_ops
+    ~weight_of:(fun v -> Dual.var v (env.Formula.prob v))
+    ~table:(fun c -> c.duals) ~env formula

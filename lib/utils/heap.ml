@@ -1,0 +1,64 @@
+(** A mutable array-based binary max-heap parameterized by a comparison.
+
+    [pop]/[peek] return the {e greatest} element under [cmp] (i.e. the one
+    that compares [> 0] against the others).  Used by the guided best-first
+    proof search in {!Scallop_core.Formula}, where elements are frontier
+    nodes ordered by an admissible probability upper bound. *)
+
+type 'a t = { mutable data : 'a array; mutable size : int; cmp : 'a -> 'a -> int }
+
+let create ~cmp = { data = [||]; size = 0; cmp }
+
+let length h = h.size
+let is_empty h = h.size = 0
+
+let grow h x =
+  let cap = Array.length h.data in
+  if h.size = cap then begin
+    let data = Array.make (Stdlib.max 8 (2 * cap)) x in
+    Array.blit h.data 0 data 0 h.size;
+    h.data <- data
+  end
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if h.cmp h.data.(i) h.data.(parent) > 0 then begin
+      let tmp = h.data.(i) in
+      h.data.(i) <- h.data.(parent);
+      h.data.(parent) <- tmp;
+      sift_up h parent
+    end
+  end
+
+let push h x =
+  grow h x;
+  h.data.(h.size) <- x;
+  h.size <- h.size + 1;
+  sift_up h (h.size - 1)
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let largest = ref i in
+  if l < h.size && h.cmp h.data.(l) h.data.(!largest) > 0 then largest := l;
+  if r < h.size && h.cmp h.data.(r) h.data.(!largest) > 0 then largest := r;
+  if !largest <> i then begin
+    let tmp = h.data.(i) in
+    h.data.(i) <- h.data.(!largest);
+    h.data.(!largest) <- tmp;
+    sift_down h !largest
+  end
+
+let peek h = if h.size = 0 then None else Some h.data.(0)
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let top = h.data.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.data.(0) <- h.data.(h.size);
+      sift_down h 0
+    end;
+    Some top
+  end

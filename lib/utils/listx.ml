@@ -59,7 +59,19 @@ let dedup_stable eq l =
   List.fold_left (fun acc x -> if List.exists (eq x) acc then acc else x :: acc) [] l
   |> List.rev
 
-(** Top-[k] elements of [l] by descending [score] (stable for equal scores). *)
-let top_k_by score k l =
-  let sorted = List.stable_sort (fun a b -> compare (score b) (score a)) l in
-  take k sorted
+(** Total order on floats for sort keys: NaN ranks as -∞ (ties with a real
+    -∞ resolve by sort stability), so a NaN score never beats any other and
+    the comparator stays consistent (transitive, antisymmetric) — plain
+    [(<)] or [compare] on raw floats is not, which can corrupt
+    [List.stable_sort]. *)
+let float_key x = if Float.is_nan x then Float.neg_infinity else x
+
+(** Top-[k] elements of [l] by descending [score] (stable for equal scores).
+    Decorate–sort–undecorate: [score] runs once per element, not once per
+    comparison.  NaN scores sort last (see {!float_key}). *)
+let top_k_by (score : 'a -> float) k l =
+  let decorated = List.map (fun x -> (float_key (score x), x)) l in
+  let sorted =
+    List.stable_sort (fun (sa, _) (sb, _) -> Float.compare sb sa) decorated
+  in
+  take k (List.map snd sorted)

@@ -80,10 +80,14 @@ let gaussian ?(mu = 0.0) ?(sigma = 1.0) t =
   mu +. (sigma *. z)
 
 (** Sample an index according to unnormalized non-negative [weights].
-    Falls back to uniform choice if all weights are zero. *)
+    Falls back to uniform choice if all weights are zero, or if the total is
+    not finite (NaN/∞ from upstream numerics): with a NaN total the
+    cumulative scan below never fires ([x < !acc] is always false) and would
+    otherwise silently return the last index every time — a hidden bias, not
+    a sample. *)
 let categorical t weights =
   let total = Array.fold_left ( +. ) 0.0 weights in
-  if total <= 0.0 then int t (Array.length weights)
+  if total <= 0.0 || not (Float.is_finite total) then int t (Array.length weights)
   else begin
     let x = float t *. total in
     let acc = ref 0.0 in
@@ -148,7 +152,12 @@ let sample_indices t k n =
 let weighted_sample_indices t k (weights : float array) =
   let n = Array.length weights in
   if k > n then invalid_arg "Rng.weighted_sample_indices: k > n";
-  let w = Array.map (fun x -> Float.max 0.0 x) weights in
+  (* Sanitize: negative weights clamp to 0; non-finite weights (NaN/∞) also
+     become 0 — [Float.max 0.0 nan] is NaN and would poison every later
+     round's total. *)
+  let w =
+    Array.map (fun x -> if Float.is_finite x && x > 0.0 then x else 0.0) weights
+  in
   let chosen = Array.make n false in
   let uniform_unchosen remaining =
     let j = ref (int t remaining) in

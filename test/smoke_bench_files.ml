@@ -1,0 +1,223 @@
+(** Smoke check: every BENCH_*.json referenced by ROADMAP.md or the bench
+    harness exists at the repo root and parses as JSON.
+
+    Benchmark baselines are part of the contract between PRs ("no worse than
+    the committed entry"), so a reference to a file that was never
+    regenerated — or that a partial bench run left truncated — should fail
+    loudly here rather than silently weakening the next comparison. *)
+
+(* The action runs inside _build/default/test; the sources and the committed
+   BENCH files live at the repo root. *)
+let repo_root =
+  let cwd = Sys.getcwd () in
+  let marker = "/_build/" in
+  let rec find i =
+    if i + String.length marker > String.length cwd then None
+    else if String.sub cwd i (String.length marker) = marker then Some (String.sub cwd 0 i)
+    else find (i + 1)
+  in
+  match find 0 with Some root -> root | None -> cwd
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = In_channel.input_all ic in
+  close_in ic;
+  s
+
+(* ---- minimal JSON acceptor (no external JSON dependency in this tree) -------- *)
+
+exception Bad of string
+
+let parse_json (s : string) : unit =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Bad (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some x when x = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %C" c)
+  in
+  let literal word =
+    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word then
+      pos := !pos + String.length word
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let string_lit () =
+    expect '"';
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') ->
+              advance ();
+              go ()
+          | Some 'u' ->
+              advance ();
+              for _ = 1 to 4 do
+                match peek () with
+                | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
+                | _ -> fail "bad \\u escape"
+              done;
+              go ()
+          | _ -> fail "bad escape")
+      | Some c when Char.code c < 0x20 -> fail "control char in string"
+      | Some _ ->
+          advance ();
+          go ()
+    in
+    go ()
+  in
+  let number () =
+    let digits () =
+      let start = !pos in
+      let rec go () =
+        match peek () with
+        | Some '0' .. '9' ->
+            advance ();
+            go ()
+        | _ -> ()
+      in
+      go ();
+      if !pos = start then fail "expected digit"
+    in
+    (match peek () with Some '-' -> advance () | _ -> ());
+    digits ();
+    (match peek () with
+    | Some '.' ->
+        advance ();
+        digits ()
+    | _ -> ());
+    match peek () with
+    | Some ('e' | 'E') ->
+        advance ();
+        (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+        digits ()
+    | _ -> ()
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then advance ()
+        else
+          let rec members () =
+            skip_ws ();
+            string_lit ();
+            skip_ws ();
+            expect ':';
+            value ();
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ()
+            | Some '}' -> advance ()
+            | _ -> fail "expected ',' or '}'"
+          in
+          members ()
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then advance ()
+        else
+          let rec elements () =
+            value ();
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elements ()
+            | Some ']' -> advance ()
+            | _ -> fail "expected ',' or ']'"
+          in
+          elements ()
+    | Some '"' -> string_lit ()
+    | Some ('-' | '0' .. '9') -> number ()
+    | Some 't' -> literal "true"
+    | Some 'f' -> literal "false"
+    | Some 'n' -> literal "null"
+    | _ -> fail "expected a JSON value"
+  in
+  value ();
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage"
+
+(* ---- collect BENCH_*.json references ------------------------------------------ *)
+
+let is_name_char = function
+  | 'A' .. 'Z' | 'a' .. 'z' | '0' .. '9' | '_' -> true
+  | _ -> false
+
+let bench_refs text =
+  let refs = ref [] in
+  let n = String.length text in
+  let i = ref 0 in
+  while !i < n do
+    (match String.index_from_opt text !i 'B' with
+    | None -> i := n
+    | Some j ->
+        if j + 6 <= n && String.sub text j 6 = "BENCH_" then begin
+          let e = ref (j + 6) in
+          while !e < n && is_name_char text.[!e] do
+            incr e
+          done;
+          if !e + 5 <= n && String.sub text !e 5 = ".json" then begin
+            let name = String.sub text j (!e + 5 - j) in
+            if not (List.mem name !refs) then refs := name :: !refs
+          end;
+          i := j + 1
+        end
+        else i := j + 1);
+  done;
+  List.rev !refs
+
+let () =
+  let sources = [ "ROADMAP.md"; Filename.concat "bench" "main.ml" ] in
+  let referenced =
+    List.concat_map
+      (fun rel ->
+        let path = Filename.concat repo_root rel in
+        if Sys.file_exists path then bench_refs (read_file path)
+        else begin
+          Fmt.epr "smoke_bench_files: missing source %s@." path;
+          exit 1
+        end)
+      sources
+    |> List.sort_uniq compare
+  in
+  if referenced = [] then begin
+    Fmt.epr "smoke_bench_files: no BENCH_*.json references found (scan broken?)@.";
+    exit 1
+  end;
+  let failures = ref 0 in
+  List.iter
+    (fun name ->
+      let path = Filename.concat repo_root name in
+      if not (Sys.file_exists path) then begin
+        incr failures;
+        Fmt.epr "smoke_bench_files: %s is referenced but not committed@." name
+      end
+      else
+        match parse_json (read_file path) with
+        | () -> Fmt.pr "smoke_bench_files: %s OK@." name
+        | exception Bad msg ->
+            incr failures;
+            Fmt.epr "smoke_bench_files: %s does not parse: %s@." name msg)
+    referenced;
+  if !failures > 0 then exit 1;
+  Fmt.pr "smoke_bench_files: %d referenced baseline file(s) present and well-formed@."
+    (List.length referenced)

@@ -55,6 +55,34 @@ let test_rng_categorical () =
   check (Alcotest.float 0.03) "p0" 0.1 (float_of_int counts.(0) /. 10000.0);
   check (Alcotest.float 0.03) "p2" 0.7 (float_of_int counts.(2) /. 10000.0)
 
+let test_rng_categorical_nonfinite_total () =
+  (* A NaN/∞/zero weight total must degrade to a uniform draw, not a silent
+     constant pick (the cumulative scan never fires on a NaN total and used
+     to return the last index every time). *)
+  List.iter
+    (fun weights ->
+      let rng = Rng.create 21 in
+      let n = Array.length weights in
+      let counts = Array.make n 0 in
+      let draws = 3000 in
+      for _ = 1 to draws do
+        let i = Rng.categorical rng weights in
+        if i < 0 || i >= n then Alcotest.failf "categorical out of bounds: %d" i;
+        counts.(i) <- counts.(i) + 1
+      done;
+      Array.iteri
+        (fun i c ->
+          check (Alcotest.float 0.05) (Fmt.str "uniform fallback idx %d" i)
+            (1.0 /. float_of_int n)
+            (float_of_int c /. float_of_int draws))
+        counts)
+    [
+      [| Float.nan; 1.0; 1.0 |];
+      [| Float.infinity; 1.0; 1.0; 1.0 |];
+      [| 0.0; 0.0 |];
+      [| -1.0; -2.0; -3.0 |];
+    ]
+
 let test_rng_shuffle_permutation () =
   let rng = Rng.create 17 in
   let arr = Array.init 20 Fun.id in
@@ -167,8 +195,47 @@ let test_group_by () =
 let test_top_k_by () =
   check Alcotest.(list int) "top 2" [ 9; 7 ] (Listx.top_k_by float_of_int 2 [ 3; 9; 1; 7 ])
 
+let test_top_k_by_nan_and_ties () =
+  (* NaN scores rank as -inf (never above a finite score; ties with a real
+     -inf resolve by input order)… *)
+  let score = function 0 -> Float.nan | 1 -> Float.neg_infinity | n -> float_of_int n in
+  check Alcotest.(list int) "nan never beats finite" [ 5; 2; 0 ] (Listx.top_k_by score 3 [ 0; 1; 2; 5 ]);
+  check Alcotest.(list int) "nan/-inf tie is stable" [ 5; 2; 1 ] (Listx.top_k_by score 3 [ 1; 0; 2; 5 ]);
+  (* …equal scores keep input order (stability)… *)
+  check
+    Alcotest.(list (pair int string))
+    "stable ties"
+    [ (2, "a"); (2, "b"); (1, "c") ]
+    (Listx.top_k_by (fun (s, _) -> float_of_int s) 3 [ (2, "a"); (1, "c"); (2, "b") ]);
+  (* …and the score function runs once per element, not once per comparison. *)
+  let calls = ref 0 in
+  let counted x = incr calls; float_of_int x in
+  ignore (Listx.top_k_by counted 2 [ 5; 3; 8; 1; 9; 2 ]);
+  check Alcotest.int "score called n times" 6 !calls
+
 let test_dedup_stable () =
   check Alcotest.(list int) "dedup" [ 3; 1; 2 ] (Listx.dedup_stable ( = ) [ 3; 1; 3; 2; 1 ])
+
+(* ---- Heap ------------------------------------------------------------------- *)
+
+let qcheck_heap_drains_sorted =
+  qtest "heap pops in descending order" QCheck.(list int) (fun l ->
+      let h = Heap.create ~cmp:Int.compare in
+      List.iter (Heap.push h) l;
+      if Heap.length h <> List.length l then false
+      else begin
+        let rec drain acc =
+          match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+        in
+        drain [] = List.sort (fun a b -> Int.compare b a) l && Heap.is_empty h
+      end)
+
+let test_heap_peek () =
+  let h = Heap.create ~cmp:Int.compare in
+  check Alcotest.(option int) "empty peek" None (Heap.peek h);
+  List.iter (Heap.push h) [ 3; 9; 1 ];
+  check Alcotest.(option int) "peek max" (Some 9) (Heap.peek h);
+  check Alcotest.int "peek does not pop" 3 (Heap.length h)
 
 let qcheck_take_length =
   qtest "take length" QCheck.(pair small_nat (list int)) (fun (n, l) ->
@@ -182,6 +249,8 @@ let suite =
     Alcotest.test_case "rng split" `Quick test_rng_split_independent;
     Alcotest.test_case "rng gaussian moments" `Quick test_rng_gaussian_moments;
     Alcotest.test_case "rng categorical" `Quick test_rng_categorical;
+    Alcotest.test_case "rng categorical non-finite total" `Quick
+      test_rng_categorical_nonfinite_total;
     Alcotest.test_case "rng shuffle permutation" `Quick test_rng_shuffle_permutation;
     qcheck_sample_indices;
     qcheck_weighted_sample_indices;
@@ -195,6 +264,9 @@ let suite =
     Alcotest.test_case "subsets" `Quick test_subsets;
     Alcotest.test_case "group_by" `Quick test_group_by;
     Alcotest.test_case "top_k_by" `Quick test_top_k_by;
+    Alcotest.test_case "top_k_by nan/ties/one-score-per-element" `Quick test_top_k_by_nan_and_ties;
     Alcotest.test_case "dedup_stable" `Quick test_dedup_stable;
+    qcheck_heap_drains_sorted;
+    Alcotest.test_case "heap peek" `Quick test_heap_peek;
     qcheck_take_length;
   ]
