@@ -13,7 +13,7 @@
     continues from the newest valid snapshot; [--clip-grad] bounds the
     global gradient norm on every optimizer step.  Experiments:
       table1 table2 accuracy provenances table4 table5 fig18 fig19 pacman
-      micro batch budget resilience service
+      micro batch budget resilience service incr
 
     Each run prints paper-reported reference numbers alongside measured ones
     (marked [paper]); see EXPERIMENTS.md for the recorded comparison. *)
@@ -1226,6 +1226,130 @@ query n_path|}
   close_out oc;
   Fmt.pr "@.  wrote BENCH_service.json (%d measurements)@." (List.length !results)
 
+(* ---- incremental maintenance (BENCH_incr.json) ---------------------------------------------------- *)
+
+(* Steady-state update cost of the incremental session engine
+   ({!Scallop_incr.Incr}) on the transitive-closure chain: each round
+   asserts a batch of fresh edges at the chain tip and brings the
+   materialized [path] view up to date, timed against a full cold
+   re-derivation of the same EDB.  Every round's incremental result is
+   compared bit-for-bit against the cold run, so this benchmark doubles as
+   a correctness check; the acceptance gate is a >=5x steady-state speedup
+   for single-fact updates under the exact-incremental provenances
+   (boolean, minmaxprob).  A topkproofs row is reported uncached for
+   contrast: that class falls back to cold recomputation, so its speedup
+   hovers around 1x by design. *)
+let bench_incr (m : mode) =
+  section "Incremental maintenance: update latency vs full re-run (writes BENCH_incr.json)";
+  let open Scallop_core in
+  let module Incr = Scallop_incr.Incr in
+  let tc_src =
+    {|type edge(i32, i32)
+rel path(a, b) = edge(a, b)
+rel path(a, c) = path(a, b), edge(b, c)
+query path|}
+  in
+  let pair a b = Tuple.of_list [ Value.int Value.I32 a; Value.int Value.I32 b ] in
+  (* bit-exact result equality: same relations, tuples, and output arms,
+     floats compared with Float.equal (no tolerance) *)
+  let output_equal (a : Provenance.Output.t) (b : Provenance.Output.t) =
+    match (a, b) with
+    | Provenance.Output.O_prob x, Provenance.Output.O_prob y -> Float.equal x y
+    | a, b -> a = b
+  in
+  let results_equal (a : Session.result) (b : Session.result) =
+    List.length a.Session.outputs = List.length b.Session.outputs
+    && List.for_all2
+         (fun (pa, la) (pb, lb) ->
+           String.equal pa pb
+           && List.length la = List.length lb
+           && List.for_all2
+                (fun (ta, oa) (tb, ob) -> Tuple.compare ta tb = 0 && output_equal oa ob)
+                la lb)
+         a.Session.outputs b.Session.outputs
+  in
+  let prob_for i = 0.5 +. (float_of_int (i mod 50) /. 100.0) in
+  let assert_edge t i = Incr.assert_fact t ~pred:"edge" ~prob:(prob_for i) (pair i (i + 1)) in
+  let results = ref [] in
+  let single_fact = ref [] in
+  (* One fresh session per configuration: assert the initial chain, pay the
+     first full derivation, then measure the steady state. *)
+  let run_config ~prov_name ~spec ~n ~batch ~rounds =
+    let t = Incr.open_session ~spec tc_src in
+    for i = 0 to n - 1 do
+      assert_edge t i
+    done;
+    ignore (Incr.query t);
+    let tip = ref n in
+    let incr_total = ref 0.0 and cold_total = ref 0.0 in
+    for _ = 1 to rounds do
+      let t0 = Scallop_utils.Monotonic.now () in
+      for _ = 1 to batch do
+        assert_edge t !tip;
+        incr tip
+      done;
+      let got = Incr.query t in
+      incr_total := !incr_total +. (Scallop_utils.Monotonic.now () -. t0);
+      let t0 = Scallop_utils.Monotonic.now () in
+      let cold = Incr.run_cold t in
+      cold_total := !cold_total +. (Scallop_utils.Monotonic.now () -. t0);
+      if not (results_equal got cold) then begin
+        incr bench_failures;
+        Fmt.pr "  FAIL: %s batch=%d: incremental result diverges from cold run@." prov_name
+          batch
+      end
+    done;
+    let incr_mean = !incr_total /. float_of_int rounds in
+    let cold_mean = !cold_total /. float_of_int rounds in
+    let speedup = if incr_mean > 0.0 then cold_mean /. incr_mean else 0.0 in
+    let exact = Incr.is_exact t in
+    Fmt.pr "  %-12s n=%-4d batch=%-3d rounds=%-3d incr %8.3f ms  cold %8.3f ms  %7.1fx  (%a)@."
+      prov_name n batch rounds (1000.0 *. incr_mean) (1000.0 *. cold_mean) speedup
+      Incr.pp_session_stats (Incr.stats t);
+    Format.pp_print_flush Format.std_formatter ();
+    if batch = 1 && exact then single_fact := (prov_name, speedup) :: !single_fact;
+    results :=
+      Fmt.str
+        {|    {"workload": "tc-chain-extend", "provenance": %S, "engine": %S, "n": %d, "batch": %d, "rounds": %d, "incr_mean_ms": %.3f, "cold_mean_ms": %.3f, "speedup": %.2f}|}
+        prov_name
+        (if exact then "delta" else "recompute")
+        n batch rounds (1000.0 *. incr_mean) (1000.0 *. cold_mean) speedup
+      :: !results;
+    Incr.close t
+  in
+  let n = if m.quick then 300 else 500 in
+  let rounds b = if m.quick then if b >= 64 then 3 else 6 else if b >= 64 then 5 else 12 in
+  List.iter
+    (fun (prov_name, spec) ->
+      List.iter
+        (fun batch -> run_config ~prov_name ~spec ~n ~batch ~rounds:(rounds batch))
+        [ 1; 8; 64 ])
+    [ ("boolean", Registry.Boolean); ("minmaxprob", Registry.Max_min_prob) ];
+  (* the inexact class: cold-recompute fallback, reported for contrast *)
+  run_config ~prov_name:"topkproofs-3" ~spec:(Registry.Top_k_proofs 3) ~n:60 ~batch:1
+    ~rounds:3;
+  (* acceptance gate: single-fact updates must be >=5x faster than a full
+     re-derivation under every exact-incremental provenance measured *)
+  List.iter
+    (fun (prov_name, speedup) ->
+      if speedup < 5.0 then begin
+        incr bench_failures;
+        Fmt.pr "  FAIL: %s single-fact speedup %.2fx is below the 5x gate@." prov_name speedup
+      end)
+    !single_fact;
+  let gate_min =
+    List.fold_left (fun acc (_, s) -> Float.min acc s) infinity !single_fact
+  in
+  let oc = open_out "BENCH_incr.json" in
+  output_string oc "{\n  \"benchmarks\": [\n";
+  output_string oc (String.concat ",\n" (List.rev !results));
+  output_string oc "\n  ],\n";
+  output_string oc
+    (Fmt.str "  \"single_fact_speedup_min\": %.2f,\n  \"single_fact_speedup_gate\": 5.0\n}\n"
+       (if gate_min = infinity then 0.0 else gate_min));
+  close_out oc;
+  Fmt.pr "@.  wrote BENCH_incr.json (%d measurements)@." (List.length !results)
+
 (* ---- driver --------------------------------------------------------------------------------------- *)
 
 let all_experiments =
@@ -1244,6 +1368,7 @@ let all_experiments =
     ("budget", bench_budget);
     ("resilience", bench_resilience);
     ("service", bench_service);
+    ("incr", bench_incr);
   ]
 
 let () =

@@ -248,9 +248,65 @@ let repl_cmd =
 
 (* ---- [scallop serve]: the supervised inference service over stdio ------------ *)
 
+(* Fact atoms for the stateful verbs: "0.9::edge(0, 1)" or "edge(0, 1)".
+   Values: true/false, integers (i32), floats (f64), "quoted" or bare
+   strings; [Incr] coerces them to the relation's declared column types. *)
+let parse_serve_value (s : string) : Value.t =
+  let s = String.trim s in
+  if String.equal s "true" then Value.bool true
+  else if String.equal s "false" then Value.bool false
+  else
+    match int_of_string_opt s with
+    | Some n -> Value.int Value.I32 n
+    | None -> (
+        match float_of_string_opt s with
+        | Some f -> Value.float Value.F64 f
+        | None ->
+            let n = String.length s in
+            if n >= 2 && s.[0] = '"' && s.[n - 1] = '"' then
+              Value.string (String.sub s 1 (n - 2))
+            else Value.string s)
+
+let parse_fact_atom (s : string) : float option * string * Tuple.t =
+  let s = String.trim s in
+  let prob, rest =
+    match String.index_opt s ':' with
+    | Some i when i + 1 < String.length s && s.[i + 1] = ':' -> (
+        let p = String.sub s 0 i in
+        match float_of_string_opt p with
+        | Some f -> (Some f, String.sub s (i + 2) (String.length s - i - 2))
+        | None -> Session.invalid_input "bad probability %S in fact %S" p s)
+    | _ -> (None, s)
+  in
+  let n = String.length rest in
+  match String.index_opt rest '(' with
+  | None -> Session.invalid_input "bad fact %S: expected pred(v1, ...)" s
+  | Some _ when n = 0 || rest.[n - 1] <> ')' ->
+      Session.invalid_input "bad fact %S: missing closing paren" s
+  | Some l ->
+      let pred = String.trim (String.sub rest 0 l) in
+      if String.equal pred "" then Session.invalid_input "bad fact %S: empty predicate" s;
+      let inner = String.sub rest (l + 1) (n - l - 2) in
+      let vals =
+        if String.trim inner = "" then []
+        else List.map parse_serve_value (String.split_on_char ',' inner)
+      in
+      (prob, pred, Tuple.of_list vals)
+
+(* The k-th-token-onward suffix of a protocol line (verbs keep raw text —
+   programs and fact atoms contain spaces). *)
+let drop_tokens k s =
+  let n = String.length s in
+  let rec skip_ws i = if i < n && s.[i] = ' ' then skip_ws (i + 1) else i in
+  let rec skip_tok i = if i < n && s.[i] <> ' ' then skip_tok (i + 1) else i in
+  let rec go k i = if k = 0 then i else go (k - 1) (skip_ws (skip_tok i)) in
+  let i = go k (skip_ws 0) in
+  String.sub s i (n - i)
+
 let serve_cmd =
   let module Service = Scallop_serve.Service in
   let module Chaos = Scallop_serve.Chaos in
+  let module Incr = Scallop_incr.Incr in
   let queue_depth_arg =
     Arg.(
       value & opt int 64
@@ -333,7 +389,24 @@ let serve_cmd =
        line).  Replies stream on stdout in request order: zero or more
        [out <id> ...] rows, then exactly one [done <id> ok|error ...] status
        line per request.  Per-request failures are replies, not a process
-       failure: the exit status is 0 as long as the service answered. *)
+       failure: the exit status is 0 as long as the service answered.
+
+       A line starting with a stateful verb drives an incremental session
+       instead of a one-shot query:
+
+         open <sid> [hash=<hex>] <program>   compile (shared plan cache) + open
+         assert <sid> [<prob>::]<pred>(<args>)
+         retract <sid> <pred>(<args>)
+         query <sid> [<rel> ...]             rows + done, via the worker pool
+         close <sid>
+         stats                               plan-cache / WMC / session counters
+
+       Updates apply in line order (strictly serialized against the
+       session's in-flight queries); anything else is the legacy one-shot
+       path. *)
+    let sessions : (string, Incr.t * Service.ticket option ref) Hashtbl.t =
+      Hashtbl.create 8
+    in
     let pmutex = Mutex.create () in
     let pcond = Condition.create () in
     let pending = Queue.create () in
@@ -351,8 +424,9 @@ let serve_cmd =
             | None -> ()
             | Some (n, reply) ->
                 (match reply with
-                | Error e -> Fmt.pr "done %d error compile %s@." n (Session.error_string e)
-                | Ok ticket -> (
+                | `Err e -> Fmt.pr "done %d error compile %s@." n (Session.error_string e)
+                | `Lines lines -> List.iter (fun l -> Fmt.pr "%s@." l) lines
+                | `Ticket ticket -> (
                     let o = Service.await svc ticket in
                     let rung = Registry.spec_name o.Service.rung in
                     let ms = 1000.0 *. o.Service.latency in
@@ -376,6 +450,28 @@ let serve_cmd =
           loop ();
           Fmt.pr "%!")
     in
+    let push n reply =
+      Mutex.lock pmutex;
+      Queue.push (n, reply) pending;
+      Condition.signal pcond;
+      Mutex.unlock pmutex
+    in
+    (* Run a verb; protocol misuse surfaces as a typed Invalid_input reply. *)
+    let verb n f =
+      push n
+        (try f ()
+         with Session.Error e -> `Lines [ Fmt.str "done %d error %s" n (Session.error_string e) ])
+    in
+    let lookup sid =
+      match Hashtbl.find_opt sessions sid with
+      | Some entry -> entry
+      | None -> Session.invalid_input "unknown session %s" sid
+    in
+    (* Serialize updates against the session's in-flight query, so a later
+       assert can never be observed by an earlier query executing on a
+       worker domain. *)
+    let drain lastq = match !lastq with Some tk -> ignore (Service.await svc tk) | None -> () in
+    let unquote line = String.map (fun c -> if c = ';' then '\n' else c) line in
     let reqno = ref 0 in
     let rec read_loop () =
       match In_channel.input_line stdin with
@@ -384,16 +480,105 @@ let serve_cmd =
       | Some line ->
           let n = !reqno in
           incr reqno;
-          let src = String.map (fun c -> if c = ';' then '\n' else c) line in
-          let reply =
-            match Session.compile (base_src ^ src) with
-            | compiled -> Ok (Service.submit svc compiled)
-            | exception Session.Error e -> Error e
+          let words =
+            String.split_on_char ' ' (String.trim line)
+            |> List.filter (fun w -> not (String.equal w ""))
           in
-          Mutex.lock pmutex;
-          Queue.push (n, reply) pending;
-          Condition.signal pcond;
-          Mutex.unlock pmutex;
+          (match words with
+          | "open" :: sid :: _ ->
+              verb n (fun () ->
+                  if Hashtbl.mem sessions sid then
+                    Session.invalid_input "session %s already open" sid;
+                  let rest = String.trim (drop_tokens 2 line) in
+                  let expect_hash, prog =
+                    if String.length rest >= 5 && String.equal (String.sub rest 0 5) "hash="
+                    then
+                      let i =
+                        match String.index_opt rest ' ' with
+                        | Some i -> i
+                        | None -> String.length rest
+                      in
+                      ( Some (String.sub rest 5 (i - 5)),
+                        String.sub rest i (String.length rest - i) )
+                    else (None, rest)
+                  in
+                  let t =
+                    Incr.open_session ~config:config.Service.interp ?expect_hash
+                      ~spec:provenance
+                      (base_src ^ unquote prog)
+                  in
+                  Hashtbl.add sessions sid (t, ref None);
+                  `Lines
+                    [
+                      Fmt.str "done %d ok opened %s hash=%s engine=%s" n sid
+                        (Incr.program_hash t)
+                        (if Incr.is_exact t then "delta" else "recompute");
+                    ])
+          | "assert" :: sid :: _ ->
+              verb n (fun () ->
+                  let t, lastq = lookup sid in
+                  drain lastq;
+                  let prob, pred, tuple = parse_fact_atom (drop_tokens 2 line) in
+                  Incr.assert_fact t ~pred ?prob tuple;
+                  `Lines [ Fmt.str "done %d ok asserted %s" n sid ])
+          | "retract" :: sid :: _ ->
+              verb n (fun () ->
+                  let t, lastq = lookup sid in
+                  drain lastq;
+                  let prob, pred, tuple = parse_fact_atom (drop_tokens 2 line) in
+                  (match prob with
+                  | Some _ -> Session.invalid_input "retract takes no probability"
+                  | None -> ());
+                  Incr.retract_fact t ~pred tuple;
+                  `Lines [ Fmt.str "done %d ok retracted %s" n sid ])
+          | "query" :: sid :: rest ->
+              verb n (fun () ->
+                  let t, lastq = lookup sid in
+                  let outputs = match rest with [] -> None | l -> Some l in
+                  let tk =
+                    Service.submit_exec svc (fun ~rung:_ ~config ->
+                        Incr.query ?outputs ~budget:config.Interp.budget t)
+                  in
+                  lastq := Some tk;
+                  `Ticket tk)
+          | [ "close"; sid ] ->
+              verb n (fun () ->
+                  let t, lastq = lookup sid in
+                  drain lastq;
+                  Incr.close t;
+                  `Lines
+                    [
+                      Fmt.str "out %d session %s %a" n sid Incr.pp_session_stats
+                        (Incr.stats t);
+                      Fmt.str "done %d ok closed %s" n sid;
+                    ])
+          | [ "stats" ] ->
+              verb n (fun () ->
+                  let pc = Session.plan_cache_stats () in
+                  let wc = Wmc.cache_stats () in
+                  let open_sessions =
+                    Hashtbl.fold
+                      (fun _ (t, _) acc -> if Incr.is_closed t then acc else acc + 1)
+                      sessions 0
+                  in
+                  `Lines
+                    [
+                      Fmt.str "out %d plan-cache hits=%d misses=%d evictions=%d entries=%d"
+                        n pc.Session.hits pc.Session.misses pc.Session.evictions
+                        pc.Session.entries;
+                      Fmt.str
+                        "out %d wmc bdd-hits=%d bdd-misses=%d result-hits=%d \
+                         result-misses=%d resets=%d nodes=%d"
+                        n wc.Wmc.bdd_hits wc.Wmc.bdd_misses wc.Wmc.result_hits
+                        wc.Wmc.result_misses wc.Wmc.resets wc.Wmc.manager_nodes;
+                      Fmt.str "out %d sessions open=%d" n open_sessions;
+                      Fmt.str "done %d ok stats" n;
+                    ])
+          | _ ->
+              push n
+                (match Session.compile (base_src ^ unquote line) with
+                | compiled -> `Ticket (Service.submit svc compiled)
+                | exception Session.Error e -> `Err e));
           read_loop ()
     in
     read_loop ();

@@ -557,27 +557,89 @@ module Make (P : Provenance.S) = struct
             if P.saturated ~old:t_old merged then acc else Tuple.Map.add u merged acc)
       newly Tuple.Map.empty
 
+  (* Per-stratum iteration trace, appended to the profiling sink in stratum
+     order (shared by [eval_stratum] and [continue_stratum]). *)
+  let new_trace config sidx =
+    match config.stats with
+    | Some st ->
+        let tr = { Plan.stratum_index = sidx; iterations = 0; delta_sizes = [] } in
+        st.stratum_traces <- st.stratum_traces @ [ tr ];
+        Some tr
+    | None -> None
+
+  let record_iter config trace ?size () =
+    bump_stats config;
+    match trace with
+    | None -> ()
+    | Some tr ->
+        tr.iterations <- tr.iterations + 1;
+        (match size with Some n -> tr.delta_sizes <- n :: tr.delta_sizes | None -> ())
+
+  let delta_size ds = List.fold_left (fun acc (_, d) -> acc + Tuple.Map.cardinal d) 0 ds
+
+  (* The semi-naive inner loop: repeatedly evaluate each rule's delta
+     variants with the current delta relations bound under their mangled
+     names, ⊕-merge the normalized derivations, and recompute the deltas,
+     until every delta drains.  Returns the saturated database together with
+     the {e cumulative} per-head delta — the union of the seed and every
+     round's changed tuples, later (merged) tags winning — which is what
+     lets an incremental caller propagate a stratum's total change to the
+     strata downstream. *)
+  let delta_loop config mon cache trace (s : Plan.stratum) (db : db)
+      (deltas : (string * relation) list) start_iter : db * (string * relation) list =
+    let merge_acc acc ds =
+      List.map
+        (fun (h, cum) ->
+          match List.assoc_opt h ds with
+          | None -> (h, cum)
+          | Some d -> (h, Tuple.Map.union (fun _ _cum t_new -> Some t_new) cum d))
+        acc
+    in
+    let rec loop db deltas acc iters =
+      if List.for_all (fun (_, d) -> Tuple.Map.is_empty d) deltas then begin
+        mon.m_iterations <- iters - 1;
+        (db, acc)
+      end
+      else begin
+        check_iteration config mon ~next_iter:iters;
+        let db_with_deltas =
+          List.fold_left (fun a (h, d) -> SMap.add (Plan.delta_name h) d a) db deltas
+        in
+        let updates =
+          List.map
+            (fun (r : Plan.rule) ->
+              let newly =
+                normalize (List.concat_map (eval config mon cache db_with_deltas) r.Plan.deltas)
+              in
+              charge_tuples config mon (Tuple.Map.cardinal newly);
+              (r.Plan.head, newly))
+            s.Plan.rules
+        in
+        let deltas' =
+          List.map
+            (fun (h, newly) -> (h, delta_of ~old_rel:(relation_of db h) newly))
+            updates
+        in
+        let db' =
+          List.fold_left
+            (fun a (h, newly) -> SMap.add h (merge_newly (relation_of db h) newly) a)
+            db updates
+        in
+        record_iter config trace
+          ?size:(match trace with Some _ -> Some (delta_size deltas') | None -> None)
+          ();
+        loop db' deltas' (merge_acc acc deltas') (iters + 1)
+      end
+    in
+    loop db deltas deltas start_iter
+
   let eval_stratum config mon (db : db) (sidx : int) (s : Plan.stratum) : db =
     let heads = s.Plan.heads in
     mon.m_stratum <- sidx;
     mon.m_iterations <- 0;
     let cache = if config.cache_indices then Some (fresh_cache ()) else None in
-    let trace =
-      match config.stats with
-      | Some st ->
-          let tr = { Plan.stratum_index = sidx; iterations = 0; delta_sizes = [] } in
-          st.stratum_traces <- st.stratum_traces @ [ tr ];
-          Some tr
-      | None -> None
-    in
-    let record_iter ?size () =
-      bump_stats config;
-      match trace with
-      | None -> ()
-      | Some tr ->
-          tr.iterations <- tr.iterations + 1;
-          (match size with Some n -> tr.delta_sizes <- n :: tr.delta_sizes | None -> ())
-    in
+    let trace = new_trace config sidx in
+    let record_iter ?size () = record_iter config trace ?size () in
     let step (db : db) : db =
       List.fold_left
         (fun acc (r : Plan.rule) ->
@@ -622,47 +684,28 @@ module Make (P : Provenance.S) = struct
       let deltas =
         List.map (fun h -> (h, changed ~old_rel:(relation_of db h) (relation_of db1 h))) heads
       in
-      let delta_size ds =
-        List.fold_left (fun acc (_, d) -> acc + Tuple.Map.cardinal d) 0 ds
-      in
       record_iter ?size:(match trace with Some _ -> Some (delta_size deltas) | None -> None) ();
-      let rec loop db deltas iters =
-        if List.for_all (fun (_, d) -> Tuple.Map.is_empty d) deltas then begin
-          mon.m_iterations <- iters - 1;
-          db
-        end
-        else begin
-          check_iteration config mon ~next_iter:iters;
-          let db_with_deltas =
-            List.fold_left (fun acc (h, d) -> SMap.add (Plan.delta_name h) d acc) db deltas
-          in
-          let updates =
-            List.map
-              (fun (r : Plan.rule) ->
-                let newly =
-                  normalize
-                    (List.concat_map (eval config mon cache db_with_deltas) r.Plan.deltas)
-                in
-                charge_tuples config mon (Tuple.Map.cardinal newly);
-                (r.Plan.head, newly))
-              s.Plan.rules
-          in
-          let deltas' =
-            List.map
-              (fun (h, newly) -> (h, delta_of ~old_rel:(relation_of db h) newly))
-              updates
-          in
-          let db' =
-            List.fold_left
-              (fun acc (h, newly) -> SMap.add h (merge_newly (relation_of db h) newly) acc)
-              db updates
-          in
-          record_iter ?size:(match trace with Some _ -> Some (delta_size deltas') | None -> None) ();
-          loop db' deltas' (iters + 1)
-        end
-      in
-      loop db1 deltas 2
+      fst (delta_loop config mon cache trace s db1 deltas 2)
     end
+
+  (** Continue stratum [sidx]'s semi-naive fixed point from an
+      already-materialized state: [db] must contain head relations that
+      already ⊕-absorb every derivation not involving [deltas], and [deltas]
+      must carry the changed tuples under their merged tags (the
+      [changed]/[delta_of] convention).  Returns the saturated database and
+      the cumulative per-head delta, seed included.  Only meaningful for
+      recursive strata (non-recursive rules carry no delta variants).  With
+      an idempotent ⊕ whose saturation is equality (unit/boolean/minmaxprob)
+      the result is bit-identical to re-running the stratum from scratch on
+      the updated inputs — the contract the incremental maintenance engine
+      ([Incr]) is built on. *)
+  let continue_stratum config (mon : monitor) (db : db) (sidx : int) (s : Plan.stratum)
+      ~(deltas : (string * relation) list) : db * (string * relation) list =
+    mon.m_stratum <- sidx;
+    mon.m_iterations <- 0;
+    let cache = if config.cache_indices then Some (fresh_cache ()) else None in
+    let trace = new_trace config sidx in
+    delta_loop config mon cache trace s db deltas 1
 
   (* ---- programs ----------------------------------------------------------- *)
 

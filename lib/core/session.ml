@@ -304,3 +304,125 @@ let wmc_cache_stats = Wmc.cache_stats
 
 (** Drop every cached BDD and counted result on the calling domain. *)
 let clear_wmc_cache = Wmc.clear_cache
+
+(* ---- shared compiled-plan cache ------------------------------------------------
+
+   Multi-tenant serving compiles the same program text over and over: every
+   tenant of an incremental session ({!Incr}) runs the same rules over a
+   private EDB overlay.  Compiled programs are immutable once built
+   ([rel_types] is only read after compilation), so they can be shared
+   freely across sessions and domains.  The cache below memoizes [compile]
+   on a 64-bit FNV-1a hash of the source text — the same hash that names a
+   program in the serve protocol — with LRU eviction and hit/miss/eviction
+   counters, so sharing is measurable (`scallop serve`'s [stats] verb).
+
+   [load]-dependent compilations are not cached: an import loader makes the
+   compiled result depend on state outside the source text.  Callers with
+   imports must inline them (the serve layer concatenates the base program
+   into each request) or fall back to {!compile}. *)
+
+(** 64-bit FNV-1a of the program text, in hex — the identity under which a
+    compiled plan is shared across tenants. *)
+let source_hash (source : string) : string =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001b3L)
+    source;
+  Fmt.str "%016Lx" !h
+
+type plan_cache_stats = { hits : int; misses : int; evictions : int; entries : int }
+
+type plan_cache_entry = {
+  pc_source : string;  (** full text, to rule out hash collisions *)
+  pc_optimize : bool;
+  pc_compiled : compiled;
+  mutable pc_last_used : int;  (** LRU clock reading *)
+}
+
+let plan_cache : (string, plan_cache_entry) Hashtbl.t = Hashtbl.create 32
+let plan_cache_mutex = Mutex.create ()
+let plan_cache_clock = ref 0
+let plan_cache_limit = ref 64
+let plan_cache_hits = ref 0
+let plan_cache_misses = ref 0
+let plan_cache_evictions = ref 0
+
+let plan_cache_locked f =
+  Mutex.lock plan_cache_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock plan_cache_mutex) f
+
+(* Evict least-recently-used entries until the cap holds; requires the lock. *)
+let evict_over_limit_locked () =
+  while Hashtbl.length plan_cache > !plan_cache_limit do
+    let victim =
+      Hashtbl.fold
+        (fun key e acc ->
+          match acc with
+          | Some (_, best) when best.pc_last_used <= e.pc_last_used -> acc
+          | _ -> Some (key, e))
+        plan_cache None
+    in
+    match victim with
+    | Some (key, _) ->
+        Hashtbl.remove plan_cache key;
+        incr plan_cache_evictions
+    | None -> ()
+  done
+
+(** Cap on cached plans (default 64); shrinking evicts immediately. *)
+let set_plan_cache_limit n =
+  plan_cache_locked (fun () ->
+      plan_cache_limit := max 1 n;
+      evict_over_limit_locked ())
+
+let plan_cache_stats () : plan_cache_stats =
+  plan_cache_locked (fun () ->
+      {
+        hits = !plan_cache_hits;
+        misses = !plan_cache_misses;
+        evictions = !plan_cache_evictions;
+        entries = Hashtbl.length plan_cache;
+      })
+
+(** Drop every cached plan (counters survive). *)
+let clear_plan_cache () =
+  plan_cache_locked (fun () -> Hashtbl.reset plan_cache)
+
+(** [compile] memoized on {!source_hash}.  A hash collision (same hash,
+    different text) bypasses the cache rather than ever serving the wrong
+    plan.  Compilation happens outside the cache lock, so a slow compile
+    never blocks other tenants; two tenants racing on the same new program
+    may both compile, with one result cached. *)
+let compile_cached ?(optimize = true) (source : string) : compiled =
+  let key = source_hash source in
+  let cached =
+    plan_cache_locked (fun () ->
+        match Hashtbl.find_opt plan_cache key with
+        | Some e when String.equal e.pc_source source && e.pc_optimize = optimize ->
+            incr plan_cache_hits;
+            incr plan_cache_clock;
+            e.pc_last_used <- !plan_cache_clock;
+            Some e.pc_compiled
+        | _ ->
+            incr plan_cache_misses;
+            None)
+  in
+  match cached with
+  | Some c -> c
+  | None ->
+      let c = compile ~optimize source in
+      plan_cache_locked (fun () ->
+          if not (Hashtbl.mem plan_cache key) then begin
+            incr plan_cache_clock;
+            Hashtbl.replace plan_cache key
+              {
+                pc_source = source;
+                pc_optimize = optimize;
+                pc_compiled = c;
+                pc_last_used = !plan_cache_clock;
+              };
+            evict_over_limit_locked ()
+          end);
+      c

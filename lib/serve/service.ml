@@ -105,11 +105,20 @@ let default_config () =
 
 (* ---- requests --------------------------------------------------------------------- *)
 
-type payload = {
-  compiled : Session.compiled;
-  facts : (string * (Provenance.Input.t * Tuple.t) list) list;
-  outputs : string list option;
-}
+type payload =
+  | Run of {
+      compiled : Session.compiled;
+      facts : (string * (Provenance.Input.t * Tuple.t) list) list;
+      outputs : string list option;
+    }
+      (** a one-shot query: executed by [Session.run] under the rung the
+          degradation ladder currently grants *)
+  | Exec of (rung:Registry.spec -> config:Interp.config -> Session.result)
+      (** an opaque execution run under the same admission, deadline,
+          retry, chaos and watchdog machinery; receives the granted rung
+          and the per-attempt constrained config.  Incremental sessions
+          ([Incr]) submit these — they pin their own provenance, so they
+          ignore the rung, but still degrade by budget via the config. *)
 
 (** The single terminal verdict of a request. *)
 type outcome = {
@@ -423,9 +432,12 @@ let execute svc w my_gen (ticket : ticket) =
               in
               try
                 let result =
-                  Session.run ~config:run_cfg
-                    ~provenance:(Registry.create svc.ladder.(r))
-                    payload.compiled ~facts:payload.facts ?outputs:payload.outputs ()
+                  match payload with
+                  | Run { compiled; facts; outputs } ->
+                      Session.run ~config:run_cfg
+                        ~provenance:(Registry.create svc.ladder.(r))
+                        compiled ~facts ?outputs ()
+                  | Exec f -> f ~rung:svc.ladder.(r) ~config:run_cfg
                 in
                 let result =
                   if d.Chaos.nan then begin
@@ -658,10 +670,10 @@ let set_chaos svc chaos = locked svc (fun () -> svc.chaos <- chaos)
 let ladder svc = Array.to_list svc.ladder
 let breaker_states svc = Array.to_list (Array.map Breaker.state_name svc.breakers)
 
-(** Submit a request.  Never blocks and never raises: an admission
+(** Submit a payload.  Never blocks and never raises: an admission
     rejection (queue full / too old / service stopping) returns a ticket
     whose outcome is already [Error (Overloaded _)]. *)
-let submit svc ?outputs ?(facts = []) (compiled : Session.compiled) : ticket =
+let submit_payload svc (payload : payload) : ticket =
   locked svc (fun () ->
       let now = svc.config.now () in
       let id = svc.next_id in
@@ -671,7 +683,7 @@ let submit svc ?outputs ?(facts = []) (compiled : Session.compiled) : ticket =
         {
           id;
           submitted_at = now;
-          payload = Some { compiled; facts; outputs };
+          payload = Some payload;
           epoch = 0;
           attempts = 0;
           retries_used = 0;
@@ -699,6 +711,17 @@ let submit svc ?outputs ?(facts = []) (compiled : Session.compiled) : ticket =
         Condition.signal svc.nonempty
       end;
       ticket)
+
+(** Submit a one-shot query. *)
+let submit svc ?outputs ?(facts = []) (compiled : Session.compiled) : ticket =
+  submit_payload svc (Run { compiled; facts; outputs })
+
+(** Submit an opaque execution (see {!payload}): it runs on a worker domain
+    under the service's deadline/retry/chaos supervision with the granted
+    rung and per-attempt config passed in. *)
+let submit_exec svc (f : rung:Registry.spec -> config:Interp.config -> Session.result) :
+    ticket =
+  submit_payload svc (Exec f)
 
 (** Block until the ticket's terminal outcome. *)
 let await svc (ticket : ticket) : outcome =

@@ -194,3 +194,116 @@ let check_range ?(recursion = true) ~spec ~master_seed ~first ~count () : string
     | Error msg -> failures := msg :: !failures
   done;
   List.rev !failures
+
+(* ---- incremental sessions: assert/retract/query interleavings --------------- *)
+
+module Incr = Scallop_incr.Incr
+
+(* Bit-exact comparison — the incremental maintenance contract is identity,
+   not tolerance. *)
+let snapshots_bit_equal a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (pa, la) (pb, lb) ->
+         String.equal pa pb
+         && List.length la = List.length lb
+         && List.for_all2
+              (fun (ta, xa) (tb, xb) -> Tuple.compare ta tb = 0 && Float.equal xa xb)
+              la lb)
+       a b
+
+(* Random dynamic facts over the generated EDB relations; the 0..4 domain
+   overlaps the static 0..3 facts, so overlay-over-static tag merges and
+   pure tag changes both occur. *)
+let gen_dyn_fact rng : string * float * Tuple.t =
+  let pred = if Rng.int rng 2 = 0 then "e0" else "e1" in
+  let v n = Value.int Value.I32 n in
+  ( pred,
+    0.2 +. (0.8 *. Rng.float rng),
+    Tuple.of_list [ v (Rng.int rng 5); v (Rng.int rng 5) ] )
+
+(** Drive one random assert/retract/query interleaving against an
+    incremental session and demand bit-identity with the cold-run oracle
+    ({!Incr.run_cold}) at every query.  [Error msg] names the seed. *)
+let check_incr_seed ?(recursion = true) ?(ops = 16) ~(spec : Registry.spec)
+    ~(base_rng : Rng.t) ~(seed : int) () : (unit, string) result =
+  let rng = Rng.substream base_rng seed in
+  let src, _queried = gen_program ~recursion rng in
+  match Incr.open_session ~spec src with
+  | exception Session.Error e ->
+      Error
+        (Fmt.str "seed %d: generated program failed to open: %s@\n%s" seed
+           (Session.error_string e) src)
+  | t -> (
+      let live = ref [] in
+      let failure = ref None in
+      let do_assert () =
+        let pred, prob, tuple = gen_dyn_fact rng in
+        Incr.assert_fact t ~pred ~prob tuple;
+        live :=
+          (pred, tuple)
+          :: List.filter
+               (fun (p, u) -> not (String.equal p pred && Tuple.compare u tuple = 0))
+               !live
+      in
+      let check_query what =
+        let q = Incr.query t in
+        let c = Incr.run_cold t in
+        if not (snapshots_bit_equal (snapshot q) (snapshot c)) then
+          failure :=
+            Some
+              (Fmt.str "seed %d: %s: incremental result diverged from cold run@\n%s" seed
+                 what src)
+      in
+      (try
+         for op = 1 to ops do
+           if Option.is_none !failure then
+             match Rng.int rng 5 with
+             | 0 | 1 | 2 -> do_assert ()
+             | 3 -> (
+                 match !live with
+                 | [] -> do_assert ()
+                 | l ->
+                     let i = Rng.int rng (List.length l) in
+                     let pred, tuple = List.nth l i in
+                     Incr.retract_fact t ~pred tuple;
+                     live := List.filteri (fun j _ -> j <> i) l)
+             | _ -> check_query (Fmt.str "after op %d" op)
+         done;
+         if Option.is_none !failure then check_query "final state"
+       with Session.Error e ->
+         failure :=
+           Some
+             (Fmt.str "seed %d: session raised: %s@\n%s" seed (Session.error_string e) src));
+      match !failure with None -> Ok () | Some msg -> Error msg)
+
+(** Sequential seed sweep; returns the failures. *)
+let check_incr_range ?(recursion = true) ~spec ~master_seed ~first ~count () : string list =
+  let base_rng = Rng.create master_seed in
+  let failures = ref [] in
+  for seed = first to first + count - 1 do
+    match check_incr_seed ~recursion ~spec ~base_rng ~seed () with
+    | Ok () -> ()
+    | Error msg -> failures := msg :: !failures
+  done;
+  List.rev !failures
+
+(** The same sweep split across two domains running concurrently: sessions
+    in both domains share the compiled-plan cache ([Session.compile_cached]
+    is keyed by source hash), so this exercises multi-tenant sharing under
+    parallelism.  [Rng.substream] derives child streams without advancing
+    the parent, so concurrent derivation is safe and seeds stay stable. *)
+let check_incr_parallel ?(recursion = true) ~spec ~master_seed ~first ~count () :
+    string list =
+  let base_rng = Rng.create master_seed in
+  let sweep first count =
+    List.init count (fun i -> first + i)
+    |> List.filter_map (fun seed ->
+           match check_incr_seed ~recursion ~spec ~base_rng ~seed () with
+           | Ok () -> None
+           | Error msg -> Some msg)
+  in
+  let half = count / 2 in
+  let other = Domain.spawn (fun () -> sweep (first + half) (count - half)) in
+  let mine = sweep first half in
+  mine @ Domain.join other

@@ -25,4 +25,5 @@ let () =
       ("serialize", Test_serialize.suite);
       ("resilience", Test_resilience.suite);
       ("service", Test_service.suite);
+      ("incr", Test_incr.suite);
     ]

@@ -1,0 +1,148 @@
+(** Incremental-session smoke, run by [dune build @smoke]: 50 mixed
+    open/assert/retract/query/close/stats requests piped through
+    [scallop serve --jobs 2] driving two concurrent sessions over a shared
+    compiled plan.  Every request must get exactly one [done <id> ...]
+    status line, the only error replies must be the two deliberate protocol
+    misuses, and the final query's rows must equal a transitive closure
+    computed independently here.  Exits nonzero otherwise. *)
+
+module SSet = Set.Make (struct
+  type t = int * int
+
+  let compare = compare
+end)
+
+let failures = ref 0
+let fail fmt = Fmt.kstr (fun m -> incr failures; Fmt.epr "smoke: %s@." m) fmt
+
+let program =
+  "type edge(i32, i32); rel path(a, b) = edge(a, b); rel path(a, c) = path(a, b), edge(b, \
+   c); query path"
+
+(* Independent oracle: transitive closure of the mirrored edge set. *)
+let closure (edges : SSet.t) : SSet.t =
+  let rec fix paths =
+    let paths' =
+      SSet.fold
+        (fun (a, b) acc ->
+          SSet.fold
+            (fun (c, d) acc -> if b = c then SSet.add (a, d) acc else acc)
+            edges acc)
+        paths paths
+    in
+    if SSet.equal paths' paths then paths else fix paths'
+  in
+  fix edges
+
+let () =
+  let requests = ref [] in
+  let push fmt = Fmt.kstr (fun l -> requests := l :: !requests) fmt in
+  let edges = ref SSet.empty in
+  (* ids 0-1: open both tenants *)
+  push "open s1 %s" program;
+  push "open s2 %s" program;
+  (* ids 2-44: deterministic mixed updates and queries on both sessions *)
+  for i = 0 to 42 do
+    match i mod 6 with
+    | 0 | 1 ->
+        let a = i mod 7 and b = (i + 1) mod 7 in
+        edges := SSet.add (a, b) !edges;
+        push "assert s1 edge(%d, %d)" a b
+    | 2 -> push "assert s2 edge(%d, %d)" (i mod 5) ((i * 3) mod 5)
+    | 3 when not (SSet.is_empty !edges) ->
+        let a, b = SSet.min_elt !edges in
+        edges := SSet.remove (a, b) !edges;
+        push "retract s1 edge(%d, %d)" a b
+    | 3 -> push "query s1"
+    | 4 -> push "query s1"
+    | _ -> push "query s2"
+  done;
+  (* ids 45-46: the deliberate protocol misuses *)
+  push "retract s2 edge(99, 99)";
+  push "query nosuch";
+  (* id 47: cache observability; id 48: the content-checked final query *)
+  push "stats";
+  push "query s1";
+  let final_query_id = List.length !requests - 1 in
+  (* id 49: close one tenant *)
+  push "close s2";
+  let requests = List.rev !requests in
+  let n_requests = List.length requests in
+  if n_requests <> 50 then fail "request script has %d lines, wanted 50" n_requests;
+
+  let cmd = "../bin/scallop.exe serve -p boolean --jobs 2 2>/dev/null" in
+  let out, into = Unix.open_process cmd in
+  List.iter (fun l -> output_string into (l ^ "\n")) requests;
+  close_out into;
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line out :: !lines
+     done
+   with End_of_file -> ());
+  let lines = List.rev !lines in
+  (match Unix.close_process (out, into) with
+  | Unix.WEXITED 0 -> ()
+  | Unix.WEXITED n -> fail "scallop serve exited %d" n
+  | Unix.WSIGNALED n | Unix.WSTOPPED n -> fail "scallop serve killed by signal %d" n);
+
+  let starts_with p l = String.length l >= String.length p && String.sub l 0 (String.length p) = p in
+  let done_lines = List.filter (starts_with "done ") lines in
+  if List.length done_lines <> n_requests then
+    fail "%d done-lines for %d requests" (List.length done_lines) n_requests;
+  let error_lines =
+    List.filter
+      (fun l -> List.exists (String.equal "error") (String.split_on_char ' ' l))
+      done_lines
+  in
+  let expected_errors =
+    [
+      "done 45 error retract edge(99, 99): fact was never asserted";
+      "done 46 error unknown session nosuch";
+    ]
+  in
+  if List.length error_lines <> 2 then
+    fail "expected exactly 2 error replies, got %d: %a" (List.length error_lines)
+      Fmt.(Dump.list string)
+      error_lines;
+  List.iter
+    (fun g ->
+      if not (List.exists (String.equal g) lines) then fail "missing golden reply %S" g)
+    expected_errors;
+
+  (* plan-cache sharing is observable: both tenants compiled one plan *)
+  (match List.find_opt (starts_with "out 47 plan-cache") lines with
+  | None -> fail "no plan-cache stats line"
+  | Some l ->
+      (* one miss (first open), at least one hit (second open) *)
+      let has needle =
+        let nh = String.length l and nn = String.length needle in
+        let rec go i = i + nn <= nh && (String.sub l i nn = needle || go (i + 1)) in
+        go 0
+      in
+      if not (has "entries=1") then fail "plan cache should hold 1 entry: %S" l;
+      if has "hits=0" then fail "second open should hit the plan cache: %S" l);
+
+  (* content check: the final query's rows = independently computed closure *)
+  let prefix = Fmt.str "out %d true::path(" final_query_id in
+  let got =
+    List.filter_map
+      (fun l ->
+        if not (starts_with prefix l) then None
+        else
+          let inner = String.sub l (String.length prefix) (String.length l - String.length prefix - 1) in
+          match String.split_on_char ',' inner with
+          | [ a; b ] ->
+              Some (int_of_string (String.trim a), int_of_string (String.trim b))
+          | _ -> None)
+      lines
+    |> SSet.of_list
+  in
+  let want = closure !edges in
+  if not (SSet.equal got want) then
+    fail "final query: got %d path rows, oracle says %d" (SSet.cardinal got)
+      (SSet.cardinal want);
+
+  Fmt.pr "smoke: incr serve soak answered %d/%d requests, final closure %d rows ok@."
+    (List.length done_lines) n_requests (SSet.cardinal want);
+  if !failures > 0 then exit 1

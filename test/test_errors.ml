@@ -180,6 +180,90 @@ let test_transient_classification () =
        (Exec_error.Budget_exceeded
           { kind = Exec_error.Iterations; stratum = 1; iterations = 7; elapsed = 0.2 }))
 
+(* ---- stateful session protocol errors ---------------------------------------- *)
+
+let incr_src =
+  "type edge(i32, i32)\nrel path(a, b) = edge(a, b)\nquery path"
+
+let expect_invalid expected f =
+  match f () with
+  | _ -> Alcotest.failf "expected Invalid_input %S" expected
+  | exception Session.Error e ->
+      (match e with
+      | Exec_error.Invalid_input _ -> ()
+      | _ -> Alcotest.failf "wrong constructor: %s" (Session.error_string e));
+      check Alcotest.string "rendered message" expected (Session.error_string e)
+
+let test_incr_retract_never_asserted () =
+  let module Incr = Scallop_incr.Incr in
+  let t = Incr.open_session ~spec:Registry.Boolean incr_src in
+  expect_invalid "retract edge(4, 5): fact was never asserted" (fun () ->
+      Incr.retract_fact t ~pred:"edge"
+        (Tuple.of_list [ Value.int Value.I32 4; Value.int Value.I32 5 ]))
+
+let test_incr_closed_session () =
+  let module Incr = Scallop_incr.Incr in
+  let t = Incr.open_session ~spec:Registry.Boolean incr_src in
+  Incr.close t;
+  expect_invalid "session is closed" (fun () -> Incr.query t);
+  expect_invalid "session is closed" (fun () -> Incr.close t)
+
+let test_incr_unknown_relation () =
+  let module Incr = Scallop_incr.Incr in
+  let t = Incr.open_session ~spec:Registry.Boolean incr_src in
+  expect_invalid "assert into unknown relation nope" (fun () ->
+      Incr.assert_fact t ~pred:"nope" (Tuple.of_list [ Value.int Value.I32 0 ]))
+
+let test_incr_hash_mismatch () =
+  let module Incr = Scallop_incr.Incr in
+  let actual = Session.source_hash incr_src in
+  expect_invalid
+    (Fmt.str "program hash mismatch: expected deadbeefdeadbeef, source hashes to %s" actual)
+    (fun () ->
+      Incr.open_session ~spec:Registry.Boolean ~expect_hash:"deadbeefdeadbeef" incr_src)
+
+(* The serve protocol renders the same typed errors as replies, never as a
+   process failure: exit status stays 0 and each misuse gets its own
+   [done <id> error <msg>] line. *)
+let test_cli_serve_protocol_errors () =
+  let dir = Filename.temp_file "scallop_serve" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o700;
+  let path name = Filename.concat dir name in
+  Out_channel.with_open_text (path "in.txt") (fun oc ->
+      output_string oc
+        ("open s1 type edge(i32, i32); rel path(a, b) = edge(a, b); query path\n"
+       ^ "retract s1 edge(4, 5)\n" ^ "query nosuch\n" ^ "open s1 rel p = {(1)}\n"
+       ^ "close s1\n" ^ "query s1\n"));
+  let cmd =
+    Fmt.str "../bin/scallop.exe serve < %s > %s 2> %s"
+      (Filename.quote (path "in.txt"))
+      (Filename.quote (path "out.txt"))
+      (Filename.quote (path "err.txt"))
+  in
+  let code = Sys.command cmd in
+  let lines =
+    In_channel.with_open_text (path "out.txt") In_channel.input_all
+    |> String.split_on_char '\n'
+    |> List.filter (fun l -> not (String.equal l ""))
+  in
+  Array.iter (fun f -> Sys.remove (path f)) (Sys.readdir dir);
+  Sys.rmdir dir;
+  check Alcotest.int "protocol errors are replies, not failures" 0 code;
+  let golden =
+    [
+      "done 1 error retract edge(4, 5): fact was never asserted";
+      "done 2 error unknown session nosuch";
+      "done 3 error session s1 already open";
+      "done 5 error rung=boolean attempts=1 session is closed";
+    ]
+  in
+  List.iter
+    (fun g ->
+      if not (List.exists (String.equal g) lines) then
+        Alcotest.failf "missing golden reply %S in %a" g Fmt.(Dump.list string) lines)
+    golden
+
 (* ---- CLI per-file error policy ---------------------------------------------- *)
 
 (* One bad file and one good file: the run must exit nonzero, report the bad
@@ -236,4 +320,10 @@ let suite =
       test_transient_classification;
     Alcotest.test_case "CLI: per-file errors, nonzero exit at end" `Quick
       test_cli_per_file_errors;
+    Alcotest.test_case "incr: retract never asserted" `Quick test_incr_retract_never_asserted;
+    Alcotest.test_case "incr: closed session" `Quick test_incr_closed_session;
+    Alcotest.test_case "incr: unknown relation" `Quick test_incr_unknown_relation;
+    Alcotest.test_case "incr: hash mismatch" `Quick test_incr_hash_mismatch;
+    Alcotest.test_case "CLI serve: protocol errors are typed replies" `Quick
+      test_cli_serve_protocol_errors;
   ]

@@ -18,6 +18,19 @@ let check_spec ?(recursion = true) name spec ~first ~count () =
         (List.length failures) count name master_seed
         (String.concat "\n---\n" shown)
 
+let check_incr ?(recursion = true) ?(parallel = false) name spec ~first ~count () =
+  let sweep =
+    if parallel then Fuzz_gen.check_incr_parallel else Fuzz_gen.check_incr_range
+  in
+  match sweep ~recursion ~spec ~master_seed ~first ~count () with
+  | [] -> ()
+  | failures ->
+      let shown = List.filteri (fun i _ -> i < 3) failures in
+      Alcotest.failf
+        "%d of %d interleavings diverged under %s (master seed %#x):@\n%s"
+        (List.length failures) count name master_seed
+        (String.concat "\n---\n" shown)
+
 let suite =
   [
     Alcotest.test_case "boolean: 70 programs, all modes agree" `Slow
@@ -29,4 +42,15 @@ let suite =
     Alcotest.test_case "topkproofs-3: 60 non-recursive programs, all modes agree" `Slow
       (check_spec ~recursion:false "topkproofs-3" (Registry.Top_k_proofs 3) ~first:200
          ~count:60);
+    (* incremental sessions: random assert/retract/query interleavings must
+       stay bit-identical to a cold run on the final EDB at every query *)
+    Alcotest.test_case "incr boolean: 40 interleavings ≡ cold run" `Slow
+      (check_incr "incr-boolean" Registry.Boolean ~first:300 ~count:40);
+    Alcotest.test_case "incr minmaxprob: 40 interleavings ≡ cold run" `Slow
+      (check_incr "incr-minmaxprob" Registry.Max_min_prob ~first:400 ~count:40);
+    Alcotest.test_case "incr topkproofs-3: 25 non-recursive interleavings ≡ cold run" `Slow
+      (check_incr ~recursion:false "incr-topkproofs-3" (Registry.Top_k_proofs 3)
+         ~first:500 ~count:25);
+    Alcotest.test_case "incr boolean: 2-domain shared-plan sweep" `Slow
+      (check_incr ~parallel:true "incr-boolean-par" Registry.Boolean ~first:600 ~count:24);
   ]
