@@ -521,41 +521,64 @@ query sizes|}
                        ] )))) );
     ]
   in
-  let time_once ~cache ~spec compiled facts =
-    let config = { (Interp.default_config ()) with Interp.cache_indices = cache } in
+  let time_once ~cache ~columnar ~spec compiled facts =
+    let config =
+      { (Interp.default_config ()) with Interp.cache_indices = cache; columnar }
+    in
     let t0 = Scallop_utils.Monotonic.now () in
     ignore (Session.run ~config ~provenance:(Registry.create spec) compiled ~facts ());
     Scallop_utils.Monotonic.now () -. t0
   in
+  (* Allocation profile: minor-heap words per derived output tuple, from a
+     dedicated run so the timed runs stay unperturbed.  The columnar rows
+     should sit well below their row-engine twins — flat columns replace
+     one boxed tuple + map node per derivation. *)
+  let alloc_per_tuple ~cache ~columnar ~spec compiled facts =
+    let config =
+      { (Interp.default_config ()) with Interp.cache_indices = cache; columnar }
+    in
+    let w0 = Gc.minor_words () in
+    let r = Session.run ~config ~provenance:(Registry.create spec) compiled ~facts () in
+    let words = Gc.minor_words () -. w0 in
+    let tuples =
+      List.fold_left (fun acc (_, rows) -> acc + List.length rows) 0 r.Session.outputs
+    in
+    if tuples = 0 then 0.0 else words /. float_of_int tuples
+  in
   let results = ref [] in
-  let means : ((string * bool) * float) list ref = ref [] in
+  let means : ((string * string * bool * bool) * float) list ref = ref [] in
   let runs = if m.quick then 3 else 8 in
-  let measure ~name ~prov_name ~spec ~n compiled facts =
+  let measure ?(engines = [ false ]) ~name ~prov_name ~spec ~n compiled facts =
     List.iter
-      (fun cache ->
-        ignore (time_once ~cache ~spec compiled facts);
-        let total = ref 0.0 in
-        for _ = 1 to runs do
-          total := !total +. time_once ~cache ~spec compiled facts
-        done;
-        let mean = !total /. float_of_int runs in
-        means := ((prov_name, cache), mean) :: !means;
-        Fmt.pr "  %-24s %-12s n=%-5d cache=%-5b %9.2f ms %10.2f ops/sec@." name prov_name n
-          cache (1000.0 *. mean) (1.0 /. mean);
-        Format.pp_print_flush Format.std_formatter ();
-        results :=
-          Fmt.str
-            {|    {"name": %S, "provenance": %S, "n": %d, "cache": %b, "runs": %d, "mean_ms": %.3f, "ops_per_sec": %.3f}|}
-            name prov_name n cache runs (1000.0 *. mean) (1.0 /. mean)
-          :: !results)
-      [ true; false ]
+      (fun columnar ->
+        List.iter
+          (fun cache ->
+            ignore (time_once ~cache ~columnar ~spec compiled facts);
+            let total = ref 0.0 in
+            for _ = 1 to runs do
+              total := !total +. time_once ~cache ~columnar ~spec compiled facts
+            done;
+            let mean = !total /. float_of_int runs in
+            let words = alloc_per_tuple ~cache ~columnar ~spec compiled facts in
+            means := ((name, prov_name, cache, columnar), mean) :: !means;
+            Fmt.pr
+              "  %-24s %-12s n=%-5d cache=%-5b columnar=%-5b %9.2f ms %10.2f ops/sec %9.1f w/tuple@."
+              name prov_name n cache columnar (1000.0 *. mean) (1.0 /. mean) words;
+            Format.pp_print_flush Format.std_formatter ();
+            results :=
+              Fmt.str
+                {|    {"name": %S, "provenance": %S, "n": %d, "cache": %b, "columnar": %b, "runs": %d, "mean_ms": %.3f, "ops_per_sec": %.3f, "minor_words_per_tuple": %.1f}|}
+                name prov_name n cache columnar runs (1000.0 *. mean) (1.0 /. mean) words
+              :: !results)
+          [ true; false ])
+      engines
   in
   let tc = Session.compile tc_src in
   let agg = Session.compile agg_src in
-  measure ~name:"transitive-closure-chain" ~prov_name:"boolean" ~spec:Registry.Boolean ~n:500 tc
-    (chain_facts 500);
-  measure ~name:"transitive-closure-chain" ~prov_name:"minmaxprob" ~spec:Registry.Max_min_prob
-    ~n:500 tc (chain_facts 500);
+  measure ~engines:[ false; true ] ~name:"transitive-closure-chain" ~prov_name:"boolean"
+    ~spec:Registry.Boolean ~n:500 tc (chain_facts 500);
+  measure ~engines:[ false; true ] ~name:"transitive-closure-chain" ~prov_name:"minmaxprob"
+    ~spec:Registry.Max_min_prob ~n:500 tc (chain_facts 500);
   (* TC-120 under top-k proofs, three configurations: the guided best-first
      operators with the cross-iteration WMC cache (the default), guided
      without the cache, and the eager reference operators without the cache
@@ -576,25 +599,47 @@ query sizes|}
      topkproofs-3 row under the same key *)
   let speedup =
     match
-      ( List.assoc_opt ("topkproofseager-3-nowmccache", true) !means,
-        List.assoc_opt ("topkproofs-3", true) !means )
+      ( List.assoc_opt
+          ("transitive-closure-chain", "topkproofseager-3-nowmccache", true, false)
+          !means,
+        List.assoc_opt ("transitive-closure-chain", "topkproofs-3", true, false) !means )
     with
     | Some eager, Some cached when cached > 0.0 -> eager /. cached
     | _ -> 0.0
   in
-  measure ~name:"aggregation-sum-count" ~prov_name:"boolean" ~spec:Registry.Boolean ~n:2000 agg
-    (agg_facts ~groups:50 ~per_group:40);
-  measure ~name:"aggregation-sum-count" ~prov_name:"minmaxprob" ~spec:Registry.Max_min_prob
-    ~n:2000 agg (agg_facts ~groups:50 ~per_group:40);
-  measure ~name:"aggregation-sum-count" ~prov_name:"topkproofs-3" ~spec:(Registry.Top_k_proofs 3)
-    ~n:60 agg (agg_facts ~groups:6 ~per_group:10);
+  measure ~engines:[ false; true ] ~name:"aggregation-sum-count" ~prov_name:"boolean"
+    ~spec:Registry.Boolean ~n:2000 agg (agg_facts ~groups:50 ~per_group:40);
+  measure ~engines:[ false; true ] ~name:"aggregation-sum-count" ~prov_name:"minmaxprob"
+    ~spec:Registry.Max_min_prob ~n:2000 agg (agg_facts ~groups:50 ~per_group:40);
+  measure ~engines:[ false; true ] ~name:"aggregation-sum-count" ~prov_name:"topkproofs-3"
+    ~spec:(Registry.Top_k_proofs 3) ~n:60 agg (agg_facts ~groups:6 ~per_group:10);
   Fmt.pr "@.  TC-120 topkproofs-3 guided+cache vs eager (historic): %.2fx@." speedup;
+  (* Columnar gate: the vectorized engine must beat the cached row engine by
+     >= 10x on the TC-500 boolean workload.  A shortfall is a perf
+     regression in the batch operators and fails the bench driver. *)
+  let col_gate = 10.0 in
+  let col_speedup =
+    match
+      ( List.assoc_opt ("transitive-closure-chain", "boolean", true, false) !means,
+        List.assoc_opt ("transitive-closure-chain", "boolean", true, true) !means )
+    with
+    | Some row, Some col when col > 0.0 -> row /. col
+    | _ -> 0.0
+  in
+  if col_speedup < col_gate then begin
+    incr bench_failures;
+    Fmt.epr "  COLUMNAR GATE FAILURE: TC-500 boolean columnar speedup %.2fx < %.0fx@."
+      col_speedup col_gate
+  end;
+  Fmt.pr "  TC-500 boolean columnar vs row (cached): %.2fx %s@." col_speedup
+    (if col_speedup >= col_gate then "ok" else "VIOLATION");
   let oc = open_out "BENCH_interp.json" in
   output_string oc "{\n  \"benchmarks\": [\n";
   output_string oc (String.concat ",\n" (List.rev !results));
   output_string oc "\n  ],\n";
   output_string oc
-    (Fmt.str "  \"tc120_topk_speedup_guided_cache_vs_eager\": %.3f\n}\n" speedup);
+    (Fmt.str "  \"tc120_topk_speedup_guided_cache_vs_eager\": %.3f,\n" speedup);
+  output_string oc (Fmt.str "  \"tc500_columnar_speedup\": %.3f\n}\n" col_speedup);
   close_out oc;
   Fmt.pr "@.  wrote BENCH_interp.json (%d measurements)@." (List.length !results)
 
@@ -1364,6 +1409,7 @@ let all_experiments =
     ("fig19", bench_fig19);
     ("pacman", bench_pacman);
     ("micro", bench_micro);
+    ("interp", bench_interp);
     ("batch", bench_batch);
     ("budget", bench_budget);
     ("resilience", bench_resilience);

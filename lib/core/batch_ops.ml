@@ -1,0 +1,1119 @@
+(** Batch-at-a-time relational operators over columnar storage ({!Column}),
+    parameterized by a provenance — the vectorized execution engine behind
+    [config.columnar] (see DESIGN.md, "Columnar executor").
+
+    A {!batch} is a struct-of-arrays relation fragment: one encoded column
+    per attribute plus a parallel provenance-tag array, rows in {e emission
+    order} — the exact order in which the tree-walking interpreter would
+    have produced the same tuples.  Operators preserve that order (joins
+    even reproduce the tree-walker's reversed per-key match order), so
+    normalization folds ⊕ over duplicates in the identical sequence and the
+    result is bit-identical to {!Interp}'s list pipeline.
+
+    A {!crel} is a materialized relation: a stack of strictly-sorted runs
+    merged with an amortized size-doubling policy (total merge cost
+    O(N log N) across a fixpoint instead of O(N) per iteration), plus a
+    tuple-hash membership table so the dominant "is this tuple new?" probe
+    of semi-naive deltas is O(1) for genuinely new tuples.  Tags of a tuple
+    split across runs combine oldest-first, matching the left-fold order of
+    the tree-walker's ⊕-merges (all registered provenances have associative
+    ⊕, which is what makes deferred run-merging sound).
+
+    Aggregations decode group bodies back to tuples and reuse
+    {!Aggregate.Make} verbatim, so the per-aggregator DP schemes — and their
+    provenance semantics — are shared with the oracle rather than cloned. *)
+
+module Ivec = struct
+  type t = { mutable a : int array; mutable len : int }
+
+  let create () = { a = Array.make 16 0; len = 0 }
+
+  let push v x =
+    if v.len = Array.length v.a then begin
+      let b = Array.make (2 * v.len) 0 in
+      Array.blit v.a 0 b 0 v.len;
+      v.a <- b
+    end;
+    v.a.(v.len) <- x;
+    v.len <- v.len + 1
+
+  let to_array v = Array.sub v.a 0 v.len
+end
+
+let runtime_error msg = Exec_error.raise_error (Exec_error.Runtime_error { msg })
+
+module Make (P : Provenance.S) = struct
+  module Agg = Aggregate.Make (P)
+
+  type batch = { n : int; cols : Column.t array; tags : P.t array }
+
+  (* The canonical empty batch: [n = 0] always comes with [cols = [||]]
+     (arity is unknowable without rows).  Nonempty arity-0 batches exist —
+     the unit relation — so [cols = [||]] alone does not mean empty. *)
+  let empty : batch = { n = 0; cols = [||]; tags = [||] }
+  let singleton : batch Lazy.t = lazy { n = 1; cols = [||]; tags = [| P.one |] }
+
+  let tuple_at (b : batch) (i : int) : Tuple.t =
+    match b.cols with
+    | [| c0 |] -> [| Column.get c0 i |]
+    | [| c0; c1 |] -> [| Column.get c0 i; Column.get c1 i |]
+    | [| c0; c1; c2 |] -> [| Column.get c0 i; Column.get c1 i; Column.get c2 i |]
+    | cols -> Array.init (Array.length cols) (fun c -> Column.get cols.(c) i)
+
+  let of_list (items : (Tuple.t * P.t) list) : batch =
+    match items with
+    | [] -> empty
+    | (u0, t0) :: _ ->
+        let n = List.length items in
+        let arity = Array.length u0 in
+        let tags = Array.make n t0 in
+        let colv = Array.init arity (fun _ -> Array.make n (Value.B false)) in
+        List.iteri
+          (fun i (u, t) ->
+            tags.(i) <- t;
+            for c = 0 to arity - 1 do
+              colv.(c).(i) <- u.(c)
+            done)
+          items;
+        { n; cols = Array.map Column.pack colv; tags }
+
+  let to_list (b : batch) : (Tuple.t * P.t) list =
+    List.init b.n (fun i -> (tuple_at b i, b.tags.(i)))
+
+  (** Final query outputs, decoded and tag-recovered in one pass (building
+      [to_list] and mapping it again would traverse and allocate twice). *)
+  let to_outputs (b : batch) : (Tuple.t * Provenance.Output.t) list =
+    let acc = ref [] in
+    for i = b.n - 1 downto 0 do
+      acc := (tuple_at b i, P.recover b.tags.(i)) :: !acc
+    done;
+    !acc
+
+  (* Lexicographic row comparison across two column sets, with
+     [Tuple.compare]'s shorter-is-smaller rule for differing arities. *)
+  let cmp_cols_across (ca : Column.t array) (cb : Column.t array) i j =
+    let la = Array.length ca and lb = Array.length cb in
+    let rec go c =
+      if c >= la && c >= lb then 0
+      else if c >= la then -1
+      else if c >= lb then 1
+      else
+        let r = Column.cmp_across ca.(c) cb.(c) i j in
+        if r <> 0 then r else go (c + 1)
+    in
+    go 0
+
+  let cmp_rows (cols : Column.t array) i j = cmp_cols_across cols cols i j
+
+  (** Build a row comparator specialized to the column encodings: when every
+      column pair is a same-type unboxed int column (the common case for
+      Datalog-style integer relations) the closure compares raw [int array]
+      entries with no dispatch — the difference between ~100ns and ~15ns per
+      comparison in sorts and sorted merges.  Falls back to
+      {!cmp_cols_across} otherwise (identical ordering by construction). *)
+  let cross_cmp (ac : Column.t array) (bc : Column.t array) : int -> int -> int =
+    let width = Array.length ac in
+    let int_pairs =
+      if width = 0 || width <> Array.length bc then None
+      else begin
+        let rec go k acc =
+          if k = width then Some (Array.of_list (List.rev acc))
+          else
+            match (ac.(k), bc.(k)) with
+            | Column.I (ta, xa), Column.I (tb, xb) when Value.equal_ty ta tb ->
+                go (k + 1) ((xa, xb) :: acc)
+            | _ -> None
+        in
+        go 0 []
+      end
+    in
+    match int_pairs with
+    | Some [| (xa, xb) |] -> fun i j -> Stdlib.compare (xa.(i) : int) xb.(j)
+    | Some [| (xa1, xb1); (xa2, xb2) |] ->
+        fun i j ->
+          let c = Stdlib.compare (xa1.(i) : int) xb1.(j) in
+          if c <> 0 then c else Stdlib.compare (xa2.(i) : int) xb2.(j)
+    | Some pairs ->
+        fun i j ->
+          let rec go k =
+            if k = Array.length pairs then 0
+            else
+              let xa, xb = pairs.(k) in
+              let c = Stdlib.compare (xa.(i) : int) xb.(j) in
+              if c <> 0 then c else go (k + 1)
+          in
+          go 0
+    | None -> fun i j -> cmp_cols_across ac bc i j
+
+  let self_cmp (cols : Column.t array) : int -> int -> int = cross_cmp cols cols
+
+  (* Per-cell hash specialized to the encoding.  Only internal consistency
+     matters (the membership set is a collision-tolerant pre-filter, verified
+     by binary search on hit), so int cells use a cheap multiplicative mix
+     instead of the polymorphic hash; the dictionary arm mirrors it per
+     encoding-independence (an [I] run and a [D] run of the same relation
+     must agree on equal logical rows). *)
+  (* splitmix-style finalizer: the xor-shifts between the multiplies break
+     linearity, so the linear h*31+cell row combine cannot re-align cell
+     hashes into collisions (a plain multiplicative mix is linear for small
+     ints and made ~90% of all-new delta probes collide). *)
+  let int_mix (n : int) : int =
+    let h = n * 0x2545F4914F6CDD1D in
+    let h = h lxor (h lsr 30) in
+    let h = h * 0x27D4EB2F165667C5 in
+    h lxor (h lsr 27)
+
+  let cell_hasher (c : Column.t) : int -> int =
+    match c with
+    | Column.I (_, a) -> fun i -> int_mix a.(i)
+    | Column.F (_, a) -> fun i -> Hashtbl.hash (1, a.(i))
+    | Column.D (dict, codes) ->
+        let dh =
+          Array.map
+            (function Value.Int (_, n) -> int_mix n | v -> Value.hash_value v)
+            dict
+        in
+        fun i -> dh.(codes.(i))
+
+  let row_hasher (cols : Column.t array) : int -> int =
+    match cols with
+    (* all-int arms skip the per-cell closure chain entirely *)
+    | [| Column.I (_, a) |] -> fun i -> (17 * 31) + int_mix a.(i)
+    | [| Column.I (_, a0); Column.I (_, a1) |] ->
+        fun i -> ((((17 * 31) + int_mix a0.(i)) * 31) + int_mix a1.(i))
+    | _ -> (
+        let fs = Array.map cell_hasher cols in
+        match fs with
+        | [| f |] -> fun i -> (17 * 31) + f i
+        | [| f0; f1 |] -> fun i -> ((((17 * 31) + f0 i) * 31) + f1 i)
+        | fs -> fun i -> Array.fold_left (fun h f -> (h * 31) + f i) 17 fs)
+
+  let row_hash (cols : Column.t array) (i : int) : int = row_hasher cols i
+
+  (* Open-addressing int hash set (linear probing, power-of-two capacity).
+     Generic [Hashtbl] costs ~4x more per membership test — this sits on the
+     per-derived-tuple fixpoint path. *)
+  module Ihs = struct
+    type t = {
+      mutable keys : int array;  (** 0 = empty slot *)
+      mutable mask : int;
+      mutable count : int;
+      mutable has_zero : bool;
+    }
+
+    let create (expect : int) : t =
+      let cap = ref 16 in
+      while !cap < expect * 2 do
+        cap := !cap * 2
+      done;
+      { keys = Array.make !cap 0; mask = !cap - 1; count = 0; has_zero = false }
+
+    let slot (t : t) (k : int) : int =
+      let i = ref (int_mix k land t.mask) in
+      while t.keys.(!i) <> 0 && t.keys.(!i) <> k do
+        i := (!i + 1) land t.mask
+      done;
+      !i
+
+    let grow (t : t) =
+      let old = t.keys in
+      t.keys <- Array.make (2 * Array.length old) 0;
+      t.mask <- Array.length t.keys - 1;
+      Array.iter (fun k -> if k <> 0 then t.keys.(slot t k) <- k) old
+
+    let add (t : t) (k : int) =
+      if k = 0 then t.has_zero <- true
+      else begin
+        let i = slot t k in
+        if t.keys.(i) = 0 then begin
+          t.keys.(i) <- k;
+          t.count <- t.count + 1;
+          if 2 * t.count > t.mask then grow t
+        end
+      end
+
+    let mem (t : t) (k : int) : bool = if k = 0 then t.has_zero else t.keys.(slot t k) = k
+
+    (** Membership test that inserts on miss, sharing one probe for both:
+        returns whether [k] was already present. *)
+    let probe_add (t : t) (k : int) : bool =
+      if k = 0 then
+        if t.has_zero then true
+        else begin
+          t.has_zero <- true;
+          false
+        end
+      else begin
+        let i = slot t k in
+        if t.keys.(i) = k then true
+        else begin
+          t.keys.(i) <- k;
+          t.count <- t.count + 1;
+          if 2 * t.count > t.mask then grow t;
+          false
+        end
+      end
+  end
+
+  (* Keep rows [idx] (with replacement tags); canonicalizes emptiness. *)
+  let take (b : batch) (idx : int array) (tags : P.t array) : batch =
+    let n = Array.length idx in
+    if n = 0 then empty
+    else { n; cols = Array.map (fun c -> Column.gather c idx) b.cols; tags }
+
+  (* ---- normalization and sorted-run algebra ------------------------------- *)
+
+  (** Stable-sort rows, ⊕-merge duplicates in emission order, drop discarded
+      tags: exactly [Interp.normalize] followed by [Tuple.Map.bindings]. *)
+  let rec sort_normalize (b : batch) : batch =
+    if b.n = 0 then empty
+    else begin
+      (* Strictly-sorted inputs (frequent: joins over sorted deltas emit in
+         near-sorted order) skip the permutation sort and duplicate fold
+         entirely — only the discard filter applies, and when nothing is
+         discarded the batch is returned as-is, arrays shared. *)
+      let rcmp = self_cmp b.cols in
+      let sorted = ref true in
+      (try
+         for i = 1 to b.n - 1 do
+           if rcmp (i - 1) i >= 0 then begin
+             sorted := false;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      if !sorted then begin
+        if Array.exists P.discard b.tags then begin
+          let out_idx = Ivec.create () and out_tags = ref [] in
+          for i = 0 to b.n - 1 do
+            if not (P.discard b.tags.(i)) then begin
+              Ivec.push out_idx i;
+              out_tags := b.tags.(i) :: !out_tags
+            end
+          done;
+          take b (Ivec.to_array out_idx) (Array.of_list (List.rev !out_tags))
+        end
+        else b
+      end
+      else sort_normalize_slow b
+    end
+
+  and sort_normalize_slow (b : batch) : batch =
+    begin
+      let rcmp = self_cmp b.cols in
+      let idx = Array.init b.n Fun.id in
+      let cmp i j =
+        let c = rcmp i j in
+        if c <> 0 then c else Stdlib.compare (i : int) j
+      in
+      Array.sort cmp idx;
+      let keep = Array.make b.n 0 and tags = Array.make b.n b.tags.(0) in
+      let m = ref 0 in
+      Array.iter
+        (fun r ->
+          if !m > 0 && rcmp keep.(!m - 1) r = 0 then
+            tags.(!m - 1) <- P.add tags.(!m - 1) b.tags.(r)
+          else begin
+            keep.(!m) <- r;
+            tags.(!m) <- b.tags.(r);
+            incr m
+          end)
+        idx;
+      let out_idx = Ivec.create () and out_tags = ref [] in
+      for x = 0 to !m - 1 do
+        if not (P.discard tags.(x)) then begin
+          Ivec.push out_idx keep.(x);
+          out_tags := tags.(x) :: !out_tags
+        end
+      done;
+      take b (Ivec.to_array out_idx) (Array.of_list (List.rev !out_tags))
+    end
+
+  (** Sorted merge of two strictly-sorted runs, ⊕-merging collisions with the
+      {e older} ([a]) tag first — [Tuple.Map.union (fun _ o n -> P.add o n)],
+      i.e. [Interp.merge_newly].  No discard filtering (the tree-walker's
+      merge does none either). *)
+  let union_runs (a : batch) (b : batch) : batch =
+    if a.n = 0 then b
+    else if b.n = 0 then a
+    else begin
+      let cmp = cross_cmp a.cols b.cols in
+      let plan = Array.make (a.n + b.n) 0 in
+      let tags = Array.make (a.n + b.n) a.tags.(0) in
+      let k = ref 0 and i = ref 0 and j = ref 0 in
+      while !i < a.n && !j < b.n do
+        let c = cmp !i !j in
+        if c < 0 then begin
+          plan.(!k) <- !i lsl 1;
+          tags.(!k) <- a.tags.(!i);
+          incr k;
+          incr i
+        end
+        else if c > 0 then begin
+          plan.(!k) <- (!j lsl 1) lor 1;
+          tags.(!k) <- b.tags.(!j);
+          incr k;
+          incr j
+        end
+        else begin
+          plan.(!k) <- !i lsl 1;
+          tags.(!k) <- P.add a.tags.(!i) b.tags.(!j);
+          incr k;
+          incr i;
+          incr j
+        end
+      done;
+      while !i < a.n do
+        plan.(!k) <- !i lsl 1;
+        tags.(!k) <- a.tags.(!i);
+        incr k;
+        incr i
+      done;
+      while !j < b.n do
+        plan.(!k) <- (!j lsl 1) lor 1;
+        tags.(!k) <- b.tags.(!j);
+        incr k;
+        incr j
+      done;
+      let plan = Array.sub plan 0 !k in
+      {
+        n = !k;
+        cols = Array.map2 (fun ca cb -> Column.merge ca cb plan) a.cols b.cols;
+        tags = Array.sub tags 0 !k;
+      }
+    end
+
+  (* When every column of every run is a same-type unboxed int column and the
+     per-column value spans pack into a small composite key, the whole run
+     stack merges with one stable counting sort instead of O(log k) pairwise
+     comparison merges.  Stability over the oldest-first concatenation makes
+     colliding tags fold oldest-to-newest exactly like the tree-walker's
+     linear [merge_newly] fold — this path has {e no} ⊕-association caveat.
+     Key-width and range guards keep the count array proportional to the
+     data; anything else falls back to the comparison merge. *)
+  let radix_bits = 20
+
+  let force_radix (oldest_first : batch list) : batch option =
+    match oldest_first with
+    | [] -> Some empty
+    | first :: _ -> (
+        let width = Array.length first.cols in
+        let total = List.fold_left (fun acc r -> acc + r.n) 0 oldest_first in
+        if width = 0 || total = 0 then None
+        else
+          try
+            let col_ty = function Column.I (ty, _) -> ty | _ -> raise Exit in
+            let tys = Array.map col_ty first.cols in
+            let runs = Array.of_list oldest_first in
+            let nruns = Array.length runs in
+            (* per-run raw int arrays, encoding-checked up front *)
+            let raw =
+              Array.map
+                (fun (r : batch) ->
+                  Array.mapi
+                    (fun c col ->
+                      match col with
+                      | Column.I (ty, a) when Value.equal_ty ty tys.(c) -> a
+                      | _ -> raise Exit)
+                    r.cols)
+                runs
+            in
+            (* Per-column spans; higher columns occupy higher key bits, so
+               composite-key order is exactly lexicographic row order. *)
+            let shift_bits = Array.make width 0 and mins = Array.make width 0 in
+            let bits_total = ref 0 in
+            for c = 0 to width - 1 do
+              let mn = ref max_int and mx = ref min_int in
+              for r = 0 to nruns - 1 do
+                let a = raw.(r).(c) in
+                for i = 0 to Array.length a - 1 do
+                  let v = a.(i) in
+                  if v < !mn then mn := v;
+                  if v > !mx then mx := v
+                done
+              done;
+              let span = !mx - !mn in
+              if span < 0 then raise Exit;
+              let bits = ref 0 in
+              while span lsr !bits > 0 do
+                incr bits
+              done;
+              mins.(c) <- !mn;
+              shift_bits.(c) <- !bits;
+              bits_total := !bits_total + !bits;
+              if !bits_total > radix_bits then raise Exit
+            done;
+            let range = 1 lsl !bits_total in
+            if range > (16 * total) + 1024 then raise Exit;
+            (* composite keys + histogram, one pass over the runs *)
+            let keys = Array.make total 0 in
+            let count = Array.make (range + 1) 0 in
+            let off = ref 0 in
+            for r = 0 to nruns - 1 do
+              let rc = raw.(r) in
+              let n = runs.(r).n in
+              (match rc with
+              | [| a0; a1 |] ->
+                  let m0 = mins.(0) and m1 = mins.(1) and s1 = shift_bits.(1) in
+                  for i = 0 to n - 1 do
+                    let key = ((a0.(i) - m0) lsl s1) lor (a1.(i) - m1) in
+                    keys.(!off + i) <- key;
+                    count.(key + 1) <- count.(key + 1) + 1
+                  done
+              | _ ->
+                  for i = 0 to n - 1 do
+                    let key = ref 0 in
+                    for c = 0 to width - 1 do
+                      key := (!key lsl shift_bits.(c)) lor (rc.(c).(i) - mins.(c))
+                    done;
+                    keys.(!off + i) <- !key;
+                    count.(!key + 1) <- count.(!key + 1) + 1
+                  done);
+              off := !off + n
+            done;
+            for k = 1 to range do
+              count.(k) <- count.(k) + count.(k - 1)
+            done;
+            (* Stable scatter straight to sorted position — no flattened
+               copy, no permutation array.  Stability over the oldest-first
+               run order is what makes the duplicate fold below match the
+               tree-walker's linear ⊕ order. *)
+            let out_cols = Array.init width (fun _ -> Array.make total 0) in
+            let out_tags = Array.make total first.tags.(0) in
+            let keys_sorted = Array.make total 0 in
+            let off = ref 0 in
+            for r = 0 to nruns - 1 do
+              let rc = raw.(r) and tg = runs.(r).tags in
+              let n = runs.(r).n in
+              (match rc with
+              | [| a0; a1 |] ->
+                  let o0 = out_cols.(0) and o1 = out_cols.(1) in
+                  for i = 0 to n - 1 do
+                    let key = keys.(!off + i) in
+                    let p = count.(key) in
+                    count.(key) <- p + 1;
+                    o0.(p) <- a0.(i);
+                    o1.(p) <- a1.(i);
+                    out_tags.(p) <- tg.(i);
+                    keys_sorted.(p) <- key
+                  done
+              | _ ->
+                  for i = 0 to n - 1 do
+                    let key = keys.(!off + i) in
+                    let p = count.(key) in
+                    count.(key) <- p + 1;
+                    for c = 0 to width - 1 do
+                      out_cols.(c).(p) <- rc.(c).(i)
+                    done;
+                    out_tags.(p) <- tg.(i);
+                    keys_sorted.(p) <- key
+                  done);
+              off := !off + n
+            done;
+            (* ⊕-fold duplicate keys in place (key equality iff row
+               equality: the key is injective on the offset values by
+               construction); duplicate-free input compacts to itself with
+               no writes and the scattered arrays are returned as-is. *)
+            let m = ref 0 and last_key = ref (-1) in
+            for p = 0 to total - 1 do
+              let key = keys_sorted.(p) in
+              if !m > 0 && key = !last_key then
+                out_tags.(!m - 1) <- P.add out_tags.(!m - 1) out_tags.(p)
+              else begin
+                if !m <> p then begin
+                  for c = 0 to width - 1 do
+                    out_cols.(c).(!m) <- out_cols.(c).(p)
+                  done;
+                  out_tags.(!m) <- out_tags.(p)
+                end;
+                last_key := key;
+                incr m
+              end
+            done;
+            let m = !m in
+            Some
+              {
+                n = m;
+                cols =
+                  Array.init width (fun c ->
+                      Column.I
+                        ( tys.(c),
+                          if m = total then out_cols.(c)
+                          else Array.sub out_cols.(c) 0 m ));
+                tags = (if m = total then out_tags else Array.sub out_tags 0 m);
+              }
+          with Exit -> None)
+
+  (* ---- materialized relations: sorted-run stacks --------------------------- *)
+
+  type crel = {
+    mutable runs : batch list;  (** newest first; each strictly sorted *)
+    mutable hset : Ihs.t option;
+        (** row hashes of every member tuple; [None] until first probed —
+            delta relations are never probed, so they never pay for one *)
+    mutable unhashed : batch list;  (** runs whose hashes are not in [hset] yet *)
+    mutable prehashed : batch option;
+        (** the one batch whose row hashes {!delta_of_run} already inserted
+            while probing — if the next {!crel_push} pushes that exact batch
+            (physical equality), it skips the hash queue entirely *)
+    mutable version : int;  (** bumped on every content change *)
+  }
+
+  let crel_empty () : crel =
+    { runs = []; hset = None; unhashed = []; prehashed = None; version = 0 }
+
+  (** Flush pending runs into the membership set, building it on first use. *)
+  let hset_of (c : crel) : Ihs.t =
+    let s =
+      match c.hset with
+      | Some s -> s
+      | None ->
+          let total = List.fold_left (fun a (r : batch) -> a + r.n) 0 c.unhashed in
+          let s = Ihs.create total in
+          c.hset <- Some s;
+          s
+    in
+    List.iter
+      (fun (r : batch) ->
+        let h = row_hasher r.cols in
+        for i = 0 to r.n - 1 do
+          Ihs.add s (h i)
+        done)
+      c.unhashed;
+    c.unhashed <- [];
+    s
+
+  let crel_of_run (r : batch) : crel =
+    let c = crel_empty () in
+    if r.n > 0 then begin
+      c.runs <- [ r ];
+      c.unhashed <- [ r ]
+    end;
+    c
+
+  let crel_of_relation (rel : P.t Tuple.Map.t) : crel =
+    let c = crel_empty () in
+    if not (Tuple.Map.is_empty rel) then begin
+      let r = of_list (Tuple.Map.bindings rel) in
+      c.runs <- [ r ];
+      c.unhashed <- [ r ]
+    end;
+    c
+
+  (* Amortized doubling: merging only when the newer run has caught up in
+     size bounds the stack at O(log N) runs and total copying at O(N log N). *)
+  let rec squash = function
+    | a :: b :: rest when a.n >= b.n -> squash (union_runs b a :: rest)
+    | runs -> runs
+
+  (** ⊕-merge a freshly normalized run into the relation
+      ([Interp.merge_newly] semantics). *)
+  let crel_push (c : crel) (r : batch) =
+    if r.n > 0 then begin
+      c.runs <- squash (r :: c.runs);
+      (match c.prehashed with
+      | Some b when b == r -> ()  (* hashes inserted during the delta probe *)
+      | _ -> c.unhashed <- r :: c.unhashed);
+      c.prehashed <- None;
+      c.version <- c.version + 1
+    end
+
+  (** The whole relation as one sorted run (compacts and caches). *)
+  let crel_force (c : crel) : batch =
+    match c.runs with
+    | [] -> empty
+    | [ r ] -> r
+    | newest_first ->
+        let merged =
+          match force_radix (List.rev newest_first) with
+          | Some m -> m
+          | None ->
+              (* Adjacent pairwise rounds: O(N log k) total copying even when
+                 the fixpoint pushed one small run per iteration (a linear
+                 fold would be O(N·k) — quadratic on a chain TC).  Only
+                 adjacent runs merge, so colliding tags still fold
+                 oldest-to-newest; the association differs from the linear
+                 fold, which ⊕-associativity absorbs (the same caveat the
+                 run-merge timing already carries). *)
+              let rec round = function
+                | newer :: older :: rest -> union_runs older newer :: round rest
+                | tail -> tail
+              in
+              let rec go = function
+                | [] -> empty
+                | [ r ] -> r
+                | runs -> go (round runs)
+              in
+              go newest_first
+        in
+        c.runs <- [ merged ];
+        (* same membership, one run: re-anchor the pending-hash queue so the
+           pre-merge run arrays can be collected *)
+        if c.hset = None then c.unhashed <- [ merged ];
+        merged
+
+  let find_in_run (r : batch) (pcols : Column.t array) (i : int) : P.t option =
+    let lo = ref 0 and hi = ref r.n in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if cmp_cols_across r.cols pcols mid i < 0 then lo := mid + 1 else hi := mid
+    done;
+    if !lo < r.n && cmp_cols_across r.cols pcols !lo i = 0 then Some r.tags.(!lo) else None
+
+  (** Accumulated ⊕ tag of row [i] of [pcols] across all runs, oldest first
+      — the tag [merge_newly] would have stored.  The membership hash makes
+      the all-new common case O(1). *)
+  let crel_find_slow (c : crel) (pcols : Column.t array) (i : int) : P.t option =
+    let rec go = function
+      | [] -> None
+      | r :: older -> (
+          let acc = go older in
+          match find_in_run r pcols i with
+          | None -> acc
+          | Some t -> (
+              match acc with None -> Some t | Some o -> Some (P.add o t)))
+    in
+    go c.runs
+
+  let crel_find (c : crel) (pcols : Column.t array) (i : int) : P.t option =
+    if not (Ihs.mem (hset_of c) (row_hash pcols i)) then None
+    else crel_find_slow c pcols i
+
+  let to_relation (c : crel) : P.t Tuple.Map.t =
+    let r = crel_force c in
+    let m = ref Tuple.Map.empty in
+    for i = r.n - 1 downto 0 do
+      m := Tuple.Map.add (tuple_at r i) r.tags.(i) !m
+    done;
+    !m
+
+  (** [Interp.delta_of] over a sorted newly-derived run: tuples absent from
+      [old] keep their tag; colliding tuples carry the merged (old ⊕ new) tag
+      unless saturated. *)
+  let delta_of_run ~(old : crel) (newly : batch) : batch =
+    if newly.n = 0 then empty
+    else begin
+      let hs = hset_of old in
+      let hash = row_hasher newly.cols in
+      (* Phase 1: membership scan that inserts each miss as it goes — on a
+         growing fixpoint the whole batch is usually new, so the delta IS
+         the normalized update (columns and tags shared) and the subsequent
+         push of this same batch finds its hashes already inserted
+         ([prehashed]), halving total hash work.  Rows in [newly] are
+         distinct (it is normalized), so inserting while scanning cannot
+         make a later row of the same batch look like a member.  A hit
+         aborts to the verifying slow path; the partial inserts are harmless
+         because every row of [newly] becomes a member on push regardless,
+         and intervening probes re-verify against the runs. *)
+      let hit = ref (-1) in
+      (try
+         for i = 0 to newly.n - 1 do
+           if Ihs.probe_add hs (hash i) then begin
+             hit := i;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      if !hit < 0 then begin
+        old.prehashed <- Some newly;
+        newly
+      end
+      else begin
+        let out_idx = Ivec.create () and out_tags = ref [] in
+        for i = 0 to newly.n - 1 do
+          match
+            if Ihs.mem hs (hash i) then crel_find_slow old newly.cols i else None
+          with
+          | None ->
+              Ivec.push out_idx i;
+              out_tags := newly.tags.(i) :: !out_tags
+          | Some t_old ->
+              let merged = P.add t_old newly.tags.(i) in
+              if not (P.saturated ~old:t_old merged) then begin
+                Ivec.push out_idx i;
+                out_tags := merged :: !out_tags
+              end
+        done;
+        take newly (Ivec.to_array out_idx) (Array.of_list (List.rev !out_tags))
+      end
+    end
+
+  (* ---- σ / π / ∪ / × ------------------------------------------------------- *)
+
+  let select (cond : Ram.vexpr) (b : batch) : batch =
+    if b.n = 0 then empty
+    else begin
+      let sel = Ivec.create () in
+      for i = 0 to b.n - 1 do
+        if Ram.eval_cond (tuple_at b i) cond then Ivec.push sel i
+      done;
+      let idx = Ivec.to_array sel in
+      take b idx (Array.map (fun i -> b.tags.(i)) idx)
+    end
+
+  let project (m : Ram.vexpr list) (b : batch) : batch =
+    if b.n = 0 then empty
+    else begin
+      let arity = Array.length b.cols in
+      let accesses =
+        List.map (function Ram.Access i when i < arity -> Some i | _ -> None) m
+      in
+      if List.for_all Option.is_some accesses then
+        (* pure column selection: no per-row work, columns and tags shared *)
+        { b with cols = Array.of_list (List.map (fun o -> b.cols.(Option.get o)) accesses) }
+      else begin
+        let kept = Ivec.create () and outs = ref [] in
+        for i = 0 to b.n - 1 do
+          match Ram.eval_mapping (tuple_at b i) m with
+          | Some u ->
+              Ivec.push kept i;
+              outs := u :: !outs
+          | None -> ()
+        done;
+        let rows = Array.of_list (List.rev !outs) in
+        if Array.length rows = 0 then empty
+        else
+          let out_arity = List.length m in
+          {
+            n = Array.length rows;
+            cols =
+              Array.init out_arity (fun c -> Column.pack (Array.map (fun u -> u.(c)) rows));
+            tags = Array.map (fun i -> b.tags.(i)) (Ivec.to_array kept);
+          }
+      end
+    end
+
+  let union (a : batch) (b : batch) : batch =
+    if a.n = 0 then b
+    else if b.n = 0 then a
+    else
+      {
+        n = a.n + b.n;
+        cols = Array.map2 Column.append a.cols b.cols;
+        tags = Array.append a.tags b.tags;
+      }
+
+  let concat (bs : batch list) : batch = List.fold_left union empty bs
+
+  let product (a : batch) (b : batch) : batch =
+    if a.n = 0 || b.n = 0 then empty
+    else begin
+      let n = a.n * b.n in
+      let la = Array.init n (fun k -> k / b.n) and lb = Array.init n (fun k -> k mod b.n) in
+      {
+        n;
+        cols =
+          Array.append
+            (Array.map (fun c -> Column.gather c la) a.cols)
+            (Array.map (fun c -> Column.gather c lb) b.cols);
+        tags = Array.init n (fun k -> P.mult a.tags.(k / b.n) b.tags.(k mod b.n));
+      }
+    end
+
+  let retag (tag : P.t) (b : batch) : batch =
+    if b.n = 0 then empty else { b with tags = Array.make b.n tag }
+
+  (* ---- − / ∩ against a normalized right-hand run --------------------------- *)
+
+  let diff (a : batch) (rb : batch) : batch =
+    if a.n = 0 then empty
+    else begin
+      let out_idx = Ivec.create () and out_tags = ref [] in
+      for i = 0 to a.n - 1 do
+        match find_in_run rb a.cols i with
+        | None ->
+            Ivec.push out_idx i;
+            out_tags := a.tags.(i) :: !out_tags
+        | Some tb -> (
+            match P.negate tb with
+            | Some ntb ->
+                Ivec.push out_idx i;
+                out_tags := P.mult a.tags.(i) ntb :: !out_tags
+            | None -> runtime_error (P.name ^ " does not support negation"))
+      done;
+      take a (Ivec.to_array out_idx) (Array.of_list (List.rev !out_tags))
+    end
+
+  let intersect (a : batch) (rb : batch) : batch =
+    if a.n = 0 || rb.n = 0 then empty
+    else begin
+      let out_idx = Ivec.create () and out_tags = ref [] in
+      for i = 0 to a.n - 1 do
+        match find_in_run rb a.cols i with
+        | None -> ()
+        | Some tb ->
+            Ivec.push out_idx i;
+            out_tags := P.mult a.tags.(i) tb :: !out_tags
+      done;
+      take a (Ivec.to_array out_idx) (Array.of_list (List.rev !out_tags))
+    end
+
+  (* ---- ⋈ / ▷ sorted-run key indices ---------------------------------------- *)
+
+  (** Right side of a join, stable-sorted by key: probing is a binary search
+      for the key's run, and walking the run {e backwards} reproduces the
+      tree-walker's per-key match order (its index buckets are built by
+      consing, so they are reversed). *)
+  type key_index = {
+    ki_cols : Column.t array;  (** key columns of the source, source row order *)
+    ki_perm : int array;  (** source rows, stable-sorted by key *)
+    ki_src : batch;
+    ki_ikey : (Value.ty * int array) option;
+        (** single-int-column keys gathered in [ki_perm] order: probes
+            become binary searches over an unboxed [int array] — the hot
+            path of every equi-join on an integer attribute *)
+  }
+
+  let build_key_index (keys : int list) (r : batch) : key_index =
+    let kcols =
+      if r.n = 0 then [||] else Array.of_list (List.map (fun k -> r.cols.(k)) keys)
+    in
+    let perm = Array.init r.n Fun.id in
+    let rcmp = self_cmp kcols in
+    let cmp i j =
+      let c = rcmp i j in
+      if c <> 0 then c else Stdlib.compare (i : int) j
+    in
+    Array.sort cmp perm;
+    let ikey =
+      match kcols with
+      | [| Column.I (ty, arr) |] -> Some (ty, Array.map (fun p -> arr.(p)) perm)
+      | _ -> None
+    in
+    { ki_cols = kcols; ki_perm = perm; ki_src = r; ki_ikey = ikey }
+
+  (* Sorted-position range [lo, hi) of index entries whose key equals row [i]
+     of [pcols]. *)
+  let key_range (ix : key_index) (pcols : Column.t array) (i : int) : int * int =
+    let n = Array.length ix.ki_perm in
+    let lower () =
+      let lo = ref 0 and hi = ref n in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if cmp_cols_across ix.ki_cols pcols ix.ki_perm.(mid) i < 0 then lo := mid + 1
+        else hi := mid
+      done;
+      !lo
+    in
+    let upper () =
+      let lo = ref 0 and hi = ref n in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if cmp_cols_across ix.ki_cols pcols ix.ki_perm.(mid) i <= 0 then lo := mid + 1
+        else hi := mid
+      done;
+      !lo
+    in
+    let lo = lower () in
+    if lo >= n || cmp_cols_across ix.ki_cols pcols ix.ki_perm.(lo) i <> 0 then (lo, lo)
+    else (lo, upper ())
+
+  (* Sorted-position range of [karr] entries equal to [k]: the unboxed twin
+     of {!key_range} for single-int-column keys. *)
+  let int_range (karr : int array) (k : int) : int * int =
+    let n = Array.length karr in
+    let lo = ref 0 and hi = ref n in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if karr.(mid) < k then lo := mid + 1 else hi := mid
+    done;
+    let first = !lo in
+    if first >= n || karr.(first) <> k then (first, first)
+    else begin
+      let lo = ref first and hi = ref n in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if karr.(mid) <= k then lo := mid + 1 else hi := mid
+      done;
+      (first, !lo)
+    end
+
+  (** [join ~lkeys left ix] with optionally only the combined columns in
+      [keep] materialized (a π of pure accesses directly above the ⋈ —
+      emission order and tags are those of the unprojected join, so fusing
+      is observationally identical to projecting afterwards while skipping
+      the gathers of dropped columns). *)
+  let join ?keep ~(lkeys : int list) (left : batch) (ix : key_index) : batch =
+    if left.n = 0 || ix.ki_src.n = 0 then empty
+    else begin
+      let pcols = Array.of_list (List.map (fun k -> left.cols.(k)) lkeys) in
+      (* int-keyed probes bypass the boxed comparator entirely; the type
+         tags must match or ordering would go through [Value.compare_ty]
+         first *)
+      let fast =
+        match (ix.ki_ikey, pcols) with
+        | Some (ty, karr), [| Column.I (pty, parr) |] when Value.equal_ty pty ty ->
+            Some (karr, parr)
+        | _ -> None
+      in
+      let ls = Ivec.create () and rs = Ivec.create () in
+      for i = 0 to left.n - 1 do
+        let lo, hi =
+          match fast with
+          | Some (karr, parr) -> int_range karr parr.(i)
+          | None -> key_range ix pcols i
+        in
+        for m = hi - 1 downto lo do
+          Ivec.push ls i;
+          Ivec.push rs ix.ki_perm.(m)
+        done
+      done;
+      let la = Ivec.to_array ls and ra = Ivec.to_array rs in
+      let n = Array.length la in
+      if n = 0 then empty
+      else begin
+        let lw = Array.length left.cols in
+        let combined_at (k : int) : Column.t =
+          if k < lw then Column.gather left.cols.(k) la
+          else Column.gather ix.ki_src.cols.(k - lw) ra
+        in
+        let cols =
+          match keep with
+          | None ->
+              Array.init (lw + Array.length ix.ki_src.cols) combined_at
+          | Some ks -> Array.map combined_at ks
+        in
+        {
+          n;
+          cols;
+          tags = Array.init n (fun k -> P.mult left.tags.(la.(k)) ix.ki_src.tags.(ra.(k)));
+        }
+      end
+    end
+
+  (** Anti-join right index: one entry per distinct key, tags ⊕-folded in the
+      right side's emission order ([Interp.build_antijoin_index]). *)
+  type anti_index = {
+    ai_cols : Column.t array;  (** key columns gathered at group leaders: strictly sorted *)
+    ai_tags : P.t array;
+  }
+
+  let build_anti_index (keys : int list) (r : batch) : anti_index =
+    if r.n = 0 then { ai_cols = [||]; ai_tags = [||] }
+    else begin
+      let ix = build_key_index keys r in
+      let leaders = Ivec.create () and tags = ref [] in
+      (* walk sorted positions, folding tags per key group in emission
+         (= stable-sorted) order *)
+      let prev_leader = ref (-1) in
+      Array.iter
+        (fun row ->
+          if !prev_leader >= 0 && cmp_rows ix.ki_cols !prev_leader row = 0 then
+            tags := (match !tags with t :: rest -> P.add t r.tags.(row) :: rest | [] -> assert false)
+          else begin
+            prev_leader := row;
+            Ivec.push leaders row;
+            tags := r.tags.(row) :: !tags
+          end)
+        ix.ki_perm;
+      let la = Ivec.to_array leaders in
+      {
+        ai_cols = Array.map (fun c -> Column.gather c la) ix.ki_cols;
+        ai_tags = Array.of_list (List.rev !tags);
+      }
+    end
+
+  let anti_find (ai : anti_index) (pcols : Column.t array) (i : int) : P.t option =
+    let n = Array.length ai.ai_tags in
+    let lo = ref 0 and hi = ref n in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if cmp_cols_across ai.ai_cols pcols mid i < 0 then lo := mid + 1 else hi := mid
+    done;
+    if !lo < n && cmp_cols_across ai.ai_cols pcols !lo i = 0 then Some ai.ai_tags.(!lo)
+    else None
+
+  let antijoin ~(lkeys : int list) (left : batch) (ai : anti_index) : batch =
+    if left.n = 0 then empty
+    else begin
+      let pcols = Array.of_list (List.map (fun k -> left.cols.(k)) lkeys) in
+      let out_idx = Ivec.create () and out_tags = ref [] in
+      for i = 0 to left.n - 1 do
+        match anti_find ai pcols i with
+        | None ->
+            Ivec.push out_idx i;
+            out_tags := left.tags.(i) :: !out_tags
+        | Some tr -> (
+            match P.negate tr with
+            | Some ntr ->
+                Ivec.push out_idx i;
+                out_tags := P.mult left.tags.(i) ntr :: !out_tags
+            | None -> runtime_error (P.name ^ " does not support negation"))
+      done;
+      take left (Ivec.to_array out_idx) (Array.of_list (List.rev !out_tags))
+    end
+
+  (* ---- aggregation ---------------------------------------------------------- *)
+
+  (* [body] and [dom] are normalized runs (sorted strictly by full tuple), so
+     group keys are consecutive prefix ranges and groups enumerate in sorted
+     key order — the same order [Interp.group_by_key] yields.  Group bodies
+     are decoded back to tuples and fed to the shared {!Aggregate.Make}. *)
+
+  let rest_at ~key_len (b : batch) (i : int) : Tuple.t =
+    Array.init (Array.length b.cols - key_len) (fun c -> Column.get b.cols.(c + key_len) i)
+
+  let key_at ~key_len (b : batch) (i : int) : Tuple.t =
+    Array.init key_len (fun c -> Column.get b.cols.(c) i)
+
+  (* first row >= [s] whose first [key_len] columns differ from row [s] *)
+  let group_end ~key_len (b : batch) (s : int) : int =
+    let kcols = Array.sub b.cols 0 (min key_len (Array.length b.cols)) in
+    let e = ref (s + 1) in
+    while !e < b.n && cmp_rows kcols s !e = 0 do
+      incr e
+    done;
+    !e
+
+  let group_items ~key_len (b : batch) (s : int) (e : int) : (Tuple.t * P.t) list =
+    List.init (e - s) (fun k -> (rest_at ~key_len b (s + k), b.tags.(s + k)))
+
+  (* Range [lo, hi) of [body] rows whose first [Array.length dcols] columns
+     equal row [i] of [dcols]. *)
+  let prefix_range (body : batch) (dcols : Column.t array) (i : int) : int * int =
+    if body.n = 0 then (0, 0)
+    else begin
+      let klen = min (Array.length dcols) (Array.length body.cols) in
+      let kcols = Array.sub body.cols 0 klen in
+      let search le =
+        let lo = ref 0 and hi = ref body.n in
+        while !lo < !hi do
+          let mid = (!lo + !hi) / 2 in
+          let c = cmp_cols_across kcols dcols mid i in
+          if c < 0 || (le && c = 0) then lo := mid + 1 else hi := mid
+        done;
+        !lo
+      in
+      let lo = search false in
+      if lo >= body.n || cmp_cols_across kcols dcols lo i <> 0 then (lo, lo)
+      else (lo, search true)
+    end
+
+  let aggregate (agg : Ram.aggregator) ~(key_len : int) ~(arg_len : int)
+      ~(group : [ `No_group | `Implicit | `Domain of batch ]) (body : batch) : batch =
+    match group with
+    | `No_group ->
+        let items = List.init body.n (fun i -> (rest_at ~key_len body i, body.tags.(i))) in
+        of_list (Agg.run agg ~arg_len items)
+    | `Implicit ->
+        let out = ref [] in
+        let s = ref 0 in
+        while !s < body.n do
+          let e = group_end ~key_len body !s in
+          let key = key_at ~key_len body !s in
+          let results = Agg.run agg ~arg_len (group_items ~key_len body !s e) in
+          List.iter (fun (r, t) -> out := (Tuple.append key r, t) :: !out) results;
+          s := e
+        done;
+        of_list (List.rev !out)
+    | `Domain dom ->
+        let out = ref [] in
+        for i = 0 to dom.n - 1 do
+          let lo, hi = prefix_range body dom.cols i in
+          let key = tuple_at dom i in
+          let tg = dom.tags.(i) in
+          let results = Agg.run agg ~arg_len (group_items ~key_len body lo hi) in
+          List.iter (fun (r, t) -> out := (Tuple.append key r, P.mult tg t) :: !out) results
+        done;
+        of_list (List.rev !out)
+end

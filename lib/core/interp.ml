@@ -55,6 +55,7 @@ type stats = Plan.stats = {
   node_stats : (int, node_stat) Hashtbl.t;
   mutable stratum_traces : stratum_trace list;
   budget_stops : Plan.budget_stops;
+  mutable cache_tables : int;
 }
 
 let empty_stats = Plan.empty_stats
@@ -68,6 +69,13 @@ type config = {
   cache_indices : bool;
       (** reuse join indices / invariant sub-relations across fixpoint
           iterations (sound; see {!Plan}) *)
+  columnar : bool;
+      (** evaluate strata with the columnar batch executor ({!Batch_ops});
+          plan subtrees the columnar path does not cover (samplers, foreign
+          joins — [Plan.colable = false]) fall back to the tree-walker over
+          decoded views.  Bit-identical to the tree-walker for every
+          registered provenance whose ⊕ is associative (all of them); see
+          DESIGN.md "Columnar executor". *)
   stats : stats option;  (** profiling sink; [None] disables collection *)
 }
 
@@ -77,6 +85,7 @@ let default_config () =
     budget = Budget.default;
     semi_naive = true;
     cache_indices = true;
+    columnar = false;
     stats = None;
   }
 
@@ -192,6 +201,7 @@ let check_iteration config (mon : monitor) ~next_iter =
 
 module Make (P : Provenance.S) = struct
   module Agg = Aggregate.Make (P)
+  module B = Batch_ops.Make (P)
   module SMap = Map.Make (String)
 
   type relation = P.t Tuple.Map.t
@@ -285,7 +295,11 @@ module Make (P : Provenance.S) = struct
         (** normalized right-hand relations of −/∩ *)
   }
 
-  let fresh_cache () =
+  let record_cache_table config =
+    match config.stats with Some s -> s.cache_tables <- s.cache_tables + 1 | None -> ()
+
+  let fresh_cache config =
+    record_cache_table config;
     {
       c_rels = Hashtbl.create 16;
       c_joins = Hashtbl.create 16;
@@ -637,7 +651,14 @@ module Make (P : Provenance.S) = struct
     let heads = s.Plan.heads in
     mon.m_stratum <- sidx;
     mon.m_iterations <- 0;
-    let cache = if config.cache_indices then Some (fresh_cache ()) else None in
+    (* Caches only pay off across fixpoint iterations (every plan node has a
+       unique id, so within one pass nothing is ever looked up twice).  A
+       non-recursive stratum runs exactly one pass: building the cache
+       tables there is pure overhead — measurably so on small aggregation
+       strata — so skip them. *)
+    let cache =
+      if config.cache_indices && s.Plan.recursive then Some (fresh_cache config) else None
+    in
     let trace = new_trace config sidx in
     let record_iter ?size () = record_iter config trace ?size () in
     let step (db : db) : db =
@@ -703,19 +724,303 @@ module Make (P : Provenance.S) = struct
       ~(deltas : (string * relation) list) : db * (string * relation) list =
     mon.m_stratum <- sidx;
     mon.m_iterations <- 0;
-    let cache = if config.cache_indices then Some (fresh_cache ()) else None in
+    let cache = if config.cache_indices then Some (fresh_cache config) else None in
     let trace = new_trace config sidx in
     delta_loop config mon cache trace s db deltas 1
+
+  (* ---- columnar execution (config.columnar) ------------------------------- *)
+
+  (* The vectorized twin of [eval]/[eval_stratum]: relations are {!B.crel}
+     sorted-run stacks, operators work batch-at-a-time over {!Column}
+     encodings, and every operator reproduces the tree-walker's emission
+     order, so normalization ⊕-folds duplicates in the identical sequence
+     and the result is bit-identical (fuzz-checked; see test/test_fuzz.ml).
+
+     Plan subtrees with [colable = false] (samplers, foreign joins) fall
+     back to the tree-walker over decoded views, memoized per predicate by
+     (crel identity, version) so an unchanged relation is decoded once per
+     fixpoint rather than once per iteration.  Child-evaluation order
+     mirrors [eval_node] exactly — right sides before left sides — so
+     fallback subtrees consume [config.rng] in the same sequence and
+     sampler draws are preserved. *)
+
+  type cdb = B.crel SMap.t
+
+  type cruntime = {
+    cmemo : (string, B.crel * int * relation) Hashtbl.t;
+        (** decoded fallback views: pred ↦ (crel it decodes, version, view) *)
+  }
+
+  (** Per-stratum columnar caches, the twins of {!cache}. *)
+  type ccache = {
+    cc_rels : (int, B.batch) Hashtbl.t;
+    cc_joins : (int, B.key_index) Hashtbl.t;
+    cc_antis : (int, B.anti_index) Hashtbl.t;
+    cc_norms : (int, B.batch) Hashtbl.t;
+  }
+
+  let fresh_ccache config =
+    record_cache_table config;
+    {
+      cc_rels = Hashtbl.create 16;
+      cc_joins = Hashtbl.create 16;
+      cc_antis = Hashtbl.create 16;
+      cc_norms = Hashtbl.create 16;
+    }
+
+  let crel_of (cdb : cdb) pred : B.crel =
+    match SMap.find_opt pred cdb with Some c -> c | None -> B.crel_empty ()
+
+  let decode_db (rt : cruntime) (cdb : cdb) : db =
+    SMap.mapi
+      (fun pred cr ->
+        match Hashtbl.find_opt rt.cmemo pred with
+        | Some (cr', v', rel) when cr' == cr && v' = cr.B.version -> rel
+        | _ ->
+            let rel = B.to_relation cr in
+            Hashtbl.replace rt.cmemo pred (cr, cr.B.version, rel);
+            rel)
+      cdb
+
+  let rec ceval config mon rt (cache : ccache option) (cdb : cdb) (p : Plan.t) : B.batch =
+    match cache with
+    | Some c when p.Plan.invariant -> (
+        match Hashtbl.find_opt c.cc_rels p.Plan.pid with
+        | Some r ->
+            record_hit config p.Plan.pid;
+            r
+        | None ->
+            let r = ceval_inner config mon rt None cdb p in
+            Hashtbl.add c.cc_rels p.Plan.pid r;
+            r)
+    | _ -> ceval_inner config mon rt cache cdb p
+
+  and ceval_inner config mon rt cache cdb (p : Plan.t) : B.batch =
+    if not p.Plan.colable then
+      (* whole-subtree fallback: the tree-walker does its own node
+         accounting and profiling, so no [check_node] here *)
+      B.of_list (eval config mon None (decode_db rt cdb) p)
+    else ceval_timed config mon rt cache cdb p
+
+  and ceval_timed config mon rt cache cdb (p : Plan.t) : B.batch =
+    check_node config mon;
+    match config.stats with
+    | None -> ceval_node config mon rt cache cdb p
+    | Some s ->
+        let t0 = Scallop_utils.Monotonic.now () in
+        let r = ceval_node config mon rt cache cdb p in
+        let st = Plan.node_stat s p.Plan.pid in
+        st.evals <- st.evals + 1;
+        st.tuples <- st.tuples + r.B.n;
+        st.seconds <- st.seconds +. (Scallop_utils.Monotonic.now () -. t0);
+        r
+
+  and cnormalized_right config mon rt cache cdb (b : Plan.t) : B.batch =
+    match cache with
+    | Some c when b.Plan.invariant -> (
+        match Hashtbl.find_opt c.cc_norms b.Plan.pid with
+        | Some r ->
+            record_hit config b.Plan.pid;
+            r
+        | None ->
+            let r = B.sort_normalize (ceval config mon rt None cdb b) in
+            Hashtbl.add c.cc_norms b.Plan.pid r;
+            r)
+    | _ -> B.sort_normalize (ceval config mon rt cache cdb b)
+
+  and ceval_node config mon rt cache (cdb : cdb) (p : Plan.t) : B.batch =
+    match p.Plan.desc with
+    | Plan.Empty -> B.empty
+    | Plan.Singleton -> Lazy.force B.singleton
+    | Plan.Pred pr -> B.crel_force (crel_of cdb pr)
+    | Plan.Select (cond, e) -> B.select cond (ceval config mon rt cache cdb e)
+    | Plan.Project (m, { Plan.desc = Plan.Join { lkeys; rkeys; left; right }; _ })
+      when List.for_all (function Ram.Access _ -> true | _ -> false) m ->
+        (* fused π∘⋈ for pure column selections: identical emission order and
+           tags, but the gathers of dropped join columns are never done (the
+           recursive-rule hot path is π[k…]( Δ ⋈ edb )) *)
+        let index =
+          match cache with
+          | Some c when right.Plan.invariant -> (
+              match Hashtbl.find_opt c.cc_joins right.Plan.pid with
+              | Some ix ->
+                  record_hit config right.Plan.pid;
+                  ix
+              | None ->
+                  let ix = B.build_key_index rkeys (ceval config mon rt None cdb right) in
+                  Hashtbl.add c.cc_joins right.Plan.pid ix;
+                  ix)
+          | _ -> B.build_key_index rkeys (ceval config mon rt cache cdb right)
+        in
+        let lb = ceval config mon rt cache cdb left in
+        let width = Array.length lb.B.cols + Array.length index.B.ki_src.B.cols in
+        let keep = List.map (function Ram.Access i -> i | _ -> assert false) m in
+        if lb.B.n = 0 || List.for_all (fun i -> i >= 0 && i < width) keep then
+          B.join ~keep:(Array.of_list keep) ~lkeys lb index
+        else B.project m (B.join ~lkeys lb index)
+    | Plan.Project (m, e) -> B.project m (ceval config mon rt cache cdb e)
+    | Plan.Union (a, b) ->
+        (* right child first, like the tree-walker's [eval a @ eval b] *)
+        let rb = ceval config mon rt cache cdb b in
+        let ra = ceval config mon rt cache cdb a in
+        B.union ra rb
+    | Plan.Product (a, b) ->
+        let rb = ceval config mon rt cache cdb b in
+        let ra = ceval config mon rt cache cdb a in
+        B.product ra rb
+    | Plan.Diff (a, b) ->
+        let rb = cnormalized_right config mon rt cache cdb b in
+        let ra = ceval config mon rt cache cdb a in
+        B.diff ra rb
+    | Plan.Intersect (a, b) ->
+        let rb = cnormalized_right config mon rt cache cdb b in
+        let ra = ceval config mon rt cache cdb a in
+        B.intersect ra rb
+    | Plan.Join { lkeys; rkeys; left; right } ->
+        let index =
+          match cache with
+          | Some c when right.Plan.invariant -> (
+              match Hashtbl.find_opt c.cc_joins right.Plan.pid with
+              | Some ix ->
+                  record_hit config right.Plan.pid;
+                  ix
+              | None ->
+                  let ix = B.build_key_index rkeys (ceval config mon rt None cdb right) in
+                  Hashtbl.add c.cc_joins right.Plan.pid ix;
+                  ix)
+          | _ -> B.build_key_index rkeys (ceval config mon rt cache cdb right)
+        in
+        B.join ~lkeys (ceval config mon rt cache cdb left) index
+    | Plan.Antijoin { lkeys; rkeys; left; right } ->
+        let index =
+          match cache with
+          | Some c when right.Plan.invariant -> (
+              match Hashtbl.find_opt c.cc_antis right.Plan.pid with
+              | Some ix ->
+                  record_hit config right.Plan.pid;
+                  ix
+              | None ->
+                  let ix = B.build_anti_index rkeys (ceval config mon rt None cdb right) in
+                  Hashtbl.add c.cc_antis right.Plan.pid ix;
+                  ix)
+          | _ -> B.build_anti_index rkeys (ceval config mon rt cache cdb right)
+        in
+        B.antijoin ~lkeys (ceval config mon rt cache cdb left) index
+    | Plan.One_overwrite e ->
+        B.retag P.one (B.sort_normalize (ceval config mon rt cache cdb e))
+    | Plan.Zero_overwrite e ->
+        B.retag P.zero (B.sort_normalize (ceval config mon rt cache cdb e))
+    | Plan.Aggregate { agg; key_len; arg_len; group; body } ->
+        let items = B.sort_normalize (ceval config mon rt cache cdb body) in
+        let group =
+          match group with
+          | Plan.No_group -> `No_group
+          | Plan.Implicit -> `Implicit
+          | Plan.Domain dom ->
+              `Domain (B.sort_normalize (ceval config mon rt cache cdb dom))
+        in
+        B.aggregate agg ~key_len ~arg_len ~group items
+    | Plan.Sample _ | Plan.Foreign_join _ ->
+        (* colable = false by construction; handled by the fallback *)
+        assert false
+
+  (* The columnar lfp°, mirroring [eval_stratum] structure for structure.
+     Head crels are mutable, so each round computes {e every} rule's update
+     and delta against the round-start state before pushing any of them. *)
+  let ceval_stratum config mon rt (cdb : cdb) (sidx : int) (s : Plan.stratum) : cdb =
+    mon.m_stratum <- sidx;
+    mon.m_iterations <- 0;
+    let cache =
+      if config.cache_indices && s.Plan.recursive then Some (fresh_ccache config) else None
+    in
+    let trace = new_trace config sidx in
+    let record_iter ?size () = record_iter config trace ?size () in
+    let rule_updates cdb plans_of =
+      List.map
+        (fun (r : Plan.rule) ->
+          let evaled = B.concat (List.map (ceval config mon rt cache cdb) (plans_of r)) in
+          let newly = B.sort_normalize evaled in
+          charge_tuples config mon newly.B.n;
+          (r.Plan.head, newly))
+        s.Plan.rules
+    in
+    let deltas_of cdb updates =
+      List.map (fun (h, newly) -> (h, B.delta_of_run ~old:(crel_of cdb h) newly)) updates
+    in
+    let push cdb updates =
+      List.fold_left
+        (fun a (h, newly) ->
+          let cr = crel_of a h in
+          B.crel_push cr newly;
+          SMap.add h cr a)
+        cdb updates
+    in
+    let dsize ds = List.fold_left (fun acc (_, d) -> acc + d.B.n) 0 ds in
+    if not s.Plan.recursive then begin
+      check_iteration config mon ~next_iter:1;
+      record_iter ();
+      push cdb (rule_updates cdb (fun r -> [ r.Plan.body ]))
+    end
+    else begin
+      (* delta-drained loop shared by naive and semi-naive: [delta_of_run]
+         empty for every head ⟺ [relation_saturated] (saturation is
+         reflexive), so both modes share the same termination test *)
+      let rec loop cdb deltas iters =
+        if List.for_all (fun (_, d) -> d.B.n = 0) deltas then begin
+          mon.m_iterations <- iters - 1;
+          cdb
+        end
+        else begin
+          check_iteration config mon ~next_iter:iters;
+          let updates =
+            if config.semi_naive then begin
+              let cdb_with_deltas =
+                List.fold_left
+                  (fun a (h, d) -> SMap.add (Plan.delta_name h) (B.crel_of_run d) a)
+                  cdb deltas
+              in
+              rule_updates cdb_with_deltas (fun r -> r.Plan.deltas)
+            end
+            else rule_updates cdb (fun r -> [ r.Plan.body ])
+          in
+          let deltas' = deltas_of cdb updates in
+          let cdb' = push cdb updates in
+          record_iter
+            ?size:(match trace with Some _ -> Some (dsize deltas') | None -> None)
+            ();
+          loop cdb' deltas' (iters + 1)
+        end
+      in
+      (* full first round *)
+      check_iteration config mon ~next_iter:1;
+      let updates = rule_updates cdb (fun r -> [ r.Plan.body ]) in
+      let deltas = deltas_of cdb updates in
+      let cdb1 = push cdb updates in
+      record_iter ?size:(match trace with Some _ -> Some (dsize deltas) | None -> None) ();
+      loop cdb1 deltas 2
+    end
 
   (* ---- programs ----------------------------------------------------------- *)
 
   let eval_plan_program config (db : db) (p : Plan.program) : db =
     let mon = make_monitor config.budget in
     if mon.watched then check_wall config mon;
-    fst
-      (List.fold_left
-         (fun (db, i) s -> (eval_stratum config mon db i s, i + 1))
-         (db, 0) p.Plan.strata)
+    if config.columnar then begin
+      let rt = { cmemo = Hashtbl.create 8 } in
+      let cdb = SMap.map B.crel_of_relation db in
+      let cdb =
+        fst
+          (List.fold_left
+             (fun (cdb, i) s -> (ceval_stratum config mon rt cdb i s, i + 1))
+             (cdb, 0) p.Plan.strata)
+      in
+      SMap.map B.to_relation cdb
+    end
+    else
+      fst
+        (List.fold_left
+           (fun (db, i) s -> (eval_stratum config mon db i s, i + 1))
+           (db, 0) p.Plan.strata)
 
   (** Evaluate a raw RAM program by planning it on the fly (compiled sessions
       plan once at compile time and use {!eval_plan_program} directly). *)
@@ -726,4 +1031,44 @@ module Make (P : Provenance.S) = struct
   let recover (db : db) pred : (Tuple.t * Provenance.Output.t) list =
     Tuple.Map.bindings (relation_of db pred)
     |> List.map (fun (u, t) -> (u, P.recover t))
+
+  (** Evaluate a program and recover the [out] relations in one step — the
+      entry point {!Session.run} uses.  Row engine: {!eval_plan_program}
+      followed by {!recover}.  Columnar engine: outputs are read directly
+      off the final sorted runs (a forced run enumerates in exactly
+      [Tuple.Map.bindings] order), skipping the per-relation O(N log N) map
+      materialization that {!eval_plan_program} pays for API compatibility. *)
+  let eval_plan_program_outputs config (db : db) (p : Plan.program) ~(out : string list) :
+      (string * (Tuple.t * Provenance.Output.t) list) list =
+    if config.columnar then begin
+      let mon = make_monitor config.budget in
+      if mon.watched then check_wall config mon;
+      let rt = { cmemo = Hashtbl.create 8 } in
+      let cdb = SMap.map B.crel_of_relation db in
+      let cdb =
+        fst
+          (List.fold_left
+             (fun (cdb, i) s -> (ceval_stratum config mon rt cdb i s, i + 1))
+             (cdb, 0) p.Plan.strata)
+      in
+      List.map (fun pred -> (pred, B.to_outputs (B.crel_force (crel_of cdb pred)))) out
+    end
+    else
+      let db = eval_plan_program config db p in
+      List.map (fun pred -> (pred, recover db pred)) out
+
+  (* ---- single-plan evaluators (differential-test harness) ------------------ *)
+
+  (** Evaluate one plan tree over [db] with the tree-walker, uncached.
+      Used as the oracle in test/test_columnar.ml. *)
+  let eval_plan config (db : db) (p : Plan.t) : (Tuple.t * P.t) list =
+    let mon = make_monitor config.budget in
+    eval config mon None db p
+
+  (** Evaluate one plan tree over [db] with the columnar executor, uncached;
+      must be bit-identical to {!eval_plan} per tuple and tag. *)
+  let eval_plan_columnar config (db : db) (p : Plan.t) : (Tuple.t * P.t) list =
+    let mon = make_monitor config.budget in
+    let rt = { cmemo = Hashtbl.create 4 } in
+    B.to_list (ceval config mon rt None (SMap.map B.crel_of_relation db) p)
 end

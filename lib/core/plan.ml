@@ -31,6 +31,11 @@ type t = {
   pid : int;  (** stable pre-order node id, unique within a planned program *)
   label : string;  (** one-line operator label for profile tables *)
   invariant : bool;  (** result cannot change within the stratum's fixpoint *)
+  colable : bool;
+      (** the whole subtree is covered by the columnar batch executor: it
+          contains no sampler (stateful RNG draws) and no foreign join
+          (arbitrary OCaml callbacks).  Non-colable subtrees are evaluated by
+          the tree-walker even under [config.columnar] *)
   desc : desc;
 }
 
@@ -85,10 +90,24 @@ let delta_name p = "\001delta:" ^ p
 
 (* ---- planning -------------------------------------------------------------- *)
 
+(* Columnar coverage is a pure function of the node kind and the children's
+   flags, shared by [plan_expr] and the delta-variant spines. *)
+let colable_of_desc = function
+  | Empty | Singleton | Pred _ -> true
+  | Select (_, a) | Project (_, a) | One_overwrite a | Zero_overwrite a -> a.colable
+  | Union (a, b) | Product (a, b) | Diff (a, b) | Intersect (a, b) ->
+      a.colable && b.colable
+  | Join { left; right; _ } | Antijoin { left; right; _ } ->
+      left.colable && right.colable
+  | Aggregate { group; body; _ } ->
+      body.colable && (match group with Domain d -> d.colable | No_group | Implicit -> true)
+  | Sample _ -> false
+  | Foreign_join _ -> false
+
 let rec plan_expr ~next ~(heads : string list) (e : Ram.expr) : t =
   let pid = next () in
   let label = Ram.node_label e in
-  let mk invariant desc = { pid; label; invariant; desc } in
+  let mk invariant desc = { pid; label; invariant; colable = colable_of_desc desc; desc } in
   let sub = plan_expr ~next ~heads in
   match e with
   | Ram.Empty -> mk true Empty
@@ -168,7 +187,9 @@ let rec plan_expr ~next ~(heads : string list) (e : Ram.expr) : t =
     Spine nodes (ancestors of the replaced leaf) get fresh ids and are marked
     variant; everything off the spine is shared with the input plan. *)
 let rec delta_plans ~next ~(heads : string list) (p : t) : t list =
-  let redo label desc = { pid = next (); label; invariant = false; desc } in
+  let redo label desc =
+    { pid = next (); label; invariant = false; colable = colable_of_desc desc; desc }
+  in
   let on sub rebuild = List.map rebuild (delta_plans ~next ~heads sub) in
   match p.desc with
   | Pred pr when List.mem pr heads -> [ redo ("Δ" ^ pr) (Pred (delta_name pr)) ]
@@ -297,6 +318,10 @@ type stats = {
   node_stats : (int, node_stat) Hashtbl.t;  (** keyed by plan node id *)
   mutable stratum_traces : stratum_trace list;  (** in stratum order *)
   budget_stops : budget_stops;
+  mutable cache_tables : int;
+      (** fixpoint cache tables actually constructed.  Caches only pay off
+          across iterations, so non-recursive strata must never build one —
+          the aggregation-sum-count regression test pins this at 0. *)
 }
 
 let empty_budget_stops () =
@@ -309,7 +334,7 @@ let total_budget_stops (b : budget_stops) =
 
 let empty_stats () =
   { fixpoint_iterations = 0; node_stats = Hashtbl.create 64; stratum_traces = [];
-    budget_stops = empty_budget_stops () }
+    budget_stops = empty_budget_stops (); cache_tables = 0 }
 
 (** [merge_stats ~into src] adds [src]'s counters into [into].  Batched
     execution gives every sample its own private sink (workers never share
@@ -317,6 +342,7 @@ let empty_stats () =
     so aggregated profiles are deterministic and race-free. *)
 let merge_stats ~(into : stats) (src : stats) =
   into.fixpoint_iterations <- into.fixpoint_iterations + src.fixpoint_iterations;
+  into.cache_tables <- into.cache_tables + src.cache_tables;
   Hashtbl.iter
     (fun pid (st : node_stat) ->
       match Hashtbl.find_opt into.node_stats pid with

@@ -37,7 +37,10 @@ module Boolean : S with type t = bool = struct
   let tag_of_input (i : Input.t) =
     ((match i.Input.prob with None -> true | Some p -> p >= 0.5), None)
 
-  let recover t = Output.O_bool t
+  (* shared outputs: recover sits on the per-tuple result path *)
+  let o_true = Output.O_bool true
+  let o_false = Output.O_bool false
+  let recover t = if t then o_true else o_false
 end
 
 module Natural : S with type t = int = struct

@@ -13,7 +13,13 @@
     a caller can match on (resource exhaustion vs. program error vs. bad
     input) — rendered for humans by {!error_string}.  Budgets (deadlines,
     iteration/tuple/node caps, cancellation) travel in
-    [config.Interp.budget]; {!run_batch} isolates failures per sample. *)
+    [config.Interp.budget]; {!run_batch} isolates failures per sample.
+
+    The execution engine is selected by [config.Interp.columnar]: the
+    default tree-walking interpreter, or the columnar batch executor (CLI
+    [--columnar]) with identical results.  The flag rides through
+    {!batch_config} untouched, so batched samples all execute under the
+    engine the template config selects. *)
 
 exception Error of Exec_error.t
 
@@ -153,17 +159,13 @@ let run ?(config = Interp.default_config ()) ~(provenance : Provenance.t) (c : c
           db entries)
       db facts
   in
-  let db =
-    try I.eval_plan_program config db c.plan with
+  let out_rels = match outputs with Some o -> o | None -> c.ram.Ram.outputs in
+  let outputs =
+    try I.eval_plan_program_outputs config db c.plan ~out:out_rels with
     | Exec_error.Error e -> raise (Error e)
     | Aggregate.Unsupported msg -> raise (Error (Exec_error.Runtime_error { msg }))
   in
-  let out_rels = match outputs with Some o -> o | None -> c.ram.Ram.outputs in
-  {
-    outputs = List.map (fun pred -> (pred, I.recover db pred)) out_rels;
-    fact_ids = List.rev !fact_ids;
-    stats = config.Interp.stats;
-  }
+  { outputs; fact_ids = List.rev !fact_ids; stats = config.Interp.stats }
 
 (* ---- batched execution ---------------------------------------------------------- *)
 

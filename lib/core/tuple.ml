@@ -30,6 +30,13 @@ let compare (a : t) (b : t) =
   in
   go 0
 
+(** Structural hash, consistent with {!equal}: equal tuples hash equally no
+    matter how their values are stored.  The columnar executor's sorted-run
+    relations ({!Batch_ops}) key their membership tables on this, computing
+    the same fold column-wise without materializing the tuple. *)
+let hash (t : t) : int =
+  Array.fold_left (fun h v -> (h * 31) + Value.hash_value v) 17 t
+
 let append (a : t) (b : t) : t = Array.append a b
 
 (** Project the columns listed in [cols] (in that order). *)

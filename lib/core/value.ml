@@ -156,6 +156,42 @@ let cast target v =
   | Char, Int (_, n) when n >= 0 && n < 256 -> Some (C (Char.chr n))
   | _ -> None
 
+(* Interned small-int boxes: columnar result decoding re-boxes the same few
+   hundred distinct values hundreds of thousands of times, so sharing the
+   boxes removes most of that allocation.  Values are immutable and nothing
+   compares them physically, so the sharing is unobservable. *)
+let intern_limit = 1024
+let mk_pool ty = Array.init intern_limit (fun n -> Int (ty, n))
+let intern_i8 = mk_pool I8
+let intern_i16 = mk_pool I16
+let intern_i32 = mk_pool I32
+let intern_i64 = mk_pool I64
+let intern_isize = mk_pool ISize
+let intern_u8 = mk_pool U8
+let intern_u16 = mk_pool U16
+let intern_u32 = mk_pool U32
+let intern_u64 = mk_pool U64
+let intern_usize = mk_pool USize
+let no_intern : t array = [||]
+
+let intern_pool = function
+  | I8 -> intern_i8
+  | I16 -> intern_i16
+  | I32 -> intern_i32
+  | I64 -> intern_i64
+  | ISize -> intern_isize
+  | U8 -> intern_u8
+  | U16 -> intern_u16
+  | U32 -> intern_u32
+  | U64 -> intern_u64
+  | USize -> intern_usize
+  | F32 | F64 | Bool | Char | Str -> no_intern
+
+(** [int_interned ty n] = [Int (ty, n)], physically shared for small [n]. *)
+let int_interned (ty : ty) (n : int) : t =
+  let pool = intern_pool ty in
+  if n >= 0 && n < Array.length pool then pool.(n) else Int (ty, n)
+
 (** A stable 64-bit-ish hash used by the [$hash] foreign function. *)
 let hash_value v =
   let h = Hashtbl.hash in

@@ -343,7 +343,7 @@ module Exact_engine (P : Provenance.S) = struct
         (fun db (p, d) -> I.SMap.add (Plan.delta_name p) d db)
         db_base input_deltas
     in
-    let cache = if config.Interp.cache_indices then Some (I.fresh_cache ()) else None in
+    let cache = if config.Interp.cache_indices then Some (I.fresh_cache config) else None in
     mon.Interp.m_stratum <- i;
     mon.Interp.m_iterations <- 0;
     let seed_updates =

@@ -18,7 +18,10 @@
     The oracle ({!check_seed}) evaluates one generated program under every
     mode pair {naive, semi-naive} × {cached, uncached} plus a 2-domain
     [Session.run_batch], and demands identical outputs — tuples and
-    recovered probabilities both.  Failures name the seed so a run can be
+    recovered probabilities both.  Each program additionally runs under the
+    columnar batch executor ([config.columnar]) in all three fixpoint
+    modes and across a 2-domain batch, compared {e bit-exactly} against its
+    same-mode tree-walker twin.  Failures name the seed so a run can be
     replayed with [check_seed ~seed] alone. *)
 
 open Scallop_core
@@ -120,11 +123,26 @@ let snapshots_equal a b =
               la lb)
        a b
 
-let mode_config ~semi_naive ~cache () =
+(* Bit-exact comparison — used where the contract is identity, not
+   tolerance: the incremental maintenance engine, and the columnar executor
+   against its same-mode tree-walker twin. *)
+let snapshots_bit_equal a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (pa, la) (pb, lb) ->
+         String.equal pa pb
+         && List.length la = List.length lb
+         && List.for_all2
+              (fun (ta, xa) (tb, xb) -> Tuple.compare ta tb = 0 && Float.equal xa xb)
+              la lb)
+       a b
+
+let mode_config ?(columnar = false) ~semi_naive ~cache () =
   {
     (Interp.default_config ()) with
     Interp.semi_naive;
     cache_indices = cache;
+    columnar;
   }
 
 (** Run the differential oracle for one (provenance, seed) pair.  [Ok] when
@@ -139,39 +157,69 @@ let check_seed ?(recursion = true) ~(spec : Registry.spec) ~(base_rng : Rng.t) ~
         (Fmt.str "seed %d: generated program failed to compile: %s@\n%s" seed
            (Session.error_string e) src)
   | compiled -> (
-      let run_mode ~semi_naive ~cache =
+      let run_mode ?columnar ~semi_naive ~cache () =
         Session.run
-          ~config:(mode_config ~semi_naive ~cache ())
+          ~config:(mode_config ?columnar ~semi_naive ~cache ())
           ~provenance:(Registry.create spec) compiled ()
       in
+      let run_batch_mode ?columnar () =
+        Session.run_batch ~jobs:2
+          ~config:(mode_config ?columnar ~semi_naive:true ~cache:true ())
+          ~provenance_of:(fun _ -> Registry.create spec)
+          compiled
+          [| []; [] |]
+        |> Array.to_list
+        |> List.mapi (fun i outcome ->
+               match outcome with
+               | Ok r -> (i, snapshot r)
+               | Error e ->
+                   failwith
+                     (Fmt.str "run_batch sample %d failed: %s" i (Session.error_string e)))
+      in
       match
-        let reference = snapshot (run_mode ~semi_naive:false ~cache:false) in
+        let reference = snapshot (run_mode ~semi_naive:false ~cache:false ()) in
+        let semi = snapshot (run_mode ~semi_naive:true ~cache:false ()) in
+        let semi_cached = snapshot (run_mode ~semi_naive:true ~cache:true ()) in
         let modes =
           [
-            ("naive+cache", snapshot (run_mode ~semi_naive:false ~cache:true));
-            ("semi-naive", snapshot (run_mode ~semi_naive:true ~cache:false));
-            ("semi-naive+cache", snapshot (run_mode ~semi_naive:true ~cache:true));
+            ("naive+cache", snapshot (run_mode ~semi_naive:false ~cache:true ()));
+            ("semi-naive", semi);
+            ("semi-naive+cache", semi_cached);
           ]
         in
-        let batch =
-          Session.run_batch ~jobs:2
-            ~provenance_of:(fun _ -> Registry.create spec)
-            compiled
-            [| []; [] |]
-        in
+        let batch = run_batch_mode () in
         let batch_modes =
-          Array.to_list batch
-          |> List.mapi (fun i outcome ->
-                 match outcome with
-                 | Ok r -> (Fmt.str "run_batch[%d] jobs=2" i, snapshot r)
-                 | Error e ->
-                     failwith (Fmt.str "run_batch sample %d failed: %s" i
-                                 (Session.error_string e)))
+          List.map (fun (i, snap) -> (Fmt.str "run_batch[%d] jobs=2" i, snap)) batch
+        in
+        (* The columnar executor is checked {e bit-exactly} against its
+           same-mode tree-walker twin — same fixpoint strategy, same cache
+           setting, sequentially and across a 2-domain batch. *)
+        let columnar_pairs =
+          [
+            ( "columnar-naive",
+              snapshot (run_mode ~columnar:true ~semi_naive:false ~cache:false ()),
+              reference );
+            ( "columnar",
+              snapshot (run_mode ~columnar:true ~semi_naive:true ~cache:true ()),
+              semi_cached );
+            ( "columnar+nocache",
+              snapshot (run_mode ~columnar:true ~semi_naive:true ~cache:false ()),
+              semi );
+          ]
+          @ List.map2
+              (fun (i, csnap) (_, tsnap) ->
+                (Fmt.str "columnar run_batch[%d] jobs=2" i, csnap, tsnap))
+              (run_batch_mode ~columnar:true ())
+              batch
         in
         List.filter_map
           (fun (name, snap) ->
             if snapshots_equal reference snap then None else Some name)
           (modes @ batch_modes)
+        @ List.filter_map
+            (fun (name, csnap, tsnap) ->
+              if snapshots_bit_equal csnap tsnap then None else Some name)
+            columnar_pairs
       with
       | [] -> Ok ()
       | diverged ->
@@ -198,19 +246,6 @@ let check_range ?(recursion = true) ~spec ~master_seed ~first ~count () : string
 (* ---- incremental sessions: assert/retract/query interleavings --------------- *)
 
 module Incr = Scallop_incr.Incr
-
-(* Bit-exact comparison — the incremental maintenance contract is identity,
-   not tolerance. *)
-let snapshots_bit_equal a b =
-  List.length a = List.length b
-  && List.for_all2
-       (fun (pa, la) (pb, lb) ->
-         String.equal pa pb
-         && List.length la = List.length lb
-         && List.for_all2
-              (fun (ta, xa) (tb, xb) -> Tuple.compare ta tb = 0 && Float.equal xa xb)
-              la lb)
-       a b
 
 (* Random dynamic facts over the generated EDB relations; the 0..4 domain
    overlaps the static 0..3 facts, so overlay-over-static tag merges and

@@ -14,6 +14,7 @@ let () =
       ("nn", Test_nn.suite);
       ("data", Test_data.suite);
       ("interp", Test_interp.suite);
+      ("columnar", Test_columnar.suite);
       ("opt", Test_opt.suite);
       ("demand", Test_demand.suite);
       ("semantics", Test_semantics.suite);

@@ -185,6 +185,57 @@ let bench_refs text =
   done;
   List.rev !refs
 
+(* ---- columnar audit of BENCH_interp.json ------------------------------------- *)
+
+let count_substring (text : string) (sub : string) : int =
+  let n = String.length text and m = String.length sub in
+  let count = ref 0 in
+  let i = ref 0 in
+  while !i + m <= n do
+    if String.sub text !i m = sub then incr count;
+    incr i
+  done;
+  !count
+
+(* Extract the numeric value following ["key": ] in [text]. *)
+let json_number_field (text : string) (key : string) : float option =
+  let probe = Printf.sprintf "%S:" key in
+  let n = String.length text and m = String.length probe in
+  let rec find i = if i + m > n then None else if String.sub text i m = probe then Some (i + m) else find (i + 1) in
+  match find 0 with
+  | None -> None
+  | Some start ->
+      let e = ref start in
+      while
+        !e < n
+        && (match text.[!e] with ' ' | '-' | '+' | '.' | 'e' | 'E' | '0' .. '9' -> true | _ -> false)
+      do
+        incr e
+      done;
+      float_of_string_opt (String.trim (String.sub text start (!e - start)))
+
+(** The columnar executor rides on BENCH_interp.json: both engine variants
+    must be represented (row-oriented baseline and columnar twin of each
+    workload), and the pinned TC-500 speedup must stay at or above the 10x
+    gate the bench harness enforces ([col_gate] in bench/main.ml).  A
+    regeneration that silently dropped the columnar rows — or pinned a
+    regressed multiple — fails here instead of weakening the contract. *)
+let audit_interp_columnar (text : string) : string list =
+  let errs = ref [] in
+  let nag msg = errs := msg :: !errs in
+  let col_true = count_substring text "\"columnar\": true" in
+  let col_false = count_substring text "\"columnar\": false" in
+  if col_true < 4 then
+    nag (Printf.sprintf "expected >= 4 columnar rows, found %d" col_true);
+  if col_false < 4 then
+    nag (Printf.sprintf "expected >= 4 row-engine rows, found %d" col_false);
+  (match json_number_field text "tc500_columnar_speedup" with
+  | None -> nag "missing numeric tc500_columnar_speedup field"
+  | Some x when x < 10.0 ->
+      nag (Printf.sprintf "tc500_columnar_speedup %.2f below the pinned 10x gate" x)
+  | Some _ -> ());
+  List.rev !errs
+
 let () =
   let sources = [ "ROADMAP.md"; Filename.concat "bench" "main.ml" ] in
   let referenced =
@@ -212,8 +263,19 @@ let () =
         Fmt.epr "smoke_bench_files: %s is referenced but not committed@." name
       end
       else
-        match parse_json (read_file path) with
-        | () -> Fmt.pr "smoke_bench_files: %s OK@." name
+        let text = read_file path in
+        match parse_json text with
+        | () ->
+            let audit_errs =
+              if name = "BENCH_interp.json" then audit_interp_columnar text else []
+            in
+            if audit_errs = [] then Fmt.pr "smoke_bench_files: %s OK@." name
+            else
+              List.iter
+                (fun msg ->
+                  incr failures;
+                  Fmt.epr "smoke_bench_files: %s: %s@." name msg)
+                audit_errs
         | exception Bad msg ->
             incr failures;
             Fmt.epr "smoke_bench_files: %s does not parse: %s@." name msg)

@@ -1,8 +1,12 @@
 (** Differential fuzzing: grammar-directed random programs evaluated under
     every mode pair (naive/semi-naive × cached/uncached) plus a 2-domain
     [Session.run_batch]; all modes must agree with the naive uncached
-    reference.  Failure messages carry the offending seed and program so a
-    divergence can be replayed deterministically. *)
+    reference.  Every program additionally runs under the columnar batch
+    executor — naive, semi-naive cached/uncached, and a 2-domain batch —
+    and must match its same-mode tree-walker twin {e bit-exactly} (tuples
+    and recovered probabilities), negation and aggregation included.
+    Failure messages carry the offending seed and program so a divergence
+    can be replayed deterministically. *)
 
 open Scallop_core
 open Scallop_fuzz
@@ -33,13 +37,14 @@ let check_incr ?(recursion = true) ?(parallel = false) name spec ~first ~count (
 
 let suite =
   [
-    Alcotest.test_case "boolean: 70 programs, all modes agree" `Slow
+    Alcotest.test_case "boolean: 70 programs, all modes + columnar agree" `Slow
       (check_spec "boolean" Registry.Boolean ~first:0 ~count:70);
-    Alcotest.test_case "minmaxprob: 70 programs, all modes agree" `Slow
+    Alcotest.test_case "minmaxprob: 70 programs, all modes + columnar agree" `Slow
       (check_spec "minmaxprob" Registry.Max_min_prob ~first:100 ~count:70);
     (* non-recursive only: truncated proof sets at a recursive fixpoint are
        derivation-order dependent under top-k, so modes legitimately differ *)
-    Alcotest.test_case "topkproofs-3: 60 non-recursive programs, all modes agree" `Slow
+    Alcotest.test_case "topkproofs-3: 60 non-recursive programs, all modes + columnar agree"
+      `Slow
       (check_spec ~recursion:false "topkproofs-3" (Registry.Top_k_proofs 3) ~first:200
          ~count:60);
     (* incremental sessions: random assert/retract/query interleavings must

@@ -304,7 +304,42 @@ let test_cache_hits_recorded () =
   ignore
     (Session.interpret ~config ~provenance:(Registry.create Registry.Boolean) ~facts tc_src);
   let hits = Hashtbl.fold (fun _ st acc -> acc + st.Interp.hits) stats.Interp.node_stats 0 in
-  check Alcotest.bool "fixpoint cache hit at least once" true (hits > 0)
+  check Alcotest.bool "fixpoint cache hit at least once" true (hits > 0);
+  check Alcotest.bool "cache table was built" true (stats.Interp.cache_tables > 0)
+
+let test_no_cache_for_non_recursive () =
+  (* Regression for the aggregation-sum-count benchmark: with caching
+     enabled, a program whose strata are all non-recursive used to pay for
+     building cache tables it could never hit (unique node ids mean nothing
+     is looked up twice within a single pass).  Such strata must now skip
+     cache construction entirely — the cache-stats counters stay at zero —
+     while still computing the same answers as an uncached run. *)
+  let src =
+    {|type score(i32, i32)
+rel total(s) = s := sum(v: score(_, v))
+rel howmany(n) = n := count(k, v: score(k, v))
+query total
+query howmany|}
+  in
+  let facts =
+    [
+      ( "score",
+        List.init 20 (fun i ->
+            ( Provenance.Input.none,
+              Tuple.of_list [ Value.int Value.I32 i; Value.int Value.I32 (i * 3 mod 17) ] )) );
+    ]
+  in
+  let run ~cache ~stats =
+    run_mode ~semi_naive:true ~provenance:Registry.Boolean ~cache ~stats facts src
+  in
+  let stats = Interp.empty_stats () in
+  let cached = run ~cache:true ~stats:(Some stats) in
+  let uncached = run ~cache:false ~stats:None in
+  check (Alcotest.list Alcotest.string) "cached ≡ uncached" uncached cached;
+  check Alcotest.int "no cache table built for non-recursive strata" 0
+    stats.Interp.cache_tables;
+  let hits = Hashtbl.fold (fun _ st acc -> acc + st.Interp.hits) stats.Interp.node_stats 0 in
+  check Alcotest.int "no cache hits recorded" 0 hits
 
 let test_semi_naive_faster_iterations_equal () =
   (* same number of fixpoint rounds, far less work per round; here we just
@@ -335,5 +370,7 @@ let suite =
     test_equivalence_negation_aggregation;
     Alcotest.test_case "profiler populates stats" `Quick test_profiler_populates;
     Alcotest.test_case "fixpoint cache records hits" `Quick test_cache_hits_recorded;
+    Alcotest.test_case "no cache tables for non-recursive strata" `Quick
+      test_no_cache_for_non_recursive;
     Alcotest.test_case "round counts agree" `Quick test_semi_naive_faster_iterations_equal;
   ]
