@@ -13,7 +13,7 @@
     continues from the newest valid snapshot; [--clip-grad] bounds the
     global gradient norm on every optimizer step.  Experiments:
       table1 table2 accuracy provenances table4 table5 fig18 fig19 pacman
-      micro batch budget resilience service incr
+      micro batch budget resilience service incr durability
 
     Each run prints paper-reported reference numbers alongside measured ones
     (marked [paper]); see EXPERIMENTS.md for the recorded comparison. *)
@@ -1395,6 +1395,203 @@ query path|}
   close_out oc;
   Fmt.pr "@.  wrote BENCH_incr.json (%d measurements)@." (List.length !results)
 
+(* ---- durable sessions (BENCH_durability.json) -------------------------------------------------- *)
+
+(* Durability tax and recovery cost of [Durable] sessions:
+
+   1. WAL overhead: single-fact update rounds (assert + query) on a TC
+      chain, an ephemeral registry vs a durable one with fsync'd
+      write-ahead logging.  Acceptance gate: the durable path costs at
+      most 10% more than the ephemeral path (bump [bench_failures]).
+   2. Recovery latency: time for a fresh manager to rebuild the session
+      from snapshot + WAL replay, and bit-identity of the recovered
+      session's answer against the pre-crash one (a divergence bumps
+      [bench_failures]).
+   3. Kill-point sweep: the active WAL segment truncated at sampled byte
+      offsets — every cut must recover (torn tails are never fatal) and
+      answer identically to a cold run. *)
+let bench_durability (m : mode) =
+  section "Durable sessions: WAL overhead + crash recovery (writes BENCH_durability.json)";
+  let open Scallop_core in
+  let module Durable = Scallop_incr.Durable in
+  let tc_src =
+    {|type edge(i32, i32)
+rel path(a, b) = edge(a, b)
+rel path(a, c) = path(a, b), edge(b, c)
+query path|}
+  in
+  let pair a b = Tuple.of_list [ Value.int Value.I32 a; Value.int Value.I32 b ] in
+  let output_equal (a : Provenance.Output.t) (b : Provenance.Output.t) =
+    match (a, b) with
+    | Provenance.Output.O_prob x, Provenance.Output.O_prob y -> Float.equal x y
+    | a, b -> a = b
+  in
+  let results_equal (a : Session.result) (b : Session.result) =
+    List.length a.Session.outputs = List.length b.Session.outputs
+    && List.for_all2
+         (fun (pa, la) (pb, lb) ->
+           String.equal pa pb
+           && List.length la = List.length lb
+           && List.for_all2
+                (fun (ta, oa) (tb, ob) -> Tuple.compare ta tb = 0 && output_equal oa ob)
+                la lb)
+         a.Session.outputs b.Session.outputs
+  in
+  let rec rm_rf path =
+    match Sys.is_directory path with
+    | exception Sys_error _ -> ()
+    | true ->
+        Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+        (try Sys.rmdir path with Sys_error _ -> ())
+    | false -> ( try Sys.remove path with Sys_error _ -> ())
+  in
+  let scratch name =
+    let d =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "scallop-bench-durability-%d-%s" (Unix.getpid ()) name)
+    in
+    rm_rf d;
+    d
+  in
+  let n = if m.quick then 300 else 500 in
+  let rounds = if m.quick then 30 else 60 in
+  let results = ref [] in
+  (* one update round = assert one chain-extending edge, then query *)
+  let run_updates ~state_dir =
+    let cfg =
+      match state_dir with
+      | None -> Durable.config Registry.Boolean
+      | Some dir -> Durable.config ~state_dir:dir Registry.Boolean
+    in
+    let mgr = Durable.create cfg in
+    let _ = Durable.open_session mgr ~sid:"b" tc_src in
+    for i = 0 to n - 1 do
+      Durable.assert_fact mgr ~sid:"b" ~pred:"edge" (pair i (i + 1))
+    done;
+    ignore (Durable.query mgr ~sid:"b" ());
+    let tip = ref n in
+    let t0 = Scallop_utils.Monotonic.now () in
+    for _ = 1 to rounds do
+      Durable.assert_fact mgr ~sid:"b" ~pred:"edge" (pair !tip (!tip + 1));
+      incr tip;
+      ignore (Durable.query mgr ~sid:"b" ())
+    done;
+    let mean = (Scallop_utils.Monotonic.now () -. t0) /. float_of_int rounds in
+    (mgr, mean)
+  in
+  let plain_mgr, plain_mean = run_updates ~state_dir:None in
+  ignore (Durable.close plain_mgr ~sid:"b");
+  let sd = scratch "wal" in
+  let durable_mgr, durable_mean = run_updates ~state_dir:(Some sd) in
+  let reference = Durable.query durable_mgr ~sid:"b" () in
+  let w = Durable.stats durable_mgr in
+  (* abandon without close: the on-disk state is a crash image *)
+  Durable.shutdown durable_mgr;
+  let overhead_pct = 100.0 *. ((durable_mean /. plain_mean) -. 1.0) in
+  Fmt.pr
+    "  TC-%d single-fact rounds: ephemeral %8.3f ms  durable %8.3f ms  overhead %+.1f%%@." n
+    (1000.0 *. plain_mean) (1000.0 *. durable_mean) overhead_pct;
+  Fmt.pr "  wal: %d appends, %d bytes, %d snapshots@." w.Durable.wal_appends
+    w.Durable.wal_bytes w.Durable.snapshots;
+  if overhead_pct > 10.0 then begin
+    incr bench_failures;
+    Fmt.pr "  FAIL: WAL overhead %.1f%% exceeds the 10%% gate@." overhead_pct
+  end;
+  results :=
+    Fmt.str
+      {|    {"workload": "tc-chain-extend", "n": %d, "rounds": %d, "ephemeral_mean_ms": %.3f, "durable_mean_ms": %.3f, "wal_overhead_pct": %.2f, "wal_appends": %d, "wal_bytes": %d, "snapshots": %d}|}
+      n rounds (1000.0 *. plain_mean) (1000.0 *. durable_mean) overhead_pct
+      w.Durable.wal_appends w.Durable.wal_bytes w.Durable.snapshots
+    :: !results;
+  (* recovery: rebuild from snapshot + replay, answer must be bit-identical *)
+  let t0 = Scallop_utils.Monotonic.now () in
+  let mgr2 = Durable.create (Durable.config ~state_dir:sd Registry.Boolean) in
+  let recovery_ms = 1000.0 *. (Scallop_utils.Monotonic.now () -. t0) in
+  let r = Durable.stats mgr2 in
+  let recovered_answer = Durable.query mgr2 ~sid:"b" () in
+  if not (results_equal recovered_answer reference) then begin
+    incr bench_failures;
+    Fmt.pr "  FAIL: recovered session diverges from the pre-crash answer@."
+  end;
+  Durable.shutdown mgr2;
+  Fmt.pr "  recovery: %.3f ms (%d session, %d ops replayed, snapshot + bounded replay)@."
+    recovery_ms r.Durable.recovered r.Durable.wal_replayed;
+  results :=
+    Fmt.str
+      {|    {"workload": "recovery", "n": %d, "recovery_ms": %.3f, "sessions_recovered": %d, "ops_replayed": %d}|}
+      n recovery_ms r.Durable.recovered r.Durable.wal_replayed
+    :: !results;
+  (* kill-point sweep over the active segment *)
+  let sdir = Filename.concat (Filename.concat sd "sessions") "s-b" in
+  let seg =
+    Sys.readdir sdir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".log")
+    |> List.sort compare |> List.rev |> List.hd |> Filename.concat sdir
+  in
+  let raw =
+    let ic = open_in_bin seg in
+    let d = In_channel.input_all ic in
+    close_in ic;
+    d
+  in
+  let cuts = if m.quick then 16 else 64 in
+  let sweep_total = ref 0.0 and sweep_max = ref 0.0 and sweep_ok = ref 0 in
+  for k = 0 to cuts - 1 do
+    let cut = String.length raw * k / cuts in
+    let oc = open_out_bin seg in
+    output_string oc (String.sub raw 0 cut);
+    close_out oc;
+    let t0 = Scallop_utils.Monotonic.now () in
+    match Durable.create (Durable.config ~state_dir:sd Registry.Boolean) with
+    | exception e ->
+        incr bench_failures;
+        Fmt.pr "  FAIL: cut at byte %d crashed recovery: %s@." cut (Printexc.to_string e)
+    | mgr ->
+        let dt = 1000.0 *. (Scallop_utils.Monotonic.now () -. t0) in
+        sweep_total := !sweep_total +. dt;
+        if dt > !sweep_max then sweep_max := dt;
+        let st = Durable.stats mgr in
+        if st.Durable.recovery_failures > 0 then begin
+          incr bench_failures;
+          Fmt.pr "  FAIL: cut at byte %d quarantined the session (torn tail must recover)@."
+            cut
+        end
+        else begin
+          let got = Durable.query mgr ~sid:"b" () in
+          let cold = Durable.run_cold mgr ~sid:"b" () in
+          if results_equal got cold then incr sweep_ok
+          else begin
+            incr bench_failures;
+            Fmt.pr "  FAIL: cut at byte %d diverges from the cold oracle@." cut
+          end
+        end;
+        Durable.shutdown mgr
+  done;
+  let oc = open_out_bin seg in
+  output_string oc raw;
+  close_out oc;
+  Fmt.pr "  kill-point sweep: %d/%d cuts recovered bit-identically (mean %.3f ms, max %.3f ms)@."
+    !sweep_ok cuts
+    (!sweep_total /. float_of_int cuts)
+    !sweep_max;
+  results :=
+    Fmt.str
+      {|    {"workload": "kill-point-sweep", "cuts": %d, "recovered_identical": %d, "recovery_mean_ms": %.3f, "recovery_max_ms": %.3f}|}
+      cuts !sweep_ok
+      (!sweep_total /. float_of_int cuts)
+      !sweep_max
+    :: !results;
+  rm_rf sd;
+  let oc = open_out "BENCH_durability.json" in
+  output_string oc "{\n  \"benchmarks\": [\n";
+  output_string oc (String.concat ",\n" (List.rev !results));
+  output_string oc "\n  ],\n";
+  output_string oc
+    (Fmt.str "  \"wal_overhead_pct\": %.2f,\n  \"wal_overhead_gate_pct\": 10.0\n}\n"
+       overhead_pct);
+  close_out oc;
+  Fmt.pr "@.  wrote BENCH_durability.json (%d measurements)@." (List.length !results)
+
 (* ---- driver --------------------------------------------------------------------------------------- *)
 
 let all_experiments =
@@ -1415,6 +1612,7 @@ let all_experiments =
     ("resilience", bench_resilience);
     ("service", bench_service);
     ("incr", bench_incr);
+    ("durability", bench_durability);
   ]
 
 let () =

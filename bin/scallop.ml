@@ -321,6 +321,7 @@ let serve_cmd =
   let module Service = Scallop_serve.Service in
   let module Chaos = Scallop_serve.Chaos in
   let module Incr = Scallop_incr.Incr in
+  let module Durable = Scallop_incr.Durable in
   let queue_depth_arg =
     Arg.(
       value & opt int 64
@@ -374,8 +375,56 @@ let serve_cmd =
       & info [] ~docv:"FILE"
         ~doc:"Optional base program prefixed to every request (types, rules, data).")
   in
+  let state_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "state-dir" ] ~docv:"DIR"
+          ~doc:
+            "Durable session state: every open/assert/retract/close is write-ahead logged \
+             under $(docv) before it is applied, with periodic compacted snapshots. On \
+             startup, sessions found in $(docv) are recovered (snapshot + bounded replay) \
+             and answer queries bit-identically to an uncrashed service. Without this \
+             flag, session state is in-memory only.")
+  in
+  let max_live_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-live-sessions" ] ~docv:"N"
+          ~doc:
+            "LRU cap on hydrated sessions (requires $(b,--state-dir)): beyond $(docv), the \
+             least-recently-used idle session is spilled to disk and transparently \
+             rehydrated on its next touch.")
+  in
+  let session_ttl_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "session-ttl" ] ~docv:"SEC"
+          ~doc:
+            "Idle TTL (requires $(b,--state-dir)): sessions untouched for $(docv) seconds \
+             are spilled to disk.")
+  in
+  let snapshot_every_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "snapshot-every" ] ~docv:"N"
+          ~doc:
+            "Ops between compaction snapshots of a durable session; recovery replay is \
+             bounded by this.")
+  in
+  let no_wal_sync_arg =
+    Arg.(
+      value & flag
+      & info [ "no-wal-sync" ]
+          ~doc:
+            "Skip the per-append fsync. Acknowledged ops then survive a process kill but \
+             not a power loss.")
+  in
   let run provenance seed jobs queue_depth request_timeout max_retries chaos_seed chaos_kill
-      chaos_latency chaos_latency_secs chaos_budget chaos_nan base =
+      chaos_latency chaos_latency_secs chaos_budget chaos_nan state_dir max_live session_ttl
+      snapshot_every no_wal_sync base =
     let base_src = match base with None -> "" | Some path -> read_file path ^ "\n" in
     let chaos =
       {
@@ -399,6 +448,11 @@ let serve_cmd =
       }
     in
     let svc = Service.create ~config provenance in
+    let dmgr =
+      Durable.create
+        (Durable.config ?state_dir ?max_live ?idle_ttl:session_ttl ~snapshot_every
+           ~wal_sync:(not no_wal_sync) ~interp:config.Service.interp provenance)
+    in
     (* Protocol: one request per stdin line ([;] separates items within a
        line).  Replies stream on stdout in request order: zero or more
        [out <id> ...] rows, then exactly one [done <id> ok|error ...] status
@@ -418,9 +472,10 @@ let serve_cmd =
        Updates apply in line order (strictly serialized against the
        session's in-flight queries); anything else is the legacy one-shot
        path. *)
-    let sessions : (string, Incr.t * Service.ticket option ref) Hashtbl.t =
-      Hashtbl.create 8
-    in
+    (* In-flight query tickets per session.  The session registry itself —
+       including recovery from --state-dir, WAL-before-apply commit, and
+       idle eviction — lives in [Durable]. *)
+    let tickets : (string, Service.ticket list ref) Hashtbl.t = Hashtbl.create 8 in
     let pmutex = Mutex.create () in
     let pcond = Condition.create () in
     let pending = Queue.create () in
@@ -477,14 +532,28 @@ let serve_cmd =
          with Session.Error e -> `Lines [ Fmt.str "done %d error %s" n (Session.error_string e) ])
     in
     let lookup sid =
-      match Hashtbl.find_opt sessions sid with
-      | Some entry -> entry
-      | None -> Session.invalid_input "unknown session %s" sid
+      if not (Durable.exists dmgr ~sid) then Session.invalid_input "unknown session %s" sid
     in
-    (* Serialize updates against the session's in-flight query, so a later
-       assert can never be observed by an earlier query executing on a
-       worker domain. *)
-    let drain lastq = match !lastq with Some tk -> ignore (Service.await svc tk) | None -> () in
+    let pending_of sid =
+      match Hashtbl.find_opt tickets sid with
+      | Some r -> r
+      | None ->
+          let r = ref [] in
+          Hashtbl.add tickets sid r;
+          r
+    in
+    (* Serialize updates and close against ALL of the session's in-flight
+       queries, so a later assert can never be observed by an earlier query
+       executing on a worker domain.  Awaiting only the most recent ticket
+       is not enough: with two or more workers, two queries on the same
+       session can execute concurrently, and a close that awaited just the
+       newer one could tear the session down under the older — which then
+       failed spuriously with "session is closed". *)
+    let drain sid =
+      let r = pending_of sid in
+      List.iter (fun tk -> ignore (Service.await svc tk)) (List.rev !r);
+      r := []
+    in
     let unquote line = String.map (fun c -> if c = ';' then '\n' else c) line in
     let reqno = ref 0 in
     let rec read_loop () =
@@ -501,8 +570,6 @@ let serve_cmd =
           (match words with
           | "open" :: sid :: _ ->
               verb n (fun () ->
-                  if Hashtbl.mem sessions sid then
-                    Session.invalid_input "session %s already open" sid;
                   let rest = String.trim (drop_tokens 2 line) in
                   let expect_hash, prog =
                     if String.length rest >= 5 && String.equal (String.sub rest 0 5) "hash="
@@ -516,78 +583,79 @@ let serve_cmd =
                         String.sub rest i (String.length rest - i) )
                     else (None, rest)
                   in
-                  let t =
-                    Incr.open_session ~config:config.Service.interp ?expect_hash
-                      ~spec:provenance
-                      (base_src ^ unquote prog)
+                  let hash, exact =
+                    Durable.open_session dmgr ~sid ?expect_hash (base_src ^ unquote prog)
                   in
-                  Hashtbl.add sessions sid (t, ref None);
                   `Lines
                     [
-                      Fmt.str "done %d ok opened %s hash=%s engine=%s" n sid
-                        (Incr.program_hash t)
-                        (if Incr.is_exact t then "delta" else "recompute");
+                      Fmt.str "done %d ok opened %s hash=%s engine=%s" n sid hash
+                        (if exact then "delta" else "recompute");
                     ])
           | "assert" :: sid :: _ ->
               verb n (fun () ->
-                  let t, lastq = lookup sid in
-                  drain lastq;
+                  lookup sid;
+                  drain sid;
                   let prob, pred, tuple = parse_fact_atom (drop_tokens 2 line) in
-                  Incr.assert_fact t ~pred ?prob tuple;
+                  Durable.assert_fact dmgr ~sid ~pred ?prob tuple;
                   `Lines [ Fmt.str "done %d ok asserted %s" n sid ])
           | "retract" :: sid :: _ ->
               verb n (fun () ->
-                  let t, lastq = lookup sid in
-                  drain lastq;
+                  lookup sid;
+                  drain sid;
                   let prob, pred, tuple = parse_fact_atom (drop_tokens 2 line) in
                   (match prob with
                   | Some _ -> Session.invalid_input "retract takes no probability"
                   | None -> ());
-                  Incr.retract_fact t ~pred tuple;
+                  Durable.retract_fact dmgr ~sid ~pred tuple;
                   `Lines [ Fmt.str "done %d ok retracted %s" n sid ])
           | "query" :: sid :: rest ->
               verb n (fun () ->
-                  let t, lastq = lookup sid in
+                  lookup sid;
                   let outputs = match rest with [] -> None | l -> Some l in
                   let tk =
                     Service.submit_exec svc (fun ~rung:_ ~config ->
-                        Incr.query ?outputs ~budget:config.Interp.budget t)
+                        Durable.query ?outputs ~budget:config.Interp.budget dmgr ~sid ())
                   in
-                  lastq := Some tk;
+                  let r = pending_of sid in
+                  r := tk :: List.filter (fun t -> Service.poll svc t = None) !r;
                   `Ticket tk)
           | [ "close"; sid ] ->
               verb n (fun () ->
-                  let t, lastq = lookup sid in
-                  drain lastq;
-                  Incr.close t;
+                  lookup sid;
+                  drain sid;
+                  let st = Durable.close dmgr ~sid in
                   `Lines
                     [
-                      Fmt.str "out %d session %s %a" n sid Incr.pp_session_stats
-                        (Incr.stats t);
+                      Fmt.str "out %d session %s %a" n sid Incr.pp_session_stats st;
                       Fmt.str "done %d ok closed %s" n sid;
                     ])
           | [ "stats" ] ->
               verb n (fun () ->
                   let pc = Session.plan_cache_stats () in
                   let wc = Wmc.cache_stats () in
-                  let open_sessions =
-                    Hashtbl.fold
-                      (fun _ (t, _) acc -> if Incr.is_closed t then acc else acc + 1)
-                      sessions 0
-                  in
+                  let c = Durable.session_counts dmgr in
+                  let open_sessions = c.Durable.live + c.Durable.spilled + c.Durable.failed in
                   `Lines
-                    [
-                      Fmt.str "out %d plan-cache hits=%d misses=%d evictions=%d entries=%d"
-                        n pc.Session.hits pc.Session.misses pc.Session.evictions
-                        pc.Session.entries;
-                      Fmt.str
-                        "out %d wmc bdd-hits=%d bdd-misses=%d result-hits=%d \
-                         result-misses=%d resets=%d nodes=%d"
-                        n wc.Wmc.bdd_hits wc.Wmc.bdd_misses wc.Wmc.result_hits
-                        wc.Wmc.result_misses wc.Wmc.resets wc.Wmc.manager_nodes;
-                      Fmt.str "out %d sessions open=%d" n open_sessions;
-                      Fmt.str "done %d ok stats" n;
-                    ])
+                    ([
+                       Fmt.str "out %d plan-cache hits=%d misses=%d evictions=%d entries=%d"
+                         n pc.Session.hits pc.Session.misses pc.Session.evictions
+                         pc.Session.entries;
+                       Fmt.str
+                         "out %d wmc bdd-hits=%d bdd-misses=%d result-hits=%d \
+                          result-misses=%d resets=%d nodes=%d"
+                         n wc.Wmc.bdd_hits wc.Wmc.bdd_misses wc.Wmc.result_hits
+                         wc.Wmc.result_misses wc.Wmc.resets wc.Wmc.manager_nodes;
+                       Fmt.str "out %d sessions open=%d" n open_sessions;
+                     ]
+                    @ (match state_dir with
+                      | None -> []
+                      | Some _ ->
+                          [
+                            Fmt.str "out %d durability %a live=%d spilled=%d failed=%d" n
+                              Durable.pp_stats (Durable.stats dmgr) c.Durable.live
+                              c.Durable.spilled c.Durable.failed;
+                          ])
+                    @ [ Fmt.str "done %d ok stats" n ]))
           | _ ->
               push n
                 (match Session.compile (base_src ^ unquote line) with
@@ -602,6 +670,7 @@ let serve_cmd =
     Mutex.unlock pmutex;
     Domain.join printer;
     Service.shutdown svc;
+    Durable.shutdown dmgr;
     Fmt.epr "service: %a@." Service.pp_stats (Service.stats svc);
     `Ok ()
   in
@@ -616,7 +685,8 @@ let serve_cmd =
         (const run $ provenance_arg $ seed_arg $ jobs_arg $ queue_depth_arg
        $ request_timeout_arg $ max_retries_arg $ chaos_seed_arg $ chaos_kill_arg
        $ chaos_latency_arg $ chaos_latency_secs_arg $ chaos_budget_arg $ chaos_nan_arg
-       $ base_arg))
+       $ state_dir_arg $ max_live_arg $ session_ttl_arg $ snapshot_every_arg
+       $ no_wal_sync_arg $ base_arg))
 
 let main_cmd =
   (* [run] is the default command, so [scallop --profile FILE] works without

@@ -59,6 +59,12 @@ type t =
           heartbeating mid-flight (attempt number [attempts]); the request
           itself may be fine — it is retried against its remaining retry
           budget and this error surfaces only once that is exhausted *)
+  | Recovery_failed of { session : string; reason : string }
+      (** a durable session's persisted state could not be rebuilt at
+          restart (corrupt log segment, program hash mismatch against the
+          pinned [expect_hash], an op that no longer replays).  Scoped to
+          one session: the serving layer answers that session's requests
+          with this diagnostic and keeps every other session live *)
 
 exception Error of t
 
@@ -93,7 +99,8 @@ let is_quarantine = function Budget_exceeded _ | Non_finite _ -> true | _ -> fal
 let is_transient = function
   | Overloaded _ | Worker_lost _ | Non_finite _ -> true
   | Budget_exceeded _ | Cancelled _ | Unstratifiable _ | Parse_error _ | Front_error _
-  | Type_error _ | Demand_error _ | Compile_error _ | Runtime_error _ | Invalid_input _ ->
+  | Type_error _ | Demand_error _ | Compile_error _ | Runtime_error _ | Invalid_input _
+  | Recovery_failed _ ->
       false
 
 (** True for the failures the graceful-degradation ladder can rescue by
@@ -132,5 +139,7 @@ let pp ppf = function
         age
   | Worker_lost { worker; attempts } ->
       Fmt.pf ppf "worker %d lost while executing the request (attempt %d)" worker attempts
+  | Recovery_failed { session; reason } ->
+      Fmt.pf ppf "recovery of session %s failed: %s" session reason
 
 let to_string = Fmt.to_to_string pp

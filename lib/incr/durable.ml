@@ -1,0 +1,1098 @@
+(** Durable incremental sessions: write-ahead logging, crash-consistent
+    recovery, and idle eviction over {!Incr}.
+
+    A {!t} manages a registry of named incremental sessions and — when given
+    a [state_dir] — makes them survive process death.  The machinery:
+
+    - {b Write-ahead log.}  Every state-changing op ([open]/[assert]/
+      [retract]/[close]) is validated, appended to the session's WAL segment
+      ({!Scallop_utils.Wal}: checksummed records, fsync'd before the append
+      returns, torn-tail tolerant), and only then applied to the in-memory
+      {!Incr.t}.  Validation-first means a logged record is always
+      replayable; log-before-apply means an acknowledged op is always
+      recoverable.  Ops carry a monotone per-session sequence number (lsn),
+      which is what makes replay exactly-once.
+    - {b Compacted snapshots.}  Every [snapshot_every] ops the session's
+      current EDB overlay is serialized through {!Scallop_utils.Atomic_io}
+      (atomic rename, checksummed envelope, newest [keep_snapshots]
+      generations retained) and the WAL rotates to a fresh segment, so
+      recovery is newest-valid-snapshot + bounded replay rather than
+      full-history replay.  Segment [k] holds exactly the ops recorded
+      after snapshot generation [k-1]; a recovery that falls back from a
+      damaged newest snapshot to an older generation finds every op it is
+      missing in the retained segments, and the lsn filter keeps the
+      overlap idempotent.
+    - {b Recovery.}  {!create} scans [state_dir] and rebuilds every live
+      session: newest snapshot generation that both checksums and decodes,
+      then the segments, replaying records with lsn beyond the snapshot.
+      The contract is bit-identity: a recovered session answers [query]
+      exactly as the uncrashed session would (and as {!Incr.run_cold}),
+      because the rebuilt overlay, canonical assertion order, and base RNG
+      are precisely the state the log describes.  A session that cannot be
+      rebuilt (corrupt non-tail record, program hash mismatch against its
+      pinned [expect_hash], an op that no longer replays) is quarantined as
+      {!Exec_error.Recovery_failed} — a per-session error reply, never a
+      process failure — and can be discarded with {!close}.
+    - {b Idle eviction.}  With [max_live] / [idle_ttl] set, cold sessions
+      spill: a final snapshot makes the disk state current, the in-memory
+      {!Incr.t} is dropped, and the next touch transparently rehydrates.
+      Sessions with queries in flight are pinned and never spilled
+      mid-query; {!close} drains pins before tearing down.
+
+    Without a [state_dir] the registry still works (including pin-draining
+    close) but nothing persists and nothing is evicted. *)
+
+open Scallop_core
+module Wal = Scallop_utils.Wal
+module Atomic_io = Scallop_utils.Atomic_io
+
+let invalid_input fmt = Session.invalid_input fmt
+
+let recovery_failed ~session fmt =
+  Fmt.kstr
+    (fun reason ->
+      raise (Session.Error (Exec_error.Recovery_failed { session; reason })))
+    fmt
+
+(* Filesystem faults during logging/snapshotting surface as typed runtime
+   errors on the request, not process crashes. *)
+let io_guard f =
+  try f () with
+  | Unix.Unix_error (e, op, arg) ->
+      raise
+        (Session.Error
+           (Exec_error.Runtime_error
+              { msg = Fmt.str "state-dir I/O failed: %s %s: %s" op arg (Unix.error_message e) }))
+  | Sys_error msg ->
+      raise (Session.Error (Exec_error.Runtime_error { msg = "state-dir I/O failed: " ^ msg }))
+
+(* ---- binary codec ----------------------------------------------------------- *)
+
+(* Ops and snapshots share one little-endian binary codec.  Floats travel
+   as IEEE-754 bits, so probabilities round-trip bit-exactly — part of the
+   recovery contract, not a nicety. *)
+
+exception Decode of string
+
+type cur = { buf : string; mutable pos : int }
+
+let need c n = if c.pos + n > String.length c.buf then raise (Decode "truncated field")
+
+let u8 c =
+  need c 1;
+  let v = Char.code c.buf.[c.pos] in
+  c.pos <- c.pos + 1;
+  v
+
+let i64 c =
+  need c 8;
+  let v = String.get_int64_le c.buf c.pos in
+  c.pos <- c.pos + 8;
+  v
+
+let int_ c = Int64.to_int (i64 c)
+let f64 c = Int64.float_of_bits (i64 c)
+
+let str c =
+  let n = int_ c in
+  if n < 0 || n > String.length c.buf then raise (Decode "bad string length");
+  need c n;
+  let v = String.sub c.buf c.pos n in
+  c.pos <- c.pos + n;
+  v
+
+let opt f c =
+  match u8 c with 0 -> None | 1 -> Some (f c) | _ -> raise (Decode "bad option tag")
+
+let add_u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
+let add_i64 b v = Buffer.add_int64_le b (Int64.of_int v)
+let add_f64 b v = Buffer.add_int64_le b (Int64.bits_of_float v)
+
+let add_str b s =
+  add_i64 b (String.length s);
+  Buffer.add_string b s
+
+let add_opt f b = function
+  | None -> add_u8 b 0
+  | Some v ->
+      add_u8 b 1;
+      f b v
+
+let ty_code : Value.ty -> int = function
+  | Value.I8 -> 0
+  | Value.I16 -> 1
+  | Value.I32 -> 2
+  | Value.I64 -> 3
+  | Value.ISize -> 4
+  | Value.U8 -> 5
+  | Value.U16 -> 6
+  | Value.U32 -> 7
+  | Value.U64 -> 8
+  | Value.USize -> 9
+  | Value.F32 -> 10
+  | Value.F64 -> 11
+  | Value.Bool -> 12
+  | Value.Char -> 13
+  | Value.Str -> 14
+
+let ty_of_code = function
+  | 0 -> Value.I8
+  | 1 -> Value.I16
+  | 2 -> Value.I32
+  | 3 -> Value.I64
+  | 4 -> Value.ISize
+  | 5 -> Value.U8
+  | 6 -> Value.U16
+  | 7 -> Value.U32
+  | 8 -> Value.U64
+  | 9 -> Value.USize
+  | 10 -> Value.F32
+  | 11 -> Value.F64
+  | 12 -> Value.Bool
+  | 13 -> Value.Char
+  | 14 -> Value.Str
+  | n -> raise (Decode (Printf.sprintf "bad type code %d" n))
+
+let add_value b : Value.t -> unit = function
+  | Value.Int (ty, n) ->
+      add_u8 b 0;
+      add_u8 b (ty_code ty);
+      add_i64 b n
+  | Value.Float (ty, f) ->
+      add_u8 b 1;
+      add_u8 b (ty_code ty);
+      add_f64 b f
+  | Value.B x ->
+      add_u8 b 2;
+      add_u8 b (if x then 1 else 0)
+  | Value.C ch ->
+      add_u8 b 3;
+      add_u8 b (Char.code ch)
+  | Value.S s ->
+      add_u8 b 4;
+      add_str b s
+
+let value c : Value.t =
+  match u8 c with
+  | 0 ->
+      let ty = ty_of_code (u8 c) in
+      Value.Int (ty, int_ c)
+  | 1 ->
+      let ty = ty_of_code (u8 c) in
+      Value.Float (ty, f64 c)
+  | 2 -> Value.B (u8 c <> 0)
+  | 3 -> Value.C (Char.chr (u8 c))
+  | 4 -> Value.S (str c)
+  | n -> raise (Decode (Printf.sprintf "bad value tag %d" n))
+
+let add_tuple b (t : Tuple.t) =
+  add_i64 b (Array.length t);
+  Array.iter (add_value b) t
+
+let tuple c : Tuple.t =
+  let n = int_ c in
+  if n < 0 || n > 65536 then raise (Decode "bad tuple arity");
+  Array.init n (fun _ -> value c)
+
+let add_input b (i : Provenance.Input.t) =
+  add_opt add_f64 b i.Provenance.Input.prob;
+  add_opt add_i64 b i.Provenance.Input.me_group
+
+let input c : Provenance.Input.t =
+  let prob = opt f64 c in
+  let me_group = opt int_ c in
+  { Provenance.Input.prob; me_group }
+
+(* ---- op records ------------------------------------------------------------- *)
+
+type op =
+  | Op_open of { expect_hash : string option; hash : string; spec : string; source : string }
+  | Op_assert of { lsn : int; pred : string; input : Provenance.Input.t; tuple : Tuple.t }
+  | Op_retract of { lsn : int; pred : string; tuple : Tuple.t }
+  | Op_close of { lsn : int }
+
+let op_lsn = function
+  | Op_open _ -> 0
+  | Op_assert { lsn; _ } | Op_retract { lsn; _ } | Op_close { lsn } -> lsn
+
+let encode_op (op : op) : string =
+  let b = Buffer.create 64 in
+  (match op with
+  | Op_open { expect_hash; hash; spec; source } ->
+      add_u8 b (Char.code 'O');
+      add_opt add_str b expect_hash;
+      add_str b hash;
+      add_str b spec;
+      add_str b source
+  | Op_assert { lsn; pred; input; tuple = t } ->
+      add_u8 b (Char.code 'A');
+      add_i64 b lsn;
+      add_str b pred;
+      add_input b input;
+      add_tuple b t
+  | Op_retract { lsn; pred; tuple = t } ->
+      add_u8 b (Char.code 'R');
+      add_i64 b lsn;
+      add_str b pred;
+      add_tuple b t
+  | Op_close { lsn } ->
+      add_u8 b (Char.code 'C');
+      add_i64 b lsn);
+  Buffer.contents b
+
+let decode_op (payload : string) : op =
+  let c = { buf = payload; pos = 0 } in
+  let op =
+    match Char.chr (u8 c) with
+    | 'O' ->
+        let expect_hash = opt str c in
+        let hash = str c in
+        let spec = str c in
+        let source = str c in
+        Op_open { expect_hash; hash; spec; source }
+    | 'A' ->
+        let lsn = int_ c in
+        let pred = str c in
+        let i = input c in
+        let t = tuple c in
+        Op_assert { lsn; pred; input = i; tuple = t }
+    | 'R' ->
+        let lsn = int_ c in
+        let pred = str c in
+        let t = tuple c in
+        Op_retract { lsn; pred; tuple = t }
+    | 'C' -> Op_close { lsn = int_ c }
+    | ch -> raise (Decode (Printf.sprintf "unknown op tag %C" ch))
+  in
+  if c.pos <> String.length payload then raise (Decode "trailing bytes in op record");
+  op
+
+(* ---- snapshots -------------------------------------------------------------- *)
+
+type snapshot = {
+  sn_spec : string;
+  sn_hash : string;
+  sn_expect : string option;
+  sn_source : string;
+      (** the full program travels in every snapshot, so recovery never
+          depends on segment 0 (the open record) surviving compaction *)
+  sn_lsn : int;  (** every op with lsn <= this is folded into [sn_facts] *)
+  sn_facts : (string * (Provenance.Input.t * Tuple.t) list) list;
+      (** the overlay in canonical first-assertion order — the exact list
+          {!Incr.current_facts} returned when the snapshot was taken *)
+}
+
+let snapshot_version = 1
+
+let encode_snapshot (s : snapshot) : string =
+  let b = Buffer.create 256 in
+  add_u8 b snapshot_version;
+  add_str b s.sn_spec;
+  add_str b s.sn_hash;
+  add_opt add_str b s.sn_expect;
+  add_str b s.sn_source;
+  add_i64 b s.sn_lsn;
+  add_i64 b (List.length s.sn_facts);
+  List.iter
+    (fun (pred, facts) ->
+      add_str b pred;
+      add_i64 b (List.length facts);
+      List.iter
+        (fun (i, t) ->
+          add_input b i;
+          add_tuple b t)
+        facts)
+    s.sn_facts;
+  Buffer.contents b
+
+let decode_snapshot (payload : string) : snapshot =
+  let c = { buf = payload; pos = 0 } in
+  let v = u8 c in
+  if v <> snapshot_version then
+    raise (Decode (Printf.sprintf "unsupported snapshot version %d" v));
+  let sn_spec = str c in
+  let sn_hash = str c in
+  let sn_expect = opt str c in
+  let sn_source = str c in
+  let sn_lsn = int_ c in
+  let npreds = int_ c in
+  if npreds < 0 || npreds > 1_000_000 then raise (Decode "bad predicate count");
+  let sn_facts =
+    List.init npreds (fun _ ->
+        let pred = str c in
+        let n = int_ c in
+        if n < 0 || n > 100_000_000 then raise (Decode "bad fact count");
+        let facts =
+          List.init n (fun _ ->
+              let i = input c in
+              let t = tuple c in
+              (i, t))
+        in
+        (pred, facts))
+  in
+  if c.pos <> String.length payload then raise (Decode "trailing bytes in snapshot");
+  { sn_spec; sn_hash; sn_expect; sn_source; sn_lsn; sn_facts }
+
+(* ---- directory layout -------------------------------------------------------- *)
+
+(* STATE_DIR/sessions/s-<encoded sid>/
+     wal-NNNNNNNNN.log             segment k: ops recorded after snapshot k-1
+     snap/snapshot-NNNNNNNNN.ckpt  Atomic_io generations *)
+
+let encode_sid sid =
+  let b = Buffer.create (String.length sid + 2) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | 'A' .. 'Z' | 'a' .. 'z' | '0' .. '9' | '-' | '_' | '.' -> Buffer.add_char b ch
+      | ch -> Buffer.add_string b (Printf.sprintf "%%%02X" (Char.code ch)))
+    sid;
+  Buffer.contents b
+
+let decode_sid enc =
+  let b = Buffer.create (String.length enc) in
+  let n = String.length enc in
+  let i = ref 0 in
+  while !i < n do
+    (if enc.[!i] = '%' && !i + 2 < n then
+       match int_of_string_opt ("0x" ^ String.sub enc (!i + 1) 2) with
+       | Some code ->
+           Buffer.add_char b (Char.chr (code land 0xff));
+           i := !i + 2
+       | None -> Buffer.add_char b enc.[!i]
+     else Buffer.add_char b enc.[!i]);
+    incr i
+  done;
+  Buffer.contents b
+
+let sessions_root state_dir = Filename.concat state_dir "sessions"
+let dir_prefix = "s-"
+
+let session_dir state_dir sid =
+  Filename.concat (sessions_root state_dir) (dir_prefix ^ encode_sid sid)
+
+let snap_dir dir = Filename.concat dir "snap"
+let segment_name k = Printf.sprintf "wal-%09d.log" k
+let segment_path dir k = Filename.concat dir (segment_name k)
+
+let segment_of_name name =
+  if
+    String.length name = 17
+    && String.equal (String.sub name 0 4) "wal-"
+    && Filename.check_suffix name ".log"
+  then int_of_string_opt (String.sub name 4 9)
+  else None
+
+let segments_of_dir dir : int list =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | names -> Array.to_list names |> List.filter_map segment_of_name |> List.sort compare
+
+let rec rm_rf path =
+  match Sys.is_directory path with
+  | exception Sys_error _ -> ()
+  | true ->
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      (try Sys.rmdir path with Sys_error _ -> ())
+  | false -> ( try Sys.remove path with Sys_error _ -> ())
+
+(* ---- configuration ------------------------------------------------------------ *)
+
+type config = {
+  state_dir : string option;
+      (** [None]: in-memory registry — no durability, no eviction *)
+  spec : Registry.spec;
+  interp : Interp.config;
+  snapshot_every : int;  (** ops between compaction snapshots *)
+  keep_snapshots : int;  (** snapshot generations retained per session *)
+  wal_sync : bool;  (** fsync each WAL append before acknowledging *)
+  max_live : int option;  (** LRU cap on hydrated sessions *)
+  idle_ttl : float option;  (** spill sessions idle longer than this (seconds) *)
+  now : unit -> float;  (** injectable clock for idle accounting *)
+}
+
+let config ?state_dir ?(snapshot_every = 64) ?(keep_snapshots = 3) ?(wal_sync = true)
+    ?max_live ?idle_ttl ?(now = Scallop_utils.Monotonic.now)
+    ?(interp = Interp.default_config ()) (spec : Registry.spec) : config =
+  if snapshot_every < 1 then invalid_arg "Durable.config: snapshot_every must be >= 1";
+  if keep_snapshots < 1 then invalid_arg "Durable.config: keep_snapshots must be >= 1";
+  { state_dir; spec; interp; snapshot_every; keep_snapshots; wal_sync; max_live; idle_ttl; now }
+
+(* ---- manager state -------------------------------------------------------------- *)
+
+type live = { incr : Incr.t; mutable wal : Wal.t option  (** opened lazily *) }
+
+type state =
+  | Live of live
+  | Spilled  (** durable on disk; rehydrated on next touch *)
+  | Failed of Exec_error.t
+      (** recovery failed; every touch but [close] replies with this *)
+  | Closed
+
+type entry = {
+  sid : string;
+  dir : string option;
+  source : string;
+  hash : string;
+  expect_hash : string option;
+  mutable e_state : state;
+  mutable next_lsn : int;
+  mutable active_seg : int;
+  mutable ops_since_snap : int;  (** unsnapshotted ops; bounds rehydration replay *)
+  mutable last_used : float;
+  mutable pins : int;  (** queries in flight; pinned entries are never spilled *)
+  mutable last_stats : Incr.session_stats;  (** carried across spill / close *)
+}
+
+type stats = {
+  mutable wal_appends : int;
+  mutable wal_bytes : int;
+  mutable wal_replayed : int;  (** op records replayed by recovery + rehydration *)
+  mutable snapshots : int;
+  mutable evictions : int;
+  mutable rehydrations : int;
+  mutable recovered : int;  (** sessions rebuilt alive at {!create} *)
+  mutable recovery_failures : int;
+}
+
+let pp_stats ppf (s : stats) =
+  Fmt.pf ppf
+    "wal-appends=%d wal-bytes=%d wal-replayed=%d snapshots=%d evictions=%d \
+     rehydrations=%d recovered=%d recovery-failed=%d"
+    s.wal_appends s.wal_bytes s.wal_replayed s.snapshots s.evictions s.rehydrations
+    s.recovered s.recovery_failures
+
+type t = {
+  cfg : config;
+  mutex : Mutex.t;
+  unpinned : Condition.t;
+  entries : (string, entry) Hashtbl.t;
+  dstats : stats;
+}
+
+let locked mgr f =
+  Mutex.lock mgr.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mgr.mutex) f
+
+let stats mgr = mgr.dstats
+let spec_name_of mgr = Registry.spec_name mgr.cfg.spec
+
+(* ---- loading one session from disk ----------------------------------------------- *)
+
+type loaded = {
+  l_incr : Incr.t;
+  l_source : string;
+  l_hash : string;
+  l_expect : string option;
+  l_next_lsn : int;
+  l_active_seg : int;
+  l_replayed : int;
+  l_closed : bool;
+}
+
+(* A session directory with no snapshot and zero complete log records: the
+   crash happened before the open was acknowledged, so the session never
+   observably existed — its remains are discarded, not quarantined. *)
+exception Never_opened
+
+(* Newest snapshot generation that both checksums (Atomic_io envelope) and
+   decodes — the generation fallback extended to the payload layer. *)
+let load_snapshot ~sdir : snapshot option =
+  let rec try_gens = function
+    | [] -> None
+    | g :: older -> (
+        match Atomic_io.read_file ~path:(Atomic_io.path_of ~dir:sdir g) with
+        | Error _ -> try_gens older
+        | Ok payload -> (
+            match decode_snapshot payload with
+            | s -> Some s
+            | exception Decode _ -> try_gens older))
+  in
+  try_gens (List.rev (Atomic_io.generations ~dir:sdir))
+
+(** Rebuild one session from its directory.  Raises
+    [Session.Error (Recovery_failed _)] on anything that cannot be
+    attributed to a mid-write crash. *)
+let load_session mgr ~sid ~dir : loaded =
+  let session = sid in
+  let snap = load_snapshot ~sdir:(snap_dir dir) in
+  let newest_gen_present =
+    match List.rev (Atomic_io.generations ~dir:(snap_dir dir)) with
+    | g :: _ -> g
+    | [] -> -1
+  in
+  let segs = segments_of_dir dir in
+  let last_seg = match List.rev segs with s :: _ -> s | [] -> -1 in
+  (* Read every retained segment; only the final segment may be torn. *)
+  let records =
+    List.concat_map
+      (fun k ->
+        let recs, tail = Wal.read ~path:(segment_path dir k) in
+        (match tail with
+        | Wal.Clean -> ()
+        | Wal.Torn _ when k = last_seg -> ()
+        | Wal.Torn { valid_bytes } ->
+            recovery_failed ~session "log segment %s truncated mid-history (%d valid bytes)"
+              (segment_name k) valid_bytes
+        | Wal.Corrupt { offset; reason } ->
+            recovery_failed ~session "corrupt log segment %s at byte %d: %s" (segment_name k)
+              offset reason);
+        recs)
+      segs
+  in
+  let ops =
+    List.map
+      (fun payload ->
+        match decode_op payload with
+        | op -> op
+        | exception Decode msg -> recovery_failed ~session "undecodable log record: %s" msg)
+      records
+  in
+  (* Base state: the snapshot if any, else the open record heading segment 0. *)
+  let expect_hash, hash, spec, source, base_lsn, base_facts =
+    match snap with
+    | Some s -> (s.sn_expect, s.sn_hash, s.sn_spec, s.sn_source, s.sn_lsn, s.sn_facts)
+    | None -> (
+        match ops with
+        | Op_open { expect_hash; hash; spec; source } :: _ ->
+            (expect_hash, hash, spec, source, 0, [])
+        | [] -> raise Never_opened
+        | _ :: _ -> recovery_failed ~session "no valid snapshot and no open record")
+  in
+  if not (String.equal spec (spec_name_of mgr)) then
+    recovery_failed ~session "session was opened under provenance %s, service runs %s" spec
+      (spec_name_of mgr);
+  let actual = Session.source_hash source in
+  if not (String.equal actual hash) then
+    recovery_failed ~session "program hash mismatch: recorded %s, recovered source hashes to %s"
+      hash actual;
+  (match expect_hash with
+  | Some h when not (String.equal h actual) ->
+      recovery_failed ~session
+        "program hash mismatch: pinned expect_hash %s, source hashes to %s" h actual
+  | _ -> ());
+  let incr =
+    try Incr.open_session ~config:mgr.cfg.interp ~spec:mgr.cfg.spec source
+    with Session.Error e ->
+      recovery_failed ~session "program no longer compiles: %s" (Session.error_string e)
+  in
+  (* Replay: snapshot facts first (re-creating the canonical assertion
+     order), then every logged op past the snapshot, in lsn order.  The lsn
+     filter is what makes replay idempotent — a crash after the snapshot
+     became durable but before its segments were pruned leaves records <=
+     sn_lsn on disk, and they must not double-apply. *)
+  let replayed = ref 0 in
+  let max_lsn = ref base_lsn in
+  let was_closed = ref false in
+  (try
+     List.iter
+       (fun (pred, facts) ->
+         List.iter
+           (fun ((i : Provenance.Input.t), tup) ->
+             Incr.assert_fact incr ~pred ?prob:i.Provenance.Input.prob
+               ?me_group:i.Provenance.Input.me_group tup)
+           facts)
+       base_facts;
+     List.iter
+       (fun op ->
+         let lsn = op_lsn op in
+         if lsn > base_lsn then begin
+           max_lsn := max !max_lsn lsn;
+           match op with
+           | Op_open _ -> ()
+           | Op_assert { pred; input = i; tuple = tup; _ } ->
+               replayed := !replayed + 1;
+               Incr.assert_fact incr ~pred ?prob:i.Provenance.Input.prob
+                 ?me_group:i.Provenance.Input.me_group tup
+           | Op_retract { pred; tuple = tup; _ } ->
+               replayed := !replayed + 1;
+               Incr.retract_fact incr ~pred tup
+           | Op_close _ -> was_closed := true
+         end)
+       ops
+   with Session.Error e ->
+     recovery_failed ~session "unreplayable op at lsn %d: %s" !max_lsn
+       (Session.error_string e));
+  {
+    l_incr = incr;
+    l_source = source;
+    l_hash = hash;
+    l_expect = expect_hash;
+    l_next_lsn = !max_lsn + 1;
+    (* Appends must land in a segment newer than any snapshot generation
+       present on disk — even one skipped as corrupt — so every fallback
+       path still reads them. *)
+    l_active_seg = max 0 (max last_seg (newest_gen_present + 1));
+    l_replayed = !replayed;
+    l_closed = !was_closed;
+  }
+
+(* ---- internals (callers hold the mutex) ------------------------------------------- *)
+
+let find_entry mgr sid =
+  match Hashtbl.find_opt mgr.entries sid with
+  | Some e -> e
+  | None -> invalid_input "unknown session %s" sid
+
+let wal_of mgr entry (l : live) : Wal.t =
+  match l.wal with
+  | Some w -> w
+  | None ->
+      let dir = Option.get entry.dir in
+      let w =
+        io_guard (fun () ->
+            Atomic_io.mkdir_p dir;
+            Wal.open_append ~sync:mgr.cfg.wal_sync
+              ~path:(segment_path dir entry.active_seg) ())
+      in
+      l.wal <- Some w;
+      w
+
+let append_op mgr entry (l : live) (op : op) =
+  match entry.dir with
+  | None -> ()
+  | Some _ ->
+      let w = wal_of mgr entry l in
+      let payload = encode_op op in
+      io_guard (fun () -> Wal.append w payload);
+      mgr.dstats.wal_appends <- mgr.dstats.wal_appends + 1;
+      mgr.dstats.wal_bytes <-
+        mgr.dstats.wal_bytes + String.length payload + Wal.record_header_len
+
+(* Snapshot the session's current overlay, rotate the WAL to a fresh
+   segment, and prune segments no retained snapshot generation needs.  The
+   snapshot is durable (atomic rename + dir fsync) before any segment is
+   deleted, so a crash anywhere in here leaves a recoverable combination on
+   disk. *)
+let compact_locked mgr entry =
+  match (entry.dir, entry.e_state) with
+  | Some dir, Live l ->
+      let s =
+        {
+          sn_spec = spec_name_of mgr;
+          sn_hash = entry.hash;
+          sn_expect = entry.expect_hash;
+          sn_source = entry.source;
+          sn_lsn = entry.next_lsn - 1;
+          sn_facts = Incr.current_facts l.incr;
+        }
+      in
+      let gen =
+        io_guard (fun () ->
+            Atomic_io.save ~dir:(snap_dir dir) ~keep:mgr.cfg.keep_snapshots
+              (encode_snapshot s))
+      in
+      mgr.dstats.snapshots <- mgr.dstats.snapshots + 1;
+      (match l.wal with
+      | Some w ->
+          Wal.close w;
+          l.wal <- None
+      | None -> ());
+      entry.active_seg <- max (entry.active_seg + 1) (gen + 1);
+      entry.ops_since_snap <- 0;
+      (* The oldest retained generation has every segment at or below its
+         own number folded in — and so does every newer one. *)
+      (match Atomic_io.generations ~dir:(snap_dir dir) with
+      | [] -> ()
+      | g_min :: _ ->
+          List.iter
+            (fun k ->
+              if k <= g_min then
+                try Sys.remove (segment_path dir k) with Sys_error _ -> ())
+            (segments_of_dir dir))
+  | _ -> ()
+
+(* Spill a cold session: make the disk state current (a fresh snapshot if
+   any op is unsnapshotted), release the writer, drop the in-memory
+   engine. *)
+let spill_locked mgr entry =
+  match entry.e_state with
+  | Live l when entry.pins = 0 && entry.dir <> None ->
+      if entry.ops_since_snap > 0 then compact_locked mgr entry;
+      (match l.wal with
+      | Some w ->
+          Wal.close w;
+          l.wal <- None
+      | None -> ());
+      entry.last_stats <- Incr.stats l.incr;
+      entry.e_state <- Spilled;
+      mgr.dstats.evictions <- mgr.dstats.evictions + 1
+  | _ -> ()
+
+let enforce_caps_locked mgr =
+  match mgr.cfg.state_dir with
+  | None -> ()
+  | Some _ ->
+      let now = mgr.cfg.now () in
+      (match mgr.cfg.idle_ttl with
+      | Some ttl ->
+          Hashtbl.iter
+            (fun _ e ->
+              match e.e_state with
+              | Live _ when e.pins = 0 && now -. e.last_used > ttl -> spill_locked mgr e
+              | _ -> ())
+            mgr.entries
+      | None -> ());
+      (match mgr.cfg.max_live with
+      | None -> ()
+      | Some cap ->
+          let live =
+            Hashtbl.fold
+              (fun _ e acc -> match e.e_state with Live _ -> e :: acc | _ -> acc)
+              mgr.entries []
+          in
+          let excess = List.length live - cap in
+          if excess > 0 then
+            live
+            |> List.filter (fun e -> e.pins = 0)
+            |> List.sort (fun a b -> compare a.last_used b.last_used)
+            |> List.filteri (fun i _ -> i < excess)
+            |> List.iter (spill_locked mgr))
+
+let rehydrate_locked mgr entry : live =
+  let dir = Option.get entry.dir in
+  match load_session mgr ~sid:entry.sid ~dir with
+  | loaded ->
+      let l = { incr = loaded.l_incr; wal = None } in
+      entry.e_state <- Live l;
+      entry.next_lsn <- loaded.l_next_lsn;
+      entry.active_seg <- loaded.l_active_seg;
+      entry.ops_since_snap <- loaded.l_replayed;
+      mgr.dstats.rehydrations <- mgr.dstats.rehydrations + 1;
+      mgr.dstats.wal_replayed <- mgr.dstats.wal_replayed + loaded.l_replayed;
+      enforce_caps_locked mgr;
+      l
+  | exception Never_opened ->
+      (* a spilled session's state vanished from under us: quarantine *)
+      let e =
+        Exec_error.Recovery_failed
+          { session = entry.sid; reason = "no valid snapshot and no open record" }
+      in
+      entry.e_state <- Failed e;
+      mgr.dstats.recovery_failures <- mgr.dstats.recovery_failures + 1;
+      raise (Session.Error e)
+  | exception Session.Error e ->
+      let e =
+        match e with
+        | Exec_error.Recovery_failed _ -> e
+        | other ->
+            Exec_error.Recovery_failed
+              { session = entry.sid; reason = Session.error_string other }
+      in
+      entry.e_state <- Failed e;
+      mgr.dstats.recovery_failures <- mgr.dstats.recovery_failures + 1;
+      raise (Session.Error e)
+
+(* Hydrated handle for a touch; refreshes the LRU clock. *)
+let touch_live_locked mgr entry : live =
+  entry.last_used <- mgr.cfg.now ();
+  match entry.e_state with
+  | Live l -> l
+  | Spilled -> rehydrate_locked mgr entry
+  | Failed e -> raise (Session.Error e)
+  | Closed -> invalid_input "session is closed"
+
+(* ---- construction and recovery ------------------------------------------------------ *)
+
+let create (cfg : config) : t =
+  let mgr =
+    {
+      cfg;
+      mutex = Mutex.create ();
+      unpinned = Condition.create ();
+      entries = Hashtbl.create 16;
+      dstats =
+        {
+          wal_appends = 0;
+          wal_bytes = 0;
+          wal_replayed = 0;
+          snapshots = 0;
+          evictions = 0;
+          rehydrations = 0;
+          recovered = 0;
+          recovery_failures = 0;
+        };
+    }
+  in
+  (match cfg.state_dir with
+  | None -> ()
+  | Some state_dir ->
+      let root = sessions_root state_dir in
+      io_guard (fun () -> Atomic_io.mkdir_p root);
+      let names = match Sys.readdir root with exception Sys_error _ -> [||] | a -> a in
+      Array.sort compare names;
+      Array.iter
+        (fun name ->
+          let plen = String.length dir_prefix in
+          if String.length name > plen && String.equal (String.sub name 0 plen) dir_prefix
+          then begin
+            let sid = decode_sid (String.sub name plen (String.length name - plen)) in
+            let dir = Filename.concat root name in
+            match load_session mgr ~sid ~dir with
+            | loaded when loaded.l_closed ->
+                (* closed cleanly; the crash beat the directory removal *)
+                rm_rf dir
+            | exception Never_opened ->
+                (* the crash beat the open acknowledgement *)
+                rm_rf dir
+            | loaded ->
+                Hashtbl.replace mgr.entries sid
+                  {
+                    sid;
+                    dir = Some dir;
+                    source = loaded.l_source;
+                    hash = loaded.l_hash;
+                    expect_hash = loaded.l_expect;
+                    e_state = Live { incr = loaded.l_incr; wal = None };
+                    next_lsn = loaded.l_next_lsn;
+                    active_seg = loaded.l_active_seg;
+                    ops_since_snap = loaded.l_replayed;
+                    last_used = cfg.now ();
+                    pins = 0;
+                    last_stats = Incr.stats loaded.l_incr;
+                  };
+                mgr.dstats.recovered <- mgr.dstats.recovered + 1;
+                mgr.dstats.wal_replayed <- mgr.dstats.wal_replayed + loaded.l_replayed
+            | exception Session.Error e ->
+                let e =
+                  match e with
+                  | Exec_error.Recovery_failed _ -> e
+                  | other ->
+                      Exec_error.Recovery_failed
+                        { session = sid; reason = Session.error_string other }
+                in
+                Hashtbl.replace mgr.entries sid
+                  {
+                    sid;
+                    dir = Some dir;
+                    source = "";
+                    hash = "";
+                    expect_hash = None;
+                    e_state = Failed e;
+                    next_lsn = 0;
+                    active_seg = 0;
+                    ops_since_snap = 0;
+                    last_used = cfg.now ();
+                    pins = 0;
+                    last_stats = Incr.empty_session_stats ();
+                  };
+                mgr.dstats.recovery_failures <- mgr.dstats.recovery_failures + 1
+          end)
+        names;
+      Mutex.lock mgr.mutex;
+      enforce_caps_locked mgr;
+      Mutex.unlock mgr.mutex);
+  mgr
+
+(* ---- operations --------------------------------------------------------------------- *)
+
+(** Open a session.  The program is compiled (shared plan cache) and
+    validated {e before} anything is persisted, so a rejected open leaves no
+    on-disk trace.  Returns the program hash and whether the session runs
+    the exact delta engine. *)
+let open_session mgr ~sid ?expect_hash source : string * bool =
+  locked mgr (fun () ->
+      if Hashtbl.mem mgr.entries sid then invalid_input "session %s already open" sid;
+      let incr =
+        Incr.open_session ~config:mgr.cfg.interp ?expect_hash ~spec:mgr.cfg.spec source
+      in
+      let hash = Incr.program_hash incr in
+      let dir = Option.map (fun sd -> session_dir sd sid) mgr.cfg.state_dir in
+      let entry =
+        {
+          sid;
+          dir;
+          source;
+          hash;
+          expect_hash;
+          e_state = Live { incr; wal = None };
+          next_lsn = 1;
+          active_seg = 0;
+          ops_since_snap = 0;
+          last_used = mgr.cfg.now ();
+          pins = 0;
+          last_stats = Incr.stats incr;
+        }
+      in
+      (match (dir, entry.e_state) with
+      | Some d, Live l ->
+          rm_rf d;
+          append_op mgr entry l
+            (Op_open { expect_hash; hash; spec = spec_name_of mgr; source })
+      | _ -> ());
+      Hashtbl.replace mgr.entries sid entry;
+      enforce_caps_locked mgr;
+      (hash, Incr.is_exact incr))
+
+(** Assert a fact.  Commit protocol: validate (raising exactly what
+    {!Incr.assert_fact} would, without mutating), append the op to the WAL
+    (fsync'd), then apply.  An acknowledged assert is therefore both valid
+    and durable. *)
+let assert_fact mgr ~sid ~pred ?prob ?me_group tup =
+  locked mgr (fun () ->
+      let entry = find_entry mgr sid in
+      let l = touch_live_locked mgr entry in
+      let tup = Incr.check_assert l.incr ~pred tup in
+      append_op mgr entry l
+        (Op_assert
+           {
+             lsn = entry.next_lsn;
+             pred;
+             input = { Provenance.Input.prob; me_group };
+             tuple = tup;
+           });
+      Incr.assert_fact l.incr ~pred ?prob ?me_group tup;
+      entry.next_lsn <- entry.next_lsn + 1;
+      entry.ops_since_snap <- entry.ops_since_snap + 1;
+      if entry.dir <> None && entry.ops_since_snap >= mgr.cfg.snapshot_every then
+        compact_locked mgr entry;
+      enforce_caps_locked mgr)
+
+(** Retract a fact; same validate → log → apply protocol as {!assert_fact}. *)
+let retract_fact mgr ~sid ~pred tup =
+  locked mgr (fun () ->
+      let entry = find_entry mgr sid in
+      let l = touch_live_locked mgr entry in
+      let tup = Incr.check_retract l.incr ~pred tup in
+      append_op mgr entry l (Op_retract { lsn = entry.next_lsn; pred; tuple = tup });
+      Incr.retract_fact l.incr ~pred tup;
+      entry.next_lsn <- entry.next_lsn + 1;
+      entry.ops_since_snap <- entry.ops_since_snap + 1;
+      if entry.dir <> None && entry.ops_since_snap >= mgr.cfg.snapshot_every then
+        compact_locked mgr entry;
+      enforce_caps_locked mgr)
+
+let unpin mgr entry =
+  Mutex.lock mgr.mutex;
+  entry.pins <- entry.pins - 1;
+  entry.last_used <- mgr.cfg.now ();
+  (match entry.e_state with Live l -> entry.last_stats <- Incr.stats l.incr | _ -> ());
+  Condition.broadcast mgr.unpinned;
+  Mutex.unlock mgr.mutex
+
+(* Reads pin the entry: the manager mutex is released for the (possibly
+   long) evaluation, and pinned entries are never spilled or torn down. *)
+let with_pinned mgr ~sid f =
+  let entry, l =
+    locked mgr (fun () ->
+        let entry = find_entry mgr sid in
+        let l = touch_live_locked mgr entry in
+        entry.pins <- entry.pins + 1;
+        (entry, l))
+  in
+  Fun.protect ~finally:(fun () -> unpin mgr entry) (fun () -> f l.incr)
+
+(** Answer a query.  Queries never touch the log — they change no durable
+    state (the pending-changes fold happens in memory and is reconstructed
+    by replay). *)
+let query ?outputs ?budget mgr ~sid () : Session.result =
+  with_pinned mgr ~sid (fun incr -> Incr.query ?outputs ?budget incr)
+
+(** The differential oracle for tests and benchmarks. *)
+let run_cold ?outputs mgr ~sid () : Session.result =
+  with_pinned mgr ~sid (fun incr -> Incr.run_cold ?outputs incr)
+
+(** Close a session: drain in-flight queries (pins), log the close, delete
+    the session's on-disk state, and retire the entry.  The sid stays
+    registered as closed — re-opening it in the same process is
+    "already open", matching the in-memory registry.  Closing a
+    recovery-failed session discards its quarantined state.  Returns the
+    session's final statistics. *)
+let close mgr ~sid : Incr.session_stats =
+  locked mgr (fun () ->
+      let entry = find_entry mgr sid in
+      match entry.e_state with
+      | Closed -> invalid_input "session is closed"
+      | Failed _ ->
+          Option.iter rm_rf entry.dir;
+          entry.e_state <- Closed;
+          entry.last_stats
+      | Spilled | Live _ ->
+          while entry.pins > 0 do
+            Condition.wait mgr.unpinned mgr.mutex
+          done;
+          (match entry.e_state with
+          | Live l ->
+              entry.last_stats <- Incr.stats l.incr;
+              append_op mgr entry l (Op_close { lsn = entry.next_lsn });
+              entry.next_lsn <- entry.next_lsn + 1;
+              (match l.wal with
+              | Some w ->
+                  Wal.close w;
+                  l.wal <- None
+              | None -> ());
+              Incr.close l.incr
+          | Spilled -> (
+              (* no need to rehydrate the engine just to retire it, but the
+                 close must still reach the log before the directory goes:
+                 a crash between the two replays as a clean close *)
+              match entry.dir with
+              | None -> ()
+              | Some dir ->
+                  io_guard (fun () ->
+                      let w =
+                        Wal.open_append ~sync:mgr.cfg.wal_sync
+                          ~path:(segment_path dir entry.active_seg) ()
+                      in
+                      Wal.append w (encode_op (Op_close { lsn = entry.next_lsn }));
+                      Wal.close w);
+                  entry.next_lsn <- entry.next_lsn + 1)
+          | _ -> ());
+          Option.iter rm_rf entry.dir;
+          entry.e_state <- Closed;
+          entry.last_stats)
+
+(** Latest statistics for a session (live handle if hydrated, last observed
+    otherwise). *)
+let session_stats mgr ~sid : Incr.session_stats =
+  locked mgr (fun () ->
+      let entry = find_entry mgr sid in
+      match entry.e_state with Live l -> Incr.stats l.incr | _ -> entry.last_stats)
+
+(** Whether [sid] names a registered session, in any state. *)
+let exists mgr ~sid = locked mgr (fun () -> Hashtbl.mem mgr.entries sid)
+
+type counts = { live : int; spilled : int; failed : int; closed : int }
+
+let session_counts mgr : counts =
+  locked mgr (fun () ->
+      Hashtbl.fold
+        (fun _ e c ->
+          match e.e_state with
+          | Live _ -> { c with live = c.live + 1 }
+          | Spilled -> { c with spilled = c.spilled + 1 }
+          | Failed _ -> { c with failed = c.failed + 1 }
+          | Closed -> { c with closed = c.closed + 1 })
+        mgr.entries
+        { live = 0; spilled = 0; failed = 0; closed = 0 })
+
+(** Run the idle-TTL / LRU-cap sweep now (it also runs after every
+    state-changing op). *)
+let sweep mgr = locked mgr (fun () -> enforce_caps_locked mgr)
+
+(** Force a compaction snapshot of one session (test hook). *)
+let compact mgr ~sid =
+  locked mgr (fun () ->
+      let entry = find_entry mgr sid in
+      let _ = touch_live_locked mgr entry in
+      compact_locked mgr entry)
+
+(** Force-spill one session (test hook; no-op if pinned or non-durable). *)
+let evict mgr ~sid = locked mgr (fun () -> spill_locked mgr (find_entry mgr sid))
+
+let is_spilled mgr ~sid =
+  locked mgr (fun () ->
+      match (find_entry mgr sid).e_state with Spilled -> true | _ -> false)
+
+(** Release every WAL writer (fsync'd).  Does not log closes: sessions stay
+    live on disk for the next {!create}. *)
+let shutdown mgr =
+  locked mgr (fun () ->
+      Hashtbl.iter
+        (fun _ e ->
+          match e.e_state with
+          | Live ({ wal = Some w; _ } as l) ->
+              Wal.close w;
+              l.wal <- None
+          | _ -> ())
+        mgr.entries)

@@ -635,6 +635,43 @@ let retract_fact t ~pred tuple =
         List.filter (fun (p, u) -> not (String.equal p pred && Tuple.equal u tuple)) t.order;
       t.touched <- (pred, tuple) :: t.touched)
 
+(* ---- pre-validation (the write-ahead discipline) ---------------------------
+
+   A durability layer must order "record the op" before "apply the op", yet
+   never record an op that the session would reject — a rejected op in the
+   log would poison replay.  These checks raise exactly the [Invalid_input]
+   the mutating call would raise, without mutating anything, so a caller
+   can validate → log → apply and know the apply cannot fail. *)
+
+(** [check_assert t ~pred tuple] validates an assert without applying it:
+    raises the same {!Session.Error} [assert_fact] would, and returns the
+    tuple coerced to the relation's column types (the canonical form worth
+    logging). *)
+let check_assert t ~pred tuple : Tuple.t =
+  locked t (fun () ->
+      ensure_open t;
+      if not (Hashtbl.mem t.compiled.Session.rel_types pred) then
+        invalid_input "assert into unknown relation %s" pred;
+      Session.coerce_tuple t.compiled pred tuple)
+
+(** [check_retract t ~pred tuple] validates a retract without applying it:
+    raises the same {!Session.Error} [retract_fact] would, and returns the
+    coerced tuple. *)
+let check_retract t ~pred tuple : Tuple.t =
+  locked t (fun () ->
+      ensure_open t;
+      let tuple =
+        if Hashtbl.mem t.compiled.Session.rel_types pred then
+          Session.coerce_tuple t.compiled pred tuple
+        else tuple
+      in
+      let rel =
+        match SMap.find_opt pred t.overlay with Some r -> r | None -> Tuple.Map.empty
+      in
+      if not (Tuple.Map.mem tuple rel) then
+        invalid_input "retract %s%a: fact was never asserted" pred Tuple.pp tuple;
+      tuple)
+
 (* The full current EDB in canonical order: predicates by first assertion,
    facts within a predicate by first assertion.  This is the fact list the
    differential oracle replays. *)

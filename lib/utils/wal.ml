@@ -1,0 +1,197 @@
+(** Crash-consistent write-ahead log segments.
+
+    A segment is an append-only file of checksummed records, the durability
+    substrate under {!Scallop_incr.Durable}'s incremental-session state.
+    Each record is framed with its payload length and an FNV-1a-64 checksum
+    (the same hash {!Atomic_io} uses for snapshots), so a reader can
+    distinguish the three states a crash can leave a segment in:
+
+    - {b clean}: every record validates and the file ends exactly at the
+      last record's final byte;
+    - {b torn}: the tail is an incomplete record — a header cut short, a
+      declared payload extending past end-of-file, or a final record whose
+      bytes do not hash to their checksum.  This is the signature of a
+      crash mid-append; the valid prefix is intact and trustworthy, and
+      {!open_append} truncates the tear away before writing anew;
+    - {b corrupt}: a record {e before} the tail fails validation while
+      well-formed data follows it.  A torn write cannot produce this (a
+      crash stops the file, it does not resume it), so it means bit rot or
+      tampering — the reader refuses to guess and reports the offset.
+
+    Appends are ordered before acknowledgement: {!append} writes the whole
+    record with one [write] and, when the writer was opened with
+    [~sync:true], fsyncs before returning, so an acknowledged record
+    survives power loss.  With [~sync:false] the record still survives a
+    process kill (the page cache outlives the process); only an OS crash
+    can lose it.
+
+    File layout (all integers little-endian):
+    {v
+      bytes 0..7          magic "SCLWAL01"
+      then per record:
+        u32  payload length
+        u64  FNV-1a 64-bit checksum of the payload
+        payload bytes
+    v} *)
+
+let magic = "SCLWAL01"
+let record_header_len = 4 + 8
+
+(* A declared length beyond this is treated as corruption rather than an
+   allocation request: no legitimate record (a serialized session op) comes
+   within orders of magnitude of it. *)
+let max_record_len = 1 lsl 30
+
+let fnv1a64 = Atomic_io.fnv1a64
+
+(* ---- reading ---------------------------------------------------------------- *)
+
+type tail =
+  | Clean
+  | Torn of { valid_bytes : int }
+      (** a crash mid-append left an incomplete tail record; the file prefix
+          of [valid_bytes] bytes (magic included) holds every complete
+          record *)
+  | Corrupt of { offset : int; reason : string }
+      (** a non-tail record fails validation: not a crash signature *)
+
+let tail_string = function
+  | Clean -> "clean"
+  | Torn { valid_bytes } -> Printf.sprintf "torn tail after %d valid bytes" valid_bytes
+  | Corrupt { offset; reason } -> Printf.sprintf "corrupt at byte %d: %s" offset reason
+
+(** [read ~path] returns the complete records of the segment in append
+    order, together with the state of its tail.  A missing file reads as
+    zero records, [Clean] (creating the segment and crashing before the
+    magic write leaves the same observable state as never creating it). *)
+let read ~path : string list * tail =
+  match open_in_bin path with
+  | exception Sys_error _ -> ([], Clean)
+  | ic ->
+      let raw =
+        Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> In_channel.input_all ic)
+      in
+      let n = String.length raw in
+      if n = 0 then ([], Torn { valid_bytes = 0 })
+      else if n < String.length magic then
+        if String.equal raw (String.sub magic 0 n) then ([], Torn { valid_bytes = 0 })
+        else ([], Corrupt { offset = 0; reason = "bad magic" })
+      else if not (String.equal (String.sub raw 0 8) magic) then
+        ([], Corrupt { offset = 0; reason = "bad magic" })
+      else begin
+        let records = ref [] in
+        let rec go offset =
+          if offset = n then (List.rev !records, Clean)
+          else if n - offset < record_header_len then
+            (List.rev !records, Torn { valid_bytes = offset })
+          else
+            let len = Int32.to_int (String.get_int32_le raw offset) in
+            if len < 0 || len > max_record_len then
+              ( List.rev !records,
+                Corrupt { offset; reason = Printf.sprintf "implausible record length %d" len } )
+            else if offset + record_header_len + len > n then
+              (List.rev !records, Torn { valid_bytes = offset })
+            else
+              let sum = String.get_int64_le raw (offset + 4) in
+              let payload = String.sub raw (offset + record_header_len) len in
+              if not (Int64.equal (fnv1a64 payload) sum) then
+                if offset + record_header_len + len = n then
+                  (* the damaged record is the very last: indistinguishable
+                     from a write cut short, so tolerated as a tear *)
+                  (List.rev !records, Torn { valid_bytes = offset })
+                else (List.rev !records, Corrupt { offset; reason = "checksum mismatch" })
+              else begin
+                records := payload :: !records;
+                go (offset + record_header_len + len)
+              end
+        in
+        go 8
+      end
+
+(* ---- appending -------------------------------------------------------------- *)
+
+type t = {
+  path : string;
+  fd : Unix.file_descr;
+  sync : bool;
+  mutable appends : int;
+  mutable bytes : int;  (** record bytes written through this writer *)
+  mutable closed : bool;
+}
+
+let path t = t.path
+let appends t = t.appends
+let bytes t = t.bytes
+
+exception Unwritable of { path : string; tail : tail }
+
+let write_all fd bytes =
+  let n = Bytes.length bytes in
+  let written = ref 0 in
+  while !written < n do
+    written := !written + Unix.write fd bytes !written (n - !written)
+  done
+
+(** [open_append ~sync ~path] opens (creating if needed) a segment for
+    appending.  An existing segment is first scanned: a torn tail is
+    truncated back to its last complete record, so the writer never
+    interleaves new records with a partial one; a corrupt segment raises
+    {!Unwritable} — appending to untrusted history would launder the
+    corruption into apparently-valid state. *)
+let open_append ?(sync = true) ~path () : t =
+  let size =
+    match Unix.stat path with
+    | st -> st.Unix.st_size
+    | exception Unix.Unix_error (Unix.ENOENT, _, _) -> -1
+  in
+  (* A file shorter than the magic is a crash during segment creation: the
+     partial prefix is discarded and the magic rewritten (truncating UP to
+     the magic length would pad with zero bytes and corrupt it).  A corrupt
+     prefix still refuses. *)
+  let fresh = size < String.length magic in
+  (if size >= 0 then
+     match read ~path with
+     | _, Clean -> ()
+     | _, Torn { valid_bytes } when not fresh ->
+         let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CLOEXEC ] 0o644 in
+         Fun.protect
+           ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+           (fun () ->
+             Unix.ftruncate fd valid_bytes;
+             if sync then Unix.fsync fd)
+     | _, Torn _ -> ()
+     | _, (Corrupt _ as tail) -> raise (Unwritable { path; tail }));
+  let fd =
+    Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND; Unix.O_CLOEXEC ] 0o644
+  in
+  if fresh then begin
+    if size > 0 then Unix.ftruncate fd 0;
+    write_all fd (Bytes.of_string magic);
+    if sync then begin
+      Unix.fsync fd;
+      Atomic_io.fsync_dir (Filename.dirname path)
+    end
+  end;
+  { path; fd; sync; appends = 0; bytes = 0; closed = false }
+
+(** Append one record.  The whole frame goes down in a single [write]; with
+    [sync] the data is on stable storage before [append] returns, which is
+    what lets a caller apply the operation only after it is durable. *)
+let append (t : t) (payload : string) : unit =
+  if t.closed then invalid_arg "Wal.append: writer is closed";
+  let len = String.length payload in
+  let frame = Bytes.create (record_header_len + len) in
+  Bytes.set_int32_le frame 0 (Int32.of_int len);
+  Bytes.set_int64_le frame 4 (fnv1a64 payload);
+  Bytes.blit_string payload 0 frame record_header_len len;
+  write_all t.fd frame;
+  if t.sync then Unix.fsync t.fd;
+  t.appends <- t.appends + 1;
+  t.bytes <- t.bytes + Bytes.length frame
+
+let close (t : t) : unit =
+  if not t.closed then begin
+    t.closed <- true;
+    (try if t.sync then Unix.fsync t.fd with Unix.Unix_error _ -> ());
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end

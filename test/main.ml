@@ -27,4 +27,5 @@ let () =
       ("resilience", Test_resilience.suite);
       ("service", Test_service.suite);
       ("incr", Test_incr.suite);
+      ("durability", Test_durability.suite);
     ]

@@ -1,0 +1,205 @@
+(** Durable-session crash smoke, run by [dune build @smoke]: [scallop serve
+    --state-dir] must survive SIGKILL without losing an acknowledged
+    update.
+
+    The drill: drive one incremental session through 50 mixed
+    assert/retract/query requests.  Once uninterrupted, recording the final
+    query's rows; once with the server SIGKILLed partway through (after a
+    prefix of requests has been acknowledged — acknowledged means durable,
+    that is the WAL contract), then restarted on the same state dir to
+    recover and run the remaining requests.  The final rows must be
+    bit-identical between the two runs, and the restarted server must
+    report the session as recovered.
+
+    Exits nonzero on any divergence, missing reply, or unexpected server
+    death. *)
+
+let failures = ref 0
+let fail fmt = Fmt.kstr (fun m -> incr failures; Fmt.epr "smoke: %s@." m) fmt
+
+let open_line =
+  "open s1 type edge(i32, i32);rel path(a, b) = edge(a, b);rel path(a, c) = path(a, b), \
+   edge(b, c);query path"
+
+(* 50 deterministic mixed requests over a 12-vertex edge set: mostly fresh
+   asserts, retracts of live facts, and interleaved queries. *)
+let updates =
+  let seed = ref 41 in
+  let next m =
+    seed := ((!seed * 1103515245) + 12345) land 0x3FFFFFFF;
+    !seed mod m
+  in
+  let live = ref [] in
+  List.init 50 (fun i ->
+      if i mod 9 = 4 then "query s1"
+      else if i mod 5 = 3 && !live <> [] then begin
+        let j = next (List.length !live) in
+        let a, b = List.nth !live j in
+        live := List.filteri (fun k _ -> k <> j) !live;
+        Printf.sprintf "retract s1 edge(%d, %d)" a b
+      end
+      else begin
+        let rec fresh tries =
+          let a = next 12 and b = next 12 in
+          if (a <> b && not (List.mem (a, b) !live)) || tries > 20 then (a, b)
+          else fresh (tries + 1)
+        in
+        let a, b = fresh 0 in
+        live := (a, b) :: !live;
+        Printf.sprintf "assert s1 edge(%d, %d)" a b
+      end)
+
+(* ---- process plumbing -------------------------------------------------------- *)
+
+type proc = { pid : int; into : out_channel; from : in_channel }
+
+let spawn state_dir =
+  (* cloexec so the child does not inherit stray copies of the parent ends
+     (a child holding in_write would never see EOF on its stdin);
+     create_process dup2s the passed fds, which clears cloexec on them *)
+  let in_read, in_write = Unix.pipe ~cloexec:true () in
+  let out_read, out_write = Unix.pipe ~cloexec:true () in
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  let pid =
+    Unix.create_process "../bin/scallop.exe"
+      [| "scallop"; "serve"; "-p"; "boolean"; "--jobs"; "2"; "--state-dir"; state_dir |]
+      in_read out_write devnull
+  in
+  Unix.close in_read;
+  Unix.close out_write;
+  Unix.close devnull;
+  { pid; into = Unix.out_channel_of_descr in_write; from = Unix.in_channel_of_descr out_read }
+
+let send p line =
+  output_string p.into (line ^ "\n");
+  flush p.into
+
+(* Read replies until [n] terminal "done" lines have arrived, returning every
+   line seen (replies print in request order). *)
+let read_replies p n =
+  let lines = ref [] and dones = ref 0 in
+  (try
+     while !dones < n do
+       let line = input_line p.from in
+       lines := line :: !lines;
+       if String.length line >= 5 && String.sub line 0 5 = "done " then incr dones
+     done
+   with End_of_file -> fail "server died after %d/%d replies" !dones n);
+  List.rev !lines
+
+let finish p =
+  close_out_noerr p.into;
+  (* drain to EOF so the server is not blocked writing *)
+  (try
+     while true do
+       ignore (input_line p.from)
+     done
+   with End_of_file -> ());
+  close_in_noerr p.from;
+  match Unix.waitpid [] p.pid with
+  | _, Unix.WEXITED 0 -> ()
+  | _, Unix.WEXITED n -> fail "scallop serve exited %d" n
+  | _, (Unix.WSIGNALED n | Unix.WSTOPPED n) -> fail "scallop serve killed by signal %d" n
+
+let sigkill p =
+  close_out_noerr p.into;
+  close_in_noerr p.from;
+  Unix.kill p.pid Sys.sigkill;
+  match Unix.waitpid [] p.pid with
+  | _, Unix.WSIGNALED s when s = Sys.sigkill -> ()
+  | _, st ->
+      fail "expected SIGKILL death, got %s"
+        (match st with
+        | Unix.WEXITED n -> Printf.sprintf "exit %d" n
+        | Unix.WSIGNALED n -> Printf.sprintf "signal %d" n
+        | Unix.WSTOPPED n -> Printf.sprintf "stop %d" n)
+
+(* Rows of request [n], with the per-run request number stripped so the two
+   runs compare on payload alone. *)
+let rows_of lines n =
+  let prefix = Printf.sprintf "out %d " n in
+  let plen = String.length prefix in
+  List.filter_map
+    (fun l ->
+      if String.length l >= plen && String.equal (String.sub l 0 plen) prefix then
+        Some (String.sub l plen (String.length l - plen))
+      else None)
+    lines
+
+let rec rm_rf path =
+  match Sys.is_directory path with
+  | exception Sys_error _ -> ()
+  | true ->
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      (try Sys.rmdir path with Sys_error _ -> ())
+  | false -> ( try Sys.remove path with Sys_error _ -> ())
+
+let scratch name =
+  let d = Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "scallop-smoke-durability-%d-%s" (Unix.getpid ()) name) in
+  rm_rf d;
+  d
+
+let () =
+  (* ---- uninterrupted reference run ------------------------------------------ *)
+  let dir_a = scratch "a" in
+  let p = spawn dir_a in
+  send p open_line;
+  List.iter (send p) updates;
+  send p "query s1";
+  let final_n = 1 + List.length updates in
+  let lines = read_replies p (final_n + 1) in
+  let reference = rows_of lines final_n in
+  finish p;
+  if reference = [] then fail "reference run produced no rows";
+
+  (* ---- crashed + recovered run ----------------------------------------------- *)
+  let dir_b = scratch "b" in
+  let p1 = spawn dir_b in
+  send p1 open_line;
+  let cut = 23 in
+  let prefix = List.filteri (fun i _ -> i < cut) updates in
+  let rest = List.filteri (fun i _ -> i >= cut) updates in
+  List.iter (send p1) prefix;
+  ignore (read_replies p1 (1 + cut));
+  (* every sent request is acknowledged, hence durable: kill without mercy *)
+  sigkill p1;
+
+  let p2 = spawn dir_b in
+  List.iter (send p2) rest;
+  send p2 "stats";
+  send p2 "query s1";
+  let stats_n = List.length rest in
+  let final_n' = stats_n + 1 in
+  let lines2 = read_replies p2 (final_n' + 1) in
+  let recovered = rows_of lines2 final_n' in
+  (match
+     List.find_opt
+       (fun l ->
+         let has sub =
+           let n = String.length l and m = String.length sub in
+           let rec go i = i + m <= n && (String.equal (String.sub l i m) sub || go (i + 1)) in
+           go 0
+         in
+         has "durability" && has " recovered=1")
+       lines2
+   with
+  | Some _ -> ()
+  | None -> fail "restarted server does not report the session as recovered");
+  finish p2;
+
+  if List.length recovered <> List.length reference then
+    fail "row count diverged after recovery: %d vs %d" (List.length recovered)
+      (List.length reference)
+  else
+    List.iter2
+      (fun a b -> if not (String.equal a b) then fail "row diverged: %S vs %S" a b)
+      recovered reference;
+
+  rm_rf dir_a;
+  rm_rf dir_b;
+  if !failures > 0 then exit 1;
+  Fmt.pr
+    "smoke: durable serve survived SIGKILL after %d acked updates; %d final rows \
+     bit-identical across crash + recovery@."
+    cut (List.length reference)

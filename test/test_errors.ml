@@ -143,6 +143,17 @@ let test_worker_lost_golden () =
     "worker 2 lost while executing the request (attempt 3)"
     (Session.error_string (Exec_error.Worker_lost { worker = 2; attempts = 3 }))
 
+let test_recovery_failed_golden () =
+  check Alcotest.string "rendered message"
+    "recovery of session s1 failed: corrupt log segment wal-000000003.log at byte 20: \
+     checksum mismatch"
+    (Session.error_string
+       (Exec_error.Recovery_failed
+          {
+            session = "s1";
+            reason = "corrupt log segment wal-000000003.log at byte 20: checksum mismatch";
+          }))
+
 (* A client may safely retry exactly the transient class; everything
    deterministic must not be retried, and only budget exhaustion invites
    degrading to a cheaper provenance. *)
@@ -161,6 +172,8 @@ let test_transient_classification () =
       Exec_error.Cancelled { stratum = -1; elapsed = 0.0 };
       Exec_error.Invalid_input { msg = "bad" };
       Exec_error.Runtime_error { msg = "boom" };
+      (* a damaged state dir will not heal on retry *)
+      Exec_error.Recovery_failed { session = "s"; reason = "corrupt log" };
     ]
   in
   List.iter
@@ -316,6 +329,7 @@ let suite =
     Alcotest.test_case "cancellation before start" `Quick test_cancelled_before_start;
     Alcotest.test_case "overloaded: rendered message" `Quick test_overloaded_golden;
     Alcotest.test_case "worker lost: rendered message" `Quick test_worker_lost_golden;
+    Alcotest.test_case "recovery failed: rendered message" `Quick test_recovery_failed_golden;
     Alcotest.test_case "transient vs deterministic classification" `Quick
       test_transient_classification;
     Alcotest.test_case "CLI: per-file errors, nonzero exit at end" `Quick
