@@ -13,7 +13,7 @@
     continues from the newest valid snapshot; [--clip-grad] bounds the
     global gradient norm on every optimizer step.  Experiments:
       table1 table2 accuracy provenances table4 table5 fig18 fig19 pacman
-      micro batch budget resilience service incr durability
+      micro batch budget resilience service incr durability replication
 
     Each run prints paper-reported reference numbers alongside measured ones
     (marked [paper]); see EXPERIMENTS.md for the recorded comparison. *)
@@ -1582,6 +1582,52 @@ query path|}
       !sweep_max
     :: !results;
   rm_rf sd;
+  (* group commit: concurrent writers to one session share fsync batches.
+     Four domains drive fsync'd asserts into the same session (disjoint
+     edge chains), so one batching leader settles several appends to the
+     session's WAL per fsync; the sync count landing below the append
+     count is the acceptance gate. *)
+  let module Wal = Scallop_utils.Wal in
+  let gd = scratch "group" in
+  let gmgr =
+    Durable.create
+      (Durable.config ~state_dir:gd ~group_commit:true ~group_window:0.0005
+         Registry.Boolean)
+  in
+  let writers = 4 and per = if m.quick then 100 else 250 in
+  ignore (Durable.open_session gmgr ~sid:"g" tc_src);
+  let t0 = Scallop_utils.Monotonic.now () in
+  let domains =
+    List.init writers (fun w ->
+        Domain.spawn (fun () ->
+            for i = 0 to per - 1 do
+              let v = (w * 1000) + i in
+              Durable.assert_fact gmgr ~sid:"g" ~pred:"edge" (pair v (v + 1))
+            done))
+  in
+  List.iter Domain.join domains;
+  let group_dt = Scallop_utils.Monotonic.now () -. t0 in
+  let syncs, appends =
+    match gmgr.Durable.wal_group with Some g -> Wal.Group.stats g | None -> (0, 0)
+  in
+  Durable.shutdown gmgr;
+  rm_rf gd;
+  let per_op_us = 1e6 *. group_dt /. float_of_int (writers * per) in
+  Fmt.pr
+    "  group commit: %d writers x %d fsync'd asserts in %.3f s (%.1f us/op), %d fsyncs \
+     for %d appends (%.2f appends/fsync)@."
+    writers per group_dt per_op_us syncs appends
+    (float_of_int appends /. float_of_int (max 1 syncs));
+  if syncs >= appends then begin
+    incr bench_failures;
+    Fmt.pr "  FAIL: group commit did not amortize (%d fsyncs for %d appends)@." syncs appends
+  end;
+  results :=
+    Fmt.str
+      {|    {"workload": "group-commit", "writers": %d, "ops_per_writer": %d, "per_op_us": %.1f, "fsyncs": %d, "appends": %d, "appends_per_fsync": %.2f}|}
+      writers per per_op_us syncs appends
+      (float_of_int appends /. float_of_int (max 1 syncs))
+    :: !results;
   let oc = open_out "BENCH_durability.json" in
   output_string oc "{\n  \"benchmarks\": [\n";
   output_string oc (String.concat ",\n" (List.rev !results));
@@ -1591,6 +1637,206 @@ query path|}
        overhead_pct);
   close_out oc;
   Fmt.pr "@.  wrote BENCH_durability.json (%d measurements)@." (List.length !results)
+
+(* ---- replicated durable sessions (BENCH_replication.json) -------------------------------------- *)
+
+(* Cost and latency of WAL shipping ([Replica] over [Durable]):
+
+   1. Acked-write overhead: single-fact update rounds (assert + query) on
+      a TC-300 chain, a local-fsync durable session vs a primary whose
+      every write blocks on a quorum acknowledgement from a live
+      follower.  Acceptance gate: quorum acking costs at most 25% over
+      the local-fsync path (bump [bench_failures]).
+   2. Steady-state replication lag: the primary's acknowledgement-barrier
+      wait — the time from local commit to quorum ack — mean and max.
+   3. Failover: promotion latency of the caught-up follower, and
+      bit-identity of the promoted node's answer against the primary's
+      (a divergence bumps [bench_failures]).
+   4. Async catch-up: a follower draining a burst of unpolled frames,
+      reported as frames/s and total catch-up time. *)
+let bench_replication (m : mode) =
+  section "Replication: quorum-ack overhead, lag, failover (writes BENCH_replication.json)";
+  let open Scallop_core in
+  let module Durable = Scallop_incr.Durable in
+  let module Replica = Scallop_incr.Replica in
+  let tc_src =
+    {|type edge(i32, i32)
+rel path(a, b) = edge(a, b)
+rel path(a, c) = path(a, b), edge(b, c)
+query path|}
+  in
+  let pair a b = Tuple.of_list [ Value.int Value.I32 a; Value.int Value.I32 b ] in
+  let output_equal (a : Provenance.Output.t) (b : Provenance.Output.t) =
+    match (a, b) with
+    | Provenance.Output.O_prob x, Provenance.Output.O_prob y -> Float.equal x y
+    | a, b -> a = b
+  in
+  let results_equal (a : Session.result) (b : Session.result) =
+    List.length a.Session.outputs = List.length b.Session.outputs
+    && List.for_all2
+         (fun (pa, la) (pb, lb) ->
+           String.equal pa pb
+           && List.length la = List.length lb
+           && List.for_all2
+                (fun (ta, oa) (tb, ob) -> Tuple.compare ta tb = 0 && output_equal oa ob)
+                la lb)
+         a.Session.outputs b.Session.outputs
+  in
+  let rec rm_rf path =
+    match Sys.is_directory path with
+    | exception Sys_error _ -> ()
+    | true ->
+        Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+        (try Sys.rmdir path with Sys_error _ -> ())
+    | false -> ( try Sys.remove path with Sys_error _ -> ())
+  in
+  let scratch name =
+    let d =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "scallop-bench-replication-%d-%s" (Unix.getpid ()) name)
+    in
+    rm_rf d;
+    d
+  in
+  let n = 300 in
+  let rounds = if m.quick then 30 else 60 in
+  let results = ref [] in
+  let seed_and_time mgr =
+    let _ = Durable.open_session mgr ~sid:"b" tc_src in
+    for i = 0 to n - 1 do
+      Durable.assert_fact mgr ~sid:"b" ~pred:"edge" (pair i (i + 1))
+    done;
+    ignore (Durable.query mgr ~sid:"b" ());
+    let tip = ref n in
+    let t0 = Scallop_utils.Monotonic.now () in
+    for _ = 1 to rounds do
+      Durable.assert_fact mgr ~sid:"b" ~pred:"edge" (pair !tip (!tip + 1));
+      incr tip;
+      ignore (Durable.query mgr ~sid:"b" ())
+    done;
+    (Scallop_utils.Monotonic.now () -. t0) /. float_of_int rounds
+  in
+  (* baseline: local fsync'd WAL, no replication *)
+  let sd = scratch "local" in
+  let local_mgr = Durable.create (Durable.config ~state_dir:sd Registry.Boolean) in
+  let local_mean = seed_and_time local_mgr in
+  Durable.shutdown local_mgr;
+  rm_rf sd;
+  (* quorum cluster: every write blocks on a live follower's ack.  The
+     follower runs in-process, driven by the primary's barrier through the
+     pump hook — the measured wait is apply + local log + ack, not a poll
+     interval. *)
+  let root = scratch "quorum" in
+  let ship = Filename.concat root "ship" in
+  let fmgr =
+    Durable.create
+      (Durable.config ~state_dir:(Filename.concat root "f") Registry.Boolean)
+  in
+  let fol_ref = ref None in
+  let pump () = match !fol_ref with Some f -> ignore (Replica.Follower.poll f) | None -> () in
+  let prim =
+    Replica.Primary.create ~dir:ship ~id:"alpha" ~ack:Replica.Ack_quorum ~cluster:1
+      ~ack_timeout:30.0 ~pump ()
+  in
+  let pmgr =
+    Durable.create
+      (Durable.config ~state_dir:(Filename.concat root "p")
+         ~repl:(Replica.Primary.sink prim) Registry.Boolean)
+  in
+  let fol = Replica.Follower.create ~dir:ship ~fid:"beta" ~mgr:fmgr () in
+  fol_ref := Some fol;
+  let quorum_mean = seed_and_time pmgr in
+  let overhead_pct = 100.0 *. ((quorum_mean /. local_mean) -. 1.0) in
+  let pst = Replica.Primary.status prim in
+  Fmt.pr
+    "  TC-%d single-fact rounds: local-fsync %8.3f ms  quorum-acked %8.3f ms  overhead \
+     %+.1f%%@."
+    n (1000.0 *. local_mean) (1000.0 *. quorum_mean) overhead_pct;
+  Fmt.pr "  replication lag (commit -> quorum ack): mean %.3f ms  max %.3f ms  (%d barriers)@."
+    pst.Replica.Primary.st_mean_barrier_ms pst.st_max_barrier_ms pst.st_barriers;
+  if overhead_pct > 25.0 then begin
+    incr bench_failures;
+    Fmt.pr "  FAIL: quorum-ack overhead %.1f%% exceeds the 25%% gate@." overhead_pct
+  end;
+  results :=
+    Fmt.str
+      {|    {"workload": "tc-chain-extend", "n": %d, "rounds": %d, "local_fsync_mean_ms": %.3f, "quorum_mean_ms": %.3f, "quorum_overhead_pct": %.2f, "lag_mean_ms": %.3f, "lag_max_ms": %.3f, "frames_shipped": %d}|}
+      n rounds (1000.0 *. local_mean) (1000.0 *. quorum_mean) overhead_pct
+      pst.Replica.Primary.st_mean_barrier_ms pst.st_max_barrier_ms pst.st_shipped
+    :: !results;
+  (* failover: promote the caught-up follower, answers must be bit-identical *)
+  let reference = Durable.query pmgr ~sid:"b" () in
+  let t0 = Scallop_utils.Monotonic.now () in
+  let _epoch = Replica.Follower.promote fol in
+  let promote_ms = 1000.0 *. (Scallop_utils.Monotonic.now () -. t0) in
+  let promoted_answer = Durable.query fmgr ~sid:"b" () in
+  if not (results_equal promoted_answer reference) then begin
+    incr bench_failures;
+    Fmt.pr "  FAIL: promoted follower diverges from the primary's answer@."
+  end;
+  let fst_ = Replica.Follower.status fol in
+  Fmt.pr "  failover: promoted in %.3f ms (%d frames applied, %d divergences)@." promote_ms
+    fst_.Replica.Follower.st_applied fst_.st_divergences;
+  results :=
+    Fmt.str
+      {|    {"workload": "failover", "promote_ms": %.3f, "frames_applied": %d, "divergences": %d}|}
+      promote_ms fst_.Replica.Follower.st_applied fst_.st_divergences
+    :: !results;
+  Durable.shutdown pmgr;
+  Durable.shutdown fmgr;
+  Replica.Primary.close prim;
+  Replica.Follower.close fol;
+  rm_rf root;
+  (* async catch-up: a follower draining a burst it never saw land *)
+  let root2 = scratch "async" in
+  let ship2 = Filename.concat root2 "ship" in
+  let prim2 =
+    Replica.Primary.create ~dir:ship2 ~id:"alpha" ~ack:Replica.Ack_async ()
+  in
+  let pmgr2 =
+    Durable.create
+      (Durable.config ~state_dir:(Filename.concat root2 "p")
+         ~repl:(Replica.Primary.sink prim2) Registry.Boolean)
+  in
+  let _ = Durable.open_session pmgr2 ~sid:"b" tc_src in
+  for i = 0 to n - 1 do
+    Durable.assert_fact pmgr2 ~sid:"b" ~pred:"edge" (pair i (i + 1))
+  done;
+  let fmgr2 =
+    Durable.create
+      (Durable.config ~state_dir:(Filename.concat root2 "f") Registry.Boolean)
+  in
+  let fol2 = Replica.Follower.create ~dir:ship2 ~fid:"beta" ~mgr:fmgr2 () in
+  let t0 = Scallop_utils.Monotonic.now () in
+  while Replica.Follower.poll fol2 > 0 do
+    ()
+  done;
+  let catchup_s = Scallop_utils.Monotonic.now () -. t0 in
+  let fst2 = Replica.Follower.status fol2 in
+  let frames = fst2.Replica.Follower.st_applied + fst2.st_installs + fst2.st_adoptions in
+  Fmt.pr "  async catch-up: %d-op burst drained in %.3f ms (%.0f frames/s)@." n
+    (1000.0 *. catchup_s)
+    (float_of_int (max 1 frames) /. Float.max 1e-9 catchup_s);
+  results :=
+    Fmt.str
+      {|    {"workload": "async-catchup", "burst_ops": %d, "catchup_ms": %.3f, "frames_per_s": %.0f}|}
+      n (1000.0 *. catchup_s)
+      (float_of_int (max 1 frames) /. Float.max 1e-9 catchup_s)
+    :: !results;
+  Durable.shutdown pmgr2;
+  Durable.shutdown fmgr2;
+  Replica.Primary.close prim2;
+  Replica.Follower.close fol2;
+  rm_rf root2;
+  let oc = open_out "BENCH_replication.json" in
+  output_string oc "{\n  \"benchmarks\": [\n";
+  output_string oc (String.concat ",\n" (List.rev !results));
+  output_string oc "\n  ],\n";
+  output_string oc
+    (Fmt.str "  \"quorum_overhead_pct\": %.2f,\n  \"quorum_overhead_gate_pct\": 25.0\n}\n"
+       overhead_pct);
+  close_out oc;
+  Fmt.pr "@.  wrote BENCH_replication.json (%d measurements)@." (List.length !results)
 
 (* ---- driver --------------------------------------------------------------------------------------- *)
 
@@ -1613,6 +1859,7 @@ let all_experiments =
     ("service", bench_service);
     ("incr", bench_incr);
     ("durability", bench_durability);
+    ("replication", bench_replication);
   ]
 
 let () =

@@ -262,66 +262,34 @@ let repl_cmd =
 
 (* ---- [scallop serve]: the supervised inference service over stdio ------------ *)
 
-(* Fact atoms for the stateful verbs: "0.9::edge(0, 1)" or "edge(0, 1)".
-   Values: true/false, integers (i32), floats (f64), "quoted" or bare
-   strings; [Incr] coerces them to the relation's declared column types. *)
-let parse_serve_value (s : string) : Value.t =
-  let s = String.trim s in
-  if String.equal s "true" then Value.bool true
-  else if String.equal s "false" then Value.bool false
-  else
-    match int_of_string_opt s with
-    | Some n -> Value.int Value.I32 n
-    | None -> (
-        match float_of_string_opt s with
-        | Some f -> Value.float Value.F64 f
-        | None ->
-            let n = String.length s in
-            if n >= 2 && s.[0] = '"' && s.[n - 1] = '"' then
-              Value.string (String.sub s 1 (n - 2))
-            else Value.string s)
-
-let parse_fact_atom (s : string) : float option * string * Tuple.t =
-  let s = String.trim s in
-  let prob, rest =
-    match String.index_opt s ':' with
-    | Some i when i + 1 < String.length s && s.[i + 1] = ':' -> (
-        let p = String.sub s 0 i in
-        match float_of_string_opt p with
-        | Some f -> (Some f, String.sub s (i + 2) (String.length s - i - 2))
-        | None -> Session.invalid_input "bad probability %S in fact %S" p s)
-    | _ -> (None, s)
+(* Bounded line reader: a line longer than [max] bytes is consumed up to
+   its newline but only [max] bytes are kept and the overflow is flagged,
+   so the serving loop answers with a typed error instead of buffering an
+   unbounded request in memory. *)
+let input_line_bounded ic max : (string * bool) option =
+  let b = Buffer.create 128 in
+  let rec go truncated =
+    match In_channel.input_char ic with
+    | None ->
+        if Buffer.length b = 0 && not truncated then None
+        else Some (Buffer.contents b, truncated)
+    | Some '\n' -> Some (Buffer.contents b, truncated)
+    | Some c ->
+        if Buffer.length b >= max then go true
+        else begin
+          Buffer.add_char b c;
+          go truncated
+        end
   in
-  let n = String.length rest in
-  match String.index_opt rest '(' with
-  | None -> Session.invalid_input "bad fact %S: expected pred(v1, ...)" s
-  | Some _ when n = 0 || rest.[n - 1] <> ')' ->
-      Session.invalid_input "bad fact %S: missing closing paren" s
-  | Some l ->
-      let pred = String.trim (String.sub rest 0 l) in
-      if String.equal pred "" then Session.invalid_input "bad fact %S: empty predicate" s;
-      let inner = String.sub rest (l + 1) (n - l - 2) in
-      let vals =
-        if String.trim inner = "" then []
-        else List.map parse_serve_value (String.split_on_char ',' inner)
-      in
-      (prob, pred, Tuple.of_list vals)
-
-(* The k-th-token-onward suffix of a protocol line (verbs keep raw text —
-   programs and fact atoms contain spaces). *)
-let drop_tokens k s =
-  let n = String.length s in
-  let rec skip_ws i = if i < n && s.[i] = ' ' then skip_ws (i + 1) else i in
-  let rec skip_tok i = if i < n && s.[i] <> ' ' then skip_tok (i + 1) else i in
-  let rec go k i = if k = 0 then i else go (k - 1) (skip_ws (skip_tok i)) in
-  let i = go k (skip_ws 0) in
-  String.sub s i (n - i)
+  go false
 
 let serve_cmd =
   let module Service = Scallop_serve.Service in
   let module Chaos = Scallop_serve.Chaos in
+  let module Protocol = Scallop_serve.Protocol in
   let module Incr = Scallop_incr.Incr in
   let module Durable = Scallop_incr.Durable in
+  let module Replica = Scallop_incr.Replica in
   let queue_depth_arg =
     Arg.(
       value & opt int 64
@@ -422,9 +390,120 @@ let serve_cmd =
             "Skip the per-append fsync. Acknowledged ops then survive a process kill but \
              not a power loss.")
   in
+  let no_group_commit_arg =
+    Arg.(
+      value & flag
+      & info [ "no-group-commit" ]
+          ~doc:
+            "Disable WAL group commit. By default concurrent sessions' synchronous WAL \
+             appends share fsyncs (a leader flushes every dirty log once per batch); this \
+             flag restores one fsync per append. No effect under $(b,--no-wal-sync).")
+  in
+  let repl_ship_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "repl-ship" ] ~docv:"DIR"
+          ~doc:
+            "Primary role: stream every durable session update as checksummed frames into \
+             the ship log under $(docv), for follower processes to replay into warm \
+             standbys. Requires $(b,--state-dir).")
+  in
+  let repl_follow_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "repl-follow" ] ~docv:"DIR"
+          ~doc:
+            "Follower role: tail the ship log under $(docv), replaying frames into standby \
+             sessions (queries allowed; writes refused until $(b,repl promote)). Requires \
+             $(b,--state-dir).")
+  in
+  let repl_id_arg =
+    Arg.(
+      value & opt string "node"
+      & info [ "repl-id" ] ~docv:"NAME"
+          ~doc:"This node's replication identity (names its epoch claims and ack log).")
+  in
+  let repl_ack_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("none", Scallop_incr.Replica.Ack_none);
+               ("async", Scallop_incr.Replica.Ack_async);
+               ("quorum", Scallop_incr.Replica.Ack_quorum);
+             ])
+          Scallop_incr.Replica.Ack_async
+      & info [ "repl-ack" ] ~docv:"MODE"
+          ~doc:
+            "Acknowledgement discipline of a primary: $(b,none) ships without looking \
+             back, $(b,async) ships and tracks follower lag without blocking, \
+             $(b,quorum) blocks each write until a majority of $(b,--repl-followers) \
+             followers have fsynced it.")
+  in
+  let repl_followers_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "repl-followers" ] ~docv:"N"
+          ~doc:"Cluster follower count quorum acknowledgement is computed against (N/2+1).")
+  in
+  let repl_ack_timeout_arg =
+    Arg.(
+      value & opt float 5.0
+      & info [ "repl-ack-timeout" ] ~docv:"SEC"
+          ~doc:
+            "Quorum wait deadline per write; expiry yields a typed ack-timeout error (the \
+             write is locally durable but its replication level is unknown).")
+  in
+  let repl_segment_frames_arg =
+    Arg.(
+      value & opt int 4096
+      & info [ "repl-segment-frames" ] ~docv:"N"
+          ~doc:
+            "Rotate the ship log every $(docv) frames; each new segment opens with \
+             snapshots of every live session, bounding follower catch-up.")
+  in
+  let repl_retain_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "repl-retain" ] ~docv:"N"
+          ~doc:"Rotated ship segments kept behind the active one before pruning.")
+  in
+  let repl_auto_promote_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "repl-auto-promote" ] ~docv:"SEC"
+          ~doc:
+            "Supervised failover: a follower that sees no primary heartbeat for $(docv) \
+             seconds promotes itself (claims the next fencing epoch and starts accepting \
+             writes). Without this flag promotion is manual via $(b,repl promote).")
+  in
+  let max_line_bytes_arg =
+    Arg.(
+      value & opt int 1048576
+      & info [ "max-line-bytes" ] ~docv:"N"
+          ~doc:
+            "Reject protocol lines longer than $(docv) bytes with a typed error instead \
+             of buffering them.")
+  in
   let run provenance seed jobs queue_depth request_timeout max_retries chaos_seed chaos_kill
       chaos_latency chaos_latency_secs chaos_budget chaos_nan state_dir max_live session_ttl
-      snapshot_every no_wal_sync base =
+      snapshot_every no_wal_sync no_group_commit repl_ship repl_follow repl_id repl_ack
+      repl_followers repl_ack_timeout repl_segment_frames repl_retain repl_auto_promote
+      max_line_bytes base =
+    let conflict =
+      if repl_ship <> None && repl_follow <> None then
+        Some "--repl-ship and --repl-follow are mutually exclusive"
+      else if (repl_ship <> None || repl_follow <> None) && state_dir = None then
+        Some "replication (--repl-ship / --repl-follow) requires --state-dir"
+      else None
+    in
+    match conflict with
+    | Some msg -> `Error (false, msg)
+    | None ->
     let base_src = match base with None -> "" | Some path -> read_file path ^ "\n" in
     let chaos =
       {
@@ -448,10 +527,65 @@ let serve_cmd =
       }
     in
     let svc = Service.create ~config provenance in
+    (* Replication roles.  A primary ships every durable update into the
+       ship log (via the repl sink wired into [Durable]); a follower's
+       registry starts as a standby and a poller domain tails the ship
+       log into it. *)
+    let primary =
+      Option.map
+        (fun dir ->
+          Replica.Primary.create ~dir ~id:repl_id ~ack:repl_ack ~cluster:repl_followers
+            ~ack_timeout:repl_ack_timeout ~segment_frames:repl_segment_frames
+            ~retain:repl_retain ())
+        repl_ship
+    in
     let dmgr =
       Durable.create
         (Durable.config ?state_dir ?max_live ?idle_ttl:session_ttl ~snapshot_every
-           ~wal_sync:(not no_wal_sync) ~interp:config.Service.interp provenance)
+           ~wal_sync:(not no_wal_sync)
+           ~group_commit:(not no_group_commit)
+           ?repl:(Option.map Replica.Primary.sink primary)
+           ~standby:(repl_follow <> None) ~interp:config.Service.interp provenance)
+    in
+    (* Sessions recovered from --state-dir join the ship log immediately,
+       so a follower attaching now does not wait for the next rotation. *)
+    if primary <> None then Durable.ship_barrier dmgr;
+    let follower =
+      Option.map (fun dir -> Replica.Follower.create ~dir ~fid:repl_id ~mgr:dmgr ()) repl_follow
+    in
+    let repl_stop = Atomic.make false in
+    let heartbeat_domain =
+      Option.map
+        (fun p ->
+          Domain.spawn (fun () ->
+              while not (Atomic.get repl_stop) do
+                Replica.Primary.heartbeat p;
+                Unix.sleepf 0.25
+              done))
+        primary
+    in
+    let poller_domain =
+      Option.map
+        (fun f ->
+          Domain.spawn (fun () ->
+              let auto_promoted = ref false in
+              while not (Atomic.get repl_stop) do
+                (try if Replica.Follower.poll f = 0 then Unix.sleepf 0.002
+                 with _ -> Unix.sleepf 0.01);
+                match repl_auto_promote with
+                | Some ttl when not !auto_promoted -> (
+                    match Replica.Follower.primary_age f with
+                    | Some age when age > ttl ->
+                        (try
+                           let e = Replica.Follower.promote f in
+                           Fmt.epr "repl: primary heartbeat stale (%.1fs); promoted to epoch %d@." age
+                             e
+                         with Session.Error _ -> () (* promoted by hand already *));
+                        auto_promoted := true
+                    | _ -> ())
+                | _ -> ()
+              done))
+        follower
     in
     (* Protocol: one request per stdin line ([;] separates items within a
        line).  Replies stream on stdout in request order: zero or more
@@ -525,11 +659,22 @@ let serve_cmd =
       Condition.signal pcond;
       Mutex.unlock pmutex
     in
-    (* Run a verb; protocol misuse surfaces as a typed Invalid_input reply. *)
+    (* Run a verb; protocol misuse surfaces as a typed Invalid_input reply
+       and any other exception as a typed runtime error — a request can
+       fail, never crash or wedge the service.  Stack_overflow and
+       Out_of_memory stay fatal: the process state is suspect. *)
     let verb n f =
       push n
-        (try f ()
-         with Session.Error e -> `Lines [ Fmt.str "done %d error %s" n (Session.error_string e) ])
+        (try f () with
+        | Session.Error e -> `Lines [ Fmt.str "done %d error %s" n (Session.error_string e) ]
+        | (Stack_overflow | Out_of_memory) as e -> raise e
+        | exn ->
+            `Lines
+              [
+                Fmt.str "done %d error %s" n
+                  (Session.error_string
+                     (Exec_error.Runtime_error { msg = "internal: " ^ Printexc.to_string exn }));
+              ])
     in
     let lookup sid =
       if not (Durable.exists dmgr ~sid) then Session.invalid_input "unknown session %s" sid
@@ -555,115 +700,198 @@ let serve_cmd =
       r := []
     in
     let unquote line = String.map (fun c -> if c = ';' then '\n' else c) line in
+    let repl_status_lines n =
+      match (primary, follower) with
+      | Some p, _ ->
+          let s = Replica.Primary.status p in
+          Fmt.str
+            "out %d repl role=primary id=%s epoch=%d ack=%s seg=%d frames=%d shipped=%d \
+             rotations=%d barriers=%d lag-mean-ms=%.3f lag-max-ms=%.3f fenced=%s"
+            n repl_id s.Replica.Primary.st_epoch (Replica.ack_mode_string repl_ack) s.st_seg
+            s.st_frames s.st_shipped s.st_rotations s.st_barriers s.st_mean_barrier_ms
+            s.st_max_barrier_ms
+            (match s.st_fenced with Some e -> string_of_int e | None -> "no")
+          :: List.map
+               (fun (fid, a) ->
+                 Fmt.str "out %d repl follower %s epoch=%d seg=%d idx=%d%s" n fid
+                   a.Replica.a_epoch a.a_seg a.a_idx
+                   (if a.a_fence then " fence" else ""))
+               s.st_followers
+      | None, Some f ->
+          let s = Replica.Follower.status f in
+          Fmt.str
+            "out %d repl role=%s id=%s epoch=%d seg=%d idx=%d applied=%d skipped=%d \
+             installs=%d adoptions=%d seals=%d divergences=%d awaiting=%d primary-age=%s"
+            n
+            (if s.Replica.Follower.st_promoted then "promoted" else "follower")
+            repl_id s.st_epoch s.st_seg s.st_idx s.st_applied s.st_skipped s.st_installs
+            s.st_adoptions s.st_seals s.st_divergences s.st_awaiting
+            (match s.st_primary_age with Some a -> Fmt.str "%.1fs" a | None -> "none")
+          :: ((match s.st_last_error with
+              | None -> []
+              | Some e -> [ Fmt.str "out %d repl last-error %s" n e ])
+             @ List.map
+                 (fun (sid, lsn, seg) ->
+                   Fmt.str "out %d repl session %s lsn=%d seg=%d" n sid lsn seg)
+                 s.st_sessions)
+      | None, None -> [ Fmt.str "out %d repl role=none" n ]
+    in
+    let dispatch n (req : Protocol.request) =
+      match req with
+      | Protocol.Open { sid; expect_hash; program } ->
+          verb n (fun () ->
+              let hash, exact =
+                Durable.open_session dmgr ~sid ?expect_hash (base_src ^ unquote program)
+              in
+              `Lines
+                [
+                  Fmt.str "done %d ok opened %s hash=%s engine=%s" n sid hash
+                    (if exact then "delta" else "recompute");
+                ])
+      | Protocol.Assert { sid; prob; pred; tuple } ->
+          verb n (fun () ->
+              lookup sid;
+              drain sid;
+              Durable.assert_fact dmgr ~sid ~pred ?prob tuple;
+              `Lines [ Fmt.str "done %d ok asserted %s" n sid ])
+      | Protocol.Retract { sid; pred; tuple } ->
+          verb n (fun () ->
+              lookup sid;
+              drain sid;
+              Durable.retract_fact dmgr ~sid ~pred tuple;
+              `Lines [ Fmt.str "done %d ok retracted %s" n sid ])
+      | Protocol.Query { sid; outputs } ->
+          verb n (fun () ->
+              lookup sid;
+              let tk =
+                Service.submit_exec svc (fun ~rung:_ ~config ->
+                    Durable.query ?outputs ~budget:config.Interp.budget dmgr ~sid ())
+              in
+              let r = pending_of sid in
+              r := tk :: List.filter (fun t -> Service.poll svc t = None) !r;
+              `Ticket tk)
+      | Protocol.Close { sid } ->
+          verb n (fun () ->
+              lookup sid;
+              drain sid;
+              let st = Durable.close dmgr ~sid in
+              `Lines
+                [
+                  Fmt.str "out %d session %s %a" n sid Incr.pp_session_stats st;
+                  Fmt.str "done %d ok closed %s" n sid;
+                ])
+      | Protocol.Stats ->
+          verb n (fun () ->
+              let pc = Session.plan_cache_stats () in
+              let wc = Wmc.cache_stats () in
+              let c = Durable.session_counts dmgr in
+              let open_sessions = c.Durable.live + c.Durable.spilled + c.Durable.failed in
+              `Lines
+                ([
+                   Fmt.str "out %d plan-cache hits=%d misses=%d evictions=%d entries=%d" n
+                     pc.Session.hits pc.Session.misses pc.Session.evictions pc.Session.entries;
+                   Fmt.str
+                     "out %d wmc bdd-hits=%d bdd-misses=%d result-hits=%d \
+                      result-misses=%d resets=%d nodes=%d"
+                     n wc.Wmc.bdd_hits wc.Wmc.bdd_misses wc.Wmc.result_hits
+                     wc.Wmc.result_misses wc.Wmc.resets wc.Wmc.manager_nodes;
+                   Fmt.str "out %d sessions open=%d" n open_sessions;
+                 ]
+                @ (match state_dir with
+                  | None -> []
+                  | Some _ ->
+                      [
+                        Fmt.str "out %d durability %a live=%d spilled=%d failed=%d" n
+                          Durable.pp_stats (Durable.stats dmgr) c.Durable.live
+                          c.Durable.spilled c.Durable.failed;
+                      ])
+                @ (match primary with
+                  | None -> []
+                  | Some p ->
+                      let s = Replica.Primary.status p in
+                      [
+                        Fmt.str
+                          "out %d repl role=primary epoch=%d shipped=%d followers=%d \
+                           lag-mean-ms=%.3f"
+                          n s.Replica.Primary.st_epoch s.st_shipped
+                          (List.length s.st_followers) s.st_mean_barrier_ms;
+                      ])
+                @ (match follower with
+                  | None -> []
+                  | Some f ->
+                      let s = Replica.Follower.status f in
+                      [
+                        Fmt.str "out %d repl role=%s epoch=%d applied=%d divergences=%d" n
+                          (if s.Replica.Follower.st_promoted then "promoted" else "follower")
+                          s.st_epoch s.st_applied s.st_divergences;
+                      ])
+                @ [ Fmt.str "done %d ok stats" n ]))
+      | Protocol.Scrub ->
+          verb n (fun () ->
+              let reports = Durable.scrub dmgr in
+              let lines =
+                List.concat_map
+                  (fun r ->
+                    Fmt.str "out %d scrub %s snapshots=%d segments=%d errors=%d" n
+                      r.Durable.sc_sid r.Durable.sc_snapshots r.Durable.sc_segments
+                      (List.length r.Durable.sc_errors)
+                    :: List.map
+                         (fun e -> Fmt.str "out %d scrub %s ! %s" n r.Durable.sc_sid e)
+                         r.Durable.sc_errors)
+                  reports
+              in
+              let bad =
+                List.fold_left (fun acc r -> acc + List.length r.Durable.sc_errors) 0 reports
+              in
+              `Lines
+                (lines
+                @ [
+                    Fmt.str "done %d ok scrub sessions=%d errors=%d" n (List.length reports)
+                      bad;
+                  ]))
+      | Protocol.Repl_status ->
+          verb n (fun () -> `Lines (repl_status_lines n @ [ Fmt.str "done %d ok repl" n ]))
+      | Protocol.Repl_promote { epoch } ->
+          verb n (fun () ->
+              match follower with
+              | None -> Session.invalid_input "repl promote: this node is not a follower"
+              | Some f ->
+                  let e = Replica.Follower.promote ?epoch f in
+                  `Lines [ Fmt.str "done %d ok promoted epoch=%d" n e ])
+      | Protocol.Run { program } ->
+          push n
+            (match Session.compile (base_src ^ unquote program) with
+            | compiled -> `Ticket (Service.submit svc compiled)
+            | exception Session.Error e -> `Err e)
+    in
     let reqno = ref 0 in
     let rec read_loop () =
-      match In_channel.input_line stdin with
+      match input_line_bounded stdin max_line_bytes with
       | None -> ()
-      | Some line when String.trim line = "" -> read_loop ()
-      | Some line ->
+      | Some (line, false) when String.trim line = "" -> read_loop ()
+      | Some (line, truncated) ->
           let n = !reqno in
           incr reqno;
-          let words =
-            String.split_on_char ' ' (String.trim line)
-            |> List.filter (fun w -> not (String.equal w ""))
-          in
-          (match words with
-          | "open" :: sid :: _ ->
-              verb n (fun () ->
-                  let rest = String.trim (drop_tokens 2 line) in
-                  let expect_hash, prog =
-                    if String.length rest >= 5 && String.equal (String.sub rest 0 5) "hash="
-                    then
-                      let i =
-                        match String.index_opt rest ' ' with
-                        | Some i -> i
-                        | None -> String.length rest
-                      in
-                      ( Some (String.sub rest 5 (i - 5)),
-                        String.sub rest i (String.length rest - i) )
-                    else (None, rest)
-                  in
-                  let hash, exact =
-                    Durable.open_session dmgr ~sid ?expect_hash (base_src ^ unquote prog)
-                  in
-                  `Lines
-                    [
-                      Fmt.str "done %d ok opened %s hash=%s engine=%s" n sid hash
-                        (if exact then "delta" else "recompute");
-                    ])
-          | "assert" :: sid :: _ ->
-              verb n (fun () ->
-                  lookup sid;
-                  drain sid;
-                  let prob, pred, tuple = parse_fact_atom (drop_tokens 2 line) in
-                  Durable.assert_fact dmgr ~sid ~pred ?prob tuple;
-                  `Lines [ Fmt.str "done %d ok asserted %s" n sid ])
-          | "retract" :: sid :: _ ->
-              verb n (fun () ->
-                  lookup sid;
-                  drain sid;
-                  let prob, pred, tuple = parse_fact_atom (drop_tokens 2 line) in
-                  (match prob with
-                  | Some _ -> Session.invalid_input "retract takes no probability"
-                  | None -> ());
-                  Durable.retract_fact dmgr ~sid ~pred tuple;
-                  `Lines [ Fmt.str "done %d ok retracted %s" n sid ])
-          | "query" :: sid :: rest ->
-              verb n (fun () ->
-                  lookup sid;
-                  let outputs = match rest with [] -> None | l -> Some l in
-                  let tk =
-                    Service.submit_exec svc (fun ~rung:_ ~config ->
-                        Durable.query ?outputs ~budget:config.Interp.budget dmgr ~sid ())
-                  in
-                  let r = pending_of sid in
-                  r := tk :: List.filter (fun t -> Service.poll svc t = None) !r;
-                  `Ticket tk)
-          | [ "close"; sid ] ->
-              verb n (fun () ->
-                  lookup sid;
-                  drain sid;
-                  let st = Durable.close dmgr ~sid in
-                  `Lines
-                    [
-                      Fmt.str "out %d session %s %a" n sid Incr.pp_session_stats st;
-                      Fmt.str "done %d ok closed %s" n sid;
-                    ])
-          | [ "stats" ] ->
-              verb n (fun () ->
-                  let pc = Session.plan_cache_stats () in
-                  let wc = Wmc.cache_stats () in
-                  let c = Durable.session_counts dmgr in
-                  let open_sessions = c.Durable.live + c.Durable.spilled + c.Durable.failed in
-                  `Lines
-                    ([
-                       Fmt.str "out %d plan-cache hits=%d misses=%d evictions=%d entries=%d"
-                         n pc.Session.hits pc.Session.misses pc.Session.evictions
-                         pc.Session.entries;
-                       Fmt.str
-                         "out %d wmc bdd-hits=%d bdd-misses=%d result-hits=%d \
-                          result-misses=%d resets=%d nodes=%d"
-                         n wc.Wmc.bdd_hits wc.Wmc.bdd_misses wc.Wmc.result_hits
-                         wc.Wmc.result_misses wc.Wmc.resets wc.Wmc.manager_nodes;
-                       Fmt.str "out %d sessions open=%d" n open_sessions;
-                     ]
-                    @ (match state_dir with
-                      | None -> []
-                      | Some _ ->
-                          [
-                            Fmt.str "out %d durability %a live=%d spilled=%d failed=%d" n
-                              Durable.pp_stats (Durable.stats dmgr) c.Durable.live
-                              c.Durable.spilled c.Durable.failed;
-                          ])
-                    @ [ Fmt.str "done %d ok stats" n ]))
-          | _ ->
-              push n
-                (match Session.compile (base_src ^ unquote line) with
-                | compiled -> `Ticket (Service.submit svc compiled)
-                | exception Session.Error e -> `Err e));
+          (let outcome =
+             if truncated then
+               Error
+                 (Exec_error.Invalid_input
+                    {
+                      msg =
+                        Fmt.str "request line exceeds the %d-byte limit; discarded"
+                          max_line_bytes;
+                    })
+             else Protocol.parse ~max_line:max_line_bytes line
+           in
+           match outcome with
+           | Error e -> push n (`Lines [ Fmt.str "done %d error %s" n (Session.error_string e) ])
+           | Ok req -> dispatch n req);
           read_loop ()
     in
     read_loop ();
+    Atomic.set repl_stop true;
+    Option.iter Domain.join poller_domain;
+    Option.iter Domain.join heartbeat_domain;
     Mutex.lock pmutex;
     eof := true;
     Condition.broadcast pcond;
@@ -671,6 +899,8 @@ let serve_cmd =
     Domain.join printer;
     Service.shutdown svc;
     Durable.shutdown dmgr;
+    Option.iter Replica.Primary.close primary;
+    Option.iter Replica.Follower.close follower;
     Fmt.epr "service: %a@." Service.pp_stats (Service.stats svc);
     `Ok ()
   in
@@ -686,7 +916,10 @@ let serve_cmd =
        $ request_timeout_arg $ max_retries_arg $ chaos_seed_arg $ chaos_kill_arg
        $ chaos_latency_arg $ chaos_latency_secs_arg $ chaos_budget_arg $ chaos_nan_arg
        $ state_dir_arg $ max_live_arg $ session_ttl_arg $ snapshot_every_arg
-       $ no_wal_sync_arg $ base_arg))
+       $ no_wal_sync_arg $ no_group_commit_arg $ repl_ship_arg $ repl_follow_arg
+       $ repl_id_arg $ repl_ack_arg $ repl_followers_arg $ repl_ack_timeout_arg
+       $ repl_segment_frames_arg $ repl_retain_arg $ repl_auto_promote_arg
+       $ max_line_bytes_arg $ base_arg))
 
 let main_cmd =
   (* [run] is the default command, so [scallop --profile FILE] works without

@@ -65,6 +65,24 @@ type t =
           pinned [expect_hash], an op that no longer replays).  Scoped to
           one session: the serving layer answers that session's requests
           with this diagnostic and keeps every other session live *)
+  | Replication_diverged of { session : string; segment : int; reason : string }
+      (** a follower's replayed state stopped matching the primary's frame
+          stream — per-segment checksum chain mismatch, an LSN that skips
+          ahead with no snapshot to bridge it, or a replicated op that no
+          longer validates.  The follower quarantines the session rather
+          than serve silently-forked answers *)
+  | Fenced of { epoch : int; current : int }
+      (** this node holds replication epoch [epoch] but the cluster has
+          moved to [current]: a follower was promoted and wrote a fencing
+          epoch, so a deposed primary must refuse to acknowledge writes
+          (the new primary may not have them).  Never retried — the node
+          must be restarted as a follower of the new primary *)
+  | Ack_timeout of { acked : int; quorum : int; waited : float }
+      (** a quorum-acknowledged write saw only [acked] of the [quorum]
+          follower acknowledgements it needs within the deadline.  The
+          write is applied and locally durable but its replication level is
+          unknown; blind retry would duplicate it, so the remedy is
+          operational (check follower health), not retry *)
 
 exception Error of t
 
@@ -100,7 +118,7 @@ let is_transient = function
   | Overloaded _ | Worker_lost _ | Non_finite _ -> true
   | Budget_exceeded _ | Cancelled _ | Unstratifiable _ | Parse_error _ | Front_error _
   | Type_error _ | Demand_error _ | Compile_error _ | Runtime_error _ | Invalid_input _
-  | Recovery_failed _ ->
+  | Recovery_failed _ | Replication_diverged _ | Fenced _ | Ack_timeout _ ->
       false
 
 (** True for the failures the graceful-degradation ladder can rescue by
@@ -141,5 +159,13 @@ let pp ppf = function
       Fmt.pf ppf "worker %d lost while executing the request (attempt %d)" worker attempts
   | Recovery_failed { session; reason } ->
       Fmt.pf ppf "recovery of session %s failed: %s" session reason
+  | Replication_diverged { session; segment; reason } ->
+      Fmt.pf ppf "replica diverged on session %s in segment %d: %s" session segment reason
+  | Fenced { epoch; current } ->
+      Fmt.pf ppf "primary fenced: epoch %d deposed by epoch %d" epoch current
+  | Ack_timeout { acked; quorum; waited } ->
+      Fmt.pf ppf "replication ack timeout: %d/%d follower ack%s after %.3fs" acked quorum
+        (if quorum = 1 then "" else "s")
+        waited
 
 let to_string = Fmt.to_to_string pp

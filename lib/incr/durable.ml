@@ -396,6 +396,48 @@ let rec rm_rf path =
       (try Sys.rmdir path with Sys_error _ -> ())
   | false -> ( try Sys.remove path with Sys_error _ -> ())
 
+(* ---- replication events ------------------------------------------------------- *)
+
+(* The per-segment checksum chain: every appended record folds into a
+   running FNV-1a over (previous chain ‖ payload), reset at each segment
+   rotation.  The primary ships the chain value after each op; a follower
+   that replays the same bytes computes the same chain, so any divergence —
+   a dropped frame, a mutated payload, a fork — is caught at the next
+   frame, not at the next full resync. *)
+let chain_add (chain : int64) (payload : string) : int64 =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 chain;
+  Atomic_io.fnv1a64 (Bytes.unsafe_to_string b ^ payload)
+
+(** What a primary tells its followers.  [Ev_op] carries the {e exact} WAL
+    record bytes (so follower segments are byte-identical to the
+    primary's), the segment and lsn it landed at, and the chain value
+    after it.  [Ev_seal] closes a segment at compaction — the follower
+    verifies its own chain against it before adopting the snapshot that
+    follows.  [Ev_snapshot] is the snapshot generation itself: the bridge
+    for followers too far behind to replay (lag past segment pruning) and
+    the barrier content heading each ship-log segment. *)
+type repl_event =
+  | Ev_op of { sid : string; seg : int; lsn : int; chain : int64; payload : string }
+  | Ev_seal of { sid : string; seg : int; last_lsn : int; chain : int64; records : int }
+  | Ev_snapshot of { sid : string; gen : int; lsn : int; payload : string }
+
+(** How the replication transport plugs in without {!Durable} knowing it
+    exists.  [rs_emit], [rs_rotation_due], [rs_rotate_begin] and
+    [rs_rotate_end] are called {b under the manager lock} — they must only
+    write the ship log, never call back into the registry.  [rs_barrier]
+    runs {b outside} the lock after an op's local durability is settled;
+    it blocks for the configured acknowledgement level and raises typed
+    [Session.Error]s ([Fenced], [Ack_timeout]) to veto the
+    acknowledgement. *)
+type repl_sink = {
+  rs_emit : repl_event -> unit;
+  rs_rotation_due : unit -> bool;  (** ship log wants a fresh segment *)
+  rs_rotate_begin : unit -> unit;  (** open it (the epoch frame goes first) *)
+  rs_rotate_end : unit -> unit;  (** barrier snapshots emitted; prune old segments *)
+  rs_barrier : unit -> unit;
+}
+
 (* ---- configuration ------------------------------------------------------------ *)
 
 type config = {
@@ -406,17 +448,42 @@ type config = {
   snapshot_every : int;  (** ops between compaction snapshots *)
   keep_snapshots : int;  (** snapshot generations retained per session *)
   wal_sync : bool;  (** fsync each WAL append before acknowledging *)
+  group_commit : bool;
+      (** batch concurrent sessions' WAL fsyncs into one ({!Wal.Group});
+          meaningless without [wal_sync] *)
+  group_window : float;
+      (** leader flush-gathering window in seconds (see {!Wal.Group}) *)
   max_live : int option;  (** LRU cap on hydrated sessions *)
   idle_ttl : float option;  (** spill sessions idle longer than this (seconds) *)
   now : unit -> float;  (** injectable clock for idle accounting *)
+  repl : repl_sink option;  (** primary-side replication transport *)
+  standby : bool;
+      (** start as a replication standby: client writes are refused until
+          {!set_standby}[ mgr false] promotes the registry *)
 }
 
 let config ?state_dir ?(snapshot_every = 64) ?(keep_snapshots = 3) ?(wal_sync = true)
-    ?max_live ?idle_ttl ?(now = Scallop_utils.Monotonic.now)
-    ?(interp = Interp.default_config ()) (spec : Registry.spec) : config =
+    ?(group_commit = false) ?(group_window = 0.) ?max_live ?idle_ttl
+    ?(now = Scallop_utils.Monotonic.now) ?(interp = Interp.default_config ()) ?repl
+    ?(standby = false) (spec : Registry.spec) : config =
   if snapshot_every < 1 then invalid_arg "Durable.config: snapshot_every must be >= 1";
   if keep_snapshots < 1 then invalid_arg "Durable.config: keep_snapshots must be >= 1";
-  { state_dir; spec; interp; snapshot_every; keep_snapshots; wal_sync; max_live; idle_ttl; now }
+  if group_window < 0. then invalid_arg "Durable.config: group_window must be >= 0";
+  {
+    state_dir;
+    spec;
+    interp;
+    snapshot_every;
+    keep_snapshots;
+    wal_sync;
+    group_commit;
+    group_window;
+    max_live;
+    idle_ttl;
+    now;
+    repl;
+    standby;
+  }
 
 (* ---- manager state -------------------------------------------------------------- *)
 
@@ -438,6 +505,8 @@ type entry = {
   mutable e_state : state;
   mutable next_lsn : int;
   mutable active_seg : int;
+  mutable seg_chain : int64;  (** checksum chain over the active segment's records *)
+  mutable seg_records : int;  (** records in the active segment *)
   mutable ops_since_snap : int;  (** unsnapshotted ops; bounds rehydration replay *)
   mutable last_used : float;
   mutable pins : int;  (** queries in flight; pinned entries are never spilled *)
@@ -453,14 +522,21 @@ type stats = {
   mutable rehydrations : int;
   mutable recovered : int;  (** sessions rebuilt alive at {!create} *)
   mutable recovery_failures : int;
+  mutable remote_applied : int;  (** replicated ops applied on this standby *)
+  mutable remote_installs : int;  (** snapshot transfers installed / adopted *)
+  mutable divergences : int;  (** sessions quarantined as [Replication_diverged] *)
+  mutable scrubs : int;  (** scrub sweeps completed *)
+  mutable scrub_errors : int;  (** bit-rot findings of the latest sweep *)
 }
 
 let pp_stats ppf (s : stats) =
   Fmt.pf ppf
     "wal-appends=%d wal-bytes=%d wal-replayed=%d snapshots=%d evictions=%d \
-     rehydrations=%d recovered=%d recovery-failed=%d"
+     rehydrations=%d recovered=%d recovery-failed=%d remote-applied=%d \
+     remote-installs=%d diverged=%d scrubs=%d scrub-errors=%d"
     s.wal_appends s.wal_bytes s.wal_replayed s.snapshots s.evictions s.rehydrations
-    s.recovered s.recovery_failures
+    s.recovered s.recovery_failures s.remote_applied s.remote_installs s.divergences
+    s.scrubs s.scrub_errors
 
 type t = {
   cfg : config;
@@ -468,6 +544,9 @@ type t = {
   unpinned : Condition.t;
   entries : (string, entry) Hashtbl.t;
   dstats : stats;
+  wal_group : Wal.Group.t option;
+  mutable role : [ `Primary | `Standby ];
+  mutable max_ticket : int;  (** newest group-commit ticket issued; -1 if none *)
 }
 
 let locked mgr f =
@@ -486,6 +565,8 @@ type loaded = {
   l_expect : string option;
   l_next_lsn : int;
   l_active_seg : int;
+  l_seg_chain : int64;  (** checksum chain over the active segment's records *)
+  l_seg_records : int;
   l_replayed : int;
   l_closed : bool;
 }
@@ -523,7 +604,12 @@ let load_session mgr ~sid ~dir : loaded =
   in
   let segs = segments_of_dir dir in
   let last_seg = match List.rev segs with s :: _ -> s | [] -> -1 in
-  (* Read every retained segment; only the final segment may be torn. *)
+  (* Read every retained segment; only the final segment may be torn.  The
+     final segment's raw payloads are kept separately so the replication
+     checksum chain over the {e active} segment can be recomputed — a
+     restarted follower must resume the chain exactly where its disk state
+     left it. *)
+  let last_records = ref [] in
   let records =
     List.concat_map
       (fun k ->
@@ -537,6 +623,7 @@ let load_session mgr ~sid ~dir : loaded =
         | Wal.Corrupt { offset; reason } ->
             recovery_failed ~session "corrupt log segment %s at byte %d: %s" (segment_name k)
               offset reason);
+        if k = last_seg then last_records := recs;
         recs)
       segs
   in
@@ -613,16 +700,24 @@ let load_session mgr ~sid ~dir : loaded =
    with Session.Error e ->
      recovery_failed ~session "unreplayable op at lsn %d: %s" !max_lsn
        (Session.error_string e));
+  (* Appends must land in a segment newer than any snapshot generation
+     present on disk — even one skipped as corrupt — so every fallback
+     path still reads them. *)
+  let active_seg = max 0 (max last_seg (newest_gen_present + 1)) in
+  let seg_chain, seg_records =
+    if active_seg = last_seg then
+      List.fold_left (fun (c, n) p -> (chain_add c p, n + 1)) (0L, 0) !last_records
+    else (0L, 0)
+  in
   {
     l_incr = incr;
     l_source = source;
     l_hash = hash;
     l_expect = expect_hash;
     l_next_lsn = !max_lsn + 1;
-    (* Appends must land in a segment newer than any snapshot generation
-       present on disk — even one skipped as corrupt — so every fallback
-       path still reads them. *)
-    l_active_seg = max 0 (max last_seg (newest_gen_present + 1));
+    l_active_seg = active_seg;
+    l_seg_chain = seg_chain;
+    l_seg_records = seg_records;
     l_replayed = !replayed;
     l_closed = !was_closed;
   }
@@ -642,22 +737,63 @@ let wal_of mgr entry (l : live) : Wal.t =
       let w =
         io_guard (fun () ->
             Atomic_io.mkdir_p dir;
-            Wal.open_append ~sync:mgr.cfg.wal_sync
+            Wal.open_append ~sync:mgr.cfg.wal_sync ?group:mgr.wal_group
               ~path:(segment_path dir entry.active_seg) ())
       in
       l.wal <- Some w;
       w
 
-let append_op mgr entry (l : live) (op : op) =
+let emit mgr ev = match mgr.cfg.repl with Some s -> s.rs_emit ev | None -> ()
+
+(* Append raw record bytes to the session's active segment and fold them
+   into the segment chain.  Returns the group-commit ticket the caller must
+   settle (outside the lock) before acknowledging, when one exists. *)
+let append_payload mgr entry (l : live) (payload : string) : int option =
+  let w = wal_of mgr entry l in
+  let ticket = io_guard (fun () -> Wal.append_ticket w payload) in
+  (match ticket with Some tk -> mgr.max_ticket <- max mgr.max_ticket tk | None -> ());
+  entry.seg_chain <- chain_add entry.seg_chain payload;
+  entry.seg_records <- entry.seg_records + 1;
+  mgr.dstats.wal_appends <- mgr.dstats.wal_appends + 1;
+  mgr.dstats.wal_bytes <- mgr.dstats.wal_bytes + String.length payload + Wal.record_header_len;
+  ticket
+
+let append_op mgr entry (l : live) (op : op) : int option =
   match entry.dir with
-  | None -> ()
+  | None -> None
   | Some _ ->
-      let w = wal_of mgr entry l in
       let payload = encode_op op in
-      io_guard (fun () -> Wal.append w payload);
-      mgr.dstats.wal_appends <- mgr.dstats.wal_appends + 1;
-      mgr.dstats.wal_bytes <-
-        mgr.dstats.wal_bytes + String.length payload + Wal.record_header_len
+      let ticket = append_payload mgr entry l payload in
+      emit mgr
+        (Ev_op
+           {
+             sid = entry.sid;
+             seg = entry.active_seg;
+             lsn = op_lsn op;
+             chain = entry.seg_chain;
+             payload;
+           });
+      ticket
+
+(* Settle an op's durability and replication level, called OUTSIDE the
+   manager lock after the locked section committed locally: wait for the
+   group fsync covering the op's ticket, then run the replication barrier
+   (which may raise Fenced / Ack_timeout to veto the acknowledgement). *)
+let commit_wait mgr (ticket : int option) : unit =
+  (match (ticket, mgr.wal_group) with
+  | Some tk, Some g -> io_guard (fun () -> Wal.Group.wait g tk)
+  | _ -> ());
+  match mgr.cfg.repl with Some s -> s.rs_barrier () | None -> ()
+
+(** Wait until every WAL record appended so far is on stable storage — the
+    follower's batch-apply path appends many records asynchronously and
+    settles them with one flush before acknowledging. *)
+let flush mgr : unit =
+  match mgr.wal_group with
+  | None -> ()
+  | Some g ->
+      let tk = locked mgr (fun () -> mgr.max_ticket) in
+      if tk >= 0 then io_guard (fun () -> Wal.Group.wait g tk)
 
 (* Snapshot the session's current overlay, rotate the WAL to a fresh
    segment, and prune segments no retained snapshot generation needs.  The
@@ -677,19 +813,34 @@ let compact_locked mgr entry =
           sn_facts = Incr.current_facts l.incr;
         }
       in
+      let encoded = encode_snapshot s in
       let gen =
         io_guard (fun () ->
-            Atomic_io.save ~dir:(snap_dir dir) ~keep:mgr.cfg.keep_snapshots
-              (encode_snapshot s))
+            Atomic_io.save ~dir:(snap_dir dir) ~keep:mgr.cfg.keep_snapshots encoded)
       in
       mgr.dstats.snapshots <- mgr.dstats.snapshots + 1;
+      (* Seal the outgoing segment for the followers — chain and record
+         count let them verify their replayed copy byte-for-byte — then
+         ship the snapshot that supersedes it. *)
+      emit mgr
+        (Ev_seal
+           {
+             sid = entry.sid;
+             seg = entry.active_seg;
+             last_lsn = entry.next_lsn - 1;
+             chain = entry.seg_chain;
+             records = entry.seg_records;
+           });
       (match l.wal with
       | Some w ->
           Wal.close w;
           l.wal <- None
       | None -> ());
       entry.active_seg <- max (entry.active_seg + 1) (gen + 1);
+      entry.seg_chain <- 0L;
+      entry.seg_records <- 0;
       entry.ops_since_snap <- 0;
+      emit mgr (Ev_snapshot { sid = entry.sid; gen; lsn = s.sn_lsn; payload = encoded });
       (* The oldest retained generation has every segment at or below its
          own number folded in — and so does every newer one. *)
       (match Atomic_io.generations ~dir:(snap_dir dir) with
@@ -757,6 +908,8 @@ let rehydrate_locked mgr entry : live =
       entry.e_state <- Live l;
       entry.next_lsn <- loaded.l_next_lsn;
       entry.active_seg <- loaded.l_active_seg;
+      entry.seg_chain <- loaded.l_seg_chain;
+      entry.seg_records <- loaded.l_seg_records;
       entry.ops_since_snap <- loaded.l_replayed;
       mgr.dstats.rehydrations <- mgr.dstats.rehydrations + 1;
       mgr.dstats.wal_replayed <- mgr.dstats.wal_replayed + loaded.l_replayed;
@@ -792,6 +945,68 @@ let touch_live_locked mgr entry : live =
   | Failed e -> raise (Session.Error e)
   | Closed -> invalid_input "session is closed"
 
+(* ---- standby role ----------------------------------------------------------------- *)
+
+let require_primary mgr =
+  if mgr.role = `Standby then
+    invalid_input
+      "this node is a replication standby: writes are refused until it is promoted"
+
+let is_standby mgr = locked mgr (fun () -> mgr.role = `Standby)
+
+(** Flip the registry's replication role.  [set_standby mgr false] is the
+    promotion step: client writes are accepted from then on. *)
+let set_standby mgr standby =
+  locked mgr (fun () -> mgr.role <- (if standby then `Standby else `Primary))
+
+(* ---- ship-log rotation barriers ----------------------------------------------------- *)
+
+(* Every ship-log segment opens with a barrier: a snapshot of every live
+   session, so the segment is self-contained — a follower may start (or
+   resume, or recover from arbitrary lag) from the newest segment alone,
+   and older segments can be pruned. *)
+
+let emit_disk_snapshot_locked mgr entry dir =
+  match Atomic_io.load_latest ~dir:(snap_dir dir) with
+  | None -> ()
+  | Some (gen, payload) -> (
+      match decode_snapshot payload with
+      | s -> emit mgr (Ev_snapshot { sid = entry.sid; gen; lsn = s.sn_lsn; payload })
+      | exception Decode _ -> ())
+
+let ship_snapshot_locked mgr entry =
+  match entry.dir with
+  | None -> ()
+  | Some dir -> (
+      match entry.e_state with
+      | Failed _ | Closed -> ()
+      | Live _ ->
+          (* compacting emits the seal + a current snapshot; a session with
+             nothing unsnapshotted just re-ships its newest disk snapshot *)
+          if entry.ops_since_snap > 0 || Atomic_io.generations ~dir:(snap_dir dir) = []
+          then compact_locked mgr entry
+          else emit_disk_snapshot_locked mgr entry dir
+      | Spilled ->
+          (* spilling made the disk state current *)
+          emit_disk_snapshot_locked mgr entry dir)
+
+let rotate_ship_locked mgr (s : repl_sink) =
+  s.rs_rotate_begin ();
+  Hashtbl.iter (fun _ e -> ship_snapshot_locked mgr e) mgr.entries;
+  s.rs_rotate_end ()
+
+let maybe_rotate_ship_locked mgr =
+  match mgr.cfg.repl with
+  | Some s when s.rs_rotation_due () -> rotate_ship_locked mgr s
+  | _ -> ()
+
+(** Force a ship-log rotation barrier now: open a fresh ship segment headed
+    by snapshots of every live session.  A (re)starting primary calls this
+    once so followers can sync from its recovered state. *)
+let ship_barrier mgr =
+  locked mgr (fun () ->
+      match mgr.cfg.repl with Some s -> rotate_ship_locked mgr s | None -> ())
+
 (* ---- construction and recovery ------------------------------------------------------ *)
 
 let create (cfg : config) : t =
@@ -811,7 +1026,18 @@ let create (cfg : config) : t =
           rehydrations = 0;
           recovered = 0;
           recovery_failures = 0;
+          remote_applied = 0;
+          remote_installs = 0;
+          divergences = 0;
+          scrubs = 0;
+          scrub_errors = 0;
         };
+      wal_group =
+        (if cfg.group_commit && cfg.wal_sync then
+           Some (Wal.Group.create ~window:cfg.group_window ())
+         else None);
+      role = (if cfg.standby then `Standby else `Primary);
+      max_ticket = -1;
     }
   in
   (match cfg.state_dir with
@@ -846,6 +1072,8 @@ let create (cfg : config) : t =
                     e_state = Live { incr = loaded.l_incr; wal = None };
                     next_lsn = loaded.l_next_lsn;
                     active_seg = loaded.l_active_seg;
+                    seg_chain = loaded.l_seg_chain;
+                    seg_records = loaded.l_seg_records;
                     ops_since_snap = loaded.l_replayed;
                     last_used = cfg.now ();
                     pins = 0;
@@ -871,6 +1099,8 @@ let create (cfg : config) : t =
                     e_state = Failed e;
                     next_lsn = 0;
                     active_seg = 0;
+                    seg_chain = 0L;
+                    seg_records = 0;
                     ops_since_snap = 0;
                     last_used = cfg.now ();
                     pins = 0;
@@ -891,76 +1121,102 @@ let create (cfg : config) : t =
     on-disk trace.  Returns the program hash and whether the session runs
     the exact delta engine. *)
 let open_session mgr ~sid ?expect_hash source : string * bool =
-  locked mgr (fun () ->
-      if Hashtbl.mem mgr.entries sid then invalid_input "session %s already open" sid;
-      let incr =
-        Incr.open_session ~config:mgr.cfg.interp ?expect_hash ~spec:mgr.cfg.spec source
-      in
-      let hash = Incr.program_hash incr in
-      let dir = Option.map (fun sd -> session_dir sd sid) mgr.cfg.state_dir in
-      let entry =
-        {
-          sid;
-          dir;
-          source;
-          hash;
-          expect_hash;
-          e_state = Live { incr; wal = None };
-          next_lsn = 1;
-          active_seg = 0;
-          ops_since_snap = 0;
-          last_used = mgr.cfg.now ();
-          pins = 0;
-          last_stats = Incr.stats incr;
-        }
-      in
-      (match (dir, entry.e_state) with
-      | Some d, Live l ->
-          rm_rf d;
-          append_op mgr entry l
-            (Op_open { expect_hash; hash; spec = spec_name_of mgr; source })
-      | _ -> ());
-      Hashtbl.replace mgr.entries sid entry;
-      enforce_caps_locked mgr;
-      (hash, Incr.is_exact incr))
+  let result, ticket =
+    locked mgr (fun () ->
+        require_primary mgr;
+        if Hashtbl.mem mgr.entries sid then invalid_input "session %s already open" sid;
+        let incr =
+          Incr.open_session ~config:mgr.cfg.interp ?expect_hash ~spec:mgr.cfg.spec source
+        in
+        let hash = Incr.program_hash incr in
+        let dir = Option.map (fun sd -> session_dir sd sid) mgr.cfg.state_dir in
+        let entry =
+          {
+            sid;
+            dir;
+            source;
+            hash;
+            expect_hash;
+            e_state = Live { incr; wal = None };
+            next_lsn = 1;
+            active_seg = 0;
+            seg_chain = 0L;
+            seg_records = 0;
+            ops_since_snap = 0;
+            last_used = mgr.cfg.now ();
+            pins = 0;
+            last_stats = Incr.stats incr;
+          }
+        in
+        let ticket =
+          match (dir, entry.e_state) with
+          | Some d, Live l ->
+              rm_rf d;
+              append_op mgr entry l
+                (Op_open { expect_hash; hash; spec = spec_name_of mgr; source })
+          | _ -> None
+        in
+        Hashtbl.replace mgr.entries sid entry;
+        maybe_rotate_ship_locked mgr;
+        enforce_caps_locked mgr;
+        ((hash, Incr.is_exact incr), ticket))
+  in
+  commit_wait mgr ticket;
+  result
 
 (** Assert a fact.  Commit protocol: validate (raising exactly what
     {!Incr.assert_fact} would, without mutating), append the op to the WAL
     (fsync'd), then apply.  An acknowledged assert is therefore both valid
     and durable. *)
 let assert_fact mgr ~sid ~pred ?prob ?me_group tup =
-  locked mgr (fun () ->
-      let entry = find_entry mgr sid in
-      let l = touch_live_locked mgr entry in
-      let tup = Incr.check_assert l.incr ~pred tup in
-      append_op mgr entry l
-        (Op_assert
-           {
-             lsn = entry.next_lsn;
-             pred;
-             input = { Provenance.Input.prob; me_group };
-             tuple = tup;
-           });
-      Incr.assert_fact l.incr ~pred ?prob ?me_group tup;
-      entry.next_lsn <- entry.next_lsn + 1;
-      entry.ops_since_snap <- entry.ops_since_snap + 1;
-      if entry.dir <> None && entry.ops_since_snap >= mgr.cfg.snapshot_every then
-        compact_locked mgr entry;
-      enforce_caps_locked mgr)
+  let ticket =
+    locked mgr (fun () ->
+        require_primary mgr;
+        let entry = find_entry mgr sid in
+        let l = touch_live_locked mgr entry in
+        let tup = Incr.check_assert l.incr ~pred tup in
+        let ticket =
+          append_op mgr entry l
+            (Op_assert
+               {
+                 lsn = entry.next_lsn;
+                 pred;
+                 input = { Provenance.Input.prob; me_group };
+                 tuple = tup;
+               })
+        in
+        Incr.assert_fact l.incr ~pred ?prob ?me_group tup;
+        entry.next_lsn <- entry.next_lsn + 1;
+        entry.ops_since_snap <- entry.ops_since_snap + 1;
+        if entry.dir <> None && entry.ops_since_snap >= mgr.cfg.snapshot_every then
+          compact_locked mgr entry;
+        maybe_rotate_ship_locked mgr;
+        enforce_caps_locked mgr;
+        ticket)
+  in
+  commit_wait mgr ticket
 
 (** Retract a fact; same validate → log → apply protocol as {!assert_fact}. *)
 let retract_fact mgr ~sid ~pred tup =
-  locked mgr (fun () ->
-      let entry = find_entry mgr sid in
-      let l = touch_live_locked mgr entry in
-      let tup = Incr.check_retract l.incr ~pred tup in
-      append_op mgr entry l (Op_retract { lsn = entry.next_lsn; pred; tuple = tup });
-      Incr.retract_fact l.incr ~pred tup;
-      entry.next_lsn <- entry.next_lsn + 1;
-      entry.ops_since_snap <- entry.ops_since_snap + 1;
-      if entry.dir <> None && entry.ops_since_snap >= mgr.cfg.snapshot_every then
-        compact_locked mgr entry;
-      enforce_caps_locked mgr)
+  let ticket =
+    locked mgr (fun () ->
+        require_primary mgr;
+        let entry = find_entry mgr sid in
+        let l = touch_live_locked mgr entry in
+        let tup = Incr.check_retract l.incr ~pred tup in
+        let ticket =
+          append_op mgr entry l (Op_retract { lsn = entry.next_lsn; pred; tuple = tup })
+        in
+        Incr.retract_fact l.incr ~pred tup;
+        entry.next_lsn <- entry.next_lsn + 1;
+        entry.ops_since_snap <- entry.ops_since_snap + 1;
+        if entry.dir <> None && entry.ops_since_snap >= mgr.cfg.snapshot_every then
+          compact_locked mgr entry;
+        maybe_rotate_ship_locked mgr;
+        enforce_caps_locked mgr;
+        ticket)
+  in
+  commit_wait mgr ticket
 
 let unpin mgr entry =
   Mutex.lock mgr.mutex;
@@ -999,48 +1255,67 @@ let run_cold ?outputs mgr ~sid () : Session.result =
     recovery-failed session discards its quarantined state.  Returns the
     session's final statistics. *)
 let close mgr ~sid : Incr.session_stats =
-  locked mgr (fun () ->
-      let entry = find_entry mgr sid in
-      match entry.e_state with
-      | Closed -> invalid_input "session is closed"
-      | Failed _ ->
-          Option.iter rm_rf entry.dir;
-          entry.e_state <- Closed;
-          entry.last_stats
-      | Spilled | Live _ ->
-          while entry.pins > 0 do
-            Condition.wait mgr.unpinned mgr.mutex
-          done;
-          (match entry.e_state with
-          | Live l ->
-              entry.last_stats <- Incr.stats l.incr;
-              append_op mgr entry l (Op_close { lsn = entry.next_lsn });
-              entry.next_lsn <- entry.next_lsn + 1;
-              (match l.wal with
-              | Some w ->
-                  Wal.close w;
-                  l.wal <- None
-              | None -> ());
-              Incr.close l.incr
-          | Spilled -> (
-              (* no need to rehydrate the engine just to retire it, but the
-                 close must still reach the log before the directory goes:
-                 a crash between the two replays as a clean close *)
-              match entry.dir with
-              | None -> ()
-              | Some dir ->
-                  io_guard (fun () ->
-                      let w =
-                        Wal.open_append ~sync:mgr.cfg.wal_sync
-                          ~path:(segment_path dir entry.active_seg) ()
-                      in
-                      Wal.append w (encode_op (Op_close { lsn = entry.next_lsn }));
-                      Wal.close w);
-                  entry.next_lsn <- entry.next_lsn + 1)
-          | _ -> ());
-          Option.iter rm_rf entry.dir;
-          entry.e_state <- Closed;
-          entry.last_stats)
+  let result =
+    locked mgr (fun () ->
+        require_primary mgr;
+        let entry = find_entry mgr sid in
+        match entry.e_state with
+        | Closed -> invalid_input "session is closed"
+        | Failed _ ->
+            Option.iter rm_rf entry.dir;
+            entry.e_state <- Closed;
+            entry.last_stats
+        | Spilled | Live _ ->
+            while entry.pins > 0 do
+              Condition.wait mgr.unpinned mgr.mutex
+            done;
+            (match entry.e_state with
+            | Live l ->
+                entry.last_stats <- Incr.stats l.incr;
+                ignore (append_op mgr entry l (Op_close { lsn = entry.next_lsn }));
+                entry.next_lsn <- entry.next_lsn + 1;
+                (match l.wal with
+                | Some w ->
+                    Wal.close w;
+                    l.wal <- None
+                | None -> ());
+                Incr.close l.incr
+            | Spilled -> (
+                (* no need to rehydrate the engine just to retire it, but the
+                   close must still reach the log before the directory goes:
+                   a crash between the two replays as a clean close *)
+                match entry.dir with
+                | None -> ()
+                | Some dir ->
+                    let payload = encode_op (Op_close { lsn = entry.next_lsn }) in
+                    io_guard (fun () ->
+                        let w =
+                          Wal.open_append ~sync:mgr.cfg.wal_sync
+                            ~path:(segment_path dir entry.active_seg) ()
+                        in
+                        Wal.append w payload;
+                        Wal.close w);
+                    entry.seg_chain <- chain_add entry.seg_chain payload;
+                    entry.seg_records <- entry.seg_records + 1;
+                    emit mgr
+                      (Ev_op
+                         {
+                           sid = entry.sid;
+                           seg = entry.active_seg;
+                           lsn = entry.next_lsn;
+                           chain = entry.seg_chain;
+                           payload;
+                         });
+                    entry.next_lsn <- entry.next_lsn + 1)
+            | _ -> ());
+            Option.iter rm_rf entry.dir;
+            entry.e_state <- Closed;
+            entry.last_stats)
+  in
+  (* the close record is fsync'd by Wal.close / the direct writer above;
+     only the replication barrier remains *)
+  (match mgr.cfg.repl with Some s -> s.rs_barrier () | None -> ());
+  result
 
 (** Latest statistics for a session (live handle if hydrated, last observed
     otherwise). *)
@@ -1096,3 +1371,409 @@ let shutdown mgr =
               l.wal <- None
           | _ -> ())
         mgr.entries)
+
+(* ---- remote apply (the follower's commit path) ---------------------------------------- *)
+
+(* A standby replays the primary's frames through these entry points.  The
+   invariants they defend: an applied op is byte-identical to the
+   primary's WAL record, lands at exactly the expected (segment, lsn), and
+   reproduces the primary's checksum chain.  Anything else quarantines the
+   session as [Replication_diverged] — answering queries from a silently
+   forked replica is the one failure mode this layer exists to prevent.
+   Snapshot transfer ([install_snapshot]) is also the healing path: it
+   rebuilds diverged or lagging sessions from the primary's state. *)
+
+let diverged_no_entry ~session ~segment fmt =
+  Fmt.kstr
+    (fun reason ->
+      raise (Session.Error (Exec_error.Replication_diverged { session; segment; reason })))
+    fmt
+
+(* Quarantine [entry] and raise.  The engine is left in place (a pinned
+   standby query may still be reading it); only the WAL writer is
+   released. *)
+let diverged mgr entry ~segment fmt =
+  Fmt.kstr
+    (fun reason ->
+      let err =
+        Exec_error.Replication_diverged { session = entry.sid; segment; reason }
+      in
+      (match entry.e_state with
+      | Live ({ wal = Some w; _ } as l) ->
+          Wal.close w;
+          l.wal <- None
+      | _ -> ());
+      entry.e_state <- Failed err;
+      mgr.dstats.divergences <- mgr.dstats.divergences + 1;
+      raise (Session.Error err))
+    fmt
+
+type watermark = {
+  wm_next_lsn : int;
+  wm_seg : int;  (** active segment *)
+  wm_failed : bool;  (** quarantined — only a snapshot transfer can heal it *)
+  wm_closed : bool;
+}
+
+(** Where a session's replayed state stands — what the follower compares
+    each incoming frame against to decide skip / apply / resync. *)
+let remote_watermark mgr ~sid : watermark option =
+  locked mgr (fun () ->
+      match Hashtbl.find_opt mgr.entries sid with
+      | None -> None
+      | Some e ->
+          Some
+            {
+              wm_next_lsn = e.next_lsn;
+              wm_seg = e.active_seg;
+              wm_failed = (match e.e_state with Failed _ -> true | _ -> false);
+              wm_closed = (match e.e_state with Closed -> true | _ -> false);
+            })
+
+(** Apply one replicated op at exactly ([seg], [lsn]), verifying the
+    checksum chain after it.  The record is appended to the local WAL
+    asynchronously (group ticket); call {!flush} before acknowledging a
+    batch. *)
+let apply_remote mgr ~sid ~seg ~lsn ~chain ~payload : unit =
+  locked mgr (fun () ->
+      if mgr.cfg.state_dir = None then
+        invalid_input "remote apply requires a state dir";
+      let op =
+        try decode_op payload
+        with Decode msg ->
+          diverged_no_entry ~session:sid ~segment:seg "undecodable replicated record: %s"
+            msg
+      in
+      match op with
+      | Op_open { expect_hash; hash; spec; source } ->
+          if Hashtbl.mem mgr.entries sid then
+            invalid_input "replicated open for existing session %s" sid;
+          if not (String.equal spec (spec_name_of mgr)) then
+            diverged_no_entry ~session:sid ~segment:seg
+              "session opened under provenance %s, this node runs %s" spec
+              (spec_name_of mgr);
+          let incr =
+            try
+              Incr.open_session ~config:mgr.cfg.interp ?expect_hash ~spec:mgr.cfg.spec
+                source
+            with Session.Error e ->
+              diverged_no_entry ~session:sid ~segment:seg
+                "replicated program does not compile: %s" (Session.error_string e)
+          in
+          if not (String.equal (Incr.program_hash incr) hash) then
+            diverged_no_entry ~session:sid ~segment:seg
+              "replicated program hashes to %s, frame says %s" (Incr.program_hash incr)
+              hash;
+          let dir = Option.map (fun sd -> session_dir sd sid) mgr.cfg.state_dir in
+          let l = { incr; wal = None } in
+          let entry =
+            {
+              sid;
+              dir;
+              source;
+              hash;
+              expect_hash;
+              e_state = Live l;
+              next_lsn = 1;
+              active_seg = seg;
+              seg_chain = 0L;
+              seg_records = 0;
+              ops_since_snap = 0;
+              last_used = mgr.cfg.now ();
+              pins = 0;
+              last_stats = Incr.stats incr;
+            }
+          in
+          Option.iter rm_rf dir;
+          ignore (append_payload mgr entry l payload);
+          Hashtbl.replace mgr.entries sid entry;
+          if not (Int64.equal entry.seg_chain chain) then
+            diverged mgr entry ~segment:seg "checksum chain mismatch on open";
+          mgr.dstats.remote_applied <- mgr.dstats.remote_applied + 1
+      | (Op_assert _ | Op_retract _ | Op_close _) as op -> (
+          let entry =
+            match Hashtbl.find_opt mgr.entries sid with
+            | Some e -> e
+            | None ->
+                diverged_no_entry ~session:sid ~segment:seg
+                  "replicated op for unknown session"
+          in
+          (match entry.e_state with
+          | Failed err -> raise (Session.Error err)
+          | Closed -> invalid_input "replicated op for closed session %s" sid
+          | Live _ | Spilled -> ());
+          if lsn <> entry.next_lsn then
+            diverged mgr entry ~segment:seg "op at lsn %d arrived at watermark %d" lsn
+              entry.next_lsn;
+          if seg <> entry.active_seg then
+            diverged mgr entry ~segment:seg "op for segment %d but active segment is %d"
+              seg entry.active_seg;
+          let l = touch_live_locked mgr entry in
+          let check_chain () =
+            if not (Int64.equal entry.seg_chain chain) then
+              diverged mgr entry ~segment:seg "checksum chain mismatch after lsn %d" lsn
+          in
+          match op with
+          | Op_assert { pred; input; tuple = tup; _ } ->
+              let tup =
+                try Incr.check_assert l.incr ~pred tup
+                with Session.Error e ->
+                  diverged mgr entry ~segment:seg
+                    "replicated assert no longer validates: %s" (Session.error_string e)
+              in
+              ignore (append_payload mgr entry l payload);
+              check_chain ();
+              Incr.assert_fact l.incr ~pred ?prob:input.Provenance.Input.prob
+                ?me_group:input.Provenance.Input.me_group tup;
+              entry.next_lsn <- entry.next_lsn + 1;
+              entry.ops_since_snap <- entry.ops_since_snap + 1;
+              mgr.dstats.remote_applied <- mgr.dstats.remote_applied + 1
+          | Op_retract { pred; tuple = tup; _ } ->
+              let tup =
+                try Incr.check_retract l.incr ~pred tup
+                with Session.Error e ->
+                  diverged mgr entry ~segment:seg
+                    "replicated retract no longer validates: %s" (Session.error_string e)
+              in
+              ignore (append_payload mgr entry l payload);
+              check_chain ();
+              Incr.retract_fact l.incr ~pred tup;
+              entry.next_lsn <- entry.next_lsn + 1;
+              entry.ops_since_snap <- entry.ops_since_snap + 1;
+              mgr.dstats.remote_applied <- mgr.dstats.remote_applied + 1
+          | Op_close _ ->
+              (* drain standby queries exactly like a local close *)
+              while entry.pins > 0 do
+                Condition.wait mgr.unpinned mgr.mutex
+              done;
+              ignore (append_payload mgr entry l payload);
+              check_chain ();
+              entry.next_lsn <- entry.next_lsn + 1;
+              (match entry.e_state with
+              | Live l2 ->
+                  entry.last_stats <- Incr.stats l2.incr;
+                  (match l2.wal with
+                  | Some w ->
+                      Wal.close w;
+                      l2.wal <- None
+                  | None -> ());
+                  Incr.close l2.incr
+              | _ -> ());
+              Option.iter rm_rf entry.dir;
+              entry.e_state <- Closed;
+              mgr.dstats.remote_applied <- mgr.dstats.remote_applied + 1
+          | Op_open _ -> assert false))
+
+(** Verify a sealed segment against the local replay: same last lsn, same
+    record count, same checksum chain.  Rotation itself happens when the
+    snapshot that follows the seal is adopted. *)
+let seal_remote mgr ~sid ~seg ~last_lsn ~chain ~records : unit =
+  locked mgr (fun () ->
+      match Hashtbl.find_opt mgr.entries sid with
+      | None -> ()  (* unknown here: the snapshot that follows will install it *)
+      | Some entry -> (
+          match entry.e_state with
+          | Failed _ | Closed -> ()
+          | Live _ | Spilled ->
+              if seg < entry.active_seg then () (* already sealed; replayed frame *)
+              else if seg > entry.active_seg then
+                diverged mgr entry ~segment:seg "seal for future segment (active is %d)"
+                  entry.active_seg
+              else begin
+                if entry.next_lsn - 1 <> last_lsn then
+                  diverged mgr entry ~segment:seg
+                    "segment sealed at lsn %d but replay reached %d" last_lsn
+                    (entry.next_lsn - 1);
+                if entry.seg_records <> records then
+                  diverged mgr entry ~segment:seg
+                    "segment sealed with %d records but replay holds %d" records
+                    entry.seg_records;
+                if not (Int64.equal entry.seg_chain chain) then
+                  diverged mgr entry ~segment:seg
+                    "checksum chain mismatch at seal (%d records)" records
+              end))
+
+type install =
+  | Installed  (** full snapshot transfer: session rebuilt from the payload *)
+  | Adopted  (** state was already current; snapshot adopted as the local
+                 compaction point *)
+  | Skipped  (** local state is ahead of (or closed relative to) the snapshot *)
+
+(** Install a replicated snapshot generation.  Three regimes: a session
+    whose replay is {e at} the snapshot's lsn adopts it (write the file at
+    the primary's generation number, rotate, prune) so primary and
+    follower compact in lockstep; a session that is behind, unknown, or
+    quarantined is rebuilt from the payload through the normal recovery
+    path; a session that is ahead skips it (a replayed barrier frame). *)
+let install_snapshot mgr ~sid ~gen ~payload : install =
+  locked mgr (fun () ->
+      let state_dir =
+        match mgr.cfg.state_dir with
+        | Some sd -> sd
+        | None -> invalid_input "snapshot install requires a state dir"
+      in
+      let s =
+        try decode_snapshot payload
+        with Decode msg ->
+          diverged_no_entry ~session:sid ~segment:gen "undecodable snapshot: %s" msg
+      in
+      let existing = Hashtbl.find_opt mgr.entries sid in
+      let healthy e = match e.e_state with Live _ | Spilled -> true | _ -> false in
+      match existing with
+      | Some e when (match e.e_state with Closed -> true | _ -> false) -> Skipped
+      | Some e when healthy e && e.next_lsn - 1 > s.sn_lsn -> Skipped
+      | Some e when healthy e && e.next_lsn - 1 = s.sn_lsn ->
+          let dir = Option.get e.dir in
+          io_guard (fun () ->
+              Atomic_io.save_at ~dir:(snap_dir dir) ~gen ~keep:mgr.cfg.keep_snapshots
+                payload);
+          mgr.dstats.snapshots <- mgr.dstats.snapshots + 1;
+          if gen + 1 > e.active_seg then begin
+            (match e.e_state with
+            | Live ({ wal = Some w; _ } as l) ->
+                Wal.close w;
+                l.wal <- None
+            | _ -> ());
+            e.active_seg <- gen + 1;
+            e.seg_chain <- 0L;
+            e.seg_records <- 0
+          end;
+          e.ops_since_snap <- 0;
+          (match Atomic_io.generations ~dir:(snap_dir dir) with
+          | [] -> ()
+          | g_min :: _ ->
+              List.iter
+                (fun k ->
+                  if k <= g_min then
+                    try Sys.remove (segment_path dir k) with Sys_error _ -> ())
+                (segments_of_dir dir));
+          Adopted
+      | _ -> (
+          (* unknown, quarantined, or behind: full transfer *)
+          (match existing with
+          | Some { e_state = Live ({ wal = Some w; _ } as l); _ } ->
+              Wal.close w;
+              l.wal <- None
+          | _ -> ());
+          let dir = session_dir state_dir sid in
+          io_guard (fun () ->
+              rm_rf dir;
+              Atomic_io.save_at ~dir:(snap_dir dir) ~gen ~keep:mgr.cfg.keep_snapshots
+                payload);
+          match load_session mgr ~sid ~dir with
+          | loaded ->
+              Hashtbl.replace mgr.entries sid
+                {
+                  sid;
+                  dir = Some dir;
+                  source = loaded.l_source;
+                  hash = loaded.l_hash;
+                  expect_hash = loaded.l_expect;
+                  e_state = Live { incr = loaded.l_incr; wal = None };
+                  next_lsn = loaded.l_next_lsn;
+                  active_seg = loaded.l_active_seg;
+                  seg_chain = loaded.l_seg_chain;
+                  seg_records = loaded.l_seg_records;
+                  ops_since_snap = 0;
+                  last_used = mgr.cfg.now ();
+                  pins = 0;
+                  last_stats = Incr.stats loaded.l_incr;
+                };
+              mgr.dstats.remote_installs <- mgr.dstats.remote_installs + 1;
+              Installed
+          | exception Never_opened ->
+              diverged_no_entry ~session:sid ~segment:gen
+                "installed snapshot did not load"
+          | exception Session.Error e ->
+              let err =
+                match e with
+                | Exec_error.Recovery_failed _ -> e
+                | other ->
+                    Exec_error.Recovery_failed
+                      { session = sid; reason = Session.error_string other }
+              in
+              (match existing with
+              | Some entry -> entry.e_state <- Failed err
+              | None -> ());
+              mgr.dstats.recovery_failures <- mgr.dstats.recovery_failures + 1;
+              raise (Session.Error err)))
+
+(* ---- scrub ---------------------------------------------------------------------------- *)
+
+type scrub_report = {
+  sc_sid : string;
+  sc_snapshots : int;  (** snapshot generations examined *)
+  sc_segments : int;  (** WAL segments examined *)
+  sc_errors : string list;  (** bit-rot findings, empty when clean *)
+}
+
+(** Re-verify the checksums of every retained snapshot generation and WAL
+    segment of every registered session — the background defense against
+    bit rot that would otherwise surface only at the next recovery.  Purely
+    a read: nothing is repaired or quarantined (a damaged generation is
+    exactly what the generation fallback at recovery is for), but the
+    findings land in {!stats} ([scrubs], [scrub_errors]) and the per-session
+    report. *)
+let scrub mgr : scrub_report list =
+  locked mgr (fun () ->
+      let reports =
+        Hashtbl.fold
+          (fun _ e acc ->
+            match (e.dir, e.e_state) with
+            | None, _ | _, Closed -> acc
+            | Some dir, _ ->
+                let errors = ref [] in
+                let sdir = snap_dir dir in
+                let gens = Atomic_io.generations ~dir:sdir in
+                List.iter
+                  (fun g ->
+                    match Atomic_io.read_file ~path:(Atomic_io.path_of ~dir:sdir g) with
+                    | Error err ->
+                        errors :=
+                          Fmt.str "snapshot gen %d: %s" g
+                            (Atomic_io.read_error_string err)
+                          :: !errors
+                    | Ok payload -> (
+                        match decode_snapshot payload with
+                        | _ -> ()
+                        | exception Decode msg ->
+                            errors := Fmt.str "snapshot gen %d: %s" g msg :: !errors))
+                  gens;
+                let segs = segments_of_dir dir in
+                let last = match List.rev segs with s :: _ -> s | [] -> -1 in
+                List.iter
+                  (fun k ->
+                    match snd (Wal.read ~path:(segment_path dir k)) with
+                    | Wal.Clean -> ()
+                    | Wal.Torn _ when k = last -> () (* crash leftover, truncated on reopen *)
+                    | tail ->
+                        errors :=
+                          Fmt.str "segment %s: %s" (segment_name k) (Wal.tail_string tail)
+                          :: !errors)
+                  segs;
+                {
+                  sc_sid = e.sid;
+                  sc_snapshots = List.length gens;
+                  sc_segments = List.length segs;
+                  sc_errors = List.rev !errors;
+                }
+                :: acc)
+          mgr.entries []
+      in
+      let reports = List.sort (fun a b -> compare a.sc_sid b.sc_sid) reports in
+      mgr.dstats.scrubs <- mgr.dstats.scrubs + 1;
+      mgr.dstats.scrub_errors <-
+        List.fold_left (fun n r -> n + List.length r.sc_errors) 0 reports;
+      reports)
+
+(** (sid, next lsn, active segment) of every non-closed session, sorted —
+    the replication status line. *)
+let session_watermarks mgr : (string * int * int) list =
+  locked mgr (fun () ->
+      Hashtbl.fold
+        (fun _ e acc ->
+          match e.e_state with
+          | Closed -> acc
+          | _ -> (e.sid, e.next_lsn, e.active_seg) :: acc)
+        mgr.entries []
+      |> List.sort compare)

@@ -1,0 +1,751 @@
+(** WAL shipping, hot-standby replay, and supervised failover over
+    {!Durable}.
+
+    A {b primary} registry streams every committed WAL record — plus
+    segment seals and snapshot generations — as checksummed {e frames}
+    into a {e ship log}: an append-only directory of {!Scallop_utils.Wal}
+    segments that one or more follower processes tail.  A {b follower}
+    replays the frames through {!Durable}'s remote-apply commit path into
+    warm standby sessions (queries allowed, writes refused), writes
+    cursor acknowledgements into its own ack log, and can be {e promoted}
+    at any moment — after which it accepts writes and the deposed primary
+    is fenced.
+
+    The transport is the filesystem: primary and followers share the ship
+    directory (same machine or a shared mount).  The ship log itself is
+    written without fsync — it is transport, not the durability story;
+    durability is each node's own fsync'd session WAL.  A follower fsyncs
+    its local WAL {e before} acknowledging a frame, so a
+    quorum-acknowledged write is on stable storage on a quorum of nodes.
+
+    {2 Frame protocol}
+
+    Each ship segment is a {!Scallop_utils.Wal} file whose records encode:
+
+    - [F_epoch]: opens every segment — the writer's fencing epoch and id;
+    - [F_op]: one committed session op — sid, (segment, lsn) position, the
+      {e exact} WAL record bytes, and the per-segment FNV-1a checksum
+      chain after the record;
+    - [F_seal]: a session segment closed at compaction, carrying last lsn,
+      record count, and final chain for divergence detection;
+    - [F_snapshot]: a snapshot generation — the catch-up bridge for
+      followers that lagged past segment pruning, and the barrier content
+      heading each ship segment (every segment opens with snapshots of
+      all live sessions, so a follower can start from the newest segment
+      alone and old segments can be pruned).
+
+    {2 Fencing}
+
+    The ship directory holds an [EPOCH] file naming the current epoch and
+    its holder.  A primary claims epoch [e+1] at startup.  Promotion
+    drains the ship log, claims a strictly larger epoch (refusing with a
+    typed [Fenced] error otherwise — double promotion), fsyncs a fencing
+    ack record, and flips the standby to accepting writes.  A primary
+    verifies the epoch on every acknowledgement barrier: acks from other
+    epochs do not count toward quorum, and an epoch bump observed in the
+    [EPOCH] file or an ack log permanently fences the primary — every
+    subsequent write errors with [Fenced] rather than acknowledging data
+    the new primary may lack. *)
+
+open Scallop_core
+module Wal = Scallop_utils.Wal
+module Atomic_io = Scallop_utils.Atomic_io
+
+let invalid_input fmt = Session.invalid_input fmt
+
+(* ---- ship-directory layout ---------------------------------------------------- *)
+
+let ship_name k = Printf.sprintf "ship-%09d.log" k
+let ship_path dir k = Filename.concat dir (ship_name k)
+
+let ship_seg_of_name name =
+  if
+    String.length name = 18
+    && String.equal (String.sub name 0 5) "ship-"
+    && Filename.check_suffix name ".log"
+  then int_of_string_opt (String.sub name 5 9)
+  else None
+
+let ship_segments dir : int list =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | names -> Array.to_list names |> List.filter_map ship_seg_of_name |> List.sort compare
+
+let ack_name fid = "ack-" ^ Durable.encode_sid fid ^ ".log"
+let ack_path dir fid = Filename.concat dir (ack_name fid)
+
+let ack_fid_of_name name =
+  let n = String.length name in
+  if n > 8 && String.equal (String.sub name 0 4) "ack-" && Filename.check_suffix name ".log"
+  then Some (Durable.decode_sid (String.sub name 4 (n - 8)))
+  else None
+
+let epoch_path dir = Filename.concat dir "EPOCH"
+let hb_path dir = Filename.concat dir "HEARTBEAT"
+
+(* The EPOCH file rides in an Atomic_io envelope: atomically replaced,
+   checksummed, torn-write-proof.  Payload is "<epoch> <holder>". *)
+let read_epoch dir : (int * string) option =
+  match Atomic_io.read_file ~path:(epoch_path dir) with
+  | Error _ -> None
+  | Ok payload -> (
+      match String.index_opt payload ' ' with
+      | None -> None
+      | Some i -> (
+          match int_of_string_opt (String.sub payload 0 i) with
+          | None -> None
+          | Some e -> Some (e, String.sub payload (i + 1) (String.length payload - i - 1))))
+
+let write_epoch dir ~epoch ~holder =
+  Atomic_io.write_file ~path:(epoch_path dir) (Printf.sprintf "%d %s" epoch holder)
+
+(* ---- frame codec --------------------------------------------------------------- *)
+
+type frame =
+  | F_epoch of { epoch : int; primary : string }
+  | F_op of { sid : string; seg : int; lsn : int; chain : int64; payload : string }
+  | F_seal of { sid : string; seg : int; last_lsn : int; chain : int64; records : int }
+  | F_snapshot of { sid : string; gen : int; lsn : int; payload : string }
+
+let encode_frame (f : frame) : string =
+  let b = Buffer.create 64 in
+  (match f with
+  | F_epoch { epoch; primary } ->
+      Durable.add_u8 b (Char.code 'E');
+      Durable.add_i64 b epoch;
+      Durable.add_str b primary
+  | F_op { sid; seg; lsn; chain; payload } ->
+      Durable.add_u8 b (Char.code 'O');
+      Durable.add_str b sid;
+      Durable.add_i64 b seg;
+      Durable.add_i64 b lsn;
+      Buffer.add_int64_le b chain;
+      Durable.add_str b payload
+  | F_seal { sid; seg; last_lsn; chain; records } ->
+      Durable.add_u8 b (Char.code 'S');
+      Durable.add_str b sid;
+      Durable.add_i64 b seg;
+      Durable.add_i64 b last_lsn;
+      Buffer.add_int64_le b chain;
+      Durable.add_i64 b records
+  | F_snapshot { sid; gen; lsn; payload } ->
+      Durable.add_u8 b (Char.code 'N');
+      Durable.add_str b sid;
+      Durable.add_i64 b gen;
+      Durable.add_i64 b lsn;
+      Durable.add_str b payload);
+  Buffer.contents b
+
+let decode_frame (payload : string) : frame =
+  let c = { Durable.buf = payload; pos = 0 } in
+  let f =
+    match Char.chr (Durable.u8 c) with
+    | 'E' ->
+        let epoch = Durable.int_ c in
+        let primary = Durable.str c in
+        F_epoch { epoch; primary }
+    | 'O' ->
+        let sid = Durable.str c in
+        let seg = Durable.int_ c in
+        let lsn = Durable.int_ c in
+        let chain = Durable.i64 c in
+        let payload = Durable.str c in
+        F_op { sid; seg; lsn; chain; payload }
+    | 'S' ->
+        let sid = Durable.str c in
+        let seg = Durable.int_ c in
+        let last_lsn = Durable.int_ c in
+        let chain = Durable.i64 c in
+        let records = Durable.int_ c in
+        F_seal { sid; seg; last_lsn; chain; records }
+    | 'N' ->
+        let sid = Durable.str c in
+        let gen = Durable.int_ c in
+        let lsn = Durable.int_ c in
+        let payload = Durable.str c in
+        F_snapshot { sid; gen; lsn; payload }
+    | ch -> raise (Durable.Decode (Printf.sprintf "unknown frame tag %C" ch))
+  in
+  if c.Durable.pos <> String.length payload then
+    raise (Durable.Decode "trailing bytes in frame");
+  f
+
+(* Ack records: the follower's durable cursor.  (epoch, seg, idx) says
+   "every frame of ship segment [seg] up to index [idx] is applied and
+   locally fsync'd, under epoch [epoch]".  [fence] marks a promotion. *)
+type ack = { a_epoch : int; a_seg : int; a_idx : int; a_fence : bool }
+
+let encode_ack (a : ack) : string =
+  let b = Buffer.create 32 in
+  Durable.add_i64 b a.a_epoch;
+  Durable.add_i64 b a.a_seg;
+  Durable.add_i64 b a.a_idx;
+  Durable.add_u8 b (if a.a_fence then 1 else 0);
+  Buffer.contents b
+
+let decode_ack (payload : string) : ack =
+  let c = { Durable.buf = payload; pos = 0 } in
+  let a_epoch = Durable.int_ c in
+  let a_seg = Durable.int_ c in
+  let a_idx = Durable.int_ c in
+  let a_fence = Durable.u8 c <> 0 in
+  { a_epoch; a_seg; a_idx; a_fence }
+
+(* ---- primary -------------------------------------------------------------------- *)
+
+type ack_mode = Ack_none | Ack_async | Ack_quorum
+
+let ack_mode_of_string = function
+  | "none" -> Some Ack_none
+  | "async" -> Some Ack_async
+  | "quorum" -> Some Ack_quorum
+  | _ -> None
+
+let ack_mode_string = function
+  | Ack_none -> "none"
+  | Ack_async -> "async"
+  | Ack_quorum -> "quorum"
+
+module Primary = struct
+  type stats = {
+    mutable shipped : int;  (** frames written to the ship log *)
+    mutable rotations : int;
+    mutable barriers : int;
+    mutable barrier_wait : float;  (** cumulative seconds blocked in quorum waits *)
+    mutable max_barrier_wait : float;
+  }
+
+  type t = {
+    dir : string;
+    id : string;
+    epoch : int;
+    ack : ack_mode;
+    cluster : int;  (** follower count quorum is computed against *)
+    ack_timeout : float;
+    segment_frames : int;  (** rotate the ship log every this many frames *)
+    retain : int;  (** rotated ship segments kept behind the active one *)
+    pump : (unit -> unit) option;
+        (** test hook: advance in-process followers instead of sleeping *)
+    m : Mutex.t;
+    mutable wal : Wal.t;
+    mutable seg : int;
+    mutable frames : int;  (** frames in the active ship segment *)
+    mutable fenced : int option;  (** the epoch that deposed us *)
+    mutable acks : (string * ack) list;  (** newest ack per follower *)
+    mutable tails : (string * Wal.Tail.t) list;
+    stats : stats;
+  }
+
+  let heartbeat p =
+    try
+      Atomic_io.write_file ~path:(hb_path p.dir)
+        (Printf.sprintf "%d %s" p.epoch p.id)
+    with Unix.Unix_error _ | Sys_error _ -> ()
+
+  let ship_locked p (f : frame) =
+    Durable.io_guard (fun () -> Wal.append p.wal (encode_frame f));
+    p.frames <- p.frames + 1;
+    p.stats.shipped <- p.stats.shipped + 1
+
+  (** Claim the next fencing epoch and open a fresh ship segment.  A
+      restarting primary bumps the epoch — followers accept any epoch at
+      least as new as the one they last saw. *)
+  let create ~dir ~id ?(ack = Ack_async) ?(cluster = 1) ?(ack_timeout = 5.0)
+      ?(segment_frames = 4096) ?(retain = 2) ?pump () : t =
+    if cluster < 1 then invalid_arg "Replica.Primary.create: cluster must be >= 1";
+    if segment_frames < 2 then
+      invalid_arg "Replica.Primary.create: segment_frames must be >= 2";
+    Durable.io_guard (fun () -> Atomic_io.mkdir_p dir);
+    let cur = match read_epoch dir with Some (e, _) -> e | None -> 0 in
+    let epoch = cur + 1 in
+    Durable.io_guard (fun () -> write_epoch dir ~epoch ~holder:id);
+    let seg = match List.rev (ship_segments dir) with s :: _ -> s + 1 | [] -> 1 in
+    let wal =
+      Durable.io_guard (fun () -> Wal.open_append ~sync:false ~path:(ship_path dir seg) ())
+    in
+    let p =
+      {
+        dir;
+        id;
+        epoch;
+        ack;
+        cluster;
+        ack_timeout;
+        segment_frames;
+        retain;
+        pump;
+        m = Mutex.create ();
+        wal;
+        seg;
+        frames = 0;
+        fenced = None;
+        acks = [];
+        tails = [];
+        stats =
+          {
+            shipped = 0;
+            rotations = 0;
+            barriers = 0;
+            barrier_wait = 0.;
+            max_barrier_wait = 0.;
+          };
+      }
+    in
+    ship_locked p (F_epoch { epoch; primary = id });
+    heartbeat p;
+    p
+
+  (* Drain every follower ack log, keeping the newest record per
+     follower.  Any ack from a larger epoch — fencing or not — means a
+     follower was promoted over us. *)
+  let refresh_acks_locked p =
+    (match Sys.readdir p.dir with
+    | exception Sys_error _ -> ()
+    | names ->
+        Array.iter
+          (fun name ->
+            match ack_fid_of_name name with
+            | Some fid when not (List.mem_assoc fid p.tails) ->
+                p.tails <-
+                  (fid, Wal.Tail.create ~path:(Filename.concat p.dir name) ()) :: p.tails
+            | _ -> ())
+          names);
+    List.iter
+      (fun (fid, tail) ->
+        match Wal.Tail.poll tail with
+        | Error _ -> ()
+        | Ok records ->
+            List.iter
+              (fun r ->
+                match decode_ack r with
+                | a ->
+                    p.acks <- (fid, a) :: List.remove_assoc fid p.acks;
+                    if a.a_epoch > p.epoch || (a.a_fence && a.a_epoch >= p.epoch) then
+                      p.fenced <-
+                        Some
+                          (match p.fenced with
+                          | Some e -> max e a.a_epoch
+                          | None -> a.a_epoch)
+                | exception Durable.Decode _ -> ())
+              records)
+      p.tails
+
+  let check_epoch_locked p =
+    match read_epoch p.dir with
+    | Some (e, _) when e > p.epoch ->
+        p.fenced <- Some (max e (match p.fenced with Some f -> f | None -> 0))
+    | _ -> ()
+
+  let raise_fenced p e = raise (Session.Error (Exec_error.Fenced { epoch = p.epoch; current = e }))
+
+  (* The acknowledgement barrier, run after every state-changing op's
+     local durability is settled.  Quorum mode blocks until cluster/2+1
+     followers have acknowledged the current ship position under our
+     epoch, then verifies the EPOCH file one last time — the fencing
+     handshake: a quorum of acks means nothing if the epoch has moved. *)
+  let barrier p =
+    Mutex.lock p.m;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock p.m)
+      (fun () ->
+        p.stats.barriers <- p.stats.barriers + 1;
+        (match p.fenced with Some e -> raise_fenced p e | None -> ());
+        match p.ack with
+        | Ack_none -> ()
+        | Ack_async ->
+            (* non-blocking: drain acks for lag accounting and fence
+               detection; verify the epoch file periodically *)
+            refresh_acks_locked p;
+            if p.stats.barriers land 31 = 0 then check_epoch_locked p;
+            (match p.fenced with Some e -> raise_fenced p e | None -> ())
+        | Ack_quorum ->
+            let target_seg = p.seg and target_idx = p.frames in
+            let quorum = (p.cluster / 2) + 1 in
+            let t0 = Unix.gettimeofday () in
+            let caught (a : ack) =
+              a.a_epoch = p.epoch
+              && (a.a_seg > target_seg || (a.a_seg = target_seg && a.a_idx >= target_idx))
+            in
+            let rec wait () =
+              refresh_acks_locked p;
+              (match p.fenced with Some e -> raise_fenced p e | None -> ());
+              let n = List.length (List.filter (fun (_, a) -> caught a) p.acks) in
+              if n >= quorum then ()
+              else begin
+                let waited = Unix.gettimeofday () -. t0 in
+                if waited > p.ack_timeout then
+                  raise
+                    (Session.Error (Exec_error.Ack_timeout { acked = n; quorum; waited }));
+                (match p.pump with Some f -> f () | None -> Unix.sleepf 0.0005);
+                wait ()
+              end
+            in
+            wait ();
+            check_epoch_locked p;
+            (match p.fenced with Some e -> raise_fenced p e | None -> ());
+            let waited = Unix.gettimeofday () -. t0 in
+            p.stats.barrier_wait <- p.stats.barrier_wait +. waited;
+            if waited > p.stats.max_barrier_wait then p.stats.max_barrier_wait <- waited)
+
+  (** The {!Durable.repl_sink} gluing this primary under a registry. *)
+  let sink (p : t) : Durable.repl_sink =
+    {
+      Durable.rs_emit =
+        (fun ev ->
+          Mutex.lock p.m;
+          Fun.protect
+            ~finally:(fun () -> Mutex.unlock p.m)
+            (fun () ->
+              ship_locked p
+                (match ev with
+                | Durable.Ev_op { sid; seg; lsn; chain; payload } ->
+                    F_op { sid; seg; lsn; chain; payload }
+                | Durable.Ev_seal { sid; seg; last_lsn; chain; records } ->
+                    F_seal { sid; seg; last_lsn; chain; records }
+                | Durable.Ev_snapshot { sid; gen; lsn; payload } ->
+                    F_snapshot { sid; gen; lsn; payload })));
+      rs_rotation_due = (fun () -> p.frames >= p.segment_frames);
+      rs_rotate_begin =
+        (fun () ->
+          Mutex.lock p.m;
+          Fun.protect
+            ~finally:(fun () -> Mutex.unlock p.m)
+            (fun () ->
+              Wal.close p.wal;
+              p.seg <- p.seg + 1;
+              p.wal <-
+                Durable.io_guard (fun () ->
+                    Wal.open_append ~sync:false ~path:(ship_path p.dir p.seg) ());
+              p.frames <- 0;
+              p.stats.rotations <- p.stats.rotations + 1;
+              ship_locked p (F_epoch { epoch = p.epoch; primary = p.id })));
+      rs_rotate_end =
+        (fun () ->
+          Mutex.lock p.m;
+          Fun.protect
+            ~finally:(fun () -> Mutex.unlock p.m)
+            (fun () ->
+              List.iter
+                (fun k ->
+                  if k < p.seg - p.retain then
+                    try Sys.remove (ship_path p.dir k) with Sys_error _ -> ())
+                (ship_segments p.dir)));
+      rs_barrier = (fun () -> barrier p);
+    }
+
+  type status = {
+    st_epoch : int;
+    st_seg : int;
+    st_frames : int;
+    st_shipped : int;
+    st_rotations : int;
+    st_barriers : int;
+    st_mean_barrier_ms : float;
+    st_max_barrier_ms : float;
+    st_fenced : int option;
+    st_followers : (string * ack) list;
+  }
+
+  let status p : status =
+    Mutex.lock p.m;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock p.m)
+      (fun () ->
+        refresh_acks_locked p;
+        {
+          st_epoch = p.epoch;
+          st_seg = p.seg;
+          st_frames = p.frames;
+          st_shipped = p.stats.shipped;
+          st_rotations = p.stats.rotations;
+          st_barriers = p.stats.barriers;
+          st_mean_barrier_ms =
+            (if p.stats.barriers = 0 then 0.
+             else 1000. *. p.stats.barrier_wait /. float_of_int p.stats.barriers);
+          st_max_barrier_ms = 1000. *. p.stats.max_barrier_wait;
+          st_fenced = p.fenced;
+          st_followers = List.sort compare p.acks;
+        })
+
+  let close p =
+    Mutex.lock p.m;
+    Fun.protect ~finally:(fun () -> Mutex.unlock p.m) (fun () -> Wal.close p.wal)
+end
+
+(* ---- follower -------------------------------------------------------------------- *)
+
+module Follower = struct
+  type stats = {
+    mutable applied : int;  (** op frames applied to the standby *)
+    mutable skipped : int;  (** frames skipped (idempotent replay, closed sids) *)
+    mutable installs : int;  (** full snapshot transfers *)
+    mutable adoptions : int;  (** snapshots adopted as the local compaction point *)
+    mutable seals : int;  (** segment seals verified *)
+    mutable resyncs : int;  (** sessions parked awaiting a snapshot *)
+    mutable divergences : int;
+  }
+
+  type t = {
+    dir : string;
+    fid : string;
+    mgr : Durable.t;
+    m : Mutex.t;
+    ack : Wal.t;
+    mutable seg : int;  (** ship segment being tailed; 0 = not attached *)
+    mutable idx : int;  (** frames consumed in that segment *)
+    mutable tail : Wal.Tail.t option;
+    mutable epoch : int;  (** newest epoch observed in the stream *)
+    mutable promoted : bool;
+    await : (string, unit) Hashtbl.t;  (** sids parked until a snapshot bridges them *)
+    mutable last_error : string option;
+    stats : stats;
+  }
+
+  (** Attach a standby registry to a ship directory.  [mgr] must have a
+      state dir (the replica's own durability) and is flipped to standby:
+      client writes are refused until {!promote}. *)
+  let create ~dir ~fid ~mgr () : t =
+    Durable.io_guard (fun () -> Atomic_io.mkdir_p dir);
+    Durable.set_standby mgr true;
+    let ack =
+      Durable.io_guard (fun () -> Wal.open_append ~sync:false ~path:(ack_path dir fid) ())
+    in
+    {
+      dir;
+      fid;
+      mgr;
+      m = Mutex.create ();
+      ack;
+      seg = 0;
+      idx = 0;
+      tail = None;
+      epoch = (match read_epoch dir with Some (e, _) -> e | None -> 0);
+      promoted = false;
+      await = Hashtbl.create 8;
+      last_error = None;
+      stats =
+        {
+          applied = 0;
+          skipped = 0;
+          installs = 0;
+          adoptions = 0;
+          seals = 0;
+          resyncs = 0;
+          divergences = 0;
+        };
+    }
+
+  let park f sid =
+    if not (Hashtbl.mem f.await sid) then begin
+      Hashtbl.replace f.await sid ();
+      f.stats.resyncs <- f.stats.resyncs + 1
+    end
+
+  let handle_frame f (frame : frame) =
+    f.idx <- f.idx + 1;
+    match frame with
+    | F_epoch { epoch; _ } -> if epoch > f.epoch then f.epoch <- epoch
+    | F_op { sid; seg; lsn; chain; payload } ->
+        let apply () =
+          try
+            Durable.apply_remote f.mgr ~sid ~seg ~lsn ~chain ~payload;
+            f.stats.applied <- f.stats.applied + 1
+          with Session.Error e ->
+            f.stats.divergences <- f.stats.divergences + 1;
+            f.last_error <- Some (Session.error_string e);
+            park f sid
+        in
+        if Hashtbl.mem f.await sid then f.stats.skipped <- f.stats.skipped + 1
+        else begin
+          match Durable.remote_watermark f.mgr ~sid with
+          | None ->
+              (* lsn 0 is the open record; anything else for an unknown
+                 session means we lagged past its history *)
+              if lsn = 0 then apply () else park f sid
+          | Some wm ->
+              if wm.Durable.wm_closed then f.stats.skipped <- f.stats.skipped + 1
+              else if wm.wm_failed then park f sid
+              else if lsn = 0 then f.stats.skipped <- f.stats.skipped + 1
+              else if lsn < wm.wm_next_lsn then f.stats.skipped <- f.stats.skipped + 1
+              else if lsn = wm.wm_next_lsn && seg = wm.wm_seg then apply ()
+              else park f sid (* gap: lag past pruning or segment misalignment *)
+        end
+    | F_seal { sid; seg; last_lsn; chain; records } ->
+        if Hashtbl.mem f.await sid then f.stats.skipped <- f.stats.skipped + 1
+        else begin
+          match Durable.remote_watermark f.mgr ~sid with
+          | None -> f.stats.skipped <- f.stats.skipped + 1
+          | Some wm ->
+              if wm.Durable.wm_closed then f.stats.skipped <- f.stats.skipped + 1
+              else if wm.wm_failed then park f sid
+              else if seg < wm.wm_seg then f.stats.skipped <- f.stats.skipped + 1
+              else if seg = wm.wm_seg then begin
+                try
+                  Durable.seal_remote f.mgr ~sid ~seg ~last_lsn ~chain ~records;
+                  f.stats.seals <- f.stats.seals + 1
+                with Session.Error e ->
+                  f.stats.divergences <- f.stats.divergences + 1;
+                  f.last_error <- Some (Session.error_string e);
+                  park f sid
+              end
+              else park f sid
+        end
+    | F_snapshot { sid; gen; payload; _ } -> (
+        try
+          (match Durable.install_snapshot f.mgr ~sid ~gen ~payload with
+          | Durable.Installed -> f.stats.installs <- f.stats.installs + 1
+          | Durable.Adopted -> f.stats.adoptions <- f.stats.adoptions + 1
+          | Durable.Skipped -> f.stats.skipped <- f.stats.skipped + 1);
+          Hashtbl.remove f.await sid
+        with Session.Error e ->
+          f.stats.divergences <- f.stats.divergences + 1;
+          f.last_error <- Some (Session.error_string e))
+
+  let write_ack_locked f ~fence =
+    Durable.io_guard (fun () ->
+        Wal.append f.ack
+          (encode_ack { a_epoch = f.epoch; a_seg = f.seg; a_idx = f.idx; a_fence = fence });
+        if fence then Wal.sync_now f.ack)
+
+  (* Move the cursor to ship segment [s]. *)
+  let attach_locked f s =
+    f.seg <- s;
+    f.idx <- 0;
+    f.tail <- Some (Wal.Tail.create ~path:(ship_path f.dir s) ())
+
+  let poll_locked f : int =
+    if f.promoted then 0
+    else begin
+      let progress = ref 0 in
+      let continue = ref true in
+      while !continue do
+        continue := false;
+        (match f.tail with
+        | Some _ -> ()
+        | None -> (
+            (* first attach: the newest segment opens with a full barrier,
+               so it alone is enough to sync from *)
+            match List.rev (ship_segments f.dir) with
+            | s :: _ -> attach_locked f s
+            | [] -> ()));
+        match f.tail with
+        | None -> ()
+        | Some tail -> (
+            match Wal.Tail.poll tail with
+            | Ok [] -> (
+                (* hand-off: the primary only writes one segment at a time,
+                   so a newer segment existing means this one is finished *)
+                match List.filter (fun s -> s > f.seg) (ship_segments f.dir) with
+                | s :: _ ->
+                    attach_locked f s;
+                    continue := true
+                | [] -> ())
+            | Ok frames ->
+                List.iter
+                  (fun payload ->
+                    match decode_frame payload with
+                    | frame -> handle_frame f frame
+                    | exception Durable.Decode msg ->
+                        f.idx <- f.idx + 1;
+                        f.last_error <- Some ("undecodable frame: " ^ msg))
+                  frames;
+                (* settle local durability for the whole batch with one
+                   flush, then acknowledge the new cursor *)
+                Durable.flush f.mgr;
+                write_ack_locked f ~fence:false;
+                progress := !progress + List.length frames;
+                continue := true
+            | Error reason -> (
+                f.last_error <- Some ("ship segment damaged: " ^ reason);
+                (* jump forward if the primary has moved on; the barrier
+                   heading the next segment resyncs us *)
+                match List.filter (fun s -> s > f.seg) (ship_segments f.dir) with
+                | s :: _ ->
+                    attach_locked f s;
+                    continue := true
+                | [] -> ()))
+      done;
+      !progress
+    end
+
+  (** Consume every frame currently visible in the ship log; returns how
+      many were processed.  Safe to call in a tight loop or a poller
+      domain; a promoted follower is inert and returns 0. *)
+  let poll f : int =
+    Mutex.lock f.m;
+    Fun.protect ~finally:(fun () -> Mutex.unlock f.m) (fun () -> poll_locked f)
+
+  (** Promote this follower: drain the ship log, claim a strictly newer
+      fencing epoch (typed [Fenced] rejection otherwise — this is what
+      makes a second promotion with a stale epoch fail), fsync a fencing
+      ack so the deposed primary observes it, and open the standby for
+      writes.  Returns the claimed epoch. *)
+  let promote ?epoch f : int =
+    Mutex.lock f.m;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock f.m)
+      (fun () ->
+        if f.promoted then invalid_input "follower %s is already promoted" f.fid;
+        let rec drain () = if poll_locked f > 0 then drain () in
+        drain ();
+        let cur = match read_epoch f.dir with Some (e, _) -> e | None -> f.epoch in
+        let e = match epoch with Some e -> e | None -> max cur f.epoch + 1 in
+        if e <= cur then
+          raise (Session.Error (Exec_error.Fenced { epoch = e; current = cur }));
+        Durable.io_guard (fun () -> write_epoch f.dir ~epoch:e ~holder:f.fid);
+        f.epoch <- e;
+        write_ack_locked f ~fence:true;
+        Durable.set_standby f.mgr false;
+        f.promoted <- true;
+        e)
+
+  (** Seconds since the primary's last heartbeat, if one was ever
+      written. *)
+  let primary_age f : float option =
+    match Unix.stat (hb_path f.dir) with
+    | st -> Some (Unix.gettimeofday () -. st.Unix.st_mtime)
+    | exception (Unix.Unix_error _ | Sys_error _) -> None
+
+  type status = {
+    st_epoch : int;
+    st_seg : int;
+    st_idx : int;
+    st_promoted : bool;
+    st_awaiting : int;
+    st_applied : int;
+    st_skipped : int;
+    st_installs : int;
+    st_adoptions : int;
+    st_seals : int;
+    st_divergences : int;
+    st_primary_age : float option;
+    st_last_error : string option;
+    st_sessions : (string * int * int) list;  (** sid, next lsn, active segment *)
+  }
+
+  let status f : status =
+    Mutex.lock f.m;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock f.m)
+      (fun () ->
+        {
+          st_epoch = f.epoch;
+          st_seg = f.seg;
+          st_idx = f.idx;
+          st_promoted = f.promoted;
+          st_awaiting = Hashtbl.length f.await;
+          st_applied = f.stats.applied;
+          st_skipped = f.stats.skipped;
+          st_installs = f.stats.installs;
+          st_adoptions = f.stats.adoptions;
+          st_seals = f.stats.seals;
+          st_divergences = f.stats.divergences;
+          st_primary_age = primary_age f;
+          st_last_error = f.last_error;
+          st_sessions = Durable.session_watermarks f.mgr;
+        })
+
+  let close f =
+    Mutex.lock f.m;
+    Fun.protect ~finally:(fun () -> Mutex.unlock f.m) (fun () -> Wal.close f.ack)
+end

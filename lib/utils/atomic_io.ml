@@ -164,6 +164,23 @@ let save ~dir ?(keep = 3) (payload : string) : int =
     all;
   gen
 
+(** [save_at ~dir ~gen ~keep payload] installs [payload] as generation
+    [gen] {e exactly} — a replication follower mirroring the primary's
+    snapshot numbering must not let the directory pick its own — pruning to
+    the newest [keep] generations as {!save} does.  Re-installing an
+    existing generation atomically replaces it. *)
+let save_at ~dir ~gen ?(keep = 3) (payload : string) : unit =
+  if keep < 1 then invalid_arg "Atomic_io.save_at: keep must be >= 1";
+  if gen < 0 then invalid_arg "Atomic_io.save_at: negative generation";
+  mkdir_p dir;
+  write_file ~path:(path_of ~dir gen) payload;
+  let all = generations ~dir in
+  let excess = List.length all - keep in
+  List.iteri
+    (fun i g ->
+      if i < excess then try Sys.remove (path_of ~dir g) with Sys_error _ -> ())
+    all
+
 (** [load_latest ~dir] returns the newest snapshot that validates, as
     [(generation, payload)] — walking backwards over corrupt or truncated
     generations — or [None] when no valid snapshot exists. *)

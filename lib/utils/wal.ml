@@ -108,12 +108,212 @@ let read ~path : string list * tail =
         go 8
       end
 
+(* ---- incremental tailing ----------------------------------------------------- *)
+
+(** A cursor over a segment that another process (or writer) is still
+    appending to.  Each {!Tail.poll} picks up where the last one stopped,
+    returning only the records completed since — the replication follower's
+    view of the primary's ship log.  A partial frame at end-of-file is
+    carried across polls and retried once more bytes land; a complete frame
+    whose checksum fails is likewise held back (it may be a write observed
+    mid-[write]) and only reported as corruption once bytes exist {e
+    beyond} it, which a torn write cannot produce. *)
+module Tail = struct
+  type t = {
+    path : string;
+    mutable file_off : int;  (** next byte to read from the file *)
+    mutable started : bool;  (** magic consumed *)
+    mutable pending : string;  (** bytes read but not yet framed *)
+  }
+
+  let create ~path () = { path; file_off = 0; started = false; pending = "" }
+  let consumed t = t.file_off - String.length t.pending
+
+  (** Newly completed records since the previous poll, in append order.
+      [Ok []] means "nothing new yet" (including: the file does not exist
+      yet, or ends in a partial frame).  [Error reason] means the segment
+      is damaged in a way no in-flight append explains. *)
+  let poll (t : t) : (string list, string) result =
+    (match open_in_bin t.path with
+    | exception Sys_error _ -> ()
+    | ic ->
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () ->
+            let n = in_channel_length ic in
+            if n > t.file_off then begin
+              seek_in ic t.file_off;
+              let fresh = really_input_string ic (n - t.file_off) in
+              t.pending <- t.pending ^ fresh;
+              t.file_off <- n
+            end));
+    let err reason = Error reason in
+    (* Parse complete frames out of the (post-magic) pending buffer,
+       holding back a trailing partial — or a trailing complete frame
+       whose checksum does not validate yet, which an in-flight append
+       explains.  A bad checksum with bytes beyond it does not. *)
+    let parse () =
+      let buf = t.pending in
+      let n = String.length buf in
+      let rec frames off acc =
+        if n - off < record_header_len then Ok (off, List.rev acc)
+        else
+          let len = Int32.to_int (String.get_int32_le buf off) in
+          if len < 0 || len > max_record_len then
+            err (Printf.sprintf "implausible record length %d" len)
+          else if off + record_header_len + len > n then Ok (off, List.rev acc)
+          else
+            let sum = String.get_int64_le buf (off + 4) in
+            let payload = String.sub buf (off + record_header_len) len in
+            if not (Int64.equal (fnv1a64 payload) sum) then
+              if off + record_header_len + len = n then
+                (* could still be a frame observed mid-write: hold it back *)
+                Ok (off, List.rev acc)
+              else err "checksum mismatch"
+            else frames (off + record_header_len + len) (payload :: acc)
+      in
+      match frames 0 [] with
+      | Ok (consumed, recs) ->
+          t.pending <- String.sub buf consumed (n - consumed);
+          Ok recs
+      | Error _ as e -> e
+    in
+    if t.started then parse ()
+    else
+      let buf = t.pending in
+      let n = String.length buf in
+      let m = String.length magic in
+      if n < m then
+        if String.equal buf (String.sub magic 0 n) then Ok [] else err "bad magic"
+      else if not (String.equal (String.sub buf 0 m) magic) then err "bad magic"
+      else begin
+        t.started <- true;
+        t.pending <- String.sub buf m (n - m);
+        parse ()
+      end
+end
+
+(* ---- group commit ------------------------------------------------------------ *)
+
+(** Leader-based fsync batching across concurrently-appending writers.
+
+    Without it, [k] sessions each appending one record cost [k] fsyncs —
+    the disk flush dominates and serializes them.  With a group, an append
+    writes its bytes and takes a {e ticket}; {!Group.wait} then either
+    finds the ticket already covered by someone else's flush, or elects the
+    caller leader: the leader snapshots the outstanding ticket range and
+    the set of dirty descriptors, fsyncs each descriptor {b once}, and
+    advances the durable watermark over every ticket issued before the
+    grab.  Appends that landed while the leader was flushing get the next
+    batch.  An optional [window] makes the leader sleep briefly before
+    grabbing, letting stragglers pile into the same flush — higher
+    amortization at the cost of bounded added latency. *)
+module Group = struct
+  type t = {
+    m : Mutex.t;
+    flushed : Condition.t;
+    window : float;
+    mutable next : int;  (** next ticket to issue *)
+    mutable durable : int;  (** tickets < durable are on stable storage *)
+    mutable leader : bool;  (** a leader is currently flushing *)
+    mutable dirty : Unix.file_descr list;
+    mutable syncs : int;  (** fsync calls issued *)
+    mutable appends : int;  (** tickets issued *)
+  }
+
+  let create ?(window = 0.) () =
+    {
+      m = Mutex.create ();
+      flushed = Condition.create ();
+      window;
+      next = 0;
+      durable = 0;
+      leader = false;
+      dirty = [];
+      syncs = 0;
+      appends = 0;
+    }
+
+  (** Called by a writer after its bytes are in the file: marks [fd] dirty
+      and returns the ticket {!wait} must be given before the record may be
+      acknowledged. *)
+  let register t fd : int =
+    Mutex.lock t.m;
+    let ticket = t.next in
+    t.next <- t.next + 1;
+    t.appends <- t.appends + 1;
+    if not (List.memq fd t.dirty) then t.dirty <- fd :: t.dirty;
+    Mutex.unlock t.m;
+    ticket
+
+  (** Block until [ticket]'s record is on stable storage, flushing as
+      leader if nobody else is. *)
+  let rec wait t ticket : unit =
+    Mutex.lock t.m;
+    if ticket < t.durable then Mutex.unlock t.m
+    else if t.leader then begin
+      (* someone is flushing: wait for their broadcast, then re-check *)
+      while t.leader && ticket >= t.durable do
+        Condition.wait t.flushed t.m
+      done;
+      Mutex.unlock t.m;
+      wait t ticket
+    end
+    else begin
+      t.leader <- true;
+      Mutex.unlock t.m;
+      if t.window > 0. then Unix.sleepf t.window;
+      Mutex.lock t.m;
+      let upto = t.next in
+      let fds = t.dirty in
+      t.dirty <- [];
+      Mutex.unlock t.m;
+      List.iter
+        (fun fd ->
+          try
+            Unix.fsync fd;
+            Mutex.lock t.m;
+            t.syncs <- t.syncs + 1;
+            Mutex.unlock t.m
+          with Unix.Unix_error _ -> ())
+        fds;
+      Mutex.lock t.m;
+      t.durable <- max t.durable upto;
+      t.leader <- false;
+      Condition.broadcast t.flushed;
+      Mutex.unlock t.m;
+      if ticket >= t.durable then wait t ticket
+    end
+
+  (** Flush [fd] now and drop it from the dirty set: a writer about to
+      close its descriptor must not leave it for a later leader to fsync
+      (fsync on a closed fd is EBADF). *)
+  let forget t fd : unit =
+    Mutex.lock t.m;
+    let was_dirty = List.memq fd t.dirty in
+    t.dirty <- List.filter (fun d -> not (d == fd)) t.dirty;
+    Mutex.unlock t.m;
+    if was_dirty then begin
+      (try Unix.fsync fd with Unix.Unix_error _ -> ());
+      Mutex.lock t.m;
+      t.syncs <- t.syncs + 1;
+      Mutex.unlock t.m
+    end
+
+  let stats t : int * int =
+    Mutex.lock t.m;
+    let r = (t.syncs, t.appends) in
+    Mutex.unlock t.m;
+    r
+end
+
 (* ---- appending -------------------------------------------------------------- *)
 
 type t = {
   path : string;
   fd : Unix.file_descr;
   sync : bool;
+  group : Group.t option;
   mutable appends : int;
   mutable bytes : int;  (** record bytes written through this writer *)
   mutable closed : bool;
@@ -138,7 +338,7 @@ let write_all fd bytes =
     interleaves new records with a partial one; a corrupt segment raises
     {!Unwritable} — appending to untrusted history would launder the
     corruption into apparently-valid state. *)
-let open_append ?(sync = true) ~path () : t =
+let open_append ?(sync = true) ?group ~path () : t =
   let size =
     match Unix.stat path with
     | st -> st.Unix.st_size
@@ -172,12 +372,15 @@ let open_append ?(sync = true) ~path () : t =
       Atomic_io.fsync_dir (Filename.dirname path)
     end
   end;
-  { path; fd; sync; appends = 0; bytes = 0; closed = false }
+  { path; fd; sync; group; appends = 0; bytes = 0; closed = false }
 
-(** Append one record.  The whole frame goes down in a single [write]; with
-    [sync] the data is on stable storage before [append] returns, which is
-    what lets a caller apply the operation only after it is durable. *)
-let append (t : t) (payload : string) : unit =
+(** Append one record without waiting for stable storage.  The whole frame
+    goes down in a single [write].  Returns [Some ticket] when the writer
+    belongs to a {!Group}: the record is durable only once {!Group.wait}
+    has been given that ticket.  Returns [None] when durability is already
+    settled on return — either the fsync ran inline ([sync] without a
+    group) or the caller opted out of syncing entirely. *)
+let append_ticket (t : t) (payload : string) : int option =
   if t.closed then invalid_arg "Wal.append: writer is closed";
   let len = String.length payload in
   let frame = Bytes.create (record_header_len + len) in
@@ -185,13 +388,34 @@ let append (t : t) (payload : string) : unit =
   Bytes.set_int64_le frame 4 (fnv1a64 payload);
   Bytes.blit_string payload 0 frame record_header_len len;
   write_all t.fd frame;
-  if t.sync then Unix.fsync t.fd;
   t.appends <- t.appends + 1;
-  t.bytes <- t.bytes + Bytes.length frame
+  t.bytes <- t.bytes + Bytes.length frame;
+  if not t.sync then None
+  else
+    match t.group with
+    | None ->
+        Unix.fsync t.fd;
+        None
+    | Some g -> Some (Group.register g t.fd)
+
+(** Append one record, fully durable on return (group writers wait on
+    their ticket here). *)
+let append (t : t) (payload : string) : unit =
+  match (append_ticket t payload, t.group) with
+  | Some ticket, Some g -> Group.wait g ticket
+  | _ -> ()
+
+(** Force an fsync now regardless of the writer's sync policy — used for
+    records whose visibility must not wait for the page cache (the
+    follower's fencing ack). *)
+let sync_now (t : t) : unit =
+  if not t.closed then try Unix.fsync t.fd with Unix.Unix_error _ -> ()
 
 let close (t : t) : unit =
   if not t.closed then begin
     t.closed <- true;
-    (try if t.sync then Unix.fsync t.fd with Unix.Unix_error _ -> ());
+    (match t.group with
+    | Some g -> Group.forget g t.fd
+    | None -> ( try if t.sync then Unix.fsync t.fd with Unix.Unix_error _ -> ()));
     try Unix.close t.fd with Unix.Unix_error _ -> ()
   end

@@ -28,4 +28,5 @@ let () =
       ("service", Test_service.suite);
       ("incr", Test_incr.suite);
       ("durability", Test_durability.suite);
+      ("replication", Test_replication.suite);
     ]

@@ -154,6 +154,21 @@ let test_recovery_failed_golden () =
             reason = "corrupt log segment wal-000000003.log at byte 20: checksum mismatch";
           }))
 
+let test_replication_goldens () =
+  check Alcotest.string "diverged"
+    "replica diverged on session s1 in segment 2: checksum chain mismatch"
+    (Session.error_string
+       (Exec_error.Replication_diverged
+          { session = "s1"; segment = 2; reason = "checksum chain mismatch" }));
+  check Alcotest.string "fenced" "primary fenced: epoch 1 deposed by epoch 2"
+    (Session.error_string (Exec_error.Fenced { epoch = 1; current = 2 }));
+  check Alcotest.string "ack timeout (singular)"
+    "replication ack timeout: 0/1 follower ack after 5.000s"
+    (Session.error_string (Exec_error.Ack_timeout { acked = 0; quorum = 1; waited = 5.0 }));
+  check Alcotest.string "ack timeout (plural)"
+    "replication ack timeout: 1/2 follower acks after 0.250s"
+    (Session.error_string (Exec_error.Ack_timeout { acked = 1; quorum = 2; waited = 0.25 }))
+
 (* A client may safely retry exactly the transient class; everything
    deterministic must not be retried, and only budget exhaustion invites
    degrading to a cheaper provenance. *)
@@ -174,6 +189,11 @@ let test_transient_classification () =
       Exec_error.Runtime_error { msg = "boom" };
       (* a damaged state dir will not heal on retry *)
       Exec_error.Recovery_failed { session = "s"; reason = "corrupt log" };
+      (* a forked replica, a deposed primary, an unknown replication level:
+         all need operator action, never a blind client retry *)
+      Exec_error.Replication_diverged { session = "s"; segment = 1; reason = "chain" };
+      Exec_error.Fenced { epoch = 1; current = 2 };
+      Exec_error.Ack_timeout { acked = 0; quorum = 1; waited = 5.0 };
     ]
   in
   List.iter
@@ -330,6 +350,7 @@ let suite =
     Alcotest.test_case "overloaded: rendered message" `Quick test_overloaded_golden;
     Alcotest.test_case "worker lost: rendered message" `Quick test_worker_lost_golden;
     Alcotest.test_case "recovery failed: rendered message" `Quick test_recovery_failed_golden;
+    Alcotest.test_case "replication errors: rendered messages" `Quick test_replication_goldens;
     Alcotest.test_case "transient vs deterministic classification" `Quick
       test_transient_classification;
     Alcotest.test_case "CLI: per-file errors, nonzero exit at end" `Quick
